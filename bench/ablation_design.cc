@@ -1,0 +1,100 @@
+// Design-choice ablations beyond the paper's Table 8. The paper leaves
+// several implementation decisions ambiguous (see DESIGN.md "Faithfulness
+// notes"); this bench measures each alternative reading on the Cora-like
+// network so the calibrated defaults are justified by data:
+//
+//   * DistillLoss        — soft cross-entropy (default) vs the literal
+//                          Eq. 7 raw-embedding MSE;
+//   * EdgeRegTarget      — prediction smoothing (default) vs the literal
+//                          Eq. 9 embedding smoothing (at two beta scales);
+//   * DistillTargetRule  — Vb = all reliable (Sec. 4.2.1 prose, default)
+//                          vs disagree-or-uncertain (Figures 3/5) vs
+//                          uncertain-only (Algorithm 1 line 9);
+//   * LabeledReliability — teacher-correct (Sec. 3.1 prose, default) vs
+//                          student-correct (Algorithm 1 line 4);
+//   * gamma annealing    — Eq. 14 on (default) vs constant gamma.
+
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "core/rdd_trainer.h"
+#include "train/experiment.h"
+#include "util/table_writer.h"
+
+namespace rdd {
+namespace {
+
+struct DesignCase {
+  std::string name;
+  std::function<void(RddConfig*)> apply;
+};
+
+void Run() {
+  const int trials = bench::FullMode() ? 5 : 2;
+  const int num_base_models = bench::FullMode() ? 5 : 3;
+  std::printf("=== Design-choice ablations on Cora-like (%d base models,"
+              " %d trials) ===\n\n", num_base_models, trials);
+  const bench::BenchDataset setup = bench::CoraBench();
+  const Dataset dataset = GenerateCitationNetwork(setup.gen, bench::kDataSeed);
+  const GraphContext context = GraphContext::FromDataset(dataset);
+
+  const std::vector<DesignCase> cases = {
+      {"defaults (calibrated)", [](RddConfig*) {}},
+      {"distill: embedding MSE (Eq. 7 literal)",
+       [](RddConfig* c) { c->distill_loss = DistillLoss::kEmbeddingMse; }},
+      {"edge reg: embedding (Eq. 9 literal), beta=10",
+       [](RddConfig* c) { c->edge_reg_target = EdgeRegTarget::kEmbedding; }},
+      {"edge reg: embedding (Eq. 9 literal), beta=0.5",
+       [](RddConfig* c) {
+         c->edge_reg_target = EdgeRegTarget::kEmbedding;
+         c->beta = 0.5f;
+       }},
+      {"Vb: disagree-or-uncertain (Figs. 3/5)",
+       [](RddConfig* c) {
+         c->reliability.distill_rule =
+             DistillTargetRule::kDisagreeOrUncertain;
+       }},
+      {"Vb: uncertain-only (Alg. 1 line 9)",
+       [](RddConfig* c) {
+         c->reliability.distill_rule = DistillTargetRule::kUncertainOnly;
+       }},
+      {"labeled rule: student-correct (Alg. 1 line 4)",
+       [](RddConfig* c) {
+         c->reliability.labeled_rule =
+             LabeledReliabilityRule::kStudentCorrect;
+       }},
+      {"no teacher/student agreement filter",
+       [](RddConfig* c) { c->reliability.require_agreement = false; }},
+      {"no gamma annealing (constant gamma)",
+       [](RddConfig* c) { c->anneal_gamma = false; }},
+  };
+
+  TableWriter table({"Variant", "RDD(Single) %", "RDD(Ensemble) %"});
+  for (const DesignCase& variant : cases) {
+    std::vector<double> single, ensemble;
+    for (int trial = 0; trial < trials; ++trial) {
+      RddConfig config = bench::MakeRddConfig(setup, num_base_models);
+      variant.apply(&config);
+      const RddResult result = TrainRdd(dataset, context, config,
+                                        bench::kTrialSeedBase + trial);
+      single.push_back(result.single_test_accuracy);
+      ensemble.push_back(result.ensemble_test_accuracy);
+    }
+    table.AddRow({variant.name, bench::Pct(Summarize(single).mean),
+                  bench::Pct(Summarize(ensemble).mean)});
+    std::printf("[%s done]\n", variant.name.c_str());
+    std::fflush(stdout);
+  }
+  std::printf("\n%s", table.Render().c_str());
+}
+
+}  // namespace
+}  // namespace rdd
+
+int main() {
+  rdd::Run();
+  return 0;
+}

@@ -1,0 +1,109 @@
+// Figure 6 of the paper: accuracy on Cora as the number of labeled nodes
+// per class sweeps 5..77. Panel (a) compares single models (GCN, ResGCN,
+// DenseGCN, JK-Net, RDD(Single)); panel (b) compares ensembles (Bagging,
+// BANs, RDD(Ensemble)). Shape to reproduce: every curve rises with more
+// labels; RDD stays on top across the sweep, with the largest margins at
+// low label counts.
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "core/rdd_trainer.h"
+#include "ensemble/bagging.h"
+#include "ensemble/bans.h"
+#include "train/experiment.h"
+#include "util/table_writer.h"
+
+namespace rdd {
+namespace {
+
+constexpr int kNumBaseModels = 5;
+
+double TrainKind(const Dataset& dataset, const GraphContext& context,
+                 const bench::BenchDataset& setup, ModelKind kind,
+                 int64_t num_layers, uint64_t seed) {
+  ModelConfig config = setup.base_model;
+  config.kind = kind;
+  config.num_layers = num_layers;
+  auto model = BuildModel(context, config, seed);
+  return TrainSupervised(model.get(), dataset, setup.train).test_accuracy;
+}
+
+void Run() {
+  const std::vector<int64_t> label_counts =
+      bench::FullMode() ? std::vector<int64_t>{5, 10, 15, 20, 35, 50, 65, 77}
+                        : std::vector<int64_t>{5, 10, 20, 50, 77};
+  const int trials = bench::FullMode() ? 10 : 2;
+  std::printf("=== Figure 6: accuracy vs labeled nodes per class on"
+              " Cora-like (%d trials) ===\n\n", trials);
+
+  TableWriter singles({"Labels/class", "GCN", "ResGCN", "DenseGCN", "JK-Net",
+                       "RDD(Single)"});
+  TableWriter ensembles({"Labels/class", "Bagging", "BANs", "RDD(Ensemble)"});
+
+  for (int64_t per_class : label_counts) {
+    bench::BenchDataset setup = bench::CoraBench();
+    setup.gen.labeled_per_class = per_class;
+    const Dataset dataset =
+        GenerateCitationNetwork(setup.gen, bench::kDataSeed);
+    const GraphContext context = GraphContext::FromDataset(dataset);
+
+    std::vector<double> gcn, res, dense, jk, rdd_single, bag, bans, rdd_ens;
+    for (int trial = 0; trial < trials; ++trial) {
+      const uint64_t seed = bench::kTrialSeedBase + trial;
+      gcn.push_back(
+          TrainKind(dataset, context, setup, ModelKind::kGcn, 2, seed));
+      res.push_back(
+          TrainKind(dataset, context, setup, ModelKind::kResGcn, 3, seed));
+      dense.push_back(
+          TrainKind(dataset, context, setup, ModelKind::kDenseGcn, 3, seed));
+      jk.push_back(
+          TrainKind(dataset, context, setup, ModelKind::kJkNet, 3, seed));
+
+      BaggingConfig bagging_config;
+      bagging_config.num_models = kNumBaseModels;
+      bagging_config.base_model = setup.base_model;
+      bagging_config.train = setup.train;
+      bag.push_back(TrainBagging(dataset, context, bagging_config, seed)
+                        .ensemble_test_accuracy);
+      BansConfig bans_config;
+      bans_config.num_models = kNumBaseModels;
+      bans_config.base_model = setup.base_model;
+      bans_config.train = setup.train;
+      bans.push_back(TrainBans(dataset, context, bans_config, seed)
+                         .ensemble_test_accuracy);
+      const RddResult rdd = TrainRdd(
+          dataset, context, bench::MakeRddConfig(setup, kNumBaseModels), seed);
+      rdd_single.push_back(rdd.single_test_accuracy);
+      rdd_ens.push_back(rdd.ensemble_test_accuracy);
+    }
+    singles.AddRow({std::to_string(per_class),
+                    bench::Pct(Summarize(gcn).mean),
+                    bench::Pct(Summarize(res).mean),
+                    bench::Pct(Summarize(dense).mean),
+                    bench::Pct(Summarize(jk).mean),
+                    bench::Pct(Summarize(rdd_single).mean)});
+    ensembles.AddRow({std::to_string(per_class),
+                      bench::Pct(Summarize(bag).mean),
+                      bench::Pct(Summarize(bans).mean),
+                      bench::Pct(Summarize(rdd_ens).mean)});
+    std::printf("[%lld labels/class done]\n",
+                static_cast<long long>(per_class));
+    std::fflush(stdout);
+  }
+
+  std::printf("\nFigure 6(a) - single models:\n%s", singles.Render().c_str());
+  std::printf("\nFigure 6(b) - ensembles:\n%s", ensembles.Render().c_str());
+  std::printf(
+      "\nPaper shape: all curves rise with more labels; RDD dominates both"
+      " panels,\nwith the largest margin at small label counts; Bagging"
+      " approaches RDD at 77\nlabels/class while BANs flattens out.\n");
+}
+
+}  // namespace
+}  // namespace rdd
+
+int main() {
+  rdd::Run();
+  return 0;
+}

@@ -1,0 +1,143 @@
+// Micro-benchmarks for the numeric substrate (google-benchmark): dense GEMM,
+// sparse SpMM, GCN-normalized adjacency construction, PageRank, and row
+// entropy. These are not paper experiments; they characterize the kernels
+// every paper experiment runs on.
+
+#include <benchmark/benchmark.h>
+
+#include "autograd/ops.h"
+#include "core/reliability.h"
+#include "data/citation_gen.h"
+#include "graph/generators.h"
+#include "models/model_factory.h"
+#include "nn/optimizer.h"
+#include "graph/normalize.h"
+#include "graph/pagerank.h"
+#include "tensor/matrix.h"
+#include "tensor/ops.h"
+#include "tensor/sparse.h"
+#include "util/random.h"
+
+namespace rdd {
+namespace {
+
+Matrix RandomMatrix(int64_t rows, int64_t cols, Rng* rng) {
+  Matrix m(rows, cols);
+  for (int64_t i = 0; i < m.size(); ++i) {
+    m.Data()[i] = static_cast<float>(rng->Gaussian());
+  }
+  return m;
+}
+
+void BM_DenseMatmul(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  Rng rng(1);
+  const Matrix a = RandomMatrix(n, n, &rng);
+  const Matrix b = RandomMatrix(n, n, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Matmul(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * n);
+}
+BENCHMARK(BM_DenseMatmul)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_SparseSpMM(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  Rng rng(2);
+  Graph graph = MakeErdosRenyiGraph(n, 10.0 / static_cast<double>(n), &rng);
+  const SparseMatrix adj = GcnNormalizedAdjacency(graph);
+  const Matrix h = RandomMatrix(n, 16, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(adj.Multiply(h));
+  }
+  state.SetItemsProcessed(state.iterations() * adj.nnz() * 16);
+}
+BENCHMARK(BM_SparseSpMM)->Arg(1000)->Arg(4000);
+
+void BM_NormalizedAdjacency(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  Rng rng(3);
+  Graph graph = MakeErdosRenyiGraph(n, 10.0 / static_cast<double>(n), &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(GcnNormalizedAdjacency(graph));
+  }
+}
+BENCHMARK(BM_NormalizedAdjacency)->Arg(1000)->Arg(4000);
+
+void BM_PageRank(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  Rng rng(4);
+  Graph graph = MakeErdosRenyiGraph(n, 10.0 / static_cast<double>(n), &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(PageRank(graph));
+  }
+}
+BENCHMARK(BM_PageRank)->Arg(1000)->Arg(4000);
+
+void BM_RowEntropy(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  Rng rng(5);
+  const Matrix probs = SoftmaxRows(RandomMatrix(n, 7, &rng));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(RowEntropy(probs));
+  }
+}
+BENCHMARK(BM_RowEntropy)->Arg(10000);
+
+void BM_GcnTrainingEpoch(benchmark::State& state) {
+  // One full forward + backward + Adam step of the paper's base model on a
+  // synthetic citation network of the given size.
+  const int64_t n = state.range(0);
+  CitationGenConfig config;
+  config.num_nodes = n;
+  config.num_features = 300;
+  config.num_edges = n * 2;
+  config.num_classes = 5;
+  config.labeled_per_class = 10;
+  config.val_size = n / 10;
+  config.test_size = n / 5;
+  const Dataset dataset = GenerateCitationNetwork(config, 6);
+  const GraphContext context = GraphContext::FromDataset(dataset);
+  auto model = BuildModel(context, ModelConfig{}, 1);
+  Adam optimizer(model->Parameters(), 0.01f, 5e-4f);
+  for (auto _ : state) {
+    ModelOutput output = model->Forward(/*training=*/true);
+    Variable loss = ag::SoftmaxCrossEntropy(output.logits, dataset.labels,
+                                            dataset.split.train,
+                                            ag::Reduction::kMean);
+    loss.Backward();
+    optimizer.Step();
+    benchmark::DoNotOptimize(loss.value().At(0, 0));
+  }
+}
+BENCHMARK(BM_GcnTrainingEpoch)->Arg(500)->Arg(2000);
+
+void BM_NodeReliabilityUpdate(benchmark::State& state) {
+  // The per-epoch reliability refresh (Algorithm 1) RDD pays for.
+  const int64_t n = state.range(0);
+  Rng rng(7);
+  Matrix teacher(n, 7);
+  Matrix student(n, 7);
+  for (int64_t i = 0; i < teacher.size(); ++i) {
+    teacher.Data()[i] = static_cast<float>(rng.Gaussian());
+    student.Data()[i] = static_cast<float>(rng.Gaussian());
+  }
+  teacher = SoftmaxRows(teacher);
+  student = SoftmaxRows(student);
+  std::vector<int64_t> labels(static_cast<size_t>(n));
+  std::vector<bool> mask(static_cast<size_t>(n), false);
+  for (int64_t i = 0; i < n; ++i) {
+    labels[static_cast<size_t>(i)] = rng.UniformInt(7);
+    if (i % 20 == 0) mask[static_cast<size_t>(i)] = true;
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ComputeNodeReliability(
+        teacher, student, labels, mask, NodeReliabilityConfig{}));
+  }
+}
+BENCHMARK(BM_NodeReliabilityUpdate)->Arg(2708)->Arg(20000);
+
+}  // namespace
+}  // namespace rdd
+
+BENCHMARK_MAIN();

@@ -1,0 +1,115 @@
+// Table 3 of the paper: RDD (single and ensemble) vs the single GCN and the
+// ensemble baselines (Bagging, BANs) on all four datasets, 5 base models
+// per ensemble. The paper's shape to reproduce: every ensemble beats the
+// single GCN; RDD(Ensemble) is best overall; RDD(Single) is competitive
+// with (often better than) the baseline ensembles.
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "core/rdd_trainer.h"
+#include "ensemble/bagging.h"
+#include "ensemble/bans.h"
+#include "train/experiment.h"
+#include "util/table_writer.h"
+
+namespace rdd {
+namespace {
+
+constexpr int kNumBaseModels = 5;
+
+struct PaperColumn {
+  const char* dataset;
+  double gcn, rdd_single, bagging, bans, rdd_ensemble;
+};
+
+constexpr PaperColumn kPaper[] = {
+    {"Cora", 81.8, 84.8, 84.2, 84.5, 86.1},
+    {"Citeseer", 70.8, 73.6, 72.6, 72.1, 74.2},
+    {"Pubmed", 79.3, 80.7, 80.1, 79.8, 81.5},
+    {"Nell", 83.0, 85.2, 85.1, 85.4, 86.3},
+};
+
+void Run() {
+  std::printf("=== Table 3: ensemble comparison (%d base models, %d trials)"
+              " ===\n\n", kNumBaseModels, bench::NumTrials());
+  TableWriter table({"Models", "Cora", "Citeseer", "Pubmed", "Nell"});
+
+  const auto datasets = bench::EvaluationDatasets();
+  std::vector<std::string> gcn_row, single_row, bag_row, bans_row, ens_row;
+  for (const bench::BenchDataset& setup : datasets) {
+    const Dataset dataset =
+        GenerateCitationNetwork(setup.gen, bench::kDataSeed);
+    const GraphContext context = GraphContext::FromDataset(dataset);
+
+    std::vector<double> gcn, bag, bans, rdd_single, rdd_ensemble;
+    for (int trial = 0; trial < bench::NumTrials(); ++trial) {
+      const uint64_t seed = bench::kTrialSeedBase + trial;
+      BaggingConfig bagging_config;
+      bagging_config.num_models = kNumBaseModels;
+      bagging_config.base_model = setup.base_model;
+      bagging_config.train = setup.train;
+      const EnsembleTrainResult bag_result =
+          TrainBagging(dataset, context, bagging_config, seed);
+      bag.push_back(bag_result.ensemble_test_accuracy);
+      gcn.push_back(bag_result.reports[0].test_accuracy);
+
+      BansConfig bans_config;
+      bans_config.num_models = kNumBaseModels;
+      bans_config.base_model = setup.base_model;
+      bans_config.train = setup.train;
+      bans.push_back(
+          TrainBans(dataset, context, bans_config, seed).ensemble_test_accuracy);
+
+      const RddResult rdd =
+          TrainRdd(dataset, context,
+                   bench::MakeRddConfig(setup, kNumBaseModels), seed);
+      rdd_single.push_back(rdd.single_test_accuracy);
+      rdd_ensemble.push_back(rdd.ensemble_test_accuracy);
+    }
+    gcn_row.push_back(bench::Pct(Summarize(gcn).mean));
+    single_row.push_back(bench::Pct(Summarize(rdd_single).mean));
+    bag_row.push_back(bench::Pct(Summarize(bag).mean));
+    bans_row.push_back(bench::Pct(Summarize(bans).mean));
+    ens_row.push_back(bench::Pct(Summarize(rdd_ensemble).mean));
+    std::printf("[%s done]\n", setup.display_name.c_str());
+    std::fflush(stdout);
+  }
+
+  auto add = [&table](const char* name, std::vector<std::string> cells) {
+    cells.insert(cells.begin(), name);
+    table.AddRow(std::move(cells));
+  };
+  add("Single GCN", gcn_row);
+  add("RDD(Single)", single_row);
+  table.AddSeparator();
+  add("Bagging", bag_row);
+  add("BANs", bans_row);
+  add("RDD(Ensemble)", ens_row);
+  std::printf("\nMeasured:\n%s", table.Render().c_str());
+
+  TableWriter paper({"Models (paper)", "Cora", "Citeseer", "Pubmed", "Nell"});
+  auto paper_row = [&paper](const char* name, auto getter) {
+    std::vector<std::string> cells{name};
+    for (const PaperColumn& col : kPaper) {
+      cells.push_back(bench::Pct(getter(col) / 100.0));
+    }
+    paper.AddRow(std::move(cells));
+  };
+  paper_row("Single GCN", [](const PaperColumn& c) { return c.gcn; });
+  paper_row("RDD(Single)", [](const PaperColumn& c) { return c.rdd_single; });
+  paper.AddSeparator();
+  paper_row("Bagging", [](const PaperColumn& c) { return c.bagging; });
+  paper_row("BANs", [](const PaperColumn& c) { return c.bans; });
+  paper_row("RDD(Ensemble)",
+            [](const PaperColumn& c) { return c.rdd_ensemble; });
+  std::printf("\nPaper (Table 3):\n%s", paper.Render().c_str());
+}
+
+}  // namespace
+}  // namespace rdd
+
+int main() {
+  rdd::Run();
+  return 0;
+}

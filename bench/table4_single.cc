@@ -1,0 +1,94 @@
+// Table 4 of the paper: the RDD single model vs non-ensemble baselines on
+// the three citation networks. Implemented in this repository: LP (label
+// propagation), GCN, APPNP, and RDD(Single); the remaining baselines (GAT,
+// LGCN, GPNN, NGCN, DGCN, Planetoid) are quoted from the paper for
+// reference, since the paper itself also draws them from their original
+// publications. Shape to reproduce: LP far below the GCN family; RDD single
+// on top.
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "core/rdd_trainer.h"
+#include "models/label_propagation.h"
+#include "nn/metrics.h"
+#include "train/experiment.h"
+#include "util/table_writer.h"
+
+namespace rdd {
+namespace {
+
+void Run() {
+  std::printf("=== Table 4: single-model comparison (%d trials) ===\n\n",
+              bench::NumTrials());
+  const auto datasets = bench::EvaluationDatasets(/*include_nell=*/false);
+
+  std::vector<std::string> lp_row, gcn_row, appnp_row, rdd_row;
+  for (const bench::BenchDataset& setup : datasets) {
+    const Dataset dataset =
+        GenerateCitationNetwork(setup.gen, bench::kDataSeed);
+    const GraphContext context = GraphContext::FromDataset(dataset);
+
+    // Label propagation is deterministic: one run.
+    lp_row.push_back(bench::Pct(Accuracy(
+        PropagateLabels(dataset), dataset.labels, dataset.split.test)));
+
+    std::vector<double> gcn, appnp, rdd;
+    for (int trial = 0; trial < bench::NumTrials(); ++trial) {
+      const uint64_t seed = bench::kTrialSeedBase + trial;
+      auto gcn_model = BuildModel(context, setup.base_model, seed);
+      gcn.push_back(
+          TrainSupervised(gcn_model.get(), dataset, setup.train).test_accuracy);
+
+      ModelConfig appnp_config = setup.base_model;
+      appnp_config.kind = ModelKind::kAppnp;
+      appnp_config.hidden_dim = 32;
+      auto appnp_model = BuildModel(context, appnp_config, seed);
+      appnp.push_back(TrainSupervised(appnp_model.get(), dataset, setup.train)
+                          .test_accuracy);
+
+      rdd.push_back(TrainRdd(dataset, context, bench::MakeRddConfig(setup),
+                             seed)
+                        .single_test_accuracy);
+    }
+    gcn_row.push_back(bench::Pct(Summarize(gcn).mean));
+    appnp_row.push_back(bench::Pct(Summarize(appnp).mean));
+    rdd_row.push_back(bench::Pct(Summarize(rdd).mean));
+    std::printf("[%s done]\n", setup.display_name.c_str());
+    std::fflush(stdout);
+  }
+
+  TableWriter table({"Models", "Cora", "Citeseer", "Pubmed"});
+  auto add = [&table](const char* name, std::vector<std::string> cells) {
+    cells.insert(cells.begin(), name);
+    table.AddRow(std::move(cells));
+  };
+  add("LP", lp_row);
+  add("GCN", gcn_row);
+  add("APPNP", appnp_row);
+  add("RDD(Single)", rdd_row);
+  std::printf("\nMeasured:\n%s", table.Render().c_str());
+
+  TableWriter paper({"Models (paper)", "Cora", "Citeseer", "Pubmed"});
+  paper.AddRow({"LP", "68.0", "45.3", "63.0"});
+  paper.AddRow({"Planetoid*", "75.7", "64.7", "79.5"});
+  paper.AddRow({"LGCN*", "83.3", "73.0", "79.5"});
+  paper.AddRow({"GPNN*", "81.8", "69.7", "79.3"});
+  paper.AddRow({"NGCN*", "83.0", "72.2", "79.5"});
+  paper.AddRow({"DGCN*", "83.5", "72.6", "80.0"});
+  paper.AddRow({"APPNP", "83.3", "71.8", "80.1"});
+  paper.AddRow({"GAT*", "83.0", "72.5", "79.0"});
+  paper.AddRow({"GCN", "81.8", "70.8", "79.3"});
+  paper.AddRow({"RDD(Single)", "84.8", "73.6", "80.7"});
+  std::printf("\nPaper (Table 4; * = not implemented here, quoted by the"
+              " paper from the original publications):\n%s",
+              paper.Render().c_str());
+}
+
+}  // namespace
+}  // namespace rdd
+
+int main() {
+  rdd::Run();
+  return 0;
+}

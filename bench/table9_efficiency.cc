@@ -1,0 +1,123 @@
+// Table 9 of the paper: training-time efficiency on Cora — average time per
+// base model and the number of base models each ensemble method needs to
+// reach a target accuracy, with the total time to reach it. Absolute times
+// differ from the paper (its substrate is a GPU; ours is a from-scratch CPU
+// engine); the shape to reproduce is the ordering: Bagging trains the
+// fastest per model, RDD is the slowest per model (reliability updates every
+// epoch) but needs the fewest base models, so total times end up similar.
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "core/rdd_trainer.h"
+#include "ensemble/bagging.h"
+#include "ensemble/bans.h"
+#include "train/experiment.h"
+#include "util/string_util.h"
+#include "util/table_writer.h"
+
+namespace rdd {
+namespace {
+
+constexpr int kMaxModels = 6;
+// The paper's 84% target on real Cora is GCN + 2.2 points; on the
+// Cora-like generator (GCN ~80.8) the equivalent target is 83%.
+constexpr double kTargetAccuracy = 0.83;
+
+struct MethodResult {
+  double seconds_per_model = 0.0;
+  int models_to_target = -1;  // -1: target not reached within kMaxModels.
+  double seconds_to_target = 0.0;
+};
+
+MethodResult Analyze(const std::vector<TrainReport>& reports,
+                     const std::vector<double>& accuracy_after_member) {
+  MethodResult out;
+  double total = 0.0;
+  for (const TrainReport& r : reports) total += r.train_seconds;
+  out.seconds_per_model = total / static_cast<double>(reports.size());
+  double cumulative = 0.0;
+  for (size_t t = 0; t < accuracy_after_member.size(); ++t) {
+    cumulative += reports[t].train_seconds;
+    if (accuracy_after_member[t] >= kTargetAccuracy) {
+      out.models_to_target = static_cast<int>(t) + 1;
+      out.seconds_to_target = cumulative;
+      break;
+    }
+  }
+  return out;
+}
+
+void Run() {
+  const int trials = bench::FullMode() ? 5 : 2;
+  std::printf("=== Table 9: training time to reach %.0f%% accuracy on"
+              " Cora-like (%d trials) ===\n\n", 100.0 * kTargetAccuracy,
+              trials);
+  const bench::BenchDataset setup = bench::CoraBench();
+  const Dataset dataset = GenerateCitationNetwork(setup.gen, bench::kDataSeed);
+  const GraphContext context = GraphContext::FromDataset(dataset);
+
+  std::vector<double> per_model[3], to_target[3], models_needed[3];
+  for (int trial = 0; trial < trials; ++trial) {
+    const uint64_t seed = bench::kTrialSeedBase + trial;
+    BaggingConfig bagging_config;
+    bagging_config.num_models = kMaxModels;
+    bagging_config.base_model = setup.base_model;
+    bagging_config.train = setup.train;
+    const EnsembleTrainResult bag =
+        TrainBagging(dataset, context, bagging_config, seed);
+    BansConfig bans_config;
+    bans_config.num_models = kMaxModels;
+    bans_config.base_model = setup.base_model;
+    bans_config.train = setup.train;
+    const EnsembleTrainResult bans =
+        TrainBans(dataset, context, bans_config, seed);
+    const RddResult rdd = TrainRdd(
+        dataset, context, bench::MakeRddConfig(setup, kMaxModels), seed);
+
+    const MethodResult results[3] = {
+        Analyze(bag.reports, bag.ensemble_accuracy_after_member),
+        Analyze(bans.reports, bans.ensemble_accuracy_after_member),
+        Analyze(rdd.reports, rdd.ensemble_accuracy_after_member),
+    };
+    for (int m = 0; m < 3; ++m) {
+      per_model[m].push_back(results[m].seconds_per_model);
+      if (results[m].models_to_target > 0) {
+        models_needed[m].push_back(results[m].models_to_target);
+        to_target[m].push_back(results[m].seconds_to_target);
+      }
+    }
+  }
+
+  TableWriter table({"", "Bagging", "BANs", "RDD(Ensemble)"});
+  auto row = [&table](const char* name, auto format, std::vector<double>* v) {
+    table.AddRow({name, format(v[0]), format(v[1]), format(v[2])});
+  };
+  auto fmt_secs = [](const std::vector<double>& v) {
+    return v.empty() ? std::string("n/a")
+                     : StrFormat("%.3f", Summarize(v).mean);
+  };
+  auto fmt_count = [](const std::vector<double>& v) {
+    return v.empty() ? std::string(">6")
+                     : StrFormat("%.1f", Summarize(v).mean);
+  };
+  row("Average time per model (s)", fmt_secs, per_model);
+  row("Number of base models", fmt_count, models_needed);
+  row("Total time (s)", fmt_secs, to_target);
+  std::printf("Measured:\n%s", table.Render().c_str());
+
+  TableWriter paper({"(paper)", "Bagging", "BANs", "RDD(Ensemble)"});
+  paper.AddRow({"Average time per model (s)", "2.032", "2.652", "4.158"});
+  paper.AddRow({"Number of base models", "4", "3", "2"});
+  paper.AddRow({"Total time (s)", "8.128", "7.956", "8.316"});
+  std::printf("\nPaper (Table 9, GPU, target 84%% on real Cora):\n%s",
+              paper.Render().c_str());
+}
+
+}  // namespace
+}  // namespace rdd
+
+int main() {
+  rdd::Run();
+  return 0;
+}

@@ -1,0 +1,125 @@
+// Semi-supervised method zoo: runs every SSL strategy the paper discusses
+// (Sec. 1.1 and Sec. 5) on one Cora-like network and prints a leaderboard —
+// label propagation, self-training, co-training, plain GCN, the deep-GCN
+// family, Bagging, BANs, and RDD.
+//
+//   ./build/examples/ensemble_zoo
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/rdd_trainer.h"
+#include "data/citation_gen.h"
+#include "ensemble/bagging.h"
+#include "ensemble/bans.h"
+#include "ensemble/co_training.h"
+#include "ensemble/mean_teacher.h"
+#include "ensemble/self_training.h"
+#include "ensemble/snapshot.h"
+#include "models/label_propagation.h"
+#include "models/model_factory.h"
+#include "nn/metrics.h"
+#include "train/trainer.h"
+#include "util/string_util.h"
+#include "util/table_writer.h"
+#include "util/timer.h"
+
+using namespace rdd;
+
+int main() {
+  const Dataset dataset = GenerateCitationNetwork(CoraLikeConfig(), 42);
+  const GraphContext context = GraphContext::FromDataset(dataset);
+  const TrainConfig train;
+  std::printf("Dataset: %s (%lld nodes, label rate %.1f%%)\n\n",
+              dataset.name.c_str(),
+              static_cast<long long>(dataset.NumNodes()),
+              100.0 * dataset.LabelRate());
+
+  struct Row {
+    std::string name;
+    double accuracy;
+    double seconds;
+  };
+  std::vector<Row> rows;
+  auto timed = [&rows](std::string name, auto fn) {
+    WallTimer timer;
+    const double acc = fn();
+    rows.push_back({std::move(name), acc, timer.ElapsedSeconds()});
+    std::printf("  %-18s done (%.1f%%)\n", rows.back().name.c_str(),
+                100.0 * acc);
+    std::fflush(stdout);
+  };
+
+  timed("LP", [&] {
+    return Accuracy(PropagateLabels(dataset), dataset.labels,
+                    dataset.split.test);
+  });
+  timed("Self-Training", [&] {
+    SelfTrainingConfig config;
+    return TrainSelfTraining(dataset, context, config, 1).test_accuracy;
+  });
+  timed("Co-Training", [&] {
+    CoTrainingConfig config;
+    return TrainCoTraining(dataset, context, config, 1).test_accuracy;
+  });
+  timed("GCN", [&] {
+    auto model = BuildModel(context, ModelConfig{}, 1);
+    return TrainSupervised(model.get(), dataset, train).test_accuracy;
+  });
+  for (auto [kind, name] :
+       {std::pair{ModelKind::kResGcn, "ResGCN"},
+        std::pair{ModelKind::kDenseGcn, "DenseGCN"},
+        std::pair{ModelKind::kJkNet, "JK-Net"},
+        std::pair{ModelKind::kAppnp, "APPNP"},
+        std::pair{ModelKind::kGat, "GAT"},
+        std::pair{ModelKind::kGraphSage, "GraphSAGE"}}) {
+    timed(name, [&, kind = kind] {
+      ModelConfig config;
+      config.kind = kind;
+      config.num_layers = 3;
+      config.hidden_dim = kind == ModelKind::kAppnp ? 32
+                          : kind == ModelKind::kGat ? 8
+                                                    : 16;
+      auto model = BuildModel(context, config, 1);
+      return TrainSupervised(model.get(), dataset, train).test_accuracy;
+    });
+  }
+  timed("Snapshot (5)", [&] {
+    SnapshotConfig config;
+    return TrainSnapshotEnsemble(dataset, context, config, 1)
+        .ensemble_test_accuracy;
+  });
+  timed("Mean Teacher", [&] {
+    MeanTeacherConfig config;
+    return TrainMeanTeacher(dataset, context, config, 1)
+        .teacher_test_accuracy;
+  });
+  timed("Bagging (5)", [&] {
+    BaggingConfig config;
+    return TrainBagging(dataset, context, config, 1).ensemble_test_accuracy;
+  });
+  timed("BANs (5)", [&] {
+    BansConfig config;
+    return TrainBans(dataset, context, config, 1).ensemble_test_accuracy;
+  });
+  double rdd_single = 0.0;
+  timed("RDD(Ensemble, 5)", [&] {
+    RddConfig config;
+    const RddResult result = TrainRdd(dataset, context, config, 1);
+    rdd_single = result.single_test_accuracy;
+    return result.ensemble_test_accuracy;
+  });
+  rows.push_back({"RDD(Single)", rdd_single, 0.0});
+
+  std::sort(rows.begin(), rows.end(),
+            [](const Row& a, const Row& b) { return a.accuracy > b.accuracy; });
+  TableWriter table({"Method", "Test accuracy (%)", "Train time (s)"});
+  for (const Row& row : rows) {
+    table.AddRow({row.name, FormatDouble(100.0 * row.accuracy, 1),
+                  FormatDouble(row.seconds, 2)});
+  }
+  std::printf("\nLeaderboard:\n%s", table.Render().c_str());
+  return 0;
+}

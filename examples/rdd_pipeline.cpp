@@ -1,0 +1,87 @@
+// Full RDD pipeline walkthrough: generates one of the four paper datasets
+// (selected on the command line), trains the complete method with the
+// paper's settings, and prints per-student progress, ensemble weights, and
+// reliability diagnostics — the programmatic equivalent of Sec. 4 of the
+// paper.
+//
+//   ./build/examples/rdd_pipeline [cora|citeseer|pubmed|nell]
+
+#include <cstdio>
+#include <string>
+
+#include "core/rdd_config.h"
+#include "core/rdd_trainer.h"
+#include "data/citation_gen.h"
+#include "ensemble/bagging.h"
+#include "nn/metrics.h"
+#include "train/trainer.h"
+
+namespace {
+
+rdd::CitationGenConfig PickDataset(const std::string& name) {
+  if (name == "citeseer") return rdd::CiteseerLikeConfig();
+  if (name == "pubmed") return rdd::PubmedLikeConfig();
+  if (name == "nell") return rdd::NellLikeConfig();
+  return rdd::CoraLikeConfig();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string name = argc > 1 ? argv[1] : "cora";
+  const rdd::CitationGenConfig gen = PickDataset(name);
+
+  std::printf("Generating %s ...\n", gen.name.c_str());
+  const rdd::Dataset dataset = rdd::GenerateCitationNetwork(gen, 42);
+  const rdd::GraphContext context = rdd::GraphContext::FromDataset(dataset);
+  std::printf("  %lld nodes, %lld edges, %lld classes, %zu labeled nodes\n\n",
+              static_cast<long long>(dataset.NumNodes()),
+              static_cast<long long>(dataset.graph.num_edges()),
+              static_cast<long long>(dataset.num_classes),
+              dataset.split.train.size());
+
+  // Paper settings: T = 5 base models, p = 40, beta = 10; gamma per dataset.
+  rdd::RddConfig config;
+  config.num_base_models = 5;
+  config.gamma_initial = name == "citeseer" || name == "pubmed" ? 3.0f : 1.0f;
+  if (name == "nell") {
+    config.base_model.hidden_dim = 64;
+    config.base_model.dropout = 0.2f;
+    config.train.weight_decay = 1e-5f;
+  }
+
+  std::printf("Training RDD (T=%d, p=%.0f, gamma=%.1f, beta=%.0f) ...\n",
+              config.num_base_models, config.reliability.p_percent,
+              config.gamma_initial, config.beta);
+  const rdd::RddResult result = rdd::TrainRdd(dataset, context, config, 7);
+
+  double weight_sum = 0.0;
+  for (double a : result.alphas) weight_sum += a;
+  for (int t = 0; t < result.teacher.size(); ++t) {
+    const double member_acc =
+        rdd::Accuracy(result.teacher.member_probs(t), dataset.labels,
+                      dataset.split.test);
+    std::printf(
+        "  student %d: %3d epochs, test %.1f%%, ensemble-so-far %.1f%%, "
+        "alpha %.3f",
+        t, result.reports[static_cast<size_t>(t)].epochs_run,
+        100.0 * member_acc,
+        100.0 * result.ensemble_accuracy_after_member[static_cast<size_t>(t)],
+        result.alphas[static_cast<size_t>(t)] / weight_sum);
+    if (t > 0) {
+      const rdd::StudentDiagnostics& diag =
+          result.diagnostics[static_cast<size_t>(t)];
+      std::printf("  |Vr|=%lld |Vb|=%lld |Er|=%lld",
+                  static_cast<long long>(diag.reliable_nodes),
+                  static_cast<long long>(diag.distill_nodes),
+                  static_cast<long long>(diag.reliable_edges));
+    }
+    std::printf("\n");
+  }
+
+  std::printf("\nRDD(Single):   %.1f%%\n",
+              100.0 * result.single_test_accuracy);
+  std::printf("RDD(Ensemble): %.1f%%   (trained in %.1fs)\n",
+              100.0 * result.ensemble_test_accuracy, result.total_seconds);
+  return 0;
+}

@@ -1,0 +1,129 @@
+// Reliability under the microscope: trains a teacher GCN on a Cora-like
+// network and inspects the node- and edge-reliability machinery of Sec. 3 —
+// how accurate the reliable set actually is compared to the full node set,
+// how the p threshold trades coverage against purity, and how much cleaner
+// reliable edges are than raw edges. Because the data is synthetic, the
+// hidden ground truth is available for exactly this kind of audit.
+//
+//   ./build/examples/reliability_analysis
+
+#include <cstdio>
+
+#include "core/reliability.h"
+#include "data/citation_gen.h"
+#include "models/model_factory.h"
+#include "tensor/ops.h"
+#include "train/trainer.h"
+#include "util/string_util.h"
+#include "util/table_writer.h"
+
+using namespace rdd;
+
+namespace {
+
+/// Fraction of `nodes` whose model prediction matches the hidden truth.
+double SubsetAccuracy(const std::vector<int64_t>& preds,
+                      const std::vector<int64_t>& labels,
+                      const std::vector<int64_t>& nodes) {
+  if (nodes.empty()) return 0.0;
+  int64_t hits = 0;
+  for (int64_t i : nodes) {
+    if (preds[static_cast<size_t>(i)] == labels[static_cast<size_t>(i)]) {
+      ++hits;
+    }
+  }
+  return static_cast<double>(hits) / static_cast<double>(nodes.size());
+}
+
+}  // namespace
+
+int main() {
+  const Dataset dataset = GenerateCitationNetwork(CoraLikeConfig(), 42);
+  const GraphContext context = GraphContext::FromDataset(dataset);
+
+  // Teacher: a plain GCN. Student: an independently seeded GCN, trained
+  // briefly so teacher and student genuinely disagree in places.
+  auto teacher = BuildModel(context, ModelConfig{}, 1);
+  TrainConfig train;
+  (void)TrainSupervised(teacher.get(), dataset, train);
+  auto student = BuildModel(context, ModelConfig{}, 2);
+  TrainConfig short_train;
+  short_train.max_epochs = 30;
+  short_train.patience = 30;
+  (void)TrainSupervised(student.get(), dataset, short_train);
+
+  const Matrix teacher_probs = teacher->PredictProbs();
+  const Matrix student_probs = student->PredictProbs();
+  const auto teacher_preds = ArgmaxRows(teacher_probs);
+  const auto student_preds = ArgmaxRows(student_probs);
+  const auto train_mask = dataset.TrainMask();
+
+  std::vector<int64_t> all_nodes(static_cast<size_t>(dataset.NumNodes()));
+  for (int64_t i = 0; i < dataset.NumNodes(); ++i) {
+    all_nodes[static_cast<size_t>(i)] = i;
+  }
+  std::printf("Teacher accuracy on ALL nodes: %.1f%%\n",
+              100.0 * SubsetAccuracy(teacher_preds, dataset.labels,
+                                     all_nodes));
+
+  // 1. Node reliability: purity/coverage of Vr as p sweeps.
+  std::printf("\n--- Node reliability (Algorithm 1) ---\n");
+  TableWriter node_table({"p (%)", "|Vr|", "coverage (%)",
+                          "teacher acc on Vr (%)", "|Vb|",
+                          "teacher acc on Vb (%)"});
+  for (double p : {10.0, 20.0, 40.0, 60.0, 80.0}) {
+    NodeReliabilityConfig config;
+    config.p_percent = p;
+    const NodeReliability rel = ComputeNodeReliability(
+        teacher_probs, student_probs, dataset.labels, train_mask, config);
+    node_table.AddRow(
+        {FormatDouble(p, 0), std::to_string(rel.reliable_nodes.size()),
+         FormatDouble(100.0 * static_cast<double>(rel.reliable_nodes.size()) /
+                          static_cast<double>(dataset.NumNodes()),
+                      1),
+         FormatDouble(100.0 * SubsetAccuracy(teacher_preds, dataset.labels,
+                                             rel.reliable_nodes),
+                      1),
+         std::to_string(rel.distill_nodes.size()),
+         FormatDouble(100.0 * SubsetAccuracy(teacher_preds, dataset.labels,
+                                             rel.distill_nodes),
+                      1)});
+  }
+  std::fputs(node_table.Render().c_str(), stdout);
+  std::printf("Reading: the teacher is far more accurate on its reliable set"
+              " than overall,\nand purity falls as p (coverage) grows —"
+              " exactly the trade-off Table 7 tunes.\n");
+
+  // 2. Edge reliability: how much cleaner are reliable edges?
+  std::printf("\n--- Edge reliability (Algorithm 2) ---\n");
+  NodeReliabilityConfig config;
+  const NodeReliability rel = ComputeNodeReliability(
+      teacher_probs, student_probs, dataset.labels, train_mask, config);
+  const auto reliable_edges =
+      ComputeReliableEdges(dataset.graph, rel.reliable, student_preds);
+  int64_t same_class_all = 0;
+  for (const Edge& e : dataset.graph.edges()) {
+    if (dataset.labels[static_cast<size_t>(e.u)] ==
+        dataset.labels[static_cast<size_t>(e.v)]) {
+      ++same_class_all;
+    }
+  }
+  int64_t same_class_reliable = 0;
+  for (const auto& [u, v] : reliable_edges) {
+    if (dataset.labels[static_cast<size_t>(u)] ==
+        dataset.labels[static_cast<size_t>(v)]) {
+      ++same_class_reliable;
+    }
+  }
+  std::printf("All edges:      %lld, true same-class fraction %.1f%%\n",
+              static_cast<long long>(dataset.graph.num_edges()),
+              100.0 * static_cast<double>(same_class_all) /
+                  static_cast<double>(dataset.graph.num_edges()));
+  std::printf("Reliable edges: %zu, true same-class fraction %.1f%%\n",
+              reliable_edges.size(),
+              100.0 * static_cast<double>(same_class_reliable) /
+                  static_cast<double>(reliable_edges.size()));
+  std::printf("Reading: Laplacian smoothing over reliable edges almost never"
+              "\npulls different-class nodes together, unlike plain GLR.\n");
+  return 0;
+}

@@ -1,0 +1,125 @@
+#include "autograd/graph_ops.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <memory>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace rdd::ag {
+
+using autograd_internal::MakeOpNode;
+using autograd_internal::VariableImpl;
+
+Variable NeighborAttention(const SparseMatrix* pattern, const Variable& h,
+                           const Variable& s1, const Variable& s2,
+                           float leaky_slope) {
+  RDD_CHECK(pattern != nullptr);
+  const int64_t n = pattern->rows();
+  RDD_CHECK_EQ(pattern->cols(), n);
+  RDD_CHECK_EQ(h.rows(), n);
+  RDD_CHECK_EQ(s1.rows(), n);
+  RDD_CHECK_EQ(s1.cols(), 1);
+  RDD_CHECK_EQ(s2.rows(), n);
+  RDD_CHECK_EQ(s2.cols(), 1);
+  RDD_CHECK_GE(leaky_slope, 0.0f);
+  const int64_t d = h.cols();
+  const std::vector<int64_t>& row_ptr = pattern->row_ptr();
+  const std::vector<int64_t>& col_idx = pattern->col_idx();
+
+  // Cached for backward: attention weights alpha (per nonzero) and the
+  // pre-activation sign (for the LeakyReLU derivative).
+  auto alpha = std::make_shared<std::vector<float>>(col_idx.size());
+  auto pre_positive = std::make_shared<std::vector<bool>>(col_idx.size());
+
+  Matrix value(n, d);
+  const Matrix& hv = h.value();
+  const float* s1v = s1.value().Data();
+  const float* s2v = s2.value().Data();
+  for (int64_t i = 0; i < n; ++i) {
+    const int64_t begin = row_ptr[static_cast<size_t>(i)];
+    const int64_t end = row_ptr[static_cast<size_t>(i) + 1];
+    if (begin == end) continue;  // Isolated node: output row stays zero.
+    // Scores with the LeakyReLU, then a stable softmax.
+    float max_e = -std::numeric_limits<float>::infinity();
+    for (int64_t k = begin; k < end; ++k) {
+      const float pre = s1v[i] + s2v[col_idx[static_cast<size_t>(k)]];
+      (*pre_positive)[static_cast<size_t>(k)] = pre > 0.0f;
+      const float e = pre > 0.0f ? pre : leaky_slope * pre;
+      (*alpha)[static_cast<size_t>(k)] = e;
+      max_e = std::max(max_e, e);
+    }
+    double sum = 0.0;
+    for (int64_t k = begin; k < end; ++k) {
+      float& a = (*alpha)[static_cast<size_t>(k)];
+      a = std::exp(a - max_e);
+      sum += a;
+    }
+    const float inv = static_cast<float>(1.0 / sum);
+    float* out_row = value.RowData(i);
+    for (int64_t k = begin; k < end; ++k) {
+      float& a = (*alpha)[static_cast<size_t>(k)];
+      a *= inv;
+      const float* h_row = hv.RowData(col_idx[static_cast<size_t>(k)]);
+      for (int64_t c = 0; c < d; ++c) out_row[c] += a * h_row[c];
+    }
+  }
+
+  return MakeOpNode(
+      std::move(value), "neighbor_attention", {h, s1, s2},
+      [pattern, h, s1, s2, alpha, pre_positive,
+       leaky_slope](VariableImpl* node) {
+        const int64_t n = pattern->rows();
+        const int64_t d = h.cols();
+        const std::vector<int64_t>& row_ptr = pattern->row_ptr();
+        const std::vector<int64_t>& col_idx = pattern->col_idx();
+        const Matrix& hv = h.value();
+        const Matrix& grad_out = node->grad;
+
+        Matrix grad_h(n, d);
+        Matrix grad_s1(n, 1);
+        Matrix grad_s2(n, 1);
+        for (int64_t i = 0; i < n; ++i) {
+          const int64_t begin = row_ptr[static_cast<size_t>(i)];
+          const int64_t end = row_ptr[static_cast<size_t>(i) + 1];
+          if (begin == end) continue;
+          const float* go = grad_out.RowData(i);
+          // dL/dalpha_ik = grad_out_i . h_k, and the aggregation term
+          // dL/dh_k += alpha_ik * grad_out_i.
+          double weighted_sum = 0.0;  // sum_k alpha_ik * dL/dalpha_ik
+          std::vector<double> dalpha(static_cast<size_t>(end - begin));
+          for (int64_t k = begin; k < end; ++k) {
+            const int64_t j = col_idx[static_cast<size_t>(k)];
+            const float a = (*alpha)[static_cast<size_t>(k)];
+            const float* h_row = hv.RowData(j);
+            float* gh_row = grad_h.RowData(j);
+            double dot = 0.0;
+            for (int64_t c = 0; c < d; ++c) {
+              dot += static_cast<double>(go[c]) * h_row[c];
+              gh_row[c] += a * go[c];
+            }
+            dalpha[static_cast<size_t>(k - begin)] = dot;
+            weighted_sum += a * dot;
+          }
+          // Softmax backward, then LeakyReLU backward into s1_i and s2_j.
+          for (int64_t k = begin; k < end; ++k) {
+            const float a = (*alpha)[static_cast<size_t>(k)];
+            double de = a * (dalpha[static_cast<size_t>(k - begin)] -
+                             weighted_sum);
+            if (!(*pre_positive)[static_cast<size_t>(k)]) {
+              de *= leaky_slope;
+            }
+            grad_s1.At(i, 0) += static_cast<float>(de);
+            grad_s2.At(col_idx[static_cast<size_t>(k)], 0) +=
+                static_cast<float>(de);
+          }
+        }
+        if (h.requires_grad()) h.impl()->AccumulateGrad(grad_h);
+        if (s1.requires_grad()) s1.impl()->AccumulateGrad(grad_s1);
+        if (s2.requires_grad()) s2.impl()->AccumulateGrad(grad_s2);
+      });
+}
+
+}  // namespace rdd::ag

@@ -1,0 +1,29 @@
+#ifndef RDD_AUTOGRAD_GRAPH_OPS_H_
+#define RDD_AUTOGRAD_GRAPH_OPS_H_
+
+#include "autograd/variable.h"
+#include "tensor/sparse.h"
+
+namespace rdd::ag {
+
+/// Fused graph-attention aggregation (the core of a GAT layer, Velickovic
+/// et al.):
+///
+///   e_ij     = LeakyReLU(s1_i + s2_j)            for j in N(i)
+///   alpha_i. = softmax_j(e_i.)
+///   out_i    = sum_j alpha_ij h_j
+///
+/// `pattern` supplies the neighborhood structure: node i attends over the
+/// column indices of row i (values are ignored). Passing the GCN-normalized
+/// adjacency gives attention over N(i) u {i}, GAT's usual self-loop
+/// convention. `h` is (n x d); `s1` and `s2` are (n x 1) per-node scores
+/// (typically h * a1 and h * a2 for trainable vectors a1, a2). The full
+/// exact backward through the attention softmax flows to h, s1, and s2.
+/// `pattern` must outlive the backward pass.
+Variable NeighborAttention(const SparseMatrix* pattern, const Variable& h,
+                           const Variable& s1, const Variable& s2,
+                           float leaky_slope = 0.2f);
+
+}  // namespace rdd::ag
+
+#endif  // RDD_AUTOGRAD_GRAPH_OPS_H_

@@ -1,0 +1,407 @@
+#include "autograd/ops.h"
+
+#include <cmath>
+
+#include "tensor/ops.h"
+#include "util/logging.h"
+
+namespace rdd::ag {
+
+using autograd_internal::MakeOpNode;
+using autograd_internal::VariableImpl;
+
+namespace {
+
+/// Divisor implied by a reduction over a set of `count` items.
+float ReductionScale(Reduction reduction, size_t count) {
+  if (reduction == Reduction::kSum || count == 0) return 1.0f;
+  return 1.0f / static_cast<float>(count);
+}
+
+}  // namespace
+
+Variable Matmul(const Variable& a, const Variable& b) {
+  RDD_CHECK_EQ(a.cols(), b.rows());
+  Matrix value = rdd::Matmul(a.value(), b.value());
+  return MakeOpNode(
+      std::move(value), "matmul", {a, b},
+      [a, b](VariableImpl* node) {
+        if (a.requires_grad()) {
+          a.impl()->AccumulateGrad(MatmulTransposeB(node->grad, b.value()));
+        }
+        if (b.requires_grad()) {
+          b.impl()->AccumulateGrad(MatmulTransposeA(a.value(), node->grad));
+        }
+      });
+}
+
+Variable SpmmConst(const SparseMatrix* s, const Variable& b) {
+  RDD_CHECK(s != nullptr);
+  RDD_CHECK_EQ(s->cols(), b.rows());
+  Matrix value = s->Multiply(b.value());
+  return MakeOpNode(std::move(value), "spmm", {b},
+                    [s, b](VariableImpl* node) {
+                      if (b.requires_grad()) {
+                        b.impl()->AccumulateGrad(
+                            s->TransposeMultiply(node->grad));
+                      }
+                    });
+}
+
+Variable Add(const Variable& a, const Variable& b) {
+  RDD_CHECK_EQ(a.rows(), b.rows());
+  RDD_CHECK_EQ(a.cols(), b.cols());
+  return MakeOpNode(rdd::Add(a.value(), b.value()), "add", {a, b},
+                    [a, b](VariableImpl* node) {
+                      if (a.requires_grad()) a.impl()->AccumulateGrad(node->grad);
+                      if (b.requires_grad()) b.impl()->AccumulateGrad(node->grad);
+                    });
+}
+
+Variable Sub(const Variable& a, const Variable& b) {
+  RDD_CHECK_EQ(a.rows(), b.rows());
+  RDD_CHECK_EQ(a.cols(), b.cols());
+  return MakeOpNode(rdd::Sub(a.value(), b.value()), "sub", {a, b},
+                    [a, b](VariableImpl* node) {
+                      if (a.requires_grad()) a.impl()->AccumulateGrad(node->grad);
+                      if (b.requires_grad()) {
+                        Matrix neg = node->grad;
+                        neg.Scale(-1.0f);
+                        b.impl()->AccumulateGrad(neg);
+                      }
+                    });
+}
+
+Variable AddBias(const Variable& a, const Variable& bias_row) {
+  RDD_CHECK_EQ(bias_row.rows(), 1);
+  RDD_CHECK_EQ(bias_row.cols(), a.cols());
+  return MakeOpNode(AddRowBroadcast(a.value(), bias_row.value()), "add_bias",
+                    {a, bias_row}, [a, bias_row](VariableImpl* node) {
+                      if (a.requires_grad()) a.impl()->AccumulateGrad(node->grad);
+                      if (bias_row.requires_grad()) {
+                        bias_row.impl()->AccumulateGrad(ColumnSums(node->grad));
+                      }
+                    });
+}
+
+Variable Scale(const Variable& a, float factor) {
+  Matrix value = a.value();
+  value.Scale(factor);
+  return MakeOpNode(std::move(value), "scale", {a},
+                    [a, factor](VariableImpl* node) {
+                      if (!a.requires_grad()) return;
+                      Matrix g = node->grad;
+                      g.Scale(factor);
+                      a.impl()->AccumulateGrad(g);
+                    });
+}
+
+Variable Relu(const Variable& a) {
+  return MakeOpNode(rdd::Relu(a.value()), "relu", {a},
+                    [a](VariableImpl* node) {
+                      if (!a.requires_grad()) return;
+                      a.impl()->AccumulateGrad(
+                          ReluBackward(node->grad, a.value()));
+                    });
+}
+
+Variable Softmax(const Variable& logits) {
+  auto probs = std::make_shared<Matrix>(SoftmaxRows(logits.value()));
+  Matrix value = *probs;
+  return MakeOpNode(
+      std::move(value), "softmax", {logits},
+      [logits, probs](VariableImpl* node) {
+        if (!logits.requires_grad()) return;
+        const Matrix& p = *probs;
+        Matrix grad(p.rows(), p.cols());
+        for (int64_t r = 0; r < p.rows(); ++r) {
+          const float* pr = p.RowData(r);
+          const float* gr = node->grad.RowData(r);
+          float dot = 0.0f;
+          for (int64_t c = 0; c < p.cols(); ++c) dot += gr[c] * pr[c];
+          float* out = grad.RowData(r);
+          for (int64_t c = 0; c < p.cols(); ++c) {
+            out[c] = pr[c] * (gr[c] - dot);
+          }
+        }
+        logits.impl()->AccumulateGrad(grad);
+      });
+}
+
+Variable Dropout(const Variable& a, float rate, bool training, Rng* rng) {
+  RDD_CHECK_GE(rate, 0.0f);
+  RDD_CHECK_LT(rate, 1.0f);
+  if (!training || rate == 0.0f) return a;
+  RDD_CHECK(rng != nullptr);
+  const float keep_scale = 1.0f / (1.0f - rate);
+  // The mask is shared (by shared_ptr) between forward and backward.
+  auto mask = std::make_shared<Matrix>(a.rows(), a.cols());
+  Matrix value = a.value();
+  float* v = value.Data();
+  float* m = mask->Data();
+  for (int64_t i = 0; i < value.size(); ++i) {
+    if (rng->Uniform() < rate) {
+      m[i] = 0.0f;
+      v[i] = 0.0f;
+    } else {
+      m[i] = keep_scale;
+      v[i] *= keep_scale;
+    }
+  }
+  return MakeOpNode(std::move(value), "dropout", {a},
+                    [a, mask](VariableImpl* node) {
+                      if (!a.requires_grad()) return;
+                      Matrix g = node->grad;
+                      g.Mul(*mask);
+                      a.impl()->AccumulateGrad(g);
+                    });
+}
+
+Variable ConcatCols(const Variable& a, const Variable& b) {
+  RDD_CHECK_EQ(a.rows(), b.rows());
+  return MakeOpNode(
+      rdd::ConcatCols(a.value(), b.value()), "concat_cols", {a, b},
+      [a, b](VariableImpl* node) {
+        const int64_t a_cols = a.cols();
+        const int64_t b_cols = b.cols();
+        if (a.requires_grad()) {
+          Matrix ga(a.rows(), a_cols);
+          for (int64_t r = 0; r < a.rows(); ++r) {
+            const float* src = node->grad.RowData(r);
+            float* dst = ga.RowData(r);
+            for (int64_t c = 0; c < a_cols; ++c) dst[c] = src[c];
+          }
+          a.impl()->AccumulateGrad(ga);
+        }
+        if (b.requires_grad()) {
+          Matrix gb(b.rows(), b_cols);
+          for (int64_t r = 0; r < b.rows(); ++r) {
+            const float* src = node->grad.RowData(r);
+            float* dst = gb.RowData(r);
+            for (int64_t c = 0; c < b_cols; ++c) dst[c] = src[a_cols + c];
+          }
+          b.impl()->AccumulateGrad(gb);
+        }
+      });
+}
+
+Variable SumAll(const Variable& a) {
+  Matrix value(1, 1);
+  value.At(0, 0) = static_cast<float>(a.value().Sum());
+  return MakeOpNode(std::move(value), "sum_all", {a},
+                    [a](VariableImpl* node) {
+                      if (!a.requires_grad()) return;
+                      const float g = node->grad.At(0, 0);
+                      a.impl()->AccumulateGrad(
+                          Matrix::Constant(a.rows(), a.cols(), g));
+                    });
+}
+
+Variable WeightedSum(const std::vector<Variable>& terms,
+                     const std::vector<float>& coeffs) {
+  RDD_CHECK(!terms.empty());
+  RDD_CHECK_EQ(terms.size(), coeffs.size());
+  Matrix value(1, 1);
+  for (size_t i = 0; i < terms.size(); ++i) {
+    RDD_CHECK_EQ(terms[i].rows(), 1);
+    RDD_CHECK_EQ(terms[i].cols(), 1);
+    value.At(0, 0) += coeffs[i] * terms[i].value().At(0, 0);
+  }
+  return MakeOpNode(std::move(value), "weighted_sum", terms,
+                    [terms, coeffs](VariableImpl* node) {
+                      const float g = node->grad.At(0, 0);
+                      for (size_t i = 0; i < terms.size(); ++i) {
+                        if (!terms[i].requires_grad()) continue;
+                        Matrix gi(1, 1);
+                        gi.At(0, 0) = g * coeffs[i];
+                        terms[i].impl()->AccumulateGrad(gi);
+                      }
+                    });
+}
+
+Variable SoftmaxCrossEntropy(const Variable& logits,
+                             const std::vector<int64_t>& labels,
+                             const std::vector<int64_t>& indices,
+                             Reduction reduction) {
+  const Matrix& z = logits.value();
+  RDD_CHECK_EQ(static_cast<int64_t>(labels.size()), z.rows());
+  const float scale = ReductionScale(reduction, indices.size());
+
+  const Matrix log_probs = LogSoftmaxRows(z);
+  double loss = 0.0;
+  for (int64_t i : indices) {
+    RDD_CHECK_GE(i, 0);
+    RDD_CHECK_LT(i, z.rows());
+    const int64_t y = labels[static_cast<size_t>(i)];
+    RDD_CHECK_GE(y, 0);
+    RDD_CHECK_LT(y, z.cols());
+    loss -= log_probs.At(i, y);
+  }
+  Matrix value(1, 1);
+  value.At(0, 0) = static_cast<float>(loss) * scale;
+
+  auto indices_copy = std::make_shared<std::vector<int64_t>>(indices);
+  auto labels_copy = std::make_shared<std::vector<int64_t>>(labels);
+  return MakeOpNode(
+      std::move(value), "softmax_xent", {logits},
+      [logits, indices_copy, labels_copy, scale](VariableImpl* node) {
+        if (!logits.requires_grad()) return;
+        const float g = node->grad.At(0, 0) * scale;
+        const Matrix& z = logits.value();
+        Matrix grad(z.rows(), z.cols());
+        const Matrix probs = SoftmaxRows(z);
+        for (int64_t i : *indices_copy) {
+          const float* p = probs.RowData(i);
+          float* out = grad.RowData(i);
+          for (int64_t c = 0; c < z.cols(); ++c) out[c] += g * p[c];
+          out[(*labels_copy)[static_cast<size_t>(i)]] -= g;
+        }
+        logits.impl()->AccumulateGrad(grad);
+      });
+}
+
+Variable RowSquaredError(const Variable& pred, const Matrix& target,
+                         const std::vector<int64_t>& indices,
+                         Reduction reduction) {
+  const Matrix& p = pred.value();
+  RDD_CHECK_EQ(p.rows(), target.rows());
+  RDD_CHECK_EQ(p.cols(), target.cols());
+  // kMean averages over ELEMENTS (rows x cols), not rows, so the loss scale
+  // is independent of both the reliable-set size and the embedding width —
+  // this keeps the paper's gamma comparable across datasets.
+  const float scale =
+      ReductionScale(reduction, indices.size() *
+                                    static_cast<size_t>(p.cols()));
+
+  double loss = 0.0;
+  for (int64_t i : indices) {
+    RDD_CHECK_GE(i, 0);
+    RDD_CHECK_LT(i, p.rows());
+    const float* a = p.RowData(i);
+    const float* b = target.RowData(i);
+    for (int64_t c = 0; c < p.cols(); ++c) {
+      const double d = static_cast<double>(a[c]) - b[c];
+      loss += d * d;
+    }
+  }
+  Matrix value(1, 1);
+  value.At(0, 0) = static_cast<float>(loss) * scale;
+
+  auto indices_copy = std::make_shared<std::vector<int64_t>>(indices);
+  auto target_copy = std::make_shared<Matrix>(target);
+  return MakeOpNode(
+      std::move(value), "row_mse", {pred},
+      [pred, indices_copy, target_copy, scale](VariableImpl* node) {
+        if (!pred.requires_grad()) return;
+        const float g = 2.0f * node->grad.At(0, 0) * scale;
+        const Matrix& p = pred.value();
+        Matrix grad(p.rows(), p.cols());
+        for (int64_t i : *indices_copy) {
+          const float* a = p.RowData(i);
+          const float* b = target_copy->RowData(i);
+          float* out = grad.RowData(i);
+          for (int64_t c = 0; c < p.cols(); ++c) {
+            out[c] += g * (a[c] - b[c]);
+          }
+        }
+        pred.impl()->AccumulateGrad(grad);
+      });
+}
+
+Variable EdgeLaplacian(const Variable& emb,
+                       const std::vector<std::pair<int64_t, int64_t>>& edges,
+                       Reduction reduction) {
+  const Matrix& f = emb.value();
+  // Element-wise mean, for the same scale-freeness reason as
+  // RowSquaredError.
+  const float scale =
+      ReductionScale(reduction, edges.size() *
+                                    static_cast<size_t>(f.cols()));
+
+  double loss = 0.0;
+  for (const auto& [i, j] : edges) {
+    RDD_CHECK_GE(i, 0);
+    RDD_CHECK_LT(i, f.rows());
+    RDD_CHECK_GE(j, 0);
+    RDD_CHECK_LT(j, f.rows());
+    const float* a = f.RowData(i);
+    const float* b = f.RowData(j);
+    for (int64_t c = 0; c < f.cols(); ++c) {
+      const double d = static_cast<double>(a[c]) - b[c];
+      loss += d * d;
+    }
+  }
+  Matrix value(1, 1);
+  value.At(0, 0) = static_cast<float>(loss) * scale;
+
+  auto edges_copy =
+      std::make_shared<std::vector<std::pair<int64_t, int64_t>>>(edges);
+  return MakeOpNode(
+      std::move(value), "edge_laplacian", {emb},
+      [emb, edges_copy, scale](VariableImpl* node) {
+        if (!emb.requires_grad()) return;
+        const float g = 2.0f * node->grad.At(0, 0) * scale;
+        const Matrix& f = emb.value();
+        Matrix grad(f.rows(), f.cols());
+        for (const auto& [i, j] : *edges_copy) {
+          const float* a = f.RowData(i);
+          const float* b = f.RowData(j);
+          float* gi = grad.RowData(i);
+          float* gj = grad.RowData(j);
+          for (int64_t c = 0; c < f.cols(); ++c) {
+            const float d = g * (a[c] - b[c]);
+            gi[c] += d;
+            gj[c] -= d;
+          }
+        }
+        emb.impl()->AccumulateGrad(grad);
+      });
+}
+
+Variable SoftCrossEntropy(const Variable& logits, const Matrix& target_probs,
+                          const std::vector<int64_t>& indices,
+                          Reduction reduction) {
+  const Matrix& z = logits.value();
+  RDD_CHECK_EQ(z.rows(), target_probs.rows());
+  RDD_CHECK_EQ(z.cols(), target_probs.cols());
+  const float scale = ReductionScale(reduction, indices.size());
+
+  const Matrix log_probs = LogSoftmaxRows(z);
+  double loss = 0.0;
+  for (int64_t i : indices) {
+    RDD_CHECK_GE(i, 0);
+    RDD_CHECK_LT(i, z.rows());
+    const float* t = target_probs.RowData(i);
+    const float* lp = log_probs.RowData(i);
+    for (int64_t c = 0; c < z.cols(); ++c) {
+      loss -= static_cast<double>(t[c]) * lp[c];
+    }
+  }
+  Matrix value(1, 1);
+  value.At(0, 0) = static_cast<float>(loss) * scale;
+
+  auto indices_copy = std::make_shared<std::vector<int64_t>>(indices);
+  auto target_copy = std::make_shared<Matrix>(target_probs);
+  return MakeOpNode(
+      std::move(value), "soft_xent", {logits},
+      [logits, indices_copy, target_copy, scale](VariableImpl* node) {
+        if (!logits.requires_grad()) return;
+        const float g = node->grad.At(0, 0) * scale;
+        const Matrix& z = logits.value();
+        Matrix grad(z.rows(), z.cols());
+        const Matrix probs = SoftmaxRows(z);
+        for (int64_t i : *indices_copy) {
+          const float* p = probs.RowData(i);
+          const float* t = target_copy->RowData(i);
+          float* out = grad.RowData(i);
+          // d/dz of -sum_c t_c log softmax(z)_c = softmax(z) - t
+          // (valid when t sums to 1).
+          for (int64_t c = 0; c < z.cols(); ++c) {
+            out[c] += g * (p[c] - t[c]);
+          }
+        }
+        logits.impl()->AccumulateGrad(grad);
+      });
+}
+
+}  // namespace rdd::ag

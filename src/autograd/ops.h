@@ -1,0 +1,100 @@
+#ifndef RDD_AUTOGRAD_OPS_H_
+#define RDD_AUTOGRAD_OPS_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "autograd/variable.h"
+#include "tensor/matrix.h"
+#include "tensor/sparse.h"
+#include "util/random.h"
+
+namespace rdd::ag {
+
+/// How a set-indexed loss is reduced to a scalar.
+enum class Reduction {
+  /// Average over the index set (empty set -> 0 loss). For the row/edge
+  /// squared-error losses this averages over ELEMENTS (set size x width) so
+  /// the loss scale is independent of both set size and embedding width.
+  kMean,
+  kSum,  ///< Plain sum, matching the paper's equations literally.
+};
+
+/// Returns a * b (dense matmul). Gradients flow to both inputs.
+Variable Matmul(const Variable& a, const Variable& b);
+
+/// Returns s * b where `s` is a constant sparse matrix (e.g. the normalized
+/// adjacency or the bag-of-words feature matrix). The caller must keep `s`
+/// alive until Backward() completes; models own their propagation matrices
+/// for exactly this reason. Gradient: d/db = transpose(s) * grad.
+Variable SpmmConst(const SparseMatrix* s, const Variable& b);
+
+/// Returns a + b (same shape).
+Variable Add(const Variable& a, const Variable& b);
+
+/// Returns a - b (same shape).
+Variable Sub(const Variable& a, const Variable& b);
+
+/// Returns a with the 1 x cols bias row broadcast-added to every row.
+Variable AddBias(const Variable& a, const Variable& bias_row);
+
+/// Returns factor * a.
+Variable Scale(const Variable& a, float factor);
+
+/// Elementwise max(0, x).
+Variable Relu(const Variable& a);
+
+/// Row-wise softmax. Backward uses the exact Jacobian
+/// dL/dz_i = p_i * (g_i - sum_j g_j p_j) per row.
+Variable Softmax(const Variable& logits);
+
+/// Inverted dropout: during training, zeroes entries with probability
+/// `rate` and scales survivors by 1/(1-rate); identity when !training.
+/// Requires 0 <= rate < 1.
+Variable Dropout(const Variable& a, float rate, bool training, Rng* rng);
+
+/// Horizontal concatenation [a | b]; gradients are split back.
+Variable ConcatCols(const Variable& a, const Variable& b);
+
+/// Sum of all entries as a 1x1 scalar.
+Variable SumAll(const Variable& a);
+
+/// Weighted sum of 1x1 scalars: sum_i coeffs[i] * terms[i]. Terms and
+/// coefficients must have equal, nonzero length.
+Variable WeightedSum(const std::vector<Variable>& terms,
+                     const std::vector<float>& coeffs);
+
+/// Supervised loss L1 (Eq. 6): softmax cross-entropy of `logits` rows listed
+/// in `indices` against integer `labels` (indexed by node id). Fused
+/// softmax+CE for numerical stability; gradient is (softmax - onehot) on the
+/// selected rows only.
+Variable SoftmaxCrossEntropy(const Variable& logits,
+                             const std::vector<int64_t>& labels,
+                             const std::vector<int64_t>& indices,
+                             Reduction reduction);
+
+/// Distillation loss L2 (Eq. 7): sum over `indices` of the squared L2
+/// distance between rows of `pred` and the constant `target` rows
+/// (the teacher's embeddings F_{t-1}).
+Variable RowSquaredError(const Variable& pred, const Matrix& target,
+                         const std::vector<int64_t>& indices,
+                         Reduction reduction);
+
+/// Reliable-edge regularizer Lreg (Eq. 9): sum over the listed (i, j) edges
+/// of ||emb_i - emb_j||^2.
+Variable EdgeLaplacian(const Variable& emb,
+                       const std::vector<std::pair<int64_t, int64_t>>& edges,
+                       Reduction reduction);
+
+/// KD mimic loss: mean over `indices` of the cross-entropy between constant
+/// teacher distributions `target_probs` (row-stochastic) and the student's
+/// softmax(logits). Used by the BANs baseline, which distills softmax
+/// outputs rather than embeddings.
+Variable SoftCrossEntropy(const Variable& logits, const Matrix& target_probs,
+                          const std::vector<int64_t>& indices,
+                          Reduction reduction);
+
+}  // namespace rdd::ag
+
+#endif  // RDD_AUTOGRAD_OPS_H_

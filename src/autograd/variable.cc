@@ -1,0 +1,117 @@
+#include "autograd/variable.h"
+
+#include <unordered_set>
+
+#include "util/logging.h"
+
+namespace rdd {
+
+namespace autograd_internal {
+
+void VariableImpl::EnsureGrad() {
+  if (!grad_allocated) {
+    grad = Matrix(value.rows(), value.cols());
+    grad_allocated = true;
+  }
+}
+
+void VariableImpl::AccumulateGrad(const Matrix& g) {
+  EnsureGrad();
+  grad.Add(g);
+}
+
+Variable MakeOpNode(Matrix value, std::string op_name,
+                    std::vector<Variable> parents,
+                    std::function<void(VariableImpl*)> backward_fn) {
+  auto impl = std::make_shared<VariableImpl>();
+  impl->value = std::move(value);
+  impl->op_name = std::move(op_name);
+  bool needs_grad = false;
+  for (const Variable& p : parents) {
+    RDD_CHECK(p.defined()) << "op " << impl->op_name << ": undefined parent";
+    needs_grad = needs_grad || p.impl()->requires_grad;
+    impl->parents.push_back(p.impl());
+  }
+  impl->requires_grad = needs_grad;
+  if (needs_grad) impl->backward_fn = std::move(backward_fn);
+  return Variable(std::move(impl));
+}
+
+}  // namespace autograd_internal
+
+using autograd_internal::VariableImpl;
+
+Variable::Variable(Matrix value, bool requires_grad) {
+  impl_ = std::make_shared<VariableImpl>();
+  impl_->value = std::move(value);
+  impl_->requires_grad = requires_grad;
+  impl_->op_name = "leaf";
+}
+
+const Matrix& Variable::value() const {
+  RDD_CHECK(defined());
+  return impl_->value;
+}
+
+Matrix* Variable::mutable_value() {
+  RDD_CHECK(defined());
+  return &impl_->value;
+}
+
+const Matrix& Variable::grad() const {
+  RDD_CHECK(defined());
+  impl_->EnsureGrad();
+  return impl_->grad;
+}
+
+bool Variable::requires_grad() const {
+  RDD_CHECK(defined());
+  return impl_->requires_grad;
+}
+
+void Variable::ZeroGrad() {
+  RDD_CHECK(defined());
+  impl_->EnsureGrad();
+  impl_->grad.SetZero();
+}
+
+void Variable::Backward() const {
+  RDD_CHECK(defined());
+  RDD_CHECK_EQ(impl_->value.rows(), 1);
+  RDD_CHECK_EQ(impl_->value.cols(), 1);
+
+  // Iterative post-order DFS to get a topological order of the tape.
+  std::vector<VariableImpl*> topo;
+  std::unordered_set<VariableImpl*> visited;
+  std::vector<std::pair<VariableImpl*, size_t>> stack;
+  stack.emplace_back(impl_.get(), 0);
+  visited.insert(impl_.get());
+  while (!stack.empty()) {
+    auto& [node, next_child] = stack.back();
+    if (next_child < node->parents.size()) {
+      VariableImpl* child = node->parents[next_child].get();
+      ++next_child;
+      if (child->requires_grad && visited.insert(child).second) {
+        stack.emplace_back(child, 0);
+      }
+    } else {
+      topo.push_back(node);
+      stack.pop_back();
+    }
+  }
+
+  // Reset gradients of every node in this tape, then seed the root.
+  for (VariableImpl* node : topo) {
+    node->EnsureGrad();
+    node->grad.SetZero();
+  }
+  impl_->grad.At(0, 0) = 1.0f;
+
+  // topo is post-order (root last); walk it backwards.
+  for (auto it = topo.rbegin(); it != topo.rend(); ++it) {
+    VariableImpl* node = *it;
+    if (node->backward_fn) node->backward_fn(node);
+  }
+}
+
+}  // namespace rdd

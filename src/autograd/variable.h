@@ -1,0 +1,101 @@
+#ifndef RDD_AUTOGRAD_VARIABLE_H_
+#define RDD_AUTOGRAD_VARIABLE_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "tensor/matrix.h"
+
+namespace rdd {
+
+class Variable;
+
+namespace autograd_internal {
+
+/// Reference-counted tape node: holds the forward value, the accumulated
+/// gradient, edges to parent nodes, and the local backward rule.
+struct VariableImpl {
+  Matrix value;
+  Matrix grad;            ///< Allocated lazily; same shape as value.
+  bool requires_grad = false;
+  bool grad_allocated = false;
+  std::string op_name;    ///< For diagnostics ("matmul", "relu", ...).
+  std::vector<std::shared_ptr<VariableImpl>> parents;
+  /// Propagates this->grad into the parents' grads. Null for leaves.
+  std::function<void(VariableImpl*)> backward_fn;
+
+  /// Ensures grad is an allocated zero matrix of the value's shape.
+  void EnsureGrad();
+  /// Adds `g` into the gradient buffer (allocating it first if needed).
+  void AccumulateGrad(const Matrix& g);
+};
+
+}  // namespace autograd_internal
+
+/// A value in the autograd tape. Variables are cheap shared handles: copying
+/// a Variable aliases the same node. Leaves created with requires_grad=true
+/// are trainable parameters; every op result records how to push gradients
+/// back to its parents. Call Backward() on a scalar (1x1) result to populate
+/// grad() on every reachable parameter.
+class Variable {
+ public:
+  /// Null handle; most code should use the factory below or autograd ops.
+  Variable() = default;
+
+  /// Wraps a value as a leaf node.
+  explicit Variable(Matrix value, bool requires_grad = false);
+
+  /// Internal: wraps an existing node.
+  explicit Variable(std::shared_ptr<autograd_internal::VariableImpl> impl)
+      : impl_(std::move(impl)) {}
+
+  /// True iff this handle refers to a node.
+  bool defined() const { return impl_ != nullptr; }
+
+  /// Forward value (shape rows x cols).
+  const Matrix& value() const;
+  /// Mutable forward value; only meaningful for leaf parameters (e.g. when
+  /// an optimizer applies an update step).
+  Matrix* mutable_value();
+
+  /// Accumulated gradient. Zero-shaped until Backward touches this node.
+  const Matrix& grad() const;
+
+  /// True if gradients should flow to (or through) this node.
+  bool requires_grad() const;
+
+  /// Clears the accumulated gradient (sets it to zero).
+  void ZeroGrad();
+
+  int64_t rows() const { return value().rows(); }
+  int64_t cols() const { return value().cols(); }
+
+  /// Runs reverse-mode accumulation from this node, which must hold a 1x1
+  /// scalar. Seeds d(self)/d(self) = 1 and applies each node's backward rule
+  /// in reverse topological order.
+  void Backward() const;
+
+  /// Internal access for op implementations.
+  const std::shared_ptr<autograd_internal::VariableImpl>& impl() const {
+    return impl_;
+  }
+
+ private:
+  std::shared_ptr<autograd_internal::VariableImpl> impl_;
+};
+
+namespace autograd_internal {
+
+/// Creates an op-result node. `parents` are the inputs; `backward_fn` pushes
+/// node->grad into the parents. The node requires grad iff any parent does.
+Variable MakeOpNode(Matrix value, std::string op_name,
+                    std::vector<Variable> parents,
+                    std::function<void(VariableImpl*)> backward_fn);
+
+}  // namespace autograd_internal
+
+}  // namespace rdd
+
+#endif  // RDD_AUTOGRAD_VARIABLE_H_

@@ -1,0 +1,204 @@
+#include "core/rdd_trainer.h"
+
+#include <algorithm>
+
+#include "autograd/ops.h"
+#include "core/schedule.h"
+#include "graph/pagerank.h"
+#include "nn/metrics.h"
+#include "tensor/ops.h"
+#include "util/logging.h"
+#include "util/random.h"
+#include "util/timer.h"
+
+namespace rdd {
+
+double ComputeEnsembleWeight(const Matrix& probs,
+                             const std::vector<double>& pagerank) {
+  RDD_CHECK_EQ(static_cast<int64_t>(pagerank.size()), probs.rows());
+  const std::vector<double> entropy = RowEntropy(probs);
+  double denominator = 0.0;
+  for (size_t i = 0; i < entropy.size(); ++i) {
+    denominator += entropy[i] * pagerank[i];
+  }
+  // Floor the denominator: a member that is (over)confident everywhere
+  // would otherwise get unbounded weight.
+  constexpr double kEpsilon = 1e-8;
+  return 1.0 / std::max(denominator, kEpsilon);
+}
+
+namespace {
+
+/// Builds the trivially-true reliability mask used when node reliability is
+/// ablated ("WNR"): every node counts as reliable.
+std::vector<bool> AllReliable(int64_t n) {
+  return std::vector<bool>(static_cast<size_t>(n), true);
+}
+
+std::vector<int64_t> AllNodes(int64_t n) {
+  std::vector<int64_t> nodes(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) nodes[static_cast<size_t>(i)] = i;
+  return nodes;
+}
+
+std::vector<std::pair<int64_t, int64_t>> AllEdges(const Graph& graph) {
+  std::vector<std::pair<int64_t, int64_t>> edges;
+  edges.reserve(static_cast<size_t>(graph.num_edges()));
+  for (const Edge& e : graph.edges()) edges.emplace_back(e.u, e.v);
+  return edges;
+}
+
+}  // namespace
+
+RddResult TrainRdd(const Dataset& dataset, const GraphContext& context,
+                   const RddConfig& config, uint64_t seed) {
+  RDD_CHECK_GT(config.num_base_models, 0);
+  WallTimer timer;
+  Rng seeder(seed);
+  RddResult result;
+
+  const std::vector<double> pagerank = PageRank(dataset.graph);
+  const std::vector<bool> train_mask = dataset.TrainMask();
+  const std::vector<int64_t> all_nodes = AllNodes(dataset.NumNodes());
+  const bool use_l2 = config.gamma_initial != 0.0f;
+  const bool use_lreg = config.beta != 0.0f;
+  // Normalization constants that make the paper's gamma/beta grids portable
+  // across datasets: the L2 sum is scaled so each distilled node carries the
+  // same gradient weight as a labeled node in the (mean-reduced) L1 term,
+  // and the Lreg sum is scaled by the total edge volume.
+  const float k = static_cast<float>(context.num_classes);
+  const float l2_normalizer =
+      static_cast<float>(dataset.split.train.size()) * k;
+  const float lreg_normalizer =
+      static_cast<float>(std::max<int64_t>(1, dataset.graph.num_edges())) * k;
+
+  Matrix last_student_probs;
+  for (int t = 0; t < config.num_base_models; ++t) {
+    auto student = BuildModel(context, config.base_model, seeder.NextU64());
+    StudentDiagnostics diag;
+
+    if (t == 0) {
+      // Line 2 of Algorithm 3: the first student is a plain GCN trained
+      // with the supervised loss only.
+      result.reports.push_back(
+          TrainSupervised(student.get(), dataset, config.train));
+    } else {
+      // The teacher H_{t-1} is frozen while student t trains.
+      const Matrix teacher_probs = result.teacher.PredictProbs();
+      const Matrix teacher_embeddings = result.teacher.PredictEmbeddings();
+      GraphModel* student_ptr = student.get();
+      const int anneal_horizon = config.anneal_horizon_epochs > 0
+                                     ? config.anneal_horizon_epochs
+                                     : config.train.max_epochs;
+
+      auto loss_fn = [&, student_ptr](const ModelOutput& output, int epoch) {
+        // Line 7: refresh Vr / Er every epoch from the CURRENT student's
+        // (evaluation-mode) predictions.
+        const Matrix student_probs = SoftmaxRows(
+            student_ptr->Forward(/*training=*/false).logits.value());
+        std::vector<bool> reliable;
+        std::vector<int64_t> distill_nodes;
+        if (config.use_node_reliability) {
+          NodeReliability rel = ComputeNodeReliability(
+              teacher_probs, student_probs, dataset.labels, train_mask,
+              config.reliability);
+          reliable = std::move(rel.reliable);
+          distill_nodes = std::move(rel.distill_nodes);
+        } else {
+          // WNR ablation: mimic the teacher everywhere, like classic KD.
+          reliable = AllReliable(dataset.NumNodes());
+          distill_nodes = all_nodes;
+        }
+
+        std::vector<Variable> terms;
+        std::vector<float> coeffs;
+        // L1 (Eq. 6): supervised loss over the labeled nodes.
+        terms.push_back(ag::SoftmaxCrossEntropy(output.logits, dataset.labels,
+                                                dataset.split.train,
+                                                ag::Reduction::kMean));
+        coeffs.push_back(1.0f);
+        // gamma * L2 (Eq. 7): mimic the teacher's embeddings on Vb.
+        if (use_l2 && !distill_nodes.empty()) {
+          const float gamma =
+              config.anneal_gamma
+                  ? CosineAnnealedGamma(config.gamma_initial,
+                                        std::min(epoch, anneal_horizon - 1),
+                                        anneal_horizon)
+                  : config.gamma_initial;
+          if (gamma > 0.0f) {
+            if (config.distill_loss == DistillLoss::kEmbeddingMse) {
+              terms.push_back(ag::RowSquaredError(output.embedding,
+                                                  teacher_embeddings,
+                                                  distill_nodes,
+                                                  ag::Reduction::kSum));
+              coeffs.push_back(gamma / l2_normalizer);
+            } else {
+              // kDistillScale calibrates the soft-CE transfer so the
+              // paper's gamma grid {0, 0.5, 1, 1.5} brackets the optimum
+              // near gamma = 1 (see bench/table7_hyperparams).
+              constexpr float kDistillScale = 16.0f;
+              terms.push_back(ag::SoftCrossEntropy(output.logits,
+                                                   teacher_probs,
+                                                   distill_nodes,
+                                                   ag::Reduction::kSum));
+              coeffs.push_back(gamma * kDistillScale /
+                               static_cast<float>(dataset.split.train.size()));
+            }
+          }
+        }
+        // beta * Lreg (Eq. 9): Laplacian smoothing over reliable edges.
+        if (use_lreg) {
+          const std::vector<int64_t> student_preds = ArgmaxRows(student_probs);
+          const auto edges =
+              config.use_edge_reliability
+                  ? ComputeReliableEdges(dataset.graph, reliable,
+                                         student_preds)
+                  : AllEdges(dataset.graph);
+          diag.reliable_edges = static_cast<int64_t>(edges.size());
+          if (!edges.empty()) {
+            if (config.edge_reg_target == EdgeRegTarget::kEmbedding) {
+              terms.push_back(ag::EdgeLaplacian(output.embedding, edges,
+                                                ag::Reduction::kSum));
+            } else {
+              terms.push_back(ag::EdgeLaplacian(ag::Softmax(output.logits),
+                                                edges, ag::Reduction::kSum));
+            }
+            coeffs.push_back(config.beta / lreg_normalizer);
+          }
+        }
+        diag.reliable_nodes = static_cast<int64_t>(
+            std::count(reliable.begin(), reliable.end(), true));
+        diag.distill_nodes = static_cast<int64_t>(distill_nodes.size());
+        return ag::WeightedSum(terms, coeffs);
+      };
+      result.reports.push_back(
+          TrainWithLoss(student.get(), dataset, config.train, loss_fn));
+    }
+
+    // Lines 19-21: cache the trained student and add it to the ensemble.
+    const ModelOutput final_output = student->Forward(/*training=*/false);
+    Matrix probs = SoftmaxRows(final_output.logits.value());
+    const double alpha = config.use_entropy_pagerank_weights
+                             ? ComputeEnsembleWeight(probs, pagerank)
+                             : 1.0;
+    result.alphas.push_back(alpha);
+    last_student_probs = probs;
+    result.teacher.AddMember(std::move(probs),
+                             final_output.embedding.value(), alpha);
+    result.diagnostics.push_back(diag);
+    result.ensemble_accuracy_after_member.push_back(
+        result.teacher.Accuracy(dataset.labels, dataset.split.test));
+  }
+
+  result.ensemble_test_accuracy =
+      result.teacher.Accuracy(dataset.labels, dataset.split.test);
+  result.single_test_accuracy = Accuracy(
+      last_student_probs, dataset.labels, dataset.split.test);
+  result.average_member_test_accuracy =
+      result.teacher.AverageMemberAccuracy(dataset.labels,
+                                           dataset.split.test);
+  result.total_seconds = timer.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace rdd

@@ -1,0 +1,59 @@
+#ifndef RDD_CORE_RDD_TRAINER_H_
+#define RDD_CORE_RDD_TRAINER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/rdd_config.h"
+#include "core/teacher.h"
+#include "data/dataset.h"
+#include "models/graph_model.h"
+#include "train/trainer.h"
+
+namespace rdd {
+
+/// Per-student diagnostics captured at the student's final training epoch.
+struct StudentDiagnostics {
+  int64_t reliable_nodes = 0;   ///< |Vr|
+  int64_t distill_nodes = 0;    ///< |Vb|
+  int64_t reliable_edges = 0;   ///< |Er|
+};
+
+/// Outcome of a full RDD run.
+struct RddResult {
+  /// The final teacher H_T: the weighted ensemble of all T students. Its
+  /// accuracy is the paper's "RDD(Ensemble)".
+  Teacher teacher;
+  /// Per-student training reports, in training order. The LAST student is
+  /// the paper's "RDD(Single)" model.
+  std::vector<TrainReport> reports;
+  /// Raw ensemble weights alpha_t (Eq. 12).
+  std::vector<double> alphas;
+  std::vector<StudentDiagnostics> diagnostics;
+
+  double ensemble_test_accuracy = 0.0;
+  double single_test_accuracy = 0.0;  ///< Last student's test accuracy.
+  double average_member_test_accuracy = 0.0;
+  double total_seconds = 0.0;
+  /// Test accuracy of the ensemble after each member was added (element t
+  /// is the accuracy of the first t+1 members) — the efficiency analysis of
+  /// Table 9 reads how many members a method needs to reach a target.
+  std::vector<double> ensemble_accuracy_after_member;
+};
+
+/// Runs Algorithm 3: trains `config.num_base_models` students, each under
+/// the reliability-filtered supervision of the ensemble of its
+/// predecessors, and returns the final teacher plus per-student metrics.
+RddResult TrainRdd(const Dataset& dataset, const GraphContext& context,
+                   const RddConfig& config, uint64_t seed);
+
+/// Computes the ensemble weight alpha_t = 1 / sum_i I_t(x_i) Pr(x_i)
+/// (Eq. 12) from a member's prediction entropy and the graph's PageRank.
+/// The denominator is floored at a small epsilon so a perfectly confident
+/// member cannot produce an unbounded weight.
+double ComputeEnsembleWeight(const Matrix& probs,
+                             const std::vector<double>& pagerank);
+
+}  // namespace rdd
+
+#endif  // RDD_CORE_RDD_TRAINER_H_

@@ -1,0 +1,18 @@
+#include "core/schedule.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace rdd {
+
+float CosineAnnealedGamma(float gamma_initial, int epoch, int total_epochs) {
+  RDD_CHECK_GE(epoch, 0);
+  RDD_CHECK_GT(total_epochs, 0);
+  RDD_CHECK_LT(epoch, total_epochs);
+  const double phase = static_cast<double>(epoch) * M_PI /
+                       static_cast<double>(total_epochs);
+  return gamma_initial * static_cast<float>(1.0 - std::cos(phase));
+}
+
+}  // namespace rdd

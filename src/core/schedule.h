@@ -1,0 +1,15 @@
+#ifndef RDD_CORE_SCHEDULE_H_
+#define RDD_CORE_SCHEDULE_H_
+
+namespace rdd {
+
+/// Cosine-annealed knowledge-transfer weight (Eq. 14 of the paper):
+///   gamma(e) = gamma_initial * (1 - cos(e * pi / E)).
+/// The weight starts at 0 (the student's own predictions are still poor, so
+/// L2/Lreg should contribute little) and rises to 2 * gamma_initial by the
+/// final epoch. `epoch` is 0-based and must be < total_epochs.
+float CosineAnnealedGamma(float gamma_initial, int epoch, int total_epochs);
+
+}  // namespace rdd
+
+#endif  // RDD_CORE_SCHEDULE_H_

@@ -1,0 +1,61 @@
+#include "core/teacher.h"
+
+#include "nn/metrics.h"
+#include "util/logging.h"
+
+namespace rdd {
+
+void Teacher::AddMember(Matrix probs, Matrix embeddings, double alpha) {
+  RDD_CHECK_GT(alpha, 0.0);
+  RDD_CHECK_EQ(probs.rows(), embeddings.rows());
+  if (!member_probs_.empty()) {
+    RDD_CHECK_EQ(probs.rows(), member_probs_.front().rows());
+    RDD_CHECK_EQ(probs.cols(), member_probs_.front().cols());
+    RDD_CHECK_EQ(embeddings.cols(), member_embeddings_.front().cols());
+  }
+  member_probs_.push_back(std::move(probs));
+  member_embeddings_.push_back(std::move(embeddings));
+  weights_.push_back(alpha);
+}
+
+Matrix Teacher::WeightedAverage(const std::vector<Matrix>& parts) const {
+  RDD_CHECK(!parts.empty());
+  double total = 0.0;
+  for (double w : weights_) total += w;
+  RDD_CHECK_GT(total, 0.0);
+  Matrix combined(parts.front().rows(), parts.front().cols());
+  for (size_t t = 0; t < parts.size(); ++t) {
+    combined.Axpy(static_cast<float>(weights_[t] / total), parts[t]);
+  }
+  return combined;
+}
+
+Matrix Teacher::PredictProbs() const { return WeightedAverage(member_probs_); }
+
+Matrix Teacher::PredictEmbeddings() const {
+  return WeightedAverage(member_embeddings_);
+}
+
+double Teacher::Accuracy(const std::vector<int64_t>& labels,
+                         const std::vector<int64_t>& indices) const {
+  return rdd::Accuracy(PredictProbs(), labels, indices);
+}
+
+double Teacher::AverageMemberAccuracy(
+    const std::vector<int64_t>& labels,
+    const std::vector<int64_t>& indices) const {
+  RDD_CHECK_GT(size(), 0);
+  double sum = 0.0;
+  for (const Matrix& probs : member_probs_) {
+    sum += rdd::Accuracy(probs, labels, indices);
+  }
+  return sum / static_cast<double>(size());
+}
+
+const Matrix& Teacher::member_probs(int64_t t) const {
+  RDD_CHECK_GE(t, 0);
+  RDD_CHECK_LT(t, size());
+  return member_probs_[static_cast<size_t>(t)];
+}
+
+}  // namespace rdd

@@ -1,0 +1,53 @@
+#ifndef RDD_CORE_TEACHER_H_
+#define RDD_CORE_TEACHER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/matrix.h"
+
+namespace rdd {
+
+/// The RDD teacher: an ensemble of the previously trained student models
+/// (Sec. 4.1). Unlike the generic SoftmaxEnsemble, the teacher also
+/// averages the students' last-layer node embeddings, because RDD's L2 loss
+/// distills embeddings F_{t-1}(x), not softmax outputs. Member outputs are
+/// cached at insertion (students are frozen once trained).
+class Teacher {
+ public:
+  Teacher() = default;
+
+  /// Adds a trained student's cached outputs with raw weight alpha_t > 0.
+  void AddMember(Matrix probs, Matrix embeddings, double alpha);
+
+  int64_t size() const { return static_cast<int64_t>(weights_.size()); }
+  const std::vector<double>& weights() const { return weights_; }
+
+  /// Weight-normalized average softmax prediction H_t(x) (Eq. 13).
+  Matrix PredictProbs() const;
+
+  /// Weight-normalized average embedding F_t(x), the target of the L2 loss.
+  Matrix PredictEmbeddings() const;
+
+  /// Accuracy of the combined prediction over `indices`.
+  double Accuracy(const std::vector<int64_t>& labels,
+                  const std::vector<int64_t>& indices) const;
+
+  /// Mean accuracy of the individual members over `indices`.
+  double AverageMemberAccuracy(const std::vector<int64_t>& labels,
+                               const std::vector<int64_t>& indices) const;
+
+  /// Cached member predictions, in insertion order.
+  const Matrix& member_probs(int64_t t) const;
+
+ private:
+  Matrix WeightedAverage(const std::vector<Matrix>& parts) const;
+
+  std::vector<Matrix> member_probs_;
+  std::vector<Matrix> member_embeddings_;
+  std::vector<double> weights_;
+};
+
+}  // namespace rdd
+
+#endif  // RDD_CORE_TEACHER_H_

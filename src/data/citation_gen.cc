@@ -1,0 +1,221 @@
+#include "data/citation_gen.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "graph/generators.h"
+#include "util/logging.h"
+
+namespace rdd {
+
+namespace {
+
+/// Assigns class sizes proportional to (rank+1)^-imbalance, summing to n,
+/// every class nonempty.
+std::vector<int64_t> ClassSizes(int64_t n, int64_t num_classes,
+                                double imbalance) {
+  std::vector<double> weights(static_cast<size_t>(num_classes));
+  double total = 0.0;
+  for (int64_t c = 0; c < num_classes; ++c) {
+    weights[static_cast<size_t>(c)] =
+        std::pow(static_cast<double>(c + 1), -imbalance);
+    total += weights[static_cast<size_t>(c)];
+  }
+  std::vector<int64_t> sizes(static_cast<size_t>(num_classes));
+  int64_t assigned = 0;
+  for (int64_t c = 0; c < num_classes; ++c) {
+    sizes[static_cast<size_t>(c)] = std::max<int64_t>(
+        1, static_cast<int64_t>(std::floor(
+               static_cast<double>(n) * weights[static_cast<size_t>(c)] /
+               total)));
+    assigned += sizes[static_cast<size_t>(c)];
+  }
+  // Distribute the rounding remainder (or trim excess) round-robin.
+  int64_t c = 0;
+  while (assigned < n) {
+    ++sizes[static_cast<size_t>(c % num_classes)];
+    ++assigned;
+    ++c;
+  }
+  while (assigned > n) {
+    size_t idx = static_cast<size_t>(c % num_classes);
+    if (sizes[idx] > 1) {
+      --sizes[idx];
+      --assigned;
+    }
+    ++c;
+  }
+  return sizes;
+}
+
+/// Draws sparse bag-of-words features: each node samples a number of
+/// distinct words around `config.words_per_doc`; each word comes from the
+/// node's class topic block with probability `topic_purity`, otherwise from
+/// the full vocabulary.
+SparseMatrix SampleBagOfWords(const CitationGenConfig& config,
+                              const std::vector<int64_t>& labels, Rng* rng) {
+  const int64_t vocab = config.num_features;
+  // Partition the vocabulary: one topic block per class, the remainder is
+  // shared noise vocabulary (also reachable through the global draws).
+  const int64_t block = std::max<int64_t>(1, vocab / (config.num_classes + 1));
+  std::vector<SparseEntry> entries;
+  entries.reserve(static_cast<size_t>(config.num_nodes) *
+                  static_cast<size_t>(config.words_per_doc));
+  std::unordered_set<int64_t> words;
+  for (int64_t i = 0; i < config.num_nodes; ++i) {
+    const int64_t y = labels[static_cast<size_t>(i)];
+    const int64_t block_start = (y * block) % std::max<int64_t>(1, vocab);
+    // Word count jitters in [w/2, 3w/2] like real document lengths.
+    const int64_t count = std::max<int64_t>(
+        1, config.words_per_doc / 2 +
+               rng->UniformInt(std::max<int64_t>(1, config.words_per_doc)));
+    words.clear();
+    int64_t attempts = 0;
+    while (static_cast<int64_t>(words.size()) < count &&
+           attempts < count * 20) {
+      ++attempts;
+      int64_t w;
+      if (rng->Bernoulli(config.topic_purity)) {
+        w = block_start + rng->UniformInt(block);
+      } else {
+        w = rng->UniformInt(vocab);
+      }
+      words.insert(w);
+    }
+    for (int64_t w : words) entries.push_back({i, w, 1.0f});
+  }
+  return SparseMatrix::FromCoo(config.num_nodes, vocab, std::move(entries));
+}
+
+/// Unique one-hot feature per node (the paper's NELL feature extension).
+SparseMatrix OneHotFeatures(int64_t num_nodes) {
+  std::vector<SparseEntry> entries;
+  entries.reserve(static_cast<size_t>(num_nodes));
+  for (int64_t i = 0; i < num_nodes; ++i) entries.push_back({i, i, 1.0f});
+  return SparseMatrix::FromCoo(num_nodes, num_nodes, std::move(entries));
+}
+
+}  // namespace
+
+Dataset GenerateCitationNetwork(const CitationGenConfig& config,
+                                uint64_t seed) {
+  RDD_CHECK_GT(config.num_nodes, 0);
+  RDD_CHECK_GT(config.num_classes, 0);
+  RDD_CHECK(config.one_hot_features || config.num_features > 0);
+  Rng rng(seed);
+
+  // Labels: contiguous blocks by class, then shuffled to random node ids.
+  const std::vector<int64_t> sizes =
+      ClassSizes(config.num_nodes, config.num_classes, config.class_imbalance);
+  std::vector<int64_t> labels;
+  labels.reserve(static_cast<size_t>(config.num_nodes));
+  for (int64_t c = 0; c < config.num_classes; ++c) {
+    labels.insert(labels.end(), static_cast<size_t>(sizes[static_cast<size_t>(c)]),
+                  c);
+  }
+  rng.Shuffle(&labels);
+
+  Dataset dataset;
+  dataset.name = config.name;
+  dataset.labels = labels;
+  dataset.num_classes = config.num_classes;
+
+  LabeledSbmParams sbm;
+  sbm.target_edges = config.num_edges;
+  sbm.homophily = config.homophily;
+  sbm.degree_skew = config.degree_skew;
+  dataset.graph = MakeLabeledSbmGraph(labels, sbm, &rng);
+
+  dataset.features = config.one_hot_features
+                         ? OneHotFeatures(config.num_nodes)
+                         : SampleBagOfWords(config, labels, &rng);
+
+  std::vector<int64_t> per_class(static_cast<size_t>(config.num_classes));
+  for (int64_t c = 0; c < config.num_classes; ++c) {
+    if (config.labeled_fraction > 0.0) {
+      per_class[static_cast<size_t>(c)] = std::max<int64_t>(
+          1, static_cast<int64_t>(std::ceil(
+                 config.labeled_fraction *
+                 static_cast<double>(sizes[static_cast<size_t>(c)]))));
+    } else {
+      per_class[static_cast<size_t>(c)] = config.labeled_per_class;
+    }
+  }
+  dataset.split = MakeStratifiedSplit(labels, per_class, config.val_size,
+                                      config.test_size, &rng);
+
+  std::string error;
+  RDD_CHECK(ValidateDataset(dataset, &error)) << error;
+  return dataset;
+}
+
+CitationGenConfig CoraLikeConfig() {
+  CitationGenConfig config;
+  config.name = "cora-like";
+  config.num_nodes = 2708;
+  config.num_features = 1433;
+  config.num_edges = 5429;
+  config.num_classes = 7;
+  // Calibrated so a 2-layer GCN lands near the paper's 81.8% on Cora while
+  // a feature-only MLP stays far behind (see tests/citation_gen_test.cc).
+  config.homophily = 0.72;
+  config.words_per_doc = 18;
+  config.topic_purity = 0.29;
+  config.labeled_per_class = 20;
+  return config;
+}
+
+CitationGenConfig CiteseerLikeConfig() {
+  CitationGenConfig config;
+  config.name = "citeseer-like";
+  config.num_nodes = 3327;
+  config.num_features = 3703;
+  config.num_edges = 4732;
+  config.num_classes = 6;
+  // Citeseer is sparser and noisier than Cora; GCN accuracy there is ~11
+  // points lower in the paper. Lower homophily/purity reproduce that gap.
+  config.homophily = 0.68;
+  config.words_per_doc = 22;
+  config.topic_purity = 0.35;
+  config.labeled_per_class = 20;
+  return config;
+}
+
+CitationGenConfig PubmedLikeConfig() {
+  CitationGenConfig config;
+  config.name = "pubmed-like";
+  config.num_nodes = 19717;
+  config.num_features = 500;
+  config.num_edges = 44338;
+  config.num_classes = 3;
+  config.homophily = 0.70;
+  config.words_per_doc = 14;
+  config.topic_purity = 0.30;
+  config.labeled_per_class = 20;
+  return config;
+}
+
+CitationGenConfig NellLikeConfig(double scale) {
+  RDD_CHECK_GT(scale, 0.0);
+  RDD_CHECK_LE(scale, 1.0);
+  CitationGenConfig config;
+  config.name = "nell-like";
+  config.num_nodes = std::max<int64_t>(
+      200, static_cast<int64_t>(std::llround(65755.0 * scale)));
+  config.num_edges = std::max<int64_t>(
+      400, static_cast<int64_t>(std::llround(266144.0 * scale)));
+  config.num_classes = std::max<int64_t>(
+      5, static_cast<int64_t>(std::llround(210.0 * scale)));
+  config.one_hot_features = true;
+  config.num_features = config.num_nodes;
+  config.homophily = 0.84;
+  config.degree_skew = 0.9;
+  config.labeled_fraction = 0.10;  // The paper's 10% per class.
+  config.labeled_per_class = 0;
+  config.val_size = 500;
+  config.test_size = 1000;
+  return config;
+}
+
+}  // namespace rdd

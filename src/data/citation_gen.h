@@ -1,0 +1,75 @@
+#ifndef RDD_DATA_CITATION_GEN_H_
+#define RDD_DATA_CITATION_GEN_H_
+
+#include <cstdint>
+#include <string>
+
+#include "data/dataset.h"
+
+namespace rdd {
+
+/// Configuration of the synthetic citation-network generator. The generator
+/// stands in for the paper's Cora / Citeseer / Pubmed / NELL datasets (see
+/// DESIGN.md Sec. 1.2 for why the substitution preserves the behaviours RDD
+/// exploits). The topology is a degree-heterogeneous labeled SBM; features
+/// are class-conditional sparse bags of words.
+struct CitationGenConfig {
+  std::string name = "synthetic";
+  int64_t num_nodes = 0;
+  int64_t num_features = 0;  ///< Vocabulary size (ignored if one_hot_features).
+  int64_t num_edges = 0;     ///< Target undirected edge count.
+  int64_t num_classes = 0;
+
+  /// Topology shape (see LabeledSbmParams).
+  double homophily = 0.86;
+  double degree_skew = 0.75;
+
+  /// Class imbalance: class sizes are proportional to (rank+1)^-imbalance.
+  /// 0 gives balanced classes.
+  double class_imbalance = 0.25;
+
+  /// Features: each node draws ~`words_per_doc` distinct words; with
+  /// probability `topic_purity` a word comes from its class's topic block,
+  /// otherwise from the global vocabulary (noise).
+  int64_t words_per_doc = 18;
+  double topic_purity = 0.55;
+
+  /// If true, features are a unique one-hot id per node (the paper's NELL
+  /// setting), making classification rely on structure alone.
+  bool one_hot_features = false;
+
+  /// Split sizes (Planetoid protocol).
+  int64_t labeled_per_class = 20;
+  /// If > 0, overrides labeled_per_class with ceil(fraction * class size)
+  /// per class (the paper's NELL setting of 10% per class).
+  double labeled_fraction = 0.0;
+  int64_t val_size = 500;
+  int64_t test_size = 1000;
+};
+
+/// Generates a dataset from `config` with the given seed. Deterministic for
+/// a fixed (config, seed) pair.
+Dataset GenerateCitationNetwork(const CitationGenConfig& config,
+                                uint64_t seed);
+
+/// Preset matching the paper's Cora statistics (Table 2): 2708 nodes,
+/// 1433 features, 5429 edges, 7 classes, 20 labels/class, 500 val, 1000 test.
+CitationGenConfig CoraLikeConfig();
+
+/// Preset matching Citeseer: 3327 nodes, 3703 features, 4732 edges,
+/// 6 classes.
+CitationGenConfig CiteseerLikeConfig();
+
+/// Preset matching Pubmed: 19717 nodes, 500 features, 44338 edges,
+/// 3 classes.
+CitationGenConfig PubmedLikeConfig();
+
+/// Preset matching NELL: 65755 nodes, one-hot features, 266144 edges,
+/// 210 classes, 10% labels per class. `scale` in (0, 1] shrinks every count
+/// proportionally (class count included) so the preset fits a single-core
+/// CPU budget; scale = 1 reproduces the full Table 2 row.
+CitationGenConfig NellLikeConfig(double scale = 0.12);
+
+}  // namespace rdd
+
+#endif  // RDD_DATA_CITATION_GEN_H_

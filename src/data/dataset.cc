@@ -1,0 +1,122 @@
+#include "data/dataset.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace rdd {
+
+double Dataset::LabelRate() const {
+  if (NumNodes() == 0) return 0.0;
+  return static_cast<double>(split.train.size()) /
+         static_cast<double>(NumNodes());
+}
+
+std::vector<int64_t> Dataset::UnlabeledNodes() const {
+  const std::vector<bool> mask = TrainMask();
+  std::vector<int64_t> out;
+  out.reserve(static_cast<size_t>(NumNodes()) - split.train.size());
+  for (int64_t i = 0; i < NumNodes(); ++i) {
+    if (!mask[static_cast<size_t>(i)]) out.push_back(i);
+  }
+  return out;
+}
+
+std::vector<bool> Dataset::TrainMask() const {
+  std::vector<bool> mask(static_cast<size_t>(NumNodes()), false);
+  for (int64_t i : split.train) mask[static_cast<size_t>(i)] = true;
+  return mask;
+}
+
+Split MakePlanetoidSplit(const std::vector<int64_t>& labels,
+                         int64_t num_classes, int64_t per_class,
+                         int64_t val_size, int64_t test_size, Rng* rng) {
+  RDD_CHECK_GT(num_classes, 0);
+  RDD_CHECK_GE(per_class, 0);
+  return MakeStratifiedSplit(
+      labels, std::vector<int64_t>(static_cast<size_t>(num_classes), per_class),
+      val_size, test_size, rng);
+}
+
+Split MakeStratifiedSplit(const std::vector<int64_t>& labels,
+                          const std::vector<int64_t>& per_class_counts,
+                          int64_t val_size, int64_t test_size, Rng* rng) {
+  RDD_CHECK(rng != nullptr);
+  const int64_t num_classes = static_cast<int64_t>(per_class_counts.size());
+  RDD_CHECK_GT(num_classes, 0);
+  const int64_t n = static_cast<int64_t>(labels.size());
+
+  std::vector<std::vector<int64_t>> by_class(static_cast<size_t>(num_classes));
+  for (int64_t i = 0; i < n; ++i) {
+    const int64_t y = labels[static_cast<size_t>(i)];
+    RDD_CHECK_GE(y, 0);
+    RDD_CHECK_LT(y, num_classes);
+    by_class[static_cast<size_t>(y)].push_back(i);
+  }
+
+  Split split;
+  std::vector<bool> taken(static_cast<size_t>(n), false);
+  for (int64_t c = 0; c < num_classes; ++c) {
+    const int64_t per_class = per_class_counts[static_cast<size_t>(c)];
+    RDD_CHECK_GE(per_class, 0);
+    auto& members = by_class[static_cast<size_t>(c)];
+    RDD_CHECK_GE(static_cast<int64_t>(members.size()), per_class)
+        << "class " << c << " has too few nodes for the requested split";
+    rng->Shuffle(&members);
+    for (int64_t k = 0; k < per_class; ++k) {
+      split.train.push_back(members[static_cast<size_t>(k)]);
+      taken[static_cast<size_t>(members[static_cast<size_t>(k)])] = true;
+    }
+  }
+  std::sort(split.train.begin(), split.train.end());
+
+  std::vector<int64_t> rest;
+  rest.reserve(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) {
+    if (!taken[static_cast<size_t>(i)]) rest.push_back(i);
+  }
+  RDD_CHECK_GE(static_cast<int64_t>(rest.size()), val_size + test_size)
+      << "not enough nodes left for validation + test";
+  rng->Shuffle(&rest);
+  split.val.assign(rest.begin(), rest.begin() + val_size);
+  split.test.assign(rest.begin() + val_size, rest.begin() + val_size + test_size);
+  std::sort(split.val.begin(), split.val.end());
+  std::sort(split.test.begin(), split.test.end());
+  return split;
+}
+
+bool ValidateDataset(const Dataset& dataset, std::string* error) {
+  auto fail = [error](std::string msg) {
+    if (error != nullptr) *error = std::move(msg);
+    return false;
+  };
+  const int64_t n = dataset.NumNodes();
+  if (dataset.features.rows() != n) {
+    return fail(StrFormat("feature rows (%lld) != num nodes (%lld)",
+                          static_cast<long long>(dataset.features.rows()),
+                          static_cast<long long>(n)));
+  }
+  if (static_cast<int64_t>(dataset.labels.size()) != n) {
+    return fail("labels size != num nodes");
+  }
+  if (dataset.num_classes <= 0) return fail("num_classes must be positive");
+  for (int64_t y : dataset.labels) {
+    if (y < 0 || y >= dataset.num_classes) {
+      return fail("label out of range");
+    }
+  }
+  std::unordered_set<int64_t> seen;
+  for (const std::vector<int64_t>* part :
+       {&dataset.split.train, &dataset.split.val, &dataset.split.test}) {
+    for (int64_t i : *part) {
+      if (i < 0 || i >= n) return fail("split index out of range");
+      if (!seen.insert(i).second) return fail("split sets overlap");
+    }
+  }
+  if (error != nullptr) error->clear();
+  return true;
+}
+
+}  // namespace rdd

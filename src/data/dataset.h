@@ -1,0 +1,71 @@
+#ifndef RDD_DATA_DATASET_H_
+#define RDD_DATA_DATASET_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+#include "tensor/sparse.h"
+#include "util/random.h"
+
+namespace rdd {
+
+/// A Planetoid-style node split: disjoint sets of node ids used as labeled
+/// training nodes, validation nodes (hyper-parameter tuning / early
+/// stopping), and held-out test nodes. Every remaining node is unlabeled
+/// but still participates in propagation.
+struct Split {
+  std::vector<int64_t> train;
+  std::vector<int64_t> val;
+  std::vector<int64_t> test;
+};
+
+/// A semi-supervised node-classification dataset: graph topology, sparse
+/// node features, integer labels, and a train/val/test split. All benches
+/// and trainers in the library consume this type.
+struct Dataset {
+  std::string name;
+  Graph graph;
+  SparseMatrix features;        ///< num_nodes x feature_dim, CSR.
+  std::vector<int64_t> labels;  ///< One label per node, in [0, num_classes).
+  int64_t num_classes = 0;
+  Split split;
+
+  int64_t NumNodes() const { return graph.num_nodes(); }
+  int64_t FeatureDim() const { return features.cols(); }
+
+  /// Fraction of nodes whose label is visible during training.
+  double LabelRate() const;
+
+  /// Node ids not in the training set (the unlabeled pool Vu of the paper;
+  /// includes val and test nodes, whose labels are never used for training).
+  std::vector<int64_t> UnlabeledNodes() const;
+
+  /// Membership mask over nodes for the training set.
+  std::vector<bool> TrainMask() const;
+};
+
+/// Builds a Planetoid-style split: `per_class` training nodes sampled from
+/// each class, then `val_size` validation and `test_size` test nodes sampled
+/// from the remainder. Requires the dataset to be large enough; aborts
+/// otherwise (generator configs are sized to satisfy this).
+Split MakePlanetoidSplit(const std::vector<int64_t>& labels,
+                         int64_t num_classes, int64_t per_class,
+                         int64_t val_size, int64_t test_size, Rng* rng);
+
+/// Generalization of MakePlanetoidSplit with a per-class labeled count
+/// (`per_class_counts[c]` training nodes sampled from class c). Used for
+/// the paper's NELL protocol of 10% labeled nodes per class.
+Split MakeStratifiedSplit(const std::vector<int64_t>& labels,
+                          const std::vector<int64_t>& per_class_counts,
+                          int64_t val_size, int64_t test_size, Rng* rng);
+
+/// Validates internal consistency (sizes, label ranges, split disjointness).
+/// Returns a descriptive error for malformed datasets; used by tests and by
+/// the deserializer.
+bool ValidateDataset(const Dataset& dataset, std::string* error);
+
+}  // namespace rdd
+
+#endif  // RDD_DATA_DATASET_H_

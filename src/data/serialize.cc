@@ -1,0 +1,220 @@
+#include "data/serialize.h"
+
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "util/string_util.h"
+
+namespace rdd {
+
+namespace {
+
+constexpr uint64_t kMagic = 0x5244445f44415431ULL;  // "RDD_DAT1"
+constexpr uint32_t kVersion = 1;
+
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f != nullptr) std::fclose(f);
+  }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+class Writer {
+ public:
+  explicit Writer(std::FILE* file) : file_(file) {}
+
+  bool ok() const { return ok_; }
+
+  void WriteBytes(const void* data, size_t size) {
+    if (!ok_) return;
+    ok_ = std::fwrite(data, 1, size, file_) == size;
+  }
+
+  template <typename T>
+  void WritePod(T value) {
+    WriteBytes(&value, sizeof(T));
+  }
+
+  void WriteString(const std::string& s) {
+    WritePod<uint64_t>(s.size());
+    WriteBytes(s.data(), s.size());
+  }
+
+  template <typename T>
+  void WriteVector(const std::vector<T>& v) {
+    WritePod<uint64_t>(v.size());
+    WriteBytes(v.data(), v.size() * sizeof(T));
+  }
+
+ private:
+  std::FILE* file_;
+  bool ok_ = true;
+};
+
+class Reader {
+ public:
+  explicit Reader(std::FILE* file) : file_(file) {}
+
+  bool ok() const { return ok_; }
+
+  void ReadBytes(void* data, size_t size) {
+    if (!ok_) return;
+    ok_ = std::fread(data, 1, size, file_) == size;
+  }
+
+  template <typename T>
+  T ReadPod() {
+    T value{};
+    ReadBytes(&value, sizeof(T));
+    return value;
+  }
+
+  std::string ReadString() {
+    const uint64_t size = ReadPod<uint64_t>();
+    if (!ok_ || size > (1ULL << 32)) {
+      ok_ = false;
+      return {};
+    }
+    std::string s(size, '\0');
+    ReadBytes(s.data(), size);
+    return s;
+  }
+
+  template <typename T>
+  std::vector<T> ReadVector() {
+    const uint64_t size = ReadPod<uint64_t>();
+    if (!ok_ || size > (1ULL << 34) / sizeof(T)) {
+      ok_ = false;
+      return {};
+    }
+    std::vector<T> v(size);
+    ReadBytes(v.data(), size * sizeof(T));
+    return v;
+  }
+
+ private:
+  std::FILE* file_;
+  bool ok_ = true;
+};
+
+void WriteSparse(Writer* w, const SparseMatrix& m) {
+  w->WritePod<int64_t>(m.rows());
+  w->WritePod<int64_t>(m.cols());
+  w->WriteVector(m.row_ptr());
+  w->WriteVector(m.col_idx());
+  w->WriteVector(m.values());
+}
+
+SparseMatrix ReadSparse(Reader* r) {
+  const int64_t rows = r->ReadPod<int64_t>();
+  const int64_t cols = r->ReadPod<int64_t>();
+  const std::vector<int64_t> row_ptr = r->ReadVector<int64_t>();
+  const std::vector<int64_t> col_idx = r->ReadVector<int64_t>();
+  const std::vector<float> values = r->ReadVector<float>();
+  if (!r->ok() || rows < 0 || cols < 0 ||
+      row_ptr.size() != static_cast<size_t>(rows) + 1 ||
+      col_idx.size() != values.size()) {
+    return SparseMatrix();
+  }
+  // Rebuild through the COO path to re-validate indices.
+  std::vector<SparseEntry> entries;
+  entries.reserve(values.size());
+  for (int64_t row = 0; row < rows; ++row) {
+    for (int64_t k = row_ptr[static_cast<size_t>(row)];
+         k < row_ptr[static_cast<size_t>(row) + 1]; ++k) {
+      if (k < 0 || static_cast<size_t>(k) >= col_idx.size() ||
+          col_idx[static_cast<size_t>(k)] < 0 ||
+          col_idx[static_cast<size_t>(k)] >= cols) {
+        return SparseMatrix();
+      }
+      entries.push_back({row, col_idx[static_cast<size_t>(k)],
+                         values[static_cast<size_t>(k)]});
+    }
+  }
+  return SparseMatrix::FromCoo(rows, cols, std::move(entries));
+}
+
+}  // namespace
+
+Status SaveDataset(const Dataset& dataset, const std::string& path) {
+  FilePtr file(std::fopen(path.c_str(), "wb"));
+  if (file == nullptr) {
+    return Status::IoError(StrFormat("cannot open %s for writing",
+                                     path.c_str()));
+  }
+  Writer w(file.get());
+  w.WritePod(kMagic);
+  w.WritePod(kVersion);
+  w.WriteString(dataset.name);
+  w.WritePod<int64_t>(dataset.graph.num_nodes());
+  std::vector<int64_t> flat_edges;
+  flat_edges.reserve(static_cast<size_t>(dataset.graph.num_edges()) * 2);
+  for (const Edge& e : dataset.graph.edges()) {
+    flat_edges.push_back(e.u);
+    flat_edges.push_back(e.v);
+  }
+  w.WriteVector(flat_edges);
+  WriteSparse(&w, dataset.features);
+  w.WriteVector(dataset.labels);
+  w.WritePod<int64_t>(dataset.num_classes);
+  w.WriteVector(dataset.split.train);
+  w.WriteVector(dataset.split.val);
+  w.WriteVector(dataset.split.test);
+  if (!w.ok()) {
+    return Status::IoError(StrFormat("write failed for %s", path.c_str()));
+  }
+  return Status::Ok();
+}
+
+StatusOr<Dataset> LoadDataset(const std::string& path) {
+  FilePtr file(std::fopen(path.c_str(), "rb"));
+  if (file == nullptr) {
+    return Status::IoError(StrFormat("cannot open %s for reading",
+                                     path.c_str()));
+  }
+  Reader r(file.get());
+  if (r.ReadPod<uint64_t>() != kMagic) {
+    return Status::InvalidArgument(
+        StrFormat("%s is not an RDD dataset file", path.c_str()));
+  }
+  if (r.ReadPod<uint32_t>() != kVersion) {
+    return Status::InvalidArgument(
+        StrFormat("%s has an unsupported version", path.c_str()));
+  }
+  Dataset dataset;
+  dataset.name = r.ReadString();
+  const int64_t num_nodes = r.ReadPod<int64_t>();
+  const std::vector<int64_t> flat_edges = r.ReadVector<int64_t>();
+  if (!r.ok() || num_nodes < 0 || flat_edges.size() % 2 != 0) {
+    return Status::InvalidArgument("corrupt graph section");
+  }
+  for (int64_t id : flat_edges) {
+    if (id < 0 || id >= num_nodes) {
+      return Status::InvalidArgument("edge endpoint out of range");
+    }
+  }
+  std::vector<Edge> edges;
+  edges.reserve(flat_edges.size() / 2);
+  for (size_t i = 0; i < flat_edges.size(); i += 2) {
+    edges.push_back({flat_edges[i], flat_edges[i + 1]});
+  }
+  dataset.graph = Graph(num_nodes, edges);
+  dataset.features = ReadSparse(&r);
+  dataset.labels = r.ReadVector<int64_t>();
+  dataset.num_classes = r.ReadPod<int64_t>();
+  dataset.split.train = r.ReadVector<int64_t>();
+  dataset.split.val = r.ReadVector<int64_t>();
+  dataset.split.test = r.ReadVector<int64_t>();
+  if (!r.ok()) {
+    return Status::InvalidArgument("corrupt dataset payload");
+  }
+  std::string error;
+  if (!ValidateDataset(dataset, &error)) {
+    return Status::InvalidArgument("invalid dataset: " + error);
+  }
+  return dataset;
+}
+
+}  // namespace rdd

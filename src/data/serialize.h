@@ -1,0 +1,23 @@
+#ifndef RDD_DATA_SERIALIZE_H_
+#define RDD_DATA_SERIALIZE_H_
+
+#include <string>
+
+#include "data/dataset.h"
+#include "util/status.h"
+
+namespace rdd {
+
+/// Writes `dataset` to `path` in the library's binary format (magic +
+/// version header, then graph, features, labels, split). Returns IoError on
+/// filesystem failure.
+Status SaveDataset(const Dataset& dataset, const std::string& path);
+
+/// Reads a dataset previously written by SaveDataset. Returns IoError for
+/// unreadable files and InvalidArgument for corrupt or incompatible content.
+/// The loaded dataset is re-validated before being returned.
+StatusOr<Dataset> LoadDataset(const std::string& path);
+
+}  // namespace rdd
+
+#endif  // RDD_DATA_SERIALIZE_H_

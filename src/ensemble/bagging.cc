@@ -1,0 +1,33 @@
+#include "ensemble/bagging.h"
+
+#include "util/logging.h"
+#include "util/random.h"
+#include "util/timer.h"
+
+namespace rdd {
+
+EnsembleTrainResult TrainBagging(const Dataset& dataset,
+                                 const GraphContext& context,
+                                 const BaggingConfig& config, uint64_t seed) {
+  RDD_CHECK_GT(config.num_models, 0);
+  WallTimer timer;
+  Rng seeder(seed);
+  EnsembleTrainResult result;
+  for (int t = 0; t < config.num_models; ++t) {
+    auto model = BuildModel(context, config.base_model, seeder.NextU64());
+    result.reports.push_back(
+        TrainSupervised(model.get(), dataset, config.train));
+    result.ensemble.AddMember(model->PredictProbs(), /*weight=*/1.0);
+    result.ensemble_accuracy_after_member.push_back(
+        result.ensemble.Accuracy(dataset.labels, dataset.split.test));
+  }
+  result.ensemble_test_accuracy =
+      result.ensemble.Accuracy(dataset.labels, dataset.split.test);
+  result.average_member_test_accuracy =
+      result.ensemble.AverageMemberAccuracy(dataset.labels,
+                                            dataset.split.test);
+  result.total_seconds = timer.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace rdd

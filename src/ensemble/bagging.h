@@ -1,0 +1,45 @@
+#ifndef RDD_ENSEMBLE_BAGGING_H_
+#define RDD_ENSEMBLE_BAGGING_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "data/dataset.h"
+#include "ensemble/ensemble.h"
+#include "models/model_factory.h"
+#include "train/trainer.h"
+
+namespace rdd {
+
+/// Common result type for the multi-model trainers (Bagging, BANs): the
+/// combined ensemble, per-member training reports, and headline accuracies.
+struct EnsembleTrainResult {
+  SoftmaxEnsemble ensemble;
+  std::vector<TrainReport> reports;
+  double ensemble_test_accuracy = 0.0;
+  double average_member_test_accuracy = 0.0;
+  double total_seconds = 0.0;
+  /// Test accuracy of the ensemble after each member was added (see the
+  /// Table 9 efficiency bench).
+  std::vector<double> ensemble_accuracy_after_member;
+};
+
+/// Settings for the Bagging baseline. Following the paper's protocol
+/// (Sec. 5.1), base models are NOT trained on subsampled data — with only a
+/// handful of labels, subsampling would cripple each member — so diversity
+/// comes from independent random initializations and dropout draws alone.
+/// Members are combined with uniform weights.
+struct BaggingConfig {
+  int num_models = 5;
+  ModelConfig base_model;
+  TrainConfig train;
+};
+
+/// Trains `config.num_models` independent base models and combines them.
+EnsembleTrainResult TrainBagging(const Dataset& dataset,
+                                 const GraphContext& context,
+                                 const BaggingConfig& config, uint64_t seed);
+
+}  // namespace rdd
+
+#endif  // RDD_ENSEMBLE_BAGGING_H_

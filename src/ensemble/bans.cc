@@ -1,0 +1,89 @@
+#include "ensemble/bans.h"
+
+#include <cmath>
+
+#include "autograd/ops.h"
+#include "util/logging.h"
+#include "util/random.h"
+#include "util/timer.h"
+
+namespace rdd {
+
+namespace {
+
+/// Applies the KD temperature to a row-stochastic matrix: each row becomes
+/// p_i^(1/T) renormalized. T = 1 is the identity.
+Matrix ApplyTemperature(const Matrix& probs, float temperature) {
+  if (temperature == 1.0f) return probs;
+  RDD_CHECK_GT(temperature, 0.0f);
+  Matrix out(probs.rows(), probs.cols());
+  const double exponent = 1.0 / static_cast<double>(temperature);
+  for (int64_t r = 0; r < probs.rows(); ++r) {
+    const float* in = probs.RowData(r);
+    float* o = out.RowData(r);
+    double sum = 0.0;
+    for (int64_t c = 0; c < probs.cols(); ++c) {
+      o[c] = static_cast<float>(
+          std::pow(static_cast<double>(in[c]) + 1e-12, exponent));
+      sum += o[c];
+    }
+    const float inv = static_cast<float>(1.0 / sum);
+    for (int64_t c = 0; c < probs.cols(); ++c) o[c] *= inv;
+  }
+  return out;
+}
+
+}  // namespace
+
+EnsembleTrainResult TrainBans(const Dataset& dataset,
+                              const GraphContext& context,
+                              const BansConfig& config, uint64_t seed) {
+  RDD_CHECK_GT(config.num_models, 0);
+  WallTimer timer;
+  Rng seeder(seed);
+  EnsembleTrainResult result;
+
+  // Every node (labeled or not) is a distillation target in BANs.
+  std::vector<int64_t> all_nodes(static_cast<size_t>(context.num_nodes));
+  for (int64_t i = 0; i < context.num_nodes; ++i) {
+    all_nodes[static_cast<size_t>(i)] = i;
+  }
+
+  Matrix teacher_probs;  // Softmax outputs of the previous student.
+  for (int t = 0; t < config.num_models; ++t) {
+    auto model = BuildModel(context, config.base_model, seeder.NextU64());
+    if (t == 0) {
+      result.reports.push_back(
+          TrainSupervised(model.get(), dataset, config.train));
+    } else {
+      const Matrix targets =
+          ApplyTemperature(teacher_probs, config.temperature);
+      result.reports.push_back(TrainWithLoss(
+          model.get(), dataset, config.train,
+          [&dataset, &targets, &all_nodes, &config](const ModelOutput& output,
+                                                    int /*epoch*/) {
+            Variable supervised = ag::SoftmaxCrossEntropy(
+                output.logits, dataset.labels, dataset.split.train,
+                ag::Reduction::kMean);
+            Variable mimic =
+                ag::SoftCrossEntropy(output.logits, targets, all_nodes,
+                                     ag::Reduction::kMean);
+            return ag::WeightedSum({supervised, mimic},
+                                   {1.0f, config.kd_weight});
+          }));
+    }
+    teacher_probs = model->PredictProbs();
+    result.ensemble.AddMember(teacher_probs, /*weight=*/1.0);
+    result.ensemble_accuracy_after_member.push_back(
+        result.ensemble.Accuracy(dataset.labels, dataset.split.test));
+  }
+  result.ensemble_test_accuracy =
+      result.ensemble.Accuracy(dataset.labels, dataset.split.test);
+  result.average_member_test_accuracy =
+      result.ensemble.AverageMemberAccuracy(dataset.labels,
+                                            dataset.split.test);
+  result.total_seconds = timer.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace rdd

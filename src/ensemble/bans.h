@@ -1,0 +1,39 @@
+#ifndef RDD_ENSEMBLE_BANS_H_
+#define RDD_ENSEMBLE_BANS_H_
+
+#include <cstdint>
+
+#include "data/dataset.h"
+#include "ensemble/bagging.h"
+#include "models/model_factory.h"
+#include "train/trainer.h"
+
+namespace rdd {
+
+/// Settings for the Born-Again Networks (BANs) baseline: a chain of
+/// students where student t is trained with the supervised loss plus a
+/// knowledge-distillation term that mimics ALL softmax outputs of student
+/// t-1 — no reliability filtering. The trained students are combined with
+/// uniform weights. This is the method RDD's reliability mechanism is
+/// contrasted against in Tables 3 and 6.
+struct BansConfig {
+  int num_models = 5;
+  /// Weight of the distillation (teacher-mimic) term relative to the
+  /// supervised loss.
+  float kd_weight = 1.0f;
+  /// Distillation temperature (Hinton et al.): the teacher's distribution
+  /// is sharpened (T < 1) or softened (T > 1) as p_i^(1/T), renormalized,
+  /// before the student mimics it. 1 leaves the targets unchanged.
+  float temperature = 1.0f;
+  ModelConfig base_model;
+  TrainConfig train;
+};
+
+/// Trains the BANs chain and returns the uniform ensemble.
+EnsembleTrainResult TrainBans(const Dataset& dataset,
+                              const GraphContext& context,
+                              const BansConfig& config, uint64_t seed);
+
+}  // namespace rdd
+
+#endif  // RDD_ENSEMBLE_BANS_H_

@@ -1,0 +1,42 @@
+#include "ensemble/co_training.h"
+
+#include "ensemble/self_training.h"
+#include "models/label_propagation.h"
+#include "util/random.h"
+
+namespace rdd {
+
+CoTrainingResult TrainCoTraining(const Dataset& dataset,
+                                 const GraphContext& context,
+                                 const CoTrainingConfig& config,
+                                 uint64_t seed) {
+  Rng seeder(seed);
+  CoTrainingResult result;
+
+  // Random-walk view: label propagation over the graph topology.
+  const Matrix walk_probs = PropagateLabels(dataset);
+
+  std::vector<bool> excluded = dataset.TrainMask();
+  for (int64_t i : dataset.split.val) excluded[static_cast<size_t>(i)] = true;
+  for (int64_t i : dataset.split.test) excluded[static_cast<size_t>(i)] = true;
+  const auto additions = SelectConfidentPerClass(
+      walk_probs, dataset.num_classes, config.additions_per_class, excluded);
+
+  Dataset working = dataset;
+  for (const auto& [node, pseudo] : additions) {
+    working.labels[static_cast<size_t>(node)] = pseudo;
+    working.split.train.push_back(node);
+    ++result.pseudo_labels_added;
+    if (dataset.labels[static_cast<size_t>(node)] == pseudo) {
+      ++result.pseudo_labels_correct;
+    }
+  }
+
+  auto model = BuildModel(context, config.base_model, seeder.NextU64());
+  result.final_report = TrainSupervised(model.get(), working, config.train);
+  result.test_accuracy =
+      EvaluateAccuracy(model.get(), dataset, dataset.split.test);
+  return result;
+}
+
+}  // namespace rdd

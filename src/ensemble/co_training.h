@@ -1,0 +1,39 @@
+#ifndef RDD_ENSEMBLE_CO_TRAINING_H_
+#define RDD_ENSEMBLE_CO_TRAINING_H_
+
+#include <cstdint>
+
+#include "data/dataset.h"
+#include "models/model_factory.h"
+#include "train/trainer.h"
+
+namespace rdd {
+
+/// Settings for the Co-Training baseline of Sec. 1.1: a random-walk view
+/// (label propagation, which explores global topology) nominates its most
+/// confident predictions as pseudo labels for the GCN view, and the GCN is
+/// trained on the extended label set.
+struct CoTrainingConfig {
+  int additions_per_class = 50;  ///< Random-walk pseudo labels per class.
+  ModelConfig base_model;
+  TrainConfig train;
+};
+
+/// Outcome of a co-training run.
+struct CoTrainingResult {
+  double test_accuracy = 0.0;
+  TrainReport final_report;
+  int64_t pseudo_labels_added = 0;
+  int64_t pseudo_labels_correct = 0;  ///< Matches against hidden truth.
+};
+
+/// Runs one co-training round (random walk -> GCN) and returns the GCN's
+/// test accuracy.
+CoTrainingResult TrainCoTraining(const Dataset& dataset,
+                                 const GraphContext& context,
+                                 const CoTrainingConfig& config,
+                                 uint64_t seed);
+
+}  // namespace rdd
+
+#endif  // RDD_ENSEMBLE_CO_TRAINING_H_

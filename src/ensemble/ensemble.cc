@@ -1,0 +1,51 @@
+#include "ensemble/ensemble.h"
+
+#include "nn/metrics.h"
+#include "util/logging.h"
+
+namespace rdd {
+
+void SoftmaxEnsemble::AddMember(Matrix probs, double weight) {
+  RDD_CHECK_GT(weight, 0.0);
+  if (!member_probs_.empty()) {
+    RDD_CHECK_EQ(probs.rows(), member_probs_.front().rows());
+    RDD_CHECK_EQ(probs.cols(), member_probs_.front().cols());
+  }
+  member_probs_.push_back(std::move(probs));
+  weights_.push_back(weight);
+}
+
+const Matrix& SoftmaxEnsemble::member_probs(int64_t t) const {
+  RDD_CHECK_GE(t, 0);
+  RDD_CHECK_LT(t, size());
+  return member_probs_[static_cast<size_t>(t)];
+}
+
+Matrix SoftmaxEnsemble::CombinedProbs() const {
+  RDD_CHECK_GT(size(), 0);
+  double total = 0.0;
+  for (double w : weights_) total += w;
+  Matrix combined(member_probs_.front().rows(), member_probs_.front().cols());
+  for (size_t t = 0; t < member_probs_.size(); ++t) {
+    combined.Axpy(static_cast<float>(weights_[t] / total), member_probs_[t]);
+  }
+  return combined;
+}
+
+double SoftmaxEnsemble::Accuracy(const std::vector<int64_t>& labels,
+                                 const std::vector<int64_t>& indices) const {
+  return rdd::Accuracy(CombinedProbs(), labels, indices);
+}
+
+double SoftmaxEnsemble::AverageMemberAccuracy(
+    const std::vector<int64_t>& labels,
+    const std::vector<int64_t>& indices) const {
+  RDD_CHECK_GT(size(), 0);
+  double sum = 0.0;
+  for (const Matrix& probs : member_probs_) {
+    sum += rdd::Accuracy(probs, labels, indices);
+  }
+  return sum / static_cast<double>(size());
+}
+
+}  // namespace rdd

@@ -1,0 +1,53 @@
+#ifndef RDD_ENSEMBLE_ENSEMBLE_H_
+#define RDD_ENSEMBLE_ENSEMBLE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/matrix.h"
+
+namespace rdd {
+
+/// A weighted softmax-averaging ensemble over frozen base models. Member
+/// outputs are cached at insertion time (base models are never re-run after
+/// training), so combination is a cheap weighted average:
+///   H_T = sum_t alpha_t h_t   (Eq. 13 of the paper),
+/// with the weights normalized to sum to 1.
+class SoftmaxEnsemble {
+ public:
+  SoftmaxEnsemble() = default;
+
+  /// Adds a member by its cached row-stochastic predictions and raw weight
+  /// alpha_t > 0. All members must agree on the matrix shape.
+  void AddMember(Matrix probs, double weight);
+
+  /// Number of members.
+  int64_t size() const { return static_cast<int64_t>(member_probs_.size()); }
+
+  /// Raw (unnormalized) member weights, in insertion order.
+  const std::vector<double>& weights() const { return weights_; }
+
+  /// Cached predictions of member t.
+  const Matrix& member_probs(int64_t t) const;
+
+  /// Weight-normalized average of the member predictions. Requires at
+  /// least one member.
+  Matrix CombinedProbs() const;
+
+  /// Accuracy of the combined prediction over `indices`.
+  double Accuracy(const std::vector<int64_t>& labels,
+                  const std::vector<int64_t>& indices) const;
+
+  /// Mean accuracy of the individual members over `indices` (the "Average"
+  /// row of Table 6).
+  double AverageMemberAccuracy(const std::vector<int64_t>& labels,
+                               const std::vector<int64_t>& indices) const;
+
+ private:
+  std::vector<Matrix> member_probs_;
+  std::vector<double> weights_;
+};
+
+}  // namespace rdd
+
+#endif  // RDD_ENSEMBLE_ENSEMBLE_H_

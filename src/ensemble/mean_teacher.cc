@@ -1,0 +1,99 @@
+#include "ensemble/mean_teacher.h"
+
+#include <algorithm>
+
+#include "autograd/ops.h"
+#include "nn/optimizer.h"
+#include "tensor/ops.h"
+#include "util/logging.h"
+#include "util/random.h"
+#include "util/timer.h"
+
+namespace rdd {
+
+MeanTeacherResult TrainMeanTeacher(const Dataset& dataset,
+                                   const GraphContext& context,
+                                   const MeanTeacherConfig& config,
+                                   uint64_t seed) {
+  RDD_CHECK_GT(config.ema_decay, 0.0f);
+  RDD_CHECK_LT(config.ema_decay, 1.0f);
+  WallTimer timer;
+  Rng seeder(seed);
+
+  // Student and teacher share the architecture; the teacher starts as an
+  // exact copy and is never trained by gradient.
+  auto student = BuildModel(context, config.base_model, seeder.NextU64());
+  auto teacher = BuildModel(context, config.base_model, seeder.NextU64());
+  std::vector<Variable> student_params = student->Parameters();
+  std::vector<Variable> teacher_params = teacher->Parameters();
+  RDD_CHECK_EQ(student_params.size(), teacher_params.size());
+  RestoreParameters(SnapshotParameters(student_params), &teacher_params);
+
+  std::vector<int64_t> all_nodes(static_cast<size_t>(context.num_nodes));
+  for (int64_t i = 0; i < context.num_nodes; ++i) {
+    all_nodes[static_cast<size_t>(i)] = i;
+  }
+
+  Adam optimizer(student_params, config.train.lr,
+                 config.train.weight_decay);
+  MeanTeacherResult result;
+  double best_val = 0.0;
+  std::vector<Matrix> best_teacher_params;
+  int epochs_since_best = 0;
+  for (int epoch = 0; epoch < config.train.max_epochs; ++epoch) {
+    // Consistency target: the EMA teacher's (evaluation-mode) softmax.
+    const Matrix teacher_probs = teacher->PredictProbs();
+
+    ModelOutput output = student->Forward(/*training=*/true);
+    Variable supervised = ag::SoftmaxCrossEntropy(
+        output.logits, dataset.labels, dataset.split.train,
+        ag::Reduction::kMean);
+    const float rampup =
+        config.rampup_epochs > 0
+            ? std::min(1.0f, static_cast<float>(epoch) /
+                                 static_cast<float>(config.rampup_epochs))
+            : 1.0f;
+    Variable consistency = ag::SoftCrossEntropy(
+        output.logits, teacher_probs, all_nodes, ag::Reduction::kMean);
+    Variable loss = ag::WeightedSum(
+        {supervised, consistency},
+        {1.0f, config.consistency_weight * rampup});
+    loss.Backward();
+    optimizer.Step();
+
+    // EMA update: teacher <- decay * teacher + (1 - decay) * student.
+    for (size_t k = 0; k < teacher_params.size(); ++k) {
+      Matrix* tw = teacher_params[k].mutable_value();
+      const Matrix& sw = student_params[k].value();
+      tw->Scale(config.ema_decay);
+      tw->Axpy(1.0f - config.ema_decay, sw);
+    }
+
+    const double val_acc =
+        EvaluateAccuracy(teacher.get(), dataset, dataset.split.val);
+    result.report.val_history.push_back(val_acc);
+    result.report.epochs_run = epoch + 1;
+    if (val_acc > best_val) {
+      best_val = val_acc;
+      epochs_since_best = 0;
+      if (config.train.restore_best) {
+        best_teacher_params = SnapshotParameters(teacher_params);
+      }
+    } else if (++epochs_since_best >= config.train.patience) {
+      break;
+    }
+  }
+  if (config.train.restore_best && !best_teacher_params.empty()) {
+    RestoreParameters(best_teacher_params, &teacher_params);
+  }
+  result.report.best_val_accuracy = best_val;
+  result.teacher_test_accuracy =
+      EvaluateAccuracy(teacher.get(), dataset, dataset.split.test);
+  result.student_test_accuracy =
+      EvaluateAccuracy(student.get(), dataset, dataset.split.test);
+  result.report.test_accuracy = result.teacher_test_accuracy;
+  result.report.train_seconds = timer.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace rdd

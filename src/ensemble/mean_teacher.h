@@ -1,0 +1,46 @@
+#ifndef RDD_ENSEMBLE_MEAN_TEACHER_H_
+#define RDD_ENSEMBLE_MEAN_TEACHER_H_
+
+#include <cstdint>
+
+#include "data/dataset.h"
+#include "models/model_factory.h"
+#include "train/trainer.h"
+
+namespace rdd {
+
+/// Settings for the Mean Teacher baseline (Tarvainen & Valpola, discussed
+/// in Secs. 1.1 and 2.4 of the paper): the teacher's weights are an
+/// exponential moving average of the student's weights, and the student is
+/// trained with the supervised loss plus a consistency term that matches
+/// its (dropout-perturbed) predictions to the teacher's on every node.
+struct MeanTeacherConfig {
+  float ema_decay = 0.99f;          ///< Teacher <- decay*teacher +
+                                    ///< (1-decay)*student, per epoch.
+  float consistency_weight = 1.0f;  ///< Weight of the consistency loss.
+  /// Linear ramp-up length for the consistency weight (epochs); the usual
+  /// Mean-Teacher trick to keep early noisy targets from dominating.
+  int rampup_epochs = 40;
+  ModelConfig base_model;
+  TrainConfig train;
+};
+
+/// Outcome of a Mean Teacher run.
+struct MeanTeacherResult {
+  /// Test accuracy of the EMA teacher (the model Mean Teacher deploys).
+  double teacher_test_accuracy = 0.0;
+  /// Test accuracy of the underlying student.
+  double student_test_accuracy = 0.0;
+  TrainReport report;
+};
+
+/// Trains a student under EMA-teacher consistency and returns both models'
+/// accuracies.
+MeanTeacherResult TrainMeanTeacher(const Dataset& dataset,
+                                   const GraphContext& context,
+                                   const MeanTeacherConfig& config,
+                                   uint64_t seed);
+
+}  // namespace rdd
+
+#endif  // RDD_ENSEMBLE_MEAN_TEACHER_H_

@@ -1,0 +1,88 @@
+#include "ensemble/self_training.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+#include "util/random.h"
+
+namespace rdd {
+
+std::vector<std::pair<int64_t, int64_t>> SelectConfidentPerClass(
+    const Matrix& probs, int64_t num_classes, int64_t per_class,
+    const std::vector<bool>& exclude) {
+  RDD_CHECK_EQ(probs.cols(), num_classes);
+  RDD_CHECK_EQ(static_cast<int64_t>(exclude.size()), probs.rows());
+  // Candidates per class: (confidence, node), where confidence is the
+  // node's probability of its argmax class.
+  std::vector<std::vector<std::pair<float, int64_t>>> candidates(
+      static_cast<size_t>(num_classes));
+  for (int64_t i = 0; i < probs.rows(); ++i) {
+    if (exclude[static_cast<size_t>(i)]) continue;
+    const float* row = probs.RowData(i);
+    int64_t best = 0;
+    for (int64_t c = 1; c < num_classes; ++c) {
+      if (row[c] > row[best]) best = c;
+    }
+    candidates[static_cast<size_t>(best)].push_back({row[best], i});
+  }
+  std::vector<std::pair<int64_t, int64_t>> selected;
+  for (int64_t c = 0; c < num_classes; ++c) {
+    auto& pool = candidates[static_cast<size_t>(c)];
+    const int64_t take =
+        std::min(per_class, static_cast<int64_t>(pool.size()));
+    std::partial_sort(pool.begin(), pool.begin() + take, pool.end(),
+                      [](const auto& a, const auto& b) {
+                        return a.first > b.first;
+                      });
+    for (int64_t k = 0; k < take; ++k) {
+      selected.push_back({pool[static_cast<size_t>(k)].second, c});
+    }
+  }
+  return selected;
+}
+
+SelfTrainingResult TrainSelfTraining(const Dataset& dataset,
+                                     const GraphContext& context,
+                                     const SelfTrainingConfig& config,
+                                     uint64_t seed) {
+  RDD_CHECK_GE(config.rounds, 0);
+  Rng seeder(seed);
+  SelfTrainingResult result;
+
+  // Working copy whose labels / training set absorb pseudo labels. The
+  // validation and test sets never change.
+  Dataset working = dataset;
+  std::vector<bool> in_train = dataset.TrainMask();
+  // Validation/test nodes must never be pseudo-labeled into training.
+  std::vector<bool> excluded = in_train;
+  for (int64_t i : dataset.split.val) excluded[static_cast<size_t>(i)] = true;
+  for (int64_t i : dataset.split.test) excluded[static_cast<size_t>(i)] = true;
+
+  auto model = BuildModel(context, config.base_model, seeder.NextU64());
+  result.final_report = TrainSupervised(model.get(), working, config.train);
+
+  for (int round = 0; round < config.rounds; ++round) {
+    const Matrix probs = model->PredictProbs();
+    const auto additions = SelectConfidentPerClass(
+        probs, dataset.num_classes, config.additions_per_class, excluded);
+    if (additions.empty()) break;
+    for (const auto& [node, pseudo] : additions) {
+      working.labels[static_cast<size_t>(node)] = pseudo;
+      working.split.train.push_back(node);
+      excluded[static_cast<size_t>(node)] = true;
+      ++result.pseudo_labels_added;
+      if (dataset.labels[static_cast<size_t>(node)] == pseudo) {
+        ++result.pseudo_labels_correct;
+      }
+    }
+    model = BuildModel(context, config.base_model, seeder.NextU64());
+    result.final_report = TrainSupervised(model.get(), working, config.train);
+  }
+
+  // Test accuracy is always measured against the TRUE labels.
+  result.test_accuracy =
+      EvaluateAccuracy(model.get(), dataset, dataset.split.test);
+  return result;
+}
+
+}  // namespace rdd

@@ -1,0 +1,76 @@
+#include "ensemble/snapshot.h"
+
+#include <cmath>
+
+#include "autograd/ops.h"
+#include "nn/optimizer.h"
+#include "util/logging.h"
+#include "util/random.h"
+#include "util/timer.h"
+
+namespace rdd {
+
+float SnapshotCyclicLr(float max_lr, float min_lr, int epoch_in_cycle,
+                       int epochs_per_cycle) {
+  RDD_CHECK_GE(epoch_in_cycle, 0);
+  RDD_CHECK_LT(epoch_in_cycle, epochs_per_cycle);
+  RDD_CHECK_GT(max_lr, 0.0f);
+  RDD_CHECK_GE(max_lr, min_lr);
+  const double phase = static_cast<double>(epoch_in_cycle) * M_PI /
+                       static_cast<double>(epochs_per_cycle);
+  return min_lr + 0.5f * (max_lr - min_lr) *
+                      static_cast<float>(1.0 + std::cos(phase));
+}
+
+EnsembleTrainResult TrainSnapshotEnsemble(const Dataset& dataset,
+                                          const GraphContext& context,
+                                          const SnapshotConfig& config,
+                                          uint64_t seed) {
+  RDD_CHECK_GT(config.num_cycles, 0);
+  RDD_CHECK_GT(config.epochs_per_cycle, 0);
+  WallTimer timer;
+  Rng seeder(seed);
+  EnsembleTrainResult result;
+
+  auto model = BuildModel(context, config.base_model, seeder.NextU64());
+  Adam optimizer(model->Parameters(), config.max_lr,
+                 config.train.weight_decay);
+
+  for (int cycle = 0; cycle < config.num_cycles; ++cycle) {
+    WallTimer cycle_timer;
+    TrainReport report;
+    for (int epoch = 0; epoch < config.epochs_per_cycle; ++epoch) {
+      optimizer.set_lr(SnapshotCyclicLr(config.max_lr, config.min_lr, epoch,
+                                        config.epochs_per_cycle));
+      ModelOutput output = model->Forward(/*training=*/true);
+      Variable loss = ag::SoftmaxCrossEntropy(output.logits, dataset.labels,
+                                              dataset.split.train,
+                                              ag::Reduction::kMean);
+      loss.Backward();
+      optimizer.Step();
+      const double val_acc =
+          EvaluateAccuracy(model.get(), dataset, dataset.split.val);
+      report.val_history.push_back(val_acc);
+      report.best_val_accuracy = std::max(report.best_val_accuracy, val_acc);
+      report.epochs_run = epoch + 1;
+    }
+    // Snapshot: the model at the end of the annealed cycle.
+    report.test_accuracy =
+        EvaluateAccuracy(model.get(), dataset, dataset.split.test);
+    report.train_seconds = cycle_timer.ElapsedSeconds();
+    result.reports.push_back(std::move(report));
+    result.ensemble.AddMember(model->PredictProbs(), /*weight=*/1.0);
+    result.ensemble_accuracy_after_member.push_back(
+        result.ensemble.Accuracy(dataset.labels, dataset.split.test));
+  }
+
+  result.ensemble_test_accuracy =
+      result.ensemble.Accuracy(dataset.labels, dataset.split.test);
+  result.average_member_test_accuracy =
+      result.ensemble.AverageMemberAccuracy(dataset.labels,
+                                            dataset.split.test);
+  result.total_seconds = timer.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace rdd

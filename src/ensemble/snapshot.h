@@ -1,0 +1,44 @@
+#ifndef RDD_ENSEMBLE_SNAPSHOT_H_
+#define RDD_ENSEMBLE_SNAPSHOT_H_
+
+#include <cstdint>
+
+#include "data/dataset.h"
+#include "ensemble/bagging.h"
+#include "models/model_factory.h"
+#include "train/trainer.h"
+
+namespace rdd {
+
+/// Settings for the Snapshot Ensemble baseline (Huang et al., discussed in
+/// Sec. 2.3 of the paper): ONE model is trained through several cosine-
+/// annealed learning-rate cycles; at the end of each cycle — a local
+/// minimum — its predictions are snapshotted as an ensemble member. Cheaper
+/// than Bagging (one training run yields M members) but with limited
+/// diversity, which is exactly the weakness the paper contrasts RDD
+/// against.
+struct SnapshotConfig {
+  int num_cycles = 5;          ///< Ensemble size (one snapshot per cycle).
+  int epochs_per_cycle = 60;
+  float max_lr = 0.02f;        ///< Cycle-start learning rate.
+  float min_lr = 1e-4f;        ///< Cycle-end learning rate.
+  ModelConfig base_model;
+  TrainConfig train;           ///< Only lr-independent fields are used.
+};
+
+/// Trains the snapshot schedule and returns the uniform ensemble of the
+/// per-cycle snapshots.
+EnsembleTrainResult TrainSnapshotEnsemble(const Dataset& dataset,
+                                          const GraphContext& context,
+                                          const SnapshotConfig& config,
+                                          uint64_t seed);
+
+/// The cyclic learning rate of Loshchilov & Hutter's SGDR as used by
+/// Snapshot Ensembles: cosine decay from max_lr to min_lr within each
+/// cycle. `epoch_in_cycle` must lie in [0, epochs_per_cycle).
+float SnapshotCyclicLr(float max_lr, float min_lr, int epoch_in_cycle,
+                       int epochs_per_cycle);
+
+}  // namespace rdd
+
+#endif  // RDD_ENSEMBLE_SNAPSHOT_H_

@@ -1,0 +1,36 @@
+#include "graph/components.h"
+
+#include <cstddef>
+#include <queue>
+
+namespace rdd {
+
+ComponentsResult ConnectedComponents(const Graph& graph) {
+  const int64_t n = graph.num_nodes();
+  ComponentsResult result;
+  result.component_of.assign(static_cast<size_t>(n), -1);
+
+  for (int64_t start = 0; start < n; ++start) {
+    if (result.component_of[static_cast<size_t>(start)] != -1) continue;
+    const int64_t cid = result.num_components++;
+    int64_t size = 0;
+    std::queue<int64_t> frontier;
+    frontier.push(start);
+    result.component_of[static_cast<size_t>(start)] = cid;
+    while (!frontier.empty()) {
+      const int64_t node = frontier.front();
+      frontier.pop();
+      ++size;
+      for (int64_t nbr : graph.Neighbors(node)) {
+        if (result.component_of[static_cast<size_t>(nbr)] == -1) {
+          result.component_of[static_cast<size_t>(nbr)] = cid;
+          frontier.push(nbr);
+        }
+      }
+    }
+    result.component_sizes.push_back(size);
+  }
+  return result;
+}
+
+}  // namespace rdd

@@ -1,0 +1,28 @@
+#ifndef RDD_GRAPH_COMPONENTS_H_
+#define RDD_GRAPH_COMPONENTS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace rdd {
+
+/// Result of a connected-components decomposition.
+struct ComponentsResult {
+  /// Component id of each node, in [0, num_components); ids are assigned in
+  /// order of first appearance by node id.
+  std::vector<int64_t> component_of;
+  /// Number of nodes in each component.
+  std::vector<int64_t> component_sizes;
+  int64_t num_components = 0;
+};
+
+/// Computes connected components by BFS. Used by dataset validation (the
+/// generators keep graphs connected enough that labels can propagate) and by
+/// graph statistics reporting.
+ComponentsResult ConnectedComponents(const Graph& graph);
+
+}  // namespace rdd
+
+#endif  // RDD_GRAPH_COMPONENTS_H_

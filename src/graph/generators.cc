@@ -1,0 +1,187 @@
+#include "graph/generators.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "util/logging.h"
+
+namespace rdd {
+
+Graph MakePathGraph(int64_t n) {
+  std::vector<Edge> edges;
+  for (int64_t i = 0; i + 1 < n; ++i) edges.push_back({i, i + 1});
+  return Graph(n, edges);
+}
+
+Graph MakeCycleGraph(int64_t n) {
+  RDD_CHECK_GE(n, 3);
+  std::vector<Edge> edges;
+  for (int64_t i = 0; i < n; ++i) edges.push_back({i, (i + 1) % n});
+  return Graph(n, edges);
+}
+
+Graph MakeStarGraph(int64_t n) {
+  RDD_CHECK_GE(n, 1);
+  std::vector<Edge> edges;
+  for (int64_t i = 1; i < n; ++i) edges.push_back({0, i});
+  return Graph(n, edges);
+}
+
+Graph MakeCompleteGraph(int64_t n) {
+  std::vector<Edge> edges;
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t j = i + 1; j < n; ++j) edges.push_back({i, j});
+  }
+  return Graph(n, edges);
+}
+
+Graph MakeGridGraph(int64_t rows, int64_t cols) {
+  RDD_CHECK_GE(rows, 1);
+  RDD_CHECK_GE(cols, 1);
+  std::vector<Edge> edges;
+  auto id = [cols](int64_t r, int64_t c) { return r * cols + c; };
+  for (int64_t r = 0; r < rows; ++r) {
+    for (int64_t c = 0; c < cols; ++c) {
+      if (c + 1 < cols) edges.push_back({id(r, c), id(r, c + 1)});
+      if (r + 1 < rows) edges.push_back({id(r, c), id(r + 1, c)});
+    }
+  }
+  return Graph(rows * cols, edges);
+}
+
+Graph MakeErdosRenyiGraph(int64_t n, double p, Rng* rng) {
+  RDD_CHECK(rng != nullptr);
+  RDD_CHECK_GE(p, 0.0);
+  RDD_CHECK_LE(p, 1.0);
+  std::vector<Edge> edges;
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t j = i + 1; j < n; ++j) {
+      if (rng->Bernoulli(p)) edges.push_back({i, j});
+    }
+  }
+  return Graph(n, edges);
+}
+
+namespace {
+
+/// Weighted sampler over node ids using a prefix-sum + binary search.
+class PrefixSampler {
+ public:
+  PrefixSampler(std::vector<int64_t> ids, const std::vector<double>& weights)
+      : ids_(std::move(ids)) {
+    prefix_.reserve(ids_.size());
+    double acc = 0.0;
+    for (int64_t id : ids_) {
+      acc += weights[static_cast<size_t>(id)];
+      prefix_.push_back(acc);
+    }
+    RDD_CHECK_GT(acc, 0.0);
+  }
+
+  int64_t Sample(Rng* rng) const {
+    const double target = rng->Uniform() * prefix_.back();
+    const auto it = std::upper_bound(prefix_.begin(), prefix_.end(), target);
+    size_t idx = static_cast<size_t>(it - prefix_.begin());
+    if (idx >= ids_.size()) idx = ids_.size() - 1;
+    return ids_[idx];
+  }
+
+  size_t size() const { return ids_.size(); }
+
+ private:
+  std::vector<int64_t> ids_;
+  std::vector<double> prefix_;
+};
+
+}  // namespace
+
+Graph MakeLabeledSbmGraph(const std::vector<int64_t>& labels,
+                          const LabeledSbmParams& params, Rng* rng) {
+  RDD_CHECK(rng != nullptr);
+  RDD_CHECK_GE(params.homophily, 0.0);
+  RDD_CHECK_LE(params.homophily, 1.0);
+  RDD_CHECK_GE(params.degree_skew, 0.0);
+  const int64_t n = static_cast<int64_t>(labels.size());
+  RDD_CHECK_GE(n, 2);
+
+  int64_t num_classes = 0;
+  for (int64_t y : labels) {
+    RDD_CHECK_GE(y, 0);
+    num_classes = std::max(num_classes, y + 1);
+  }
+
+  // Heavy-tailed attractiveness: shuffle nodes, weight by rank^-skew.
+  std::vector<int64_t> order(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) order[static_cast<size_t>(i)] = i;
+  rng->Shuffle(&order);
+  std::vector<double> weight(static_cast<size_t>(n));
+  for (int64_t rank = 0; rank < n; ++rank) {
+    weight[static_cast<size_t>(order[static_cast<size_t>(rank)])] =
+        std::pow(static_cast<double>(rank + 1), -params.degree_skew);
+  }
+
+  std::vector<std::vector<int64_t>> class_members(
+      static_cast<size_t>(num_classes));
+  for (int64_t i = 0; i < n; ++i) {
+    class_members[static_cast<size_t>(labels[static_cast<size_t>(i)])]
+        .push_back(i);
+  }
+
+  std::vector<int64_t> all_ids(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) all_ids[static_cast<size_t>(i)] = i;
+  PrefixSampler global_sampler(all_ids, weight);
+  std::vector<PrefixSampler> class_samplers;
+  class_samplers.reserve(static_cast<size_t>(num_classes));
+  for (int64_t c = 0; c < num_classes; ++c) {
+    RDD_CHECK(!class_members[static_cast<size_t>(c)].empty())
+        << "class " << c << " has no members";
+    class_samplers.emplace_back(class_members[static_cast<size_t>(c)], weight);
+  }
+
+  auto edge_key = [](int64_t u, int64_t v) {
+    if (u > v) std::swap(u, v);
+    return static_cast<uint64_t>(u) << 32 | static_cast<uint64_t>(v);
+  };
+
+  std::unordered_set<uint64_t> seen;
+  std::vector<Edge> edges;
+  edges.reserve(static_cast<size_t>(params.target_edges));
+  // Collision-bounded rejection loop: abandon after generous retries so a
+  // pathological configuration (e.g. target_edges near the complete graph)
+  // terminates with fewer edges instead of spinning.
+  const int64_t max_attempts = params.target_edges * 50 + 1000;
+  int64_t attempts = 0;
+  while (static_cast<int64_t>(edges.size()) < params.target_edges &&
+         attempts < max_attempts) {
+    ++attempts;
+    const int64_t u = global_sampler.Sample(rng);
+    const int64_t cu = labels[static_cast<size_t>(u)];
+    int64_t v = -1;
+    if (rng->Bernoulli(params.homophily)) {
+      const PrefixSampler& sampler = class_samplers[static_cast<size_t>(cu)];
+      if (sampler.size() < 2) continue;
+      v = sampler.Sample(rng);
+    } else if (num_classes > 1) {
+      // Resample v until its class differs, WITHOUT redrawing the
+      // homophily coin — restarting the attempt would bias the realized
+      // homophily above the requested value.
+      for (int retry = 0; retry < 32; ++retry) {
+        const int64_t candidate = global_sampler.Sample(rng);
+        if (labels[static_cast<size_t>(candidate)] != cu) {
+          v = candidate;
+          break;
+        }
+      }
+      if (v < 0) continue;
+    } else {
+      continue;  // Single class: no inter-class edge is possible.
+    }
+    if (u == v) continue;
+    if (!seen.insert(edge_key(u, v)).second) continue;
+    edges.push_back({u, v});
+  }
+  return Graph(n, edges);
+}
+
+}  // namespace rdd

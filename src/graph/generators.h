@@ -1,0 +1,53 @@
+#ifndef RDD_GRAPH_GENERATORS_H_
+#define RDD_GRAPH_GENERATORS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/random.h"
+
+namespace rdd {
+
+/// Path graph 0-1-2-...-(n-1).
+Graph MakePathGraph(int64_t n);
+
+/// Cycle graph on n >= 3 nodes.
+Graph MakeCycleGraph(int64_t n);
+
+/// Star graph: node 0 connected to nodes 1..n-1.
+Graph MakeStarGraph(int64_t n);
+
+/// Complete graph on n nodes.
+Graph MakeCompleteGraph(int64_t n);
+
+/// 2D grid graph with `rows * cols` nodes, 4-neighborhood.
+Graph MakeGridGraph(int64_t rows, int64_t cols);
+
+/// Erdos-Renyi G(n, p) random graph.
+Graph MakeErdosRenyiGraph(int64_t n, double p, Rng* rng);
+
+/// Parameters for the labeled, degree-heterogeneous stochastic block model
+/// used as the topology backbone of the synthetic citation networks.
+struct LabeledSbmParams {
+  /// Target number of undirected edges (the generator hits this exactly, up
+  /// to collisions with existing edges).
+  int64_t target_edges = 0;
+  /// Probability that a sampled edge is intra-class. Drives edge homophily.
+  double homophily = 0.8;
+  /// Degree skew: each node gets an attractiveness weight ~ (rank)^-skew,
+  /// giving a heavy-tailed degree distribution like real citation graphs.
+  /// 0 yields a uniform SBM.
+  double degree_skew = 0.8;
+};
+
+/// Samples a graph over `labels.size()` nodes where edge endpoints are drawn
+/// proportionally to per-node attractiveness, and intra- vs inter-class
+/// endpoints are chosen by the homophily parameter. Guarantees a simple
+/// graph (no self-loops or duplicates).
+Graph MakeLabeledSbmGraph(const std::vector<int64_t>& labels,
+                          const LabeledSbmParams& params, Rng* rng);
+
+}  // namespace rdd
+
+#endif  // RDD_GRAPH_GENERATORS_H_

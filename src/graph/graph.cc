@@ -1,0 +1,68 @@
+#include "graph/graph.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace rdd {
+
+Graph::Graph(int64_t num_nodes, const std::vector<Edge>& edges)
+    : num_nodes_(num_nodes) {
+  RDD_CHECK_GE(num_nodes, 0);
+  std::vector<Edge> canonical;
+  canonical.reserve(edges.size());
+  for (const Edge& e : edges) {
+    RDD_CHECK_GE(e.u, 0);
+    RDD_CHECK_LT(e.u, num_nodes);
+    RDD_CHECK_GE(e.v, 0);
+    RDD_CHECK_LT(e.v, num_nodes);
+    if (e.u == e.v) continue;  // Self-loops are dropped.
+    canonical.push_back(e.u < e.v ? e : Edge{e.v, e.u});
+  }
+  std::sort(canonical.begin(), canonical.end(),
+            [](const Edge& a, const Edge& b) {
+              return a.u != b.u ? a.u < b.u : a.v < b.v;
+            });
+  canonical.erase(std::unique(canonical.begin(), canonical.end()),
+                  canonical.end());
+  edges_ = std::move(canonical);
+
+  adjacency_.assign(static_cast<size_t>(num_nodes_), {});
+  for (const Edge& e : edges_) {
+    adjacency_[static_cast<size_t>(e.u)].push_back(e.v);
+    adjacency_[static_cast<size_t>(e.v)].push_back(e.u);
+  }
+  for (auto& nbrs : adjacency_) std::sort(nbrs.begin(), nbrs.end());
+}
+
+const std::vector<int64_t>& Graph::Neighbors(int64_t node) const {
+  RDD_CHECK_GE(node, 0);
+  RDD_CHECK_LT(node, num_nodes_);
+  return adjacency_[static_cast<size_t>(node)];
+}
+
+int64_t Graph::Degree(int64_t node) const {
+  return static_cast<int64_t>(Neighbors(node).size());
+}
+
+bool Graph::HasEdge(int64_t u, int64_t v) const {
+  if (u == v) return false;
+  const std::vector<int64_t>& nbrs = Neighbors(u);
+  return std::binary_search(nbrs.begin(), nbrs.end(), v);
+}
+
+int64_t Graph::MaxDegree() const {
+  int64_t best = 0;
+  for (const auto& nbrs : adjacency_) {
+    best = std::max(best, static_cast<int64_t>(nbrs.size()));
+  }
+  return best;
+}
+
+double Graph::AverageDegree() const {
+  if (num_nodes_ == 0) return 0.0;
+  return 2.0 * static_cast<double>(num_edges()) /
+         static_cast<double>(num_nodes_);
+}
+
+}  // namespace rdd

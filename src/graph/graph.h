@@ -1,0 +1,62 @@
+#ifndef RDD_GRAPH_GRAPH_H_
+#define RDD_GRAPH_GRAPH_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace rdd {
+
+/// An undirected edge between two node ids.
+struct Edge {
+  int64_t u = 0;
+  int64_t v = 0;
+};
+
+inline bool operator==(const Edge& a, const Edge& b) {
+  return a.u == b.u && a.v == b.v;
+}
+
+/// An undirected simple graph stored both as a deduplicated edge list and as
+/// a CSR adjacency structure. Node ids are dense integers [0, num_nodes).
+/// Self-loops in the input are dropped (the GCN normalization adds its own
+/// self-connections); duplicate and reversed duplicates are merged.
+class Graph {
+ public:
+  /// Empty graph with no nodes.
+  Graph() = default;
+
+  /// Builds a graph over `num_nodes` nodes from an arbitrary edge list.
+  Graph(int64_t num_nodes, const std::vector<Edge>& edges);
+
+  int64_t num_nodes() const { return num_nodes_; }
+  /// Number of undirected edges after deduplication.
+  int64_t num_edges() const { return static_cast<int64_t>(edges_.size()); }
+
+  /// Canonical edge list: each undirected edge appears once with u < v.
+  const std::vector<Edge>& edges() const { return edges_; }
+
+  /// Neighbor ids of `node`, sorted ascending.
+  const std::vector<int64_t>& Neighbors(int64_t node) const;
+
+  /// Degree of `node` (number of distinct neighbors, self excluded).
+  int64_t Degree(int64_t node) const;
+
+  /// True iff {u, v} is an edge. O(log degree).
+  bool HasEdge(int64_t u, int64_t v) const;
+
+  /// Maximum degree over all nodes (0 for an empty graph).
+  int64_t MaxDegree() const;
+
+  /// 2 * num_edges / num_nodes; 0 for an empty graph.
+  double AverageDegree() const;
+
+ private:
+  int64_t num_nodes_ = 0;
+  std::vector<Edge> edges_;
+  std::vector<std::vector<int64_t>> adjacency_;
+};
+
+}  // namespace rdd
+
+#endif  // RDD_GRAPH_GRAPH_H_

@@ -1,0 +1,44 @@
+#include "graph/metrics.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace rdd {
+
+double EdgeHomophily(const Graph& graph, const std::vector<int64_t>& labels) {
+  RDD_CHECK_EQ(static_cast<int64_t>(labels.size()), graph.num_nodes());
+  if (graph.num_edges() == 0) return 0.0;
+  int64_t same = 0;
+  for (const Edge& e : graph.edges()) {
+    if (labels[static_cast<size_t>(e.u)] == labels[static_cast<size_t>(e.v)]) {
+      ++same;
+    }
+  }
+  return static_cast<double>(same) / static_cast<double>(graph.num_edges());
+}
+
+DegreeStats ComputeDegreeStats(const Graph& graph) {
+  DegreeStats stats;
+  const int64_t n = graph.num_nodes();
+  if (n == 0) return stats;
+  int64_t min_deg = graph.Degree(0);
+  int64_t max_deg = 0;
+  int64_t isolated = 0;
+  int64_t total = 0;
+  for (int64_t i = 0; i < n; ++i) {
+    const int64_t d = graph.Degree(i);
+    min_deg = std::min(min_deg, d);
+    max_deg = std::max(max_deg, d);
+    total += d;
+    if (d == 0) ++isolated;
+  }
+  stats.min_degree = min_deg;
+  stats.max_degree = max_deg;
+  stats.mean_degree = static_cast<double>(total) / static_cast<double>(n);
+  stats.isolated_fraction =
+      static_cast<double>(isolated) / static_cast<double>(n);
+  return stats;
+}
+
+}  // namespace rdd

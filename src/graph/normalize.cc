@@ -1,0 +1,64 @@
+#include "graph/normalize.h"
+
+#include <cmath>
+#include <vector>
+
+namespace rdd {
+
+namespace {
+
+/// Emits COO entries for A + I.
+std::vector<SparseEntry> SelfLoopedEntries(const Graph& graph) {
+  std::vector<SparseEntry> entries;
+  entries.reserve(static_cast<size_t>(graph.num_edges()) * 2 +
+                  static_cast<size_t>(graph.num_nodes()));
+  for (const Edge& e : graph.edges()) {
+    entries.push_back({e.u, e.v, 1.0f});
+    entries.push_back({e.v, e.u, 1.0f});
+  }
+  for (int64_t i = 0; i < graph.num_nodes(); ++i) {
+    entries.push_back({i, i, 1.0f});
+  }
+  return entries;
+}
+
+}  // namespace
+
+SparseMatrix GcnNormalizedAdjacency(const Graph& graph) {
+  const int64_t n = graph.num_nodes();
+  std::vector<double> inv_sqrt_deg(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) {
+    // Degree of A + I is deg(i) + 1, always positive.
+    inv_sqrt_deg[static_cast<size_t>(i)] =
+        1.0 / std::sqrt(static_cast<double>(graph.Degree(i)) + 1.0);
+  }
+  std::vector<SparseEntry> entries = SelfLoopedEntries(graph);
+  for (SparseEntry& e : entries) {
+    e.value = static_cast<float>(inv_sqrt_deg[static_cast<size_t>(e.row)] *
+                                 inv_sqrt_deg[static_cast<size_t>(e.col)]);
+  }
+  return SparseMatrix::FromCoo(n, n, std::move(entries));
+}
+
+SparseMatrix RowNormalizedAdjacency(const Graph& graph) {
+  const int64_t n = graph.num_nodes();
+  std::vector<SparseEntry> entries = SelfLoopedEntries(graph);
+  for (SparseEntry& e : entries) {
+    e.value = static_cast<float>(
+        1.0 / (static_cast<double>(graph.Degree(e.row)) + 1.0));
+  }
+  return SparseMatrix::FromCoo(n, n, std::move(entries));
+}
+
+SparseMatrix PlainAdjacency(const Graph& graph) {
+  std::vector<SparseEntry> entries;
+  entries.reserve(static_cast<size_t>(graph.num_edges()) * 2);
+  for (const Edge& e : graph.edges()) {
+    entries.push_back({e.u, e.v, 1.0f});
+    entries.push_back({e.v, e.u, 1.0f});
+  }
+  return SparseMatrix::FromCoo(graph.num_nodes(), graph.num_nodes(),
+                               std::move(entries));
+}
+
+}  // namespace rdd

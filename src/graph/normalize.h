@@ -1,0 +1,23 @@
+#ifndef RDD_GRAPH_NORMALIZE_H_
+#define RDD_GRAPH_NORMALIZE_H_
+
+#include "graph/graph.h"
+#include "tensor/sparse.h"
+
+namespace rdd {
+
+/// Builds the symmetric GCN propagation matrix of Kipf & Welling (Eq. 1 of
+/// the paper): Ahat = D^-1/2 (A + I) D^-1/2, where D is the degree matrix of
+/// A + I. The result is what every graph-convolution layer multiplies by.
+SparseMatrix GcnNormalizedAdjacency(const Graph& graph);
+
+/// Builds the row-stochastic random-walk matrix D^-1 (A + I). Used by label
+/// propagation and the APPNP power iteration.
+SparseMatrix RowNormalizedAdjacency(const Graph& graph);
+
+/// Builds the plain (unnormalized) adjacency matrix with no self-loops.
+SparseMatrix PlainAdjacency(const Graph& graph);
+
+}  // namespace rdd
+
+#endif  // RDD_GRAPH_NORMALIZE_H_

@@ -1,0 +1,49 @@
+#include "graph/pagerank.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace rdd {
+
+std::vector<double> PageRank(const Graph& graph,
+                             const PageRankOptions& options) {
+  RDD_CHECK_GT(options.damping, 0.0);
+  RDD_CHECK_LT(options.damping, 1.0);
+  const int64_t n = graph.num_nodes();
+  if (n == 0) return {};
+
+  const double uniform = 1.0 / static_cast<double>(n);
+  std::vector<double> rank(static_cast<size_t>(n), uniform);
+  std::vector<double> next(static_cast<size_t>(n), 0.0);
+
+  for (int iter = 0; iter < options.max_iterations; ++iter) {
+    // Mass from dangling (isolated) nodes is spread uniformly.
+    double dangling = 0.0;
+    for (int64_t i = 0; i < n; ++i) {
+      if (graph.Degree(i) == 0) dangling += rank[static_cast<size_t>(i)];
+    }
+    const double base =
+        (1.0 - options.damping) * uniform + options.damping * dangling * uniform;
+    for (int64_t i = 0; i < n; ++i) next[static_cast<size_t>(i)] = base;
+    for (int64_t i = 0; i < n; ++i) {
+      const int64_t deg = graph.Degree(i);
+      if (deg == 0) continue;
+      const double share =
+          options.damping * rank[static_cast<size_t>(i)] / static_cast<double>(deg);
+      for (int64_t j : graph.Neighbors(i)) {
+        next[static_cast<size_t>(j)] += share;
+      }
+    }
+    double delta = 0.0;
+    for (int64_t i = 0; i < n; ++i) {
+      delta += std::fabs(next[static_cast<size_t>(i)] -
+                         rank[static_cast<size_t>(i)]);
+    }
+    rank.swap(next);
+    if (delta < options.tolerance) break;
+  }
+  return rank;
+}
+
+}  // namespace rdd

@@ -1,0 +1,26 @@
+#ifndef RDD_GRAPH_PAGERANK_H_
+#define RDD_GRAPH_PAGERANK_H_
+
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace rdd {
+
+/// Options for the PageRank power iteration.
+struct PageRankOptions {
+  double damping = 0.85;     ///< Teleport with probability 1 - damping.
+  int max_iterations = 100;  ///< Hard cap on power-iteration steps.
+  double tolerance = 1e-9;   ///< L1 change threshold for convergence.
+};
+
+/// Computes PageRank on the undirected graph by power iteration (the paper
+/// uses PageRank as the node-importance term Pr(x_i) in the ensemble weight,
+/// Eq. 12). Isolated nodes receive teleport-only mass. The returned vector
+/// sums to 1.
+std::vector<double> PageRank(const Graph& graph,
+                             const PageRankOptions& options = {});
+
+}  // namespace rdd
+
+#endif  // RDD_GRAPH_PAGERANK_H_

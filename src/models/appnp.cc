@@ -1,0 +1,42 @@
+#include "models/appnp.h"
+
+#include "autograd/ops.h"
+#include "util/logging.h"
+
+namespace rdd {
+
+Appnp::Appnp(GraphContext context, int64_t hidden_dim, float dropout,
+             int64_t num_power_steps, float teleport_alpha, uint64_t seed)
+    : GraphModel(std::move(context), seed),
+      dropout_(dropout),
+      num_power_steps_(num_power_steps),
+      teleport_alpha_(teleport_alpha) {
+  RDD_CHECK_GT(hidden_dim, 0);
+  RDD_CHECK_GE(num_power_steps, 1);
+  RDD_CHECK_GT(teleport_alpha, 0.0f);
+  RDD_CHECK_LT(teleport_alpha, 1.0f);
+  input_layer_ = std::make_unique<Linear>(context_.feature_dim, hidden_dim,
+                                          &rng_);
+  output_layer_ = std::make_unique<Linear>(hidden_dim, context_.num_classes,
+                                           &rng_);
+  RegisterChild(*input_layer_);
+  RegisterChild(*output_layer_);
+}
+
+ModelOutput Appnp::Forward(bool training) {
+  // Prediction: a feature-only MLP.
+  Variable h = ag::Relu(input_layer_->ForwardSparse(context_.features.get()));
+  h = ag::Dropout(h, dropout_, training, &rng_);
+  Variable local = output_layer_->Forward(h);
+  // Propagation: approximate personalized PageRank power iteration.
+  Variable z = local;
+  for (int64_t step = 0; step < num_power_steps_; ++step) {
+    z = ag::Add(
+        ag::Scale(ag::SpmmConst(context_.adj_norm.get(), z),
+                  1.0f - teleport_alpha_),
+        ag::Scale(local, teleport_alpha_));
+  }
+  return ModelOutput{z, z};
+}
+
+}  // namespace rdd

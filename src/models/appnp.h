@@ -1,0 +1,34 @@
+#ifndef RDD_MODELS_APPNP_H_
+#define RDD_MODELS_APPNP_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "models/graph_model.h"
+#include "nn/linear.h"
+
+namespace rdd {
+
+/// APPNP (predict-then-propagate with approximate personalized PageRank),
+/// one of the non-ensemble competitors in Table 4: a 2-layer MLP produces
+/// per-node predictions H, which are then smoothed by K power-iteration
+/// steps Z <- (1 - alpha) Ahat Z + alpha H. The propagation has no
+/// parameters, so depth-K smoothing avoids over-smoothing of features.
+class Appnp : public GraphModel {
+ public:
+  Appnp(GraphContext context, int64_t hidden_dim, float dropout,
+        int64_t num_power_steps, float teleport_alpha, uint64_t seed);
+
+  ModelOutput Forward(bool training) override;
+
+ private:
+  std::unique_ptr<Linear> input_layer_;
+  std::unique_ptr<Linear> output_layer_;
+  float dropout_;
+  int64_t num_power_steps_;
+  float teleport_alpha_;
+};
+
+}  // namespace rdd
+
+#endif  // RDD_MODELS_APPNP_H_

@@ -1,0 +1,38 @@
+#include "models/dense_gcn.h"
+
+#include "autograd/ops.h"
+#include "util/logging.h"
+
+namespace rdd {
+
+DenseGcn::DenseGcn(GraphContext context, int64_t num_layers,
+                   int64_t hidden_dim, float dropout, uint64_t seed)
+    : GraphModel(std::move(context), seed), dropout_(dropout) {
+  RDD_CHECK_GE(num_layers, 2);
+  RDD_CHECK_GT(hidden_dim, 0);
+  // Layer l > 0 consumes the concatenation of the l previous hidden
+  // outputs, so its input width grows linearly.
+  for (int64_t l = 0; l < num_layers; ++l) {
+    const int64_t in = l == 0 ? context_.feature_dim : l * hidden_dim;
+    const int64_t out =
+        l == num_layers - 1 ? context_.num_classes : hidden_dim;
+    layers_.push_back(std::make_unique<GraphConvolution>(
+        context_.adj_norm.get(), in, out, &rng_));
+    RegisterChild(*layers_.back());
+  }
+}
+
+ModelOutput DenseGcn::Forward(bool training) {
+  Variable h = ag::Relu(layers_[0]->ForwardSparse(context_.features.get()));
+  h = ag::Dropout(h, dropout_, training, &rng_);
+  Variable stacked = h;  // Concatenation of all hidden outputs so far.
+  for (size_t l = 1; l + 1 < layers_.size(); ++l) {
+    Variable next = ag::Relu(layers_[l]->Forward(stacked));
+    next = ag::Dropout(next, dropout_, training, &rng_);
+    stacked = ag::ConcatCols(stacked, next);
+  }
+  Variable logits = layers_.back()->Forward(stacked);
+  return ModelOutput{logits, logits};
+}
+
+}  // namespace rdd

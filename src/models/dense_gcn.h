@@ -1,0 +1,31 @@
+#ifndef RDD_MODELS_DENSE_GCN_H_
+#define RDD_MODELS_DENSE_GCN_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "models/graph_model.h"
+#include "nn/graph_conv.h"
+
+namespace rdd {
+
+/// GCN with dense (DenseNet-style) connections, the second deep-GCN
+/// baseline of Table 5: hidden layer l receives the concatenation of every
+/// previous hidden output, so early-layer features survive to the
+/// classifier even when later layers over-smooth.
+class DenseGcn : public GraphModel {
+ public:
+  DenseGcn(GraphContext context, int64_t num_layers, int64_t hidden_dim,
+           float dropout, uint64_t seed);
+
+  ModelOutput Forward(bool training) override;
+
+ private:
+  std::vector<std::unique_ptr<GraphConvolution>> layers_;
+  float dropout_;
+};
+
+}  // namespace rdd
+
+#endif  // RDD_MODELS_DENSE_GCN_H_

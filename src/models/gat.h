@@ -1,0 +1,46 @@
+#ifndef RDD_MODELS_GAT_H_
+#define RDD_MODELS_GAT_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "models/graph_model.h"
+#include "nn/linear.h"
+
+namespace rdd {
+
+/// Graph Attention Network (Velickovic et al.), the stronger base model the
+/// paper's Sec. 5.3 names as a drop-in upgrade for RDD ("our method is not
+/// limited to the base model we use ... the margin can be further improved
+/// if we use a more powerful base model like GAT"). Two attention layers:
+/// the first with `num_heads` concatenated heads, the second a single head
+/// producing class scores. Attention coefficients use the GAT convention
+/// LeakyReLU(a1.h_i + a2.h_j) softmax-normalized over N(i) u {i}.
+class Gat : public GraphModel {
+ public:
+  Gat(GraphContext context, int64_t hidden_dim, int64_t num_heads,
+      float dropout, uint64_t seed);
+
+  ModelOutput Forward(bool training) override;
+
+ private:
+  /// One attention head: a projection plus the two attention score vectors.
+  struct Head {
+    std::unique_ptr<Linear> projection;  ///< No bias; bias breaks attention.
+    std::unique_ptr<Linear> attn_self;   ///< a1: (dim x 1).
+    std::unique_ptr<Linear> attn_neighbor;  ///< a2: (dim x 1).
+  };
+
+  Head MakeHead(int64_t in_dim, int64_t out_dim);
+  Variable RunHead(const Head& head, const Variable* dense_input,
+                   bool sparse_input) const;
+
+  std::vector<Head> input_heads_;
+  Head output_head_;
+  float dropout_;
+};
+
+}  // namespace rdd
+
+#endif  // RDD_MODELS_GAT_H_

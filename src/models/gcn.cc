@@ -1,0 +1,33 @@
+#include "models/gcn.h"
+
+#include "autograd/ops.h"
+#include "util/logging.h"
+
+namespace rdd {
+
+Gcn::Gcn(GraphContext context, int64_t num_layers, int64_t hidden_dim,
+         float dropout, uint64_t seed)
+    : GraphModel(std::move(context), seed), dropout_(dropout) {
+  RDD_CHECK_GE(num_layers, 1);
+  RDD_CHECK_GT(hidden_dim, 0);
+  for (int64_t l = 0; l < num_layers; ++l) {
+    const int64_t in = l == 0 ? context_.feature_dim : hidden_dim;
+    const int64_t out =
+        l == num_layers - 1 ? context_.num_classes : hidden_dim;
+    layers_.push_back(std::make_unique<GraphConvolution>(
+        context_.adj_norm.get(), in, out, &rng_));
+    RegisterChild(*layers_.back());
+  }
+}
+
+ModelOutput Gcn::Forward(bool training) {
+  Variable h = layers_[0]->ForwardSparse(context_.features.get());
+  for (size_t l = 1; l < layers_.size(); ++l) {
+    h = ag::Relu(h);
+    h = ag::Dropout(h, dropout_, training, &rng_);
+    h = layers_[l]->Forward(h);
+  }
+  return ModelOutput{h, h};
+}
+
+}  // namespace rdd

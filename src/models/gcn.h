@@ -1,0 +1,38 @@
+#ifndef RDD_MODELS_GCN_H_
+#define RDD_MODELS_GCN_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "models/graph_model.h"
+#include "nn/graph_conv.h"
+
+namespace rdd {
+
+/// The plain multi-layer GCN of Kipf & Welling (Sec. 2.2 of the paper):
+///   H^(l) = ReLU(Ahat H^(l-1) W^(l)),  Z = softmax(H^(L)).
+/// Dropout is applied to every hidden activation during training. The
+/// embedding returned by Forward is H^(L) (pre-softmax), which is also what
+/// RDD distills.
+class Gcn : public GraphModel {
+ public:
+  /// Builds an `num_layers`-layer GCN with constant hidden width. The paper
+  /// uses num_layers = 2 and hidden_dim = 16 on the citation networks.
+  Gcn(GraphContext context, int64_t num_layers, int64_t hidden_dim,
+      float dropout, uint64_t seed);
+
+  ModelOutput Forward(bool training) override;
+
+  int64_t num_layers() const {
+    return static_cast<int64_t>(layers_.size());
+  }
+
+ private:
+  std::vector<std::unique_ptr<GraphConvolution>> layers_;
+  float dropout_;
+};
+
+}  // namespace rdd
+
+#endif  // RDD_MODELS_GCN_H_

@@ -1,0 +1,29 @@
+#include "models/graph_model.h"
+
+#include "graph/normalize.h"
+#include "tensor/ops.h"
+
+namespace rdd {
+
+GraphContext GraphContext::FromDataset(const Dataset& dataset) {
+  GraphContext context;
+  context.features = std::make_shared<const SparseMatrix>(dataset.features);
+  context.adj_norm = std::make_shared<const SparseMatrix>(
+      GcnNormalizedAdjacency(dataset.graph));
+  context.adj_row = std::make_shared<const SparseMatrix>(
+      RowNormalizedAdjacency(dataset.graph));
+  context.num_nodes = dataset.NumNodes();
+  context.feature_dim = dataset.FeatureDim();
+  context.num_classes = dataset.num_classes;
+  return context;
+}
+
+Matrix GraphModel::PredictProbs() {
+  return SoftmaxRows(Forward(/*training=*/false).logits.value());
+}
+
+std::vector<int64_t> GraphModel::PredictLabels() {
+  return ArgmaxRows(Forward(/*training=*/false).logits.value());
+}
+
+}  // namespace rdd

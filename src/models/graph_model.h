@@ -1,0 +1,69 @@
+#ifndef RDD_MODELS_GRAPH_MODEL_H_
+#define RDD_MODELS_GRAPH_MODEL_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "autograd/variable.h"
+#include "data/dataset.h"
+#include "nn/module.h"
+#include "tensor/matrix.h"
+#include "tensor/sparse.h"
+#include "util/random.h"
+
+namespace rdd {
+
+/// Immutable per-dataset state shared by every model trained on it: the
+/// sparse feature matrix and the precomputed propagation matrices. Copies
+/// are cheap (shared ownership), so ensembles of many base models reuse one
+/// set of matrices.
+struct GraphContext {
+  std::shared_ptr<const SparseMatrix> features;
+  /// Symmetric GCN normalization D^-1/2 (A+I) D^-1/2.
+  std::shared_ptr<const SparseMatrix> adj_norm;
+  /// Row-stochastic D^-1 (A+I), for APPNP and label propagation.
+  std::shared_ptr<const SparseMatrix> adj_row;
+  int64_t num_nodes = 0;
+  int64_t feature_dim = 0;
+  int64_t num_classes = 0;
+
+  /// Builds the context (normalizations included) from a dataset.
+  static GraphContext FromDataset(const Dataset& dataset);
+};
+
+/// The output of one forward pass over the whole graph.
+struct ModelOutput {
+  /// Pre-softmax class scores, num_nodes x num_classes.
+  Variable logits;
+  /// The last graph-convolution layer's output — the node embedding f_t(x)
+  /// that RDD's L2 and Lreg losses act on (Fig. 4 of the paper). For plain
+  /// GCN this aliases `logits`.
+  Variable embedding;
+};
+
+/// Interface of every trainable node-classification model in the zoo. A
+/// model is bound to one GraphContext at construction; Forward always runs
+/// over the full graph (transductive setting).
+class GraphModel : public Module {
+ public:
+  /// Runs a forward pass. When `training` is true, dropout is active and
+  /// draws from the model's internal generator (so repeated calls differ).
+  virtual ModelOutput Forward(bool training) = 0;
+
+  /// Convenience: evaluation-mode softmax probabilities for all nodes.
+  Matrix PredictProbs();
+
+  /// Convenience: evaluation-mode argmax predictions for all nodes.
+  std::vector<int64_t> PredictLabels();
+
+ protected:
+  GraphModel(GraphContext context, uint64_t seed)
+      : context_(std::move(context)), rng_(seed) {}
+
+  GraphContext context_;
+  Rng rng_;  ///< Drives dropout masks.
+};
+
+}  // namespace rdd
+
+#endif  // RDD_MODELS_GRAPH_MODEL_H_

@@ -1,0 +1,47 @@
+#include "models/graphsage.h"
+
+#include "autograd/ops.h"
+#include "util/logging.h"
+
+namespace rdd {
+
+GraphSage::GraphSage(GraphContext context, int64_t num_layers,
+                     int64_t hidden_dim, float dropout, uint64_t seed)
+    : GraphModel(std::move(context), seed), dropout_(dropout) {
+  RDD_CHECK_GE(num_layers, 1);
+  RDD_CHECK_GT(hidden_dim, 0);
+  for (int64_t l = 0; l < num_layers; ++l) {
+    const int64_t in = l == 0 ? context_.feature_dim : hidden_dim;
+    const int64_t out =
+        l == num_layers - 1 ? context_.num_classes : hidden_dim;
+    SageLayer layer;
+    layer.self_weight = std::make_unique<Linear>(in, out, &rng_);
+    layer.neighbor_weight =
+        std::make_unique<Linear>(in, out, &rng_, /*use_bias=*/false);
+    RegisterChild(*layer.self_weight);
+    RegisterChild(*layer.neighbor_weight);
+    layers_.push_back(std::move(layer));
+  }
+}
+
+ModelOutput GraphSage::Forward(bool training) {
+  const SparseMatrix* features = context_.features.get();
+  const SparseMatrix* propagation = context_.adj_row.get();
+
+  // First layer over the sparse features: X W_self + (P X) W_neigh is
+  // evaluated as SpMM chains to avoid densifying X.
+  Variable h = ag::Add(
+      layers_[0].self_weight->ForwardSparse(features),
+      ag::SpmmConst(propagation,
+                    layers_[0].neighbor_weight->ForwardSparse(features)));
+  for (size_t l = 1; l < layers_.size(); ++l) {
+    h = ag::Relu(h);
+    h = ag::Dropout(h, dropout_, training, &rng_);
+    h = ag::Add(layers_[l].self_weight->Forward(h),
+                ag::SpmmConst(propagation,
+                              layers_[l].neighbor_weight->Forward(h)));
+  }
+  return ModelOutput{h, h};
+}
+
+}  // namespace rdd

@@ -1,0 +1,40 @@
+#ifndef RDD_MODELS_GRAPHSAGE_H_
+#define RDD_MODELS_GRAPHSAGE_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "models/graph_model.h"
+#include "nn/linear.h"
+
+namespace rdd {
+
+/// GraphSAGE with the mean aggregator (Hamilton et al.), the spatial-GCN
+/// family the paper's related work (Sec. 6) contrasts with spectral GCNs.
+/// Each layer combines a node's own representation with the mean of its
+/// neighborhood:
+///   H^(l) = ReLU(H^(l-1) W_self + (P H^(l-1)) W_neigh),
+/// where P is the row-normalized adjacency. In this transductive setting
+/// the full neighborhood is used (no sampling); the layer structure is what
+/// distinguishes it from the spectral GCN.
+class GraphSage : public GraphModel {
+ public:
+  GraphSage(GraphContext context, int64_t num_layers, int64_t hidden_dim,
+            float dropout, uint64_t seed);
+
+  ModelOutput Forward(bool training) override;
+
+ private:
+  struct SageLayer {
+    std::unique_ptr<Linear> self_weight;
+    std::unique_ptr<Linear> neighbor_weight;
+  };
+
+  std::vector<SageLayer> layers_;
+  float dropout_;
+};
+
+}  // namespace rdd
+
+#endif  // RDD_MODELS_GRAPHSAGE_H_

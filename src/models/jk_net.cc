@@ -1,0 +1,37 @@
+#include "models/jk_net.h"
+
+#include "autograd/ops.h"
+#include "util/logging.h"
+
+namespace rdd {
+
+JkNet::JkNet(GraphContext context, int64_t num_layers, int64_t hidden_dim,
+             float dropout, uint64_t seed)
+    : GraphModel(std::move(context), seed), dropout_(dropout) {
+  RDD_CHECK_GE(num_layers, 1);
+  RDD_CHECK_GT(hidden_dim, 0);
+  for (int64_t l = 0; l < num_layers; ++l) {
+    const int64_t in = l == 0 ? context_.feature_dim : hidden_dim;
+    layers_.push_back(std::make_unique<GraphConvolution>(
+        context_.adj_norm.get(), in, hidden_dim, &rng_));
+    RegisterChild(*layers_.back());
+  }
+  classifier_ = std::make_unique<Linear>(num_layers * hidden_dim,
+                                         context_.num_classes, &rng_);
+  RegisterChild(*classifier_);
+}
+
+ModelOutput JkNet::Forward(bool training) {
+  Variable h = ag::Relu(layers_[0]->ForwardSparse(context_.features.get()));
+  h = ag::Dropout(h, dropout_, training, &rng_);
+  Variable jumped = h;  // Concatenation of every layer's output.
+  for (size_t l = 1; l < layers_.size(); ++l) {
+    h = ag::Relu(layers_[l]->Forward(h));
+    h = ag::Dropout(h, dropout_, training, &rng_);
+    jumped = ag::ConcatCols(jumped, h);
+  }
+  Variable logits = classifier_->Forward(jumped);
+  return ModelOutput{logits, logits};
+}
+
+}  // namespace rdd

@@ -1,0 +1,34 @@
+#ifndef RDD_MODELS_JK_NET_H_
+#define RDD_MODELS_JK_NET_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "models/graph_model.h"
+#include "nn/graph_conv.h"
+#include "nn/linear.h"
+
+namespace rdd {
+
+/// Jumping Knowledge network (Xu et al.), the third deep-GCN baseline of
+/// Table 5, with the concatenation aggregator the paper reports works best
+/// on citation networks: run L graph-convolution layers, concatenate every
+/// layer's hidden output, and classify the concatenation with a final
+/// linear layer.
+class JkNet : public GraphModel {
+ public:
+  JkNet(GraphContext context, int64_t num_layers, int64_t hidden_dim,
+        float dropout, uint64_t seed);
+
+  ModelOutput Forward(bool training) override;
+
+ private:
+  std::vector<std::unique_ptr<GraphConvolution>> layers_;
+  std::unique_ptr<Linear> classifier_;
+  float dropout_;
+};
+
+}  // namespace rdd
+
+#endif  // RDD_MODELS_JK_NET_H_

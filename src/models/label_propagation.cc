@@ -1,0 +1,66 @@
+#include "models/label_propagation.h"
+
+#include <cmath>
+
+#include "graph/normalize.h"
+#include "util/logging.h"
+
+namespace rdd {
+
+Matrix PropagateLabels(const Dataset& dataset,
+                       const LabelPropagationOptions& options) {
+  RDD_CHECK_GE(options.alpha, 0.0);
+  RDD_CHECK_LT(options.alpha, 1.0);
+  const int64_t n = dataset.NumNodes();
+  const int64_t k = dataset.num_classes;
+  const SparseMatrix propagation = RowNormalizedAdjacency(dataset.graph);
+
+  // Seed: one-hot rows for labeled nodes, uniform elsewhere.
+  Matrix seed(n, k);
+  const std::vector<bool> train_mask = dataset.TrainMask();
+  const float uniform = 1.0f / static_cast<float>(k);
+  for (int64_t i = 0; i < n; ++i) {
+    if (train_mask[static_cast<size_t>(i)]) {
+      seed.At(i, dataset.labels[static_cast<size_t>(i)]) = 1.0f;
+    } else {
+      for (int64_t c = 0; c < k; ++c) seed.At(i, c) = uniform;
+    }
+  }
+
+  Matrix current = seed;
+  for (int iter = 0; iter < options.max_iterations; ++iter) {
+    Matrix next = propagation.Multiply(current);
+    if (options.alpha > 0.0) {
+      next.Scale(static_cast<float>(1.0 - options.alpha));
+      next.Axpy(static_cast<float>(options.alpha), seed);
+    }
+    // Clamp labeled rows back to their known labels.
+    for (int64_t i : dataset.split.train) {
+      for (int64_t c = 0; c < k; ++c) next.At(i, c) = 0.0f;
+      next.At(i, dataset.labels[static_cast<size_t>(i)]) = 1.0f;
+    }
+    // Row-renormalize to keep distributions stochastic.
+    for (int64_t i = 0; i < n; ++i) {
+      float* row = next.RowData(i);
+      double sum = 0.0;
+      for (int64_t c = 0; c < k; ++c) sum += row[c];
+      if (sum > 0.0) {
+        const float inv = static_cast<float>(1.0 / sum);
+        for (int64_t c = 0; c < k; ++c) row[c] *= inv;
+      } else {
+        for (int64_t c = 0; c < k; ++c) row[c] = 1.0f / static_cast<float>(k);
+      }
+    }
+    double delta = 0.0;
+    const float* a = next.Data();
+    const float* b = current.Data();
+    for (int64_t i = 0; i < next.size(); ++i) {
+      delta += std::fabs(static_cast<double>(a[i]) - b[i]);
+    }
+    current = std::move(next);
+    if (delta < options.tolerance) break;
+  }
+  return current;
+}
+
+}  // namespace rdd

@@ -1,0 +1,31 @@
+#ifndef RDD_MODELS_LABEL_PROPAGATION_H_
+#define RDD_MODELS_LABEL_PROPAGATION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "data/dataset.h"
+#include "tensor/matrix.h"
+
+namespace rdd {
+
+/// Options for label propagation.
+struct LabelPropagationOptions {
+  int max_iterations = 100;  ///< Power-iteration cap.
+  double tolerance = 1e-6;   ///< L1 change threshold for convergence.
+  /// Retention weight: each sweep does Y <- (1-alpha) * P Y then clamps the
+  /// labeled rows back to their one-hot labels (Zhu et al. harmonic style
+  /// when alpha = 0).
+  double alpha = 0.0;
+};
+
+/// Classic graph-based label propagation (Zhu, Ghahramani & Lafferty), the
+/// LP baseline row of Table 4. Iterates class-mass diffusion over the
+/// row-normalized adjacency with labeled nodes clamped, and returns
+/// row-stochastic per-node class distributions. No features are used.
+Matrix PropagateLabels(const Dataset& dataset,
+                       const LabelPropagationOptions& options = {});
+
+}  // namespace rdd
+
+#endif  // RDD_MODELS_LABEL_PROPAGATION_H_

@@ -1,0 +1,27 @@
+#include "models/mlp.h"
+
+#include "autograd/ops.h"
+#include "util/logging.h"
+
+namespace rdd {
+
+Mlp::Mlp(GraphContext context, int64_t hidden_dim, float dropout,
+         uint64_t seed)
+    : GraphModel(std::move(context), seed), dropout_(dropout) {
+  RDD_CHECK_GT(hidden_dim, 0);
+  input_layer_ = std::make_unique<Linear>(context_.feature_dim, hidden_dim,
+                                          &rng_);
+  output_layer_ = std::make_unique<Linear>(hidden_dim, context_.num_classes,
+                                           &rng_);
+  RegisterChild(*input_layer_);
+  RegisterChild(*output_layer_);
+}
+
+ModelOutput Mlp::Forward(bool training) {
+  Variable h = ag::Relu(input_layer_->ForwardSparse(context_.features.get()));
+  h = ag::Dropout(h, dropout_, training, &rng_);
+  Variable logits = output_layer_->Forward(h);
+  return ModelOutput{logits, logits};
+}
+
+}  // namespace rdd

@@ -1,0 +1,31 @@
+#ifndef RDD_MODELS_MLP_H_
+#define RDD_MODELS_MLP_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "models/graph_model.h"
+#include "nn/linear.h"
+
+namespace rdd {
+
+/// A graph-blind 2-layer perceptron over node features. Not a paper
+/// baseline by itself, but the control model the tests use to verify that
+/// graph propagation actually helps on the synthetic datasets (a GCN must
+/// beat the MLP for the generator to be a faithful citation-network stand-
+/// in).
+class Mlp : public GraphModel {
+ public:
+  Mlp(GraphContext context, int64_t hidden_dim, float dropout, uint64_t seed);
+
+  ModelOutput Forward(bool training) override;
+
+ private:
+  std::unique_ptr<Linear> input_layer_;
+  std::unique_ptr<Linear> output_layer_;
+  float dropout_;
+};
+
+}  // namespace rdd
+
+#endif  // RDD_MODELS_MLP_H_

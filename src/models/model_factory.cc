@@ -1,0 +1,74 @@
+#include "models/model_factory.h"
+
+#include "models/appnp.h"
+#include "models/dense_gcn.h"
+#include "models/gat.h"
+#include "models/gcn.h"
+#include "models/graphsage.h"
+#include "models/jk_net.h"
+#include "models/mlp.h"
+#include "models/res_gcn.h"
+#include "util/logging.h"
+
+namespace rdd {
+
+const char* ModelKindToString(ModelKind kind) {
+  switch (kind) {
+    case ModelKind::kGcn:
+      return "GCN";
+    case ModelKind::kResGcn:
+      return "ResGCN";
+    case ModelKind::kDenseGcn:
+      return "DenseGCN";
+    case ModelKind::kJkNet:
+      return "JK-Net";
+    case ModelKind::kAppnp:
+      return "APPNP";
+    case ModelKind::kMlp:
+      return "MLP";
+    case ModelKind::kGat:
+      return "GAT";
+    case ModelKind::kGraphSage:
+      return "GraphSAGE";
+  }
+  return "Unknown";
+}
+
+std::unique_ptr<GraphModel> BuildModel(const GraphContext& context,
+                                       const ModelConfig& config,
+                                       uint64_t seed) {
+  switch (config.kind) {
+    case ModelKind::kGcn:
+      return std::make_unique<Gcn>(context, config.num_layers,
+                                   config.hidden_dim, config.dropout, seed);
+    case ModelKind::kResGcn:
+      return std::make_unique<ResGcn>(context, config.num_layers,
+                                      config.hidden_dim, config.dropout,
+                                      seed);
+    case ModelKind::kDenseGcn:
+      return std::make_unique<DenseGcn>(context, config.num_layers,
+                                        config.hidden_dim, config.dropout,
+                                        seed);
+    case ModelKind::kJkNet:
+      return std::make_unique<JkNet>(context, config.num_layers,
+                                     config.hidden_dim, config.dropout, seed);
+    case ModelKind::kAppnp:
+      return std::make_unique<Appnp>(context, config.hidden_dim,
+                                     config.dropout, config.appnp_power_steps,
+                                     config.appnp_teleport, seed);
+    case ModelKind::kMlp:
+      return std::make_unique<Mlp>(context, config.hidden_dim, config.dropout,
+                                   seed);
+    case ModelKind::kGat:
+      return std::make_unique<Gat>(context, config.hidden_dim,
+                                   config.gat_heads, config.dropout, seed);
+    case ModelKind::kGraphSage:
+      return std::make_unique<GraphSage>(context, config.num_layers,
+                                         config.hidden_dim, config.dropout,
+                                         seed);
+  }
+  RDD_CHECK(false) << "unknown model kind";
+  return nullptr;
+}
+
+}  // namespace rdd

@@ -1,0 +1,50 @@
+#ifndef RDD_MODELS_MODEL_FACTORY_H_
+#define RDD_MODELS_MODEL_FACTORY_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "models/graph_model.h"
+
+namespace rdd {
+
+/// Architectures the factory can build.
+enum class ModelKind {
+  kGcn,
+  kResGcn,
+  kDenseGcn,
+  kJkNet,
+  kAppnp,
+  kMlp,
+  kGat,
+  kGraphSage,
+};
+
+/// Human-readable name for an architecture ("GCN", "ResGCN", ...).
+const char* ModelKindToString(ModelKind kind);
+
+/// Architecture-level configuration shared across the model zoo. Defaults
+/// correspond to the paper's base model: a 2-layer GCN with 16 hidden units
+/// and dropout 0.5.
+struct ModelConfig {
+  ModelKind kind = ModelKind::kGcn;
+  int64_t num_layers = 2;
+  int64_t hidden_dim = 16;
+  float dropout = 0.5f;
+  /// APPNP-only knobs.
+  int64_t appnp_power_steps = 10;
+  float appnp_teleport = 0.1f;
+  /// GAT-only knob: number of attention heads in the first layer.
+  int64_t gat_heads = 4;
+};
+
+/// Constructs a model of the requested architecture over `context`, with
+/// all stochastic initialization drawn from `seed`.
+std::unique_ptr<GraphModel> BuildModel(const GraphContext& context,
+                                       const ModelConfig& config,
+                                       uint64_t seed);
+
+}  // namespace rdd
+
+#endif  // RDD_MODELS_MODEL_FACTORY_H_

@@ -1,0 +1,38 @@
+#include "models/res_gcn.h"
+
+#include "autograd/ops.h"
+#include "util/logging.h"
+
+namespace rdd {
+
+ResGcn::ResGcn(GraphContext context, int64_t num_layers, int64_t hidden_dim,
+               float dropout, uint64_t seed)
+    : GraphModel(std::move(context), seed), dropout_(dropout) {
+  RDD_CHECK_GE(num_layers, 2);
+  RDD_CHECK_GT(hidden_dim, 0);
+  for (int64_t l = 0; l < num_layers; ++l) {
+    const int64_t in = l == 0 ? context_.feature_dim : hidden_dim;
+    const int64_t out =
+        l == num_layers - 1 ? context_.num_classes : hidden_dim;
+    layers_.push_back(std::make_unique<GraphConvolution>(
+        context_.adj_norm.get(), in, out, &rng_));
+    RegisterChild(*layers_.back());
+  }
+}
+
+ModelOutput ResGcn::Forward(bool training) {
+  // Input layer: project into the hidden width (no residual possible since
+  // dimensions change).
+  Variable h = ag::Relu(layers_[0]->ForwardSparse(context_.features.get()));
+  h = ag::Dropout(h, dropout_, training, &rng_);
+  // Hidden layers: residual connections.
+  for (size_t l = 1; l + 1 < layers_.size(); ++l) {
+    Variable next = ag::Relu(layers_[l]->Forward(h));
+    next = ag::Dropout(next, dropout_, training, &rng_);
+    h = ag::Add(next, h);
+  }
+  Variable logits = layers_.back()->Forward(h);
+  return ModelOutput{logits, logits};
+}
+
+}  // namespace rdd

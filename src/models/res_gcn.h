@@ -1,0 +1,32 @@
+#ifndef RDD_MODELS_RES_GCN_H_
+#define RDD_MODELS_RES_GCN_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "models/graph_model.h"
+#include "nn/graph_conv.h"
+
+namespace rdd {
+
+/// GCN with residual connections (the deep-GCN baseline of Table 5):
+/// hidden layer l computes H^(l) = ReLU(Ahat H^(l-1) W^(l)) + H^(l-1),
+/// carrying information past the over-smoothing bottleneck. The first layer
+/// projects features to the hidden width; the last layer is a plain linear
+/// graph convolution to the class scores.
+class ResGcn : public GraphModel {
+ public:
+  ResGcn(GraphContext context, int64_t num_layers, int64_t hidden_dim,
+         float dropout, uint64_t seed);
+
+  ModelOutput Forward(bool training) override;
+
+ private:
+  std::vector<std::unique_ptr<GraphConvolution>> layers_;
+  float dropout_;
+};
+
+}  // namespace rdd
+
+#endif  // RDD_MODELS_RES_GCN_H_

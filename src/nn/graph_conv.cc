@@ -1,0 +1,29 @@
+#include "nn/graph_conv.h"
+
+#include "nn/init.h"
+#include "util/logging.h"
+
+namespace rdd {
+
+GraphConvolution::GraphConvolution(const SparseMatrix* adj, int64_t in_dim,
+                                   int64_t out_dim, Rng* rng, bool use_bias)
+    : adj_(adj) {
+  RDD_CHECK(adj != nullptr);
+  RDD_CHECK_EQ(adj->rows(), adj->cols());
+  weight_ = RegisterParameter(GlorotUniform(in_dim, out_dim, rng));
+  if (use_bias) bias_ = RegisterParameter(ZeroInit(1, out_dim));
+}
+
+Variable GraphConvolution::Forward(const Variable& h) const {
+  Variable out = ag::SpmmConst(adj_, ag::Matmul(h, weight_));
+  if (bias_.defined()) out = ag::AddBias(out, bias_);
+  return out;
+}
+
+Variable GraphConvolution::ForwardSparse(const SparseMatrix* x) const {
+  Variable out = ag::SpmmConst(adj_, ag::SpmmConst(x, weight_));
+  if (bias_.defined()) out = ag::AddBias(out, bias_);
+  return out;
+}
+
+}  // namespace rdd

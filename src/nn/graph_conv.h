@@ -1,0 +1,44 @@
+#ifndef RDD_NN_GRAPH_CONV_H_
+#define RDD_NN_GRAPH_CONV_H_
+
+#include <cstdint>
+
+#include "autograd/ops.h"
+#include "autograd/variable.h"
+#include "nn/module.h"
+#include "tensor/sparse.h"
+#include "util/random.h"
+
+namespace rdd {
+
+/// One graph-convolution layer of Kipf & Welling (Eq. 1 of the paper):
+/// H' = Ahat (H W) + b, where Ahat is the (constant) normalized adjacency.
+/// The activation is applied by the caller so the last layer can stay
+/// linear. The weight multiply happens before propagation, which is the
+/// cheaper association when the hidden width is smaller than the input.
+class GraphConvolution : public Module {
+ public:
+  /// `adj` is the normalized adjacency; it must outlive this layer and any
+  /// backward pass through it (models own it via shared_ptr).
+  GraphConvolution(const SparseMatrix* adj, int64_t in_dim, int64_t out_dim,
+                   Rng* rng, bool use_bias = true);
+
+  /// Dense forward: h is (n x in_dim).
+  Variable Forward(const Variable& h) const;
+
+  /// Sparse forward for the input layer: x is a constant (n x in_dim)
+  /// sparse feature matrix.
+  Variable ForwardSparse(const SparseMatrix* x) const;
+
+  int64_t in_dim() const { return weight_.rows(); }
+  int64_t out_dim() const { return weight_.cols(); }
+
+ private:
+  const SparseMatrix* adj_;
+  Variable weight_;
+  Variable bias_;
+};
+
+}  // namespace rdd
+
+#endif  // RDD_NN_GRAPH_CONV_H_

@@ -1,0 +1,28 @@
+#include "nn/init.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace rdd {
+
+Matrix GlorotUniform(int64_t fan_in, int64_t fan_out, Rng* rng) {
+  RDD_CHECK(rng != nullptr);
+  RDD_CHECK_GT(fan_in + fan_out, 0);
+  const float a = std::sqrt(6.0f / static_cast<float>(fan_in + fan_out));
+  return UniformInit(fan_in, fan_out, -a, a, rng);
+}
+
+Matrix UniformInit(int64_t rows, int64_t cols, float lo, float hi, Rng* rng) {
+  RDD_CHECK(rng != nullptr);
+  Matrix m(rows, cols);
+  float* data = m.Data();
+  for (int64_t i = 0; i < m.size(); ++i) {
+    data[i] = static_cast<float>(rng->Uniform(lo, hi));
+  }
+  return m;
+}
+
+Matrix ZeroInit(int64_t rows, int64_t cols) { return Matrix(rows, cols); }
+
+}  // namespace rdd

@@ -1,0 +1,24 @@
+#ifndef RDD_NN_INIT_H_
+#define RDD_NN_INIT_H_
+
+#include <cstdint>
+
+#include "tensor/matrix.h"
+#include "util/random.h"
+
+namespace rdd {
+
+/// Glorot/Xavier uniform initialization: entries ~ U(-a, a) with
+/// a = sqrt(6 / (fan_in + fan_out)). This is the initializer the reference
+/// GCN implementation uses for its weight matrices.
+Matrix GlorotUniform(int64_t fan_in, int64_t fan_out, Rng* rng);
+
+/// Uniform initialization in [lo, hi).
+Matrix UniformInit(int64_t rows, int64_t cols, float lo, float hi, Rng* rng);
+
+/// Zero initialization (used for biases).
+Matrix ZeroInit(int64_t rows, int64_t cols);
+
+}  // namespace rdd
+
+#endif  // RDD_NN_INIT_H_

@@ -1,0 +1,24 @@
+#include "nn/linear.h"
+
+#include "nn/init.h"
+
+namespace rdd {
+
+Linear::Linear(int64_t in_dim, int64_t out_dim, Rng* rng, bool use_bias) {
+  weight_ = RegisterParameter(GlorotUniform(in_dim, out_dim, rng));
+  if (use_bias) bias_ = RegisterParameter(ZeroInit(1, out_dim));
+}
+
+Variable Linear::Forward(const Variable& x) const {
+  Variable out = ag::Matmul(x, weight_);
+  if (bias_.defined()) out = ag::AddBias(out, bias_);
+  return out;
+}
+
+Variable Linear::ForwardSparse(const SparseMatrix* x) const {
+  Variable out = ag::SpmmConst(x, weight_);
+  if (bias_.defined()) out = ag::AddBias(out, bias_);
+  return out;
+}
+
+}  // namespace rdd

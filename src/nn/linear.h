@@ -1,0 +1,41 @@
+#ifndef RDD_NN_LINEAR_H_
+#define RDD_NN_LINEAR_H_
+
+#include <cstdint>
+
+#include "autograd/ops.h"
+#include "autograd/variable.h"
+#include "nn/module.h"
+#include "tensor/sparse.h"
+#include "util/random.h"
+
+namespace rdd {
+
+/// Fully-connected layer y = x W + b with Glorot-initialized weights and a
+/// zero-initialized bias. Accepts either a dense Variable input or a
+/// constant sparse input (for the first layer over bag-of-words features).
+class Linear : public Module {
+ public:
+  /// Creates a layer mapping `in_dim` features to `out_dim` outputs.
+  Linear(int64_t in_dim, int64_t out_dim, Rng* rng, bool use_bias = true);
+
+  /// Dense forward: x is (n x in_dim).
+  Variable Forward(const Variable& x) const;
+
+  /// Sparse forward: x is a constant (n x in_dim) sparse matrix that must
+  /// outlive the backward pass.
+  Variable ForwardSparse(const SparseMatrix* x) const;
+
+  int64_t in_dim() const { return weight_.rows(); }
+  int64_t out_dim() const { return weight_.cols(); }
+
+  const Variable& weight() const { return weight_; }
+
+ private:
+  Variable weight_;
+  Variable bias_;  ///< Undefined when use_bias is false.
+};
+
+}  // namespace rdd
+
+#endif  // RDD_NN_LINEAR_H_

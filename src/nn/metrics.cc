@@ -1,0 +1,73 @@
+#include "nn/metrics.h"
+
+#include "tensor/ops.h"
+#include "util/logging.h"
+
+namespace rdd {
+
+double Accuracy(const Matrix& scores, const std::vector<int64_t>& labels,
+                const std::vector<int64_t>& indices) {
+  return AccuracyFromPredictions(ArgmaxRows(scores), labels, indices);
+}
+
+double AccuracyFromPredictions(const std::vector<int64_t>& predictions,
+                               const std::vector<int64_t>& labels,
+                               const std::vector<int64_t>& indices) {
+  RDD_CHECK_EQ(predictions.size(), labels.size());
+  if (indices.empty()) return 0.0;
+  int64_t correct = 0;
+  for (int64_t i : indices) {
+    RDD_CHECK_GE(i, 0);
+    RDD_CHECK_LT(i, static_cast<int64_t>(labels.size()));
+    if (predictions[static_cast<size_t>(i)] == labels[static_cast<size_t>(i)]) {
+      ++correct;
+    }
+  }
+  return static_cast<double>(correct) / static_cast<double>(indices.size());
+}
+
+Matrix ConfusionMatrix(const Matrix& scores,
+                       const std::vector<int64_t>& labels,
+                       const std::vector<int64_t>& indices,
+                       int64_t num_classes) {
+  RDD_CHECK_GT(num_classes, 0);
+  const std::vector<int64_t> preds = ArgmaxRows(scores);
+  Matrix confusion(num_classes, num_classes);
+  for (int64_t i : indices) {
+    const int64_t truth = labels[static_cast<size_t>(i)];
+    const int64_t pred = preds[static_cast<size_t>(i)];
+    RDD_CHECK_GE(truth, 0);
+    RDD_CHECK_LT(truth, num_classes);
+    RDD_CHECK_GE(pred, 0);
+    RDD_CHECK_LT(pred, num_classes);
+    confusion.At(truth, pred) += 1.0f;
+  }
+  return confusion;
+}
+
+double MacroF1(const Matrix& scores, const std::vector<int64_t>& labels,
+               const std::vector<int64_t>& indices, int64_t num_classes) {
+  const Matrix confusion = ConfusionMatrix(scores, labels, indices, num_classes);
+  double f1_sum = 0.0;
+  int64_t present_classes = 0;
+  for (int64_t c = 0; c < num_classes; ++c) {
+    double tp = confusion.At(c, c);
+    double fp = 0.0;
+    double fn = 0.0;
+    for (int64_t other = 0; other < num_classes; ++other) {
+      if (other == c) continue;
+      fp += confusion.At(other, c);
+      fn += confusion.At(c, other);
+    }
+    if (tp + fn == 0.0) continue;  // Class absent from the index set.
+    ++present_classes;
+    if (tp == 0.0) continue;       // Precision and recall both zero.
+    const double precision = tp / (tp + fp);
+    const double recall = tp / (tp + fn);
+    f1_sum += 2.0 * precision * recall / (precision + recall);
+  }
+  if (present_classes == 0) return 0.0;
+  return f1_sum / static_cast<double>(present_classes);
+}
+
+}  // namespace rdd

@@ -1,0 +1,34 @@
+#ifndef RDD_NN_METRICS_H_
+#define RDD_NN_METRICS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/matrix.h"
+
+namespace rdd {
+
+/// Fraction of `indices` whose argmax row of `scores` (logits or
+/// probabilities) equals the node's label. Empty index sets yield 0.
+double Accuracy(const Matrix& scores, const std::vector<int64_t>& labels,
+                const std::vector<int64_t>& indices);
+
+/// Same as Accuracy but over precomputed hard predictions.
+double AccuracyFromPredictions(const std::vector<int64_t>& predictions,
+                               const std::vector<int64_t>& labels,
+                               const std::vector<int64_t>& indices);
+
+/// k x k confusion matrix over `indices`: entry (true, predicted) counts.
+Matrix ConfusionMatrix(const Matrix& scores,
+                       const std::vector<int64_t>& labels,
+                       const std::vector<int64_t>& indices,
+                       int64_t num_classes);
+
+/// Macro-averaged F1 score over `indices` (unweighted mean of per-class F1,
+/// classes absent from the index set skipped).
+double MacroF1(const Matrix& scores, const std::vector<int64_t>& labels,
+               const std::vector<int64_t>& indices, int64_t num_classes);
+
+}  // namespace rdd
+
+#endif  // RDD_NN_METRICS_H_

@@ -1,0 +1,21 @@
+#include "nn/module.h"
+
+namespace rdd {
+
+int64_t Module::NumParameters() const {
+  int64_t total = 0;
+  for (const Variable& p : params_) total += p.value().size();
+  return total;
+}
+
+Variable Module::RegisterParameter(Matrix init) {
+  Variable param(std::move(init), /*requires_grad=*/true);
+  params_.push_back(param);
+  return param;
+}
+
+void Module::RegisterChild(const Module& child) {
+  for (const Variable& p : child.Parameters()) params_.push_back(p);
+}
+
+}  // namespace rdd

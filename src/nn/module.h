@@ -1,0 +1,41 @@
+#ifndef RDD_NN_MODULE_H_
+#define RDD_NN_MODULE_H_
+
+#include <vector>
+
+#include "autograd/variable.h"
+
+namespace rdd {
+
+/// Base class for trainable components. A Module owns trainable parameters
+/// (leaf Variables with requires_grad = true) and exposes them for the
+/// optimizer. Composite modules collect the parameters of their children.
+class Module {
+ public:
+  virtual ~Module() = default;
+
+  Module(const Module&) = delete;
+  Module& operator=(const Module&) = delete;
+
+  /// All trainable parameters of this module (children included).
+  const std::vector<Variable>& Parameters() const { return params_; }
+
+  /// Total number of scalar parameters.
+  int64_t NumParameters() const;
+
+ protected:
+  Module() = default;
+
+  /// Wraps `init` as a trainable leaf and registers it.
+  Variable RegisterParameter(Matrix init);
+
+  /// Registers every parameter of a child module.
+  void RegisterChild(const Module& child);
+
+ private:
+  std::vector<Variable> params_;
+};
+
+}  // namespace rdd
+
+#endif  // RDD_NN_MODULE_H_

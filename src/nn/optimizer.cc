@@ -1,0 +1,85 @@
+#include "nn/optimizer.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace rdd {
+
+Optimizer::Optimizer(std::vector<Variable> params)
+    : params_(std::move(params)) {
+  for (const Variable& p : params_) {
+    RDD_CHECK(p.defined());
+    RDD_CHECK(p.requires_grad());
+  }
+}
+
+void Optimizer::ZeroGrad() {
+  for (Variable& p : params_) p.ZeroGrad();
+}
+
+Sgd::Sgd(std::vector<Variable> params, float lr, float weight_decay)
+    : Optimizer(std::move(params)), lr_(lr), weight_decay_(weight_decay) {
+  RDD_CHECK_GT(lr, 0.0f);
+  RDD_CHECK_GE(weight_decay, 0.0f);
+}
+
+void Sgd::Step() {
+  for (Variable& p : params_) {
+    Matrix* w = p.mutable_value();
+    const Matrix& g = p.grad();
+    float* wd = w->Data();
+    const float* gd = g.Data();
+    for (int64_t i = 0; i < w->size(); ++i) {
+      wd[i] -= lr_ * (gd[i] + weight_decay_ * wd[i]);
+    }
+  }
+}
+
+Adam::Adam(std::vector<Variable> params, float lr, float weight_decay,
+           float beta1, float beta2, float epsilon)
+    : Optimizer(std::move(params)),
+      lr_(lr),
+      weight_decay_(weight_decay),
+      beta1_(beta1),
+      beta2_(beta2),
+      epsilon_(epsilon) {
+  RDD_CHECK_GT(lr, 0.0f);
+  RDD_CHECK_GE(weight_decay, 0.0f);
+  RDD_CHECK_GT(beta1, 0.0f);
+  RDD_CHECK_LT(beta1, 1.0f);
+  RDD_CHECK_GT(beta2, 0.0f);
+  RDD_CHECK_LT(beta2, 1.0f);
+  m_.reserve(params_.size());
+  v_.reserve(params_.size());
+  for (const Variable& p : params_) {
+    m_.emplace_back(p.value().rows(), p.value().cols());
+    v_.emplace_back(p.value().rows(), p.value().cols());
+  }
+}
+
+void Adam::Step() {
+  ++step_count_;
+  const float bias1 =
+      1.0f - std::pow(beta1_, static_cast<float>(step_count_));
+  const float bias2 =
+      1.0f - std::pow(beta2_, static_cast<float>(step_count_));
+  for (size_t k = 0; k < params_.size(); ++k) {
+    Matrix* w = params_[k].mutable_value();
+    const Matrix& g = params_[k].grad();
+    float* wd = w->Data();
+    const float* gd = g.Data();
+    float* md = m_[k].Data();
+    float* vd = v_[k].Data();
+    for (int64_t i = 0; i < w->size(); ++i) {
+      const float grad = gd[i] + weight_decay_ * wd[i];
+      md[i] = beta1_ * md[i] + (1.0f - beta1_) * grad;
+      vd[i] = beta2_ * vd[i] + (1.0f - beta2_) * grad * grad;
+      const float m_hat = md[i] / bias1;
+      const float v_hat = vd[i] / bias2;
+      wd[i] -= lr_ * m_hat / (std::sqrt(v_hat) + epsilon_);
+    }
+  }
+}
+
+}  // namespace rdd

@@ -1,0 +1,84 @@
+#ifndef RDD_NN_OPTIMIZER_H_
+#define RDD_NN_OPTIMIZER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "autograd/variable.h"
+#include "tensor/matrix.h"
+
+namespace rdd {
+
+/// Interface shared by all gradient-descent optimizers. Usage per step:
+/// build the loss, call loss.Backward() (which freshly populates parameter
+/// gradients), then call Step().
+class Optimizer {
+ public:
+  virtual ~Optimizer() = default;
+
+  Optimizer(const Optimizer&) = delete;
+  Optimizer& operator=(const Optimizer&) = delete;
+
+  /// Applies one update using the gradients currently stored on the
+  /// parameters this optimizer was constructed with.
+  virtual void Step() = 0;
+
+  /// Current learning rate.
+  virtual float lr() const = 0;
+
+  /// Overrides the learning rate; used by cyclic schedules such as the
+  /// Snapshot Ensemble's per-cycle cosine annealing.
+  virtual void set_lr(float lr) = 0;
+
+  /// Clears gradients on all managed parameters.
+  void ZeroGrad();
+
+ protected:
+  explicit Optimizer(std::vector<Variable> params);
+
+  std::vector<Variable> params_;
+};
+
+/// Plain stochastic gradient descent with optional L2 weight decay:
+/// w <- w - lr * (g + weight_decay * w).
+class Sgd : public Optimizer {
+ public:
+  Sgd(std::vector<Variable> params, float lr, float weight_decay = 0.0f);
+
+  void Step() override;
+  float lr() const override { return lr_; }
+  void set_lr(float lr) override { lr_ = lr; }
+
+ private:
+  float lr_;
+  float weight_decay_;
+};
+
+/// Adam (Kingma & Ba) with L2 regularization folded into the gradient, the
+/// convention used by the paper's PyTorch setup (lr = 0.01, l2 = 5e-4 on
+/// the citation networks).
+class Adam : public Optimizer {
+ public:
+  Adam(std::vector<Variable> params, float lr, float weight_decay = 0.0f,
+       float beta1 = 0.9f, float beta2 = 0.999f, float epsilon = 1e-8f);
+
+  void Step() override;
+  float lr() const override { return lr_; }
+  void set_lr(float lr) override { lr_ = lr; }
+
+  int64_t step_count() const { return step_count_; }
+
+ private:
+  float lr_;
+  float weight_decay_;
+  float beta1_;
+  float beta2_;
+  float epsilon_;
+  int64_t step_count_ = 0;
+  std::vector<Matrix> m_;  ///< First-moment estimates, one per parameter.
+  std::vector<Matrix> v_;  ///< Second-moment estimates.
+};
+
+}  // namespace rdd
+
+#endif  // RDD_NN_OPTIMIZER_H_

@@ -1,0 +1,151 @@
+#include "tensor/matrix.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace rdd {
+
+Matrix::Matrix(int64_t rows, int64_t cols)
+    : rows_(rows), cols_(cols), data_(static_cast<size_t>(rows * cols), 0.0f) {
+  RDD_CHECK_GE(rows, 0);
+  RDD_CHECK_GE(cols, 0);
+}
+
+Matrix::Matrix(int64_t rows, int64_t cols, std::vector<float> values)
+    : rows_(rows), cols_(cols), data_(std::move(values)) {
+  RDD_CHECK_GE(rows, 0);
+  RDD_CHECK_GE(cols, 0);
+  RDD_CHECK_EQ(static_cast<int64_t>(data_.size()), rows * cols);
+}
+
+Matrix Matrix::Identity(int64_t n) {
+  Matrix m(n, n);
+  for (int64_t i = 0; i < n; ++i) m.At(i, i) = 1.0f;
+  return m;
+}
+
+Matrix Matrix::Constant(int64_t rows, int64_t cols, float value) {
+  Matrix m(rows, cols);
+  m.Fill(value);
+  return m;
+}
+
+float& Matrix::At(int64_t r, int64_t c) {
+  RDD_CHECK_GE(r, 0);
+  RDD_CHECK_LT(r, rows_);
+  RDD_CHECK_GE(c, 0);
+  RDD_CHECK_LT(c, cols_);
+  return data_[static_cast<size_t>(r * cols_ + c)];
+}
+
+float Matrix::At(int64_t r, int64_t c) const {
+  RDD_CHECK_GE(r, 0);
+  RDD_CHECK_LT(r, rows_);
+  RDD_CHECK_GE(c, 0);
+  RDD_CHECK_LT(c, cols_);
+  return data_[static_cast<size_t>(r * cols_ + c)];
+}
+
+float* Matrix::RowData(int64_t r) {
+  RDD_CHECK_GE(r, 0);
+  RDD_CHECK_LT(r, rows_);
+  return data_.data() + r * cols_;
+}
+
+const float* Matrix::RowData(int64_t r) const {
+  RDD_CHECK_GE(r, 0);
+  RDD_CHECK_LT(r, rows_);
+  return data_.data() + r * cols_;
+}
+
+void Matrix::Fill(float value) {
+  for (float& x : data_) x = value;
+}
+
+void Matrix::Add(const Matrix& other) {
+  RDD_CHECK_EQ(rows_, other.rows_);
+  RDD_CHECK_EQ(cols_, other.cols_);
+  for (size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+}
+
+void Matrix::Sub(const Matrix& other) {
+  RDD_CHECK_EQ(rows_, other.rows_);
+  RDD_CHECK_EQ(cols_, other.cols_);
+  for (size_t i = 0; i < data_.size(); ++i) data_[i] -= other.data_[i];
+}
+
+void Matrix::Mul(const Matrix& other) {
+  RDD_CHECK_EQ(rows_, other.rows_);
+  RDD_CHECK_EQ(cols_, other.cols_);
+  for (size_t i = 0; i < data_.size(); ++i) data_[i] *= other.data_[i];
+}
+
+void Matrix::Scale(float factor) {
+  for (float& x : data_) x *= factor;
+}
+
+void Matrix::Axpy(float factor, const Matrix& other) {
+  RDD_CHECK_EQ(rows_, other.rows_);
+  RDD_CHECK_EQ(cols_, other.cols_);
+  for (size_t i = 0; i < data_.size(); ++i) {
+    data_[i] += factor * other.data_[i];
+  }
+}
+
+Matrix Matrix::Row(int64_t r) const {
+  Matrix out(1, cols_);
+  const float* src = RowData(r);
+  for (int64_t c = 0; c < cols_; ++c) out.At(0, c) = src[c];
+  return out;
+}
+
+void Matrix::SetRow(int64_t r, const Matrix& row) {
+  RDD_CHECK_EQ(row.rows(), 1);
+  RDD_CHECK_EQ(row.cols(), cols_);
+  float* dst = RowData(r);
+  for (int64_t c = 0; c < cols_; ++c) dst[c] = row.At(0, c);
+}
+
+double Matrix::SquaredNorm() const {
+  double acc = 0.0;
+  for (float x : data_) acc += static_cast<double>(x) * x;
+  return acc;
+}
+
+double Matrix::Sum() const {
+  double acc = 0.0;
+  for (float x : data_) acc += x;
+  return acc;
+}
+
+bool Matrix::Equals(const Matrix& other) const {
+  return rows_ == other.rows_ && cols_ == other.cols_ &&
+         data_ == other.data_;
+}
+
+bool Matrix::ApproxEquals(const Matrix& other, float tol) const {
+  if (rows_ != other.rows_ || cols_ != other.cols_) return false;
+  for (size_t i = 0; i < data_.size(); ++i) {
+    if (std::fabs(data_[i] - other.data_[i]) > tol) return false;
+  }
+  return true;
+}
+
+std::string Matrix::ToString() const {
+  std::string out = "[";
+  for (int64_t r = 0; r < rows_; ++r) {
+    if (r > 0) out += ", ";
+    out += "[";
+    for (int64_t c = 0; c < cols_; ++c) {
+      if (c > 0) out += ", ";
+      out += StrFormat("%g", At(r, c));
+    }
+    out += "]";
+  }
+  out += "]";
+  return out;
+}
+
+}  // namespace rdd

@@ -1,0 +1,97 @@
+#ifndef RDD_TENSOR_MATRIX_H_
+#define RDD_TENSOR_MATRIX_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace rdd {
+
+/// Dense row-major single-precision matrix. This is the value type all
+/// neural-network computation in the library runs on; vectors are represented
+/// as 1 x n or n x 1 matrices. Copyable and movable.
+class Matrix {
+ public:
+  /// Creates an empty 0 x 0 matrix.
+  Matrix() = default;
+
+  /// Creates a rows x cols matrix initialized to zero.
+  Matrix(int64_t rows, int64_t cols);
+
+  /// Creates a rows x cols matrix from row-major values. `values` must have
+  /// exactly rows * cols entries.
+  Matrix(int64_t rows, int64_t cols, std::vector<float> values);
+
+  Matrix(const Matrix&) = default;
+  Matrix& operator=(const Matrix&) = default;
+  Matrix(Matrix&&) = default;
+  Matrix& operator=(Matrix&&) = default;
+
+  /// Identity matrix of size n x n.
+  static Matrix Identity(int64_t n);
+
+  /// Matrix with every entry equal to `value`.
+  static Matrix Constant(int64_t rows, int64_t cols, float value);
+
+  int64_t rows() const { return rows_; }
+  int64_t cols() const { return cols_; }
+  int64_t size() const { return rows_ * cols_; }
+  bool empty() const { return rows_ == 0 || cols_ == 0; }
+
+  /// Element access. Bounds are checked with RDD_CHECK in debug-style code
+  /// paths; hot kernels use RowData pointers instead.
+  float& At(int64_t r, int64_t c);
+  float At(int64_t r, int64_t c) const;
+
+  /// Raw pointer to the start of row r.
+  float* RowData(int64_t r);
+  const float* RowData(int64_t r) const;
+
+  /// Raw pointer to the full row-major buffer.
+  float* Data() { return data_.data(); }
+  const float* Data() const { return data_.data(); }
+
+  /// Sets every entry to `value`.
+  void Fill(float value);
+
+  /// Sets every entry to zero.
+  void SetZero() { Fill(0.0f); }
+
+  /// In-place elementwise operations. Shapes must match exactly.
+  void Add(const Matrix& other);
+  void Sub(const Matrix& other);
+  void Mul(const Matrix& other);  ///< Hadamard product.
+  void Scale(float factor);
+  /// this += factor * other.
+  void Axpy(float factor, const Matrix& other);
+
+  /// Returns a copy of row r as a 1 x cols matrix.
+  Matrix Row(int64_t r) const;
+
+  /// Copies `row` (1 x cols) into row r of this matrix.
+  void SetRow(int64_t r, const Matrix& row);
+
+  /// Frobenius norm squared.
+  double SquaredNorm() const;
+
+  /// Sum of all entries.
+  double Sum() const;
+
+  /// True iff shapes and all entries are exactly equal.
+  bool Equals(const Matrix& other) const;
+
+  /// True iff shapes match and entries agree within `tol` absolutely.
+  bool ApproxEquals(const Matrix& other, float tol) const;
+
+  /// Debug rendering, e.g. "[[1, 2], [3, 4]]". For small matrices only.
+  std::string ToString() const;
+
+ private:
+  int64_t rows_ = 0;
+  int64_t cols_ = 0;
+  std::vector<float> data_;
+};
+
+}  // namespace rdd
+
+#endif  // RDD_TENSOR_MATRIX_H_

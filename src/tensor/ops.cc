@@ -1,0 +1,217 @@
+#include "tensor/ops.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace rdd {
+
+Matrix Matmul(const Matrix& a, const Matrix& b) {
+  RDD_CHECK_EQ(a.cols(), b.rows());
+  Matrix out(a.rows(), b.cols());
+  const int64_t m = a.rows();
+  const int64_t k = a.cols();
+  const int64_t n = b.cols();
+  for (int64_t i = 0; i < m; ++i) {
+    const float* a_row = a.RowData(i);
+    float* out_row = out.RowData(i);
+    for (int64_t p = 0; p < k; ++p) {
+      const float av = a_row[p];
+      if (av == 0.0f) continue;
+      const float* b_row = b.RowData(p);
+      for (int64_t j = 0; j < n; ++j) out_row[j] += av * b_row[j];
+    }
+  }
+  return out;
+}
+
+Matrix MatmulTransposeA(const Matrix& a, const Matrix& b) {
+  RDD_CHECK_EQ(a.rows(), b.rows());
+  Matrix out(a.cols(), b.cols());
+  const int64_t m = a.rows();
+  const int64_t k = a.cols();
+  const int64_t n = b.cols();
+  for (int64_t i = 0; i < m; ++i) {
+    const float* a_row = a.RowData(i);
+    const float* b_row = b.RowData(i);
+    for (int64_t p = 0; p < k; ++p) {
+      const float av = a_row[p];
+      if (av == 0.0f) continue;
+      float* out_row = out.RowData(p);
+      for (int64_t j = 0; j < n; ++j) out_row[j] += av * b_row[j];
+    }
+  }
+  return out;
+}
+
+Matrix MatmulTransposeB(const Matrix& a, const Matrix& b) {
+  RDD_CHECK_EQ(a.cols(), b.cols());
+  Matrix out(a.rows(), b.rows());
+  const int64_t m = a.rows();
+  const int64_t k = a.cols();
+  const int64_t n = b.rows();
+  for (int64_t i = 0; i < m; ++i) {
+    const float* a_row = a.RowData(i);
+    float* out_row = out.RowData(i);
+    for (int64_t j = 0; j < n; ++j) {
+      const float* b_row = b.RowData(j);
+      float acc = 0.0f;
+      for (int64_t p = 0; p < k; ++p) acc += a_row[p] * b_row[p];
+      out_row[j] = acc;
+    }
+  }
+  return out;
+}
+
+Matrix Transpose(const Matrix& m) {
+  Matrix out(m.cols(), m.rows());
+  for (int64_t r = 0; r < m.rows(); ++r) {
+    const float* row = m.RowData(r);
+    for (int64_t c = 0; c < m.cols(); ++c) out.At(c, r) = row[c];
+  }
+  return out;
+}
+
+Matrix Relu(const Matrix& m) {
+  Matrix out = m;
+  float* data = out.Data();
+  for (int64_t i = 0; i < out.size(); ++i) data[i] = std::max(0.0f, data[i]);
+  return out;
+}
+
+Matrix ReluBackward(const Matrix& grad, const Matrix& input) {
+  RDD_CHECK_EQ(grad.rows(), input.rows());
+  RDD_CHECK_EQ(grad.cols(), input.cols());
+  Matrix out = grad;
+  float* g = out.Data();
+  const float* x = input.Data();
+  for (int64_t i = 0; i < out.size(); ++i) {
+    if (x[i] <= 0.0f) g[i] = 0.0f;
+  }
+  return out;
+}
+
+Matrix SoftmaxRows(const Matrix& logits) {
+  Matrix out(logits.rows(), logits.cols());
+  for (int64_t r = 0; r < logits.rows(); ++r) {
+    const float* in = logits.RowData(r);
+    float* o = out.RowData(r);
+    float max_v = in[0];
+    for (int64_t c = 1; c < logits.cols(); ++c) max_v = std::max(max_v, in[c]);
+    double sum = 0.0;
+    for (int64_t c = 0; c < logits.cols(); ++c) {
+      o[c] = std::exp(in[c] - max_v);
+      sum += o[c];
+    }
+    const float inv = static_cast<float>(1.0 / sum);
+    for (int64_t c = 0; c < logits.cols(); ++c) o[c] *= inv;
+  }
+  return out;
+}
+
+Matrix LogSoftmaxRows(const Matrix& logits) {
+  Matrix out(logits.rows(), logits.cols());
+  for (int64_t r = 0; r < logits.rows(); ++r) {
+    const float* in = logits.RowData(r);
+    float* o = out.RowData(r);
+    float max_v = in[0];
+    for (int64_t c = 1; c < logits.cols(); ++c) max_v = std::max(max_v, in[c]);
+    double sum = 0.0;
+    for (int64_t c = 0; c < logits.cols(); ++c) {
+      sum += std::exp(static_cast<double>(in[c]) - max_v);
+    }
+    const float log_sum = static_cast<float>(std::log(sum)) + max_v;
+    for (int64_t c = 0; c < logits.cols(); ++c) o[c] = in[c] - log_sum;
+  }
+  return out;
+}
+
+std::vector<double> RowEntropy(const Matrix& probs) {
+  std::vector<double> entropy(static_cast<size_t>(probs.rows()), 0.0);
+  for (int64_t r = 0; r < probs.rows(); ++r) {
+    const float* p = probs.RowData(r);
+    double h = 0.0;
+    for (int64_t c = 0; c < probs.cols(); ++c) {
+      if (p[c] > 0.0f) h -= static_cast<double>(p[c]) * std::log(p[c]);
+    }
+    entropy[static_cast<size_t>(r)] = h;
+  }
+  return entropy;
+}
+
+std::vector<int64_t> ArgmaxRows(const Matrix& m) {
+  RDD_CHECK_GT(m.cols(), 0);
+  std::vector<int64_t> idx(static_cast<size_t>(m.rows()), 0);
+  for (int64_t r = 0; r < m.rows(); ++r) {
+    const float* row = m.RowData(r);
+    int64_t best = 0;
+    for (int64_t c = 1; c < m.cols(); ++c) {
+      if (row[c] > row[best]) best = c;
+    }
+    idx[static_cast<size_t>(r)] = best;
+  }
+  return idx;
+}
+
+Matrix ColumnSums(const Matrix& m) {
+  Matrix out(1, m.cols());
+  float* o = out.RowData(0);
+  for (int64_t r = 0; r < m.rows(); ++r) {
+    const float* row = m.RowData(r);
+    for (int64_t c = 0; c < m.cols(); ++c) o[c] += row[c];
+  }
+  return out;
+}
+
+Matrix AddRowBroadcast(const Matrix& m, const Matrix& bias_row) {
+  RDD_CHECK_EQ(bias_row.rows(), 1);
+  RDD_CHECK_EQ(bias_row.cols(), m.cols());
+  Matrix out = m;
+  const float* bias = bias_row.RowData(0);
+  for (int64_t r = 0; r < out.rows(); ++r) {
+    float* row = out.RowData(r);
+    for (int64_t c = 0; c < out.cols(); ++c) row[c] += bias[c];
+  }
+  return out;
+}
+
+Matrix GatherRows(const Matrix& m, const std::vector<int64_t>& indices) {
+  Matrix out(static_cast<int64_t>(indices.size()), m.cols());
+  for (size_t i = 0; i < indices.size(); ++i) {
+    const int64_t r = indices[i];
+    RDD_CHECK_GE(r, 0);
+    RDD_CHECK_LT(r, m.rows());
+    const float* src = m.RowData(r);
+    float* dst = out.RowData(static_cast<int64_t>(i));
+    for (int64_t c = 0; c < m.cols(); ++c) dst[c] = src[c];
+  }
+  return out;
+}
+
+Matrix Add(const Matrix& a, const Matrix& b) {
+  Matrix out = a;
+  out.Add(b);
+  return out;
+}
+
+Matrix Sub(const Matrix& a, const Matrix& b) {
+  Matrix out = a;
+  out.Sub(b);
+  return out;
+}
+
+Matrix ConcatCols(const Matrix& a, const Matrix& b) {
+  RDD_CHECK_EQ(a.rows(), b.rows());
+  Matrix out(a.rows(), a.cols() + b.cols());
+  for (int64_t r = 0; r < a.rows(); ++r) {
+    float* dst = out.RowData(r);
+    const float* a_row = a.RowData(r);
+    for (int64_t c = 0; c < a.cols(); ++c) dst[c] = a_row[c];
+    const float* b_row = b.RowData(r);
+    for (int64_t c = 0; c < b.cols(); ++c) dst[a.cols() + c] = b_row[c];
+  }
+  return out;
+}
+
+}  // namespace rdd

@@ -1,0 +1,65 @@
+#ifndef RDD_TENSOR_OPS_H_
+#define RDD_TENSOR_OPS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/matrix.h"
+
+namespace rdd {
+
+/// Returns a * b. Requires a.cols() == b.rows(). Cache-friendly ikj loop.
+Matrix Matmul(const Matrix& a, const Matrix& b);
+
+/// Returns transpose(a) * b without materializing the transpose.
+/// Requires a.rows() == b.rows().
+Matrix MatmulTransposeA(const Matrix& a, const Matrix& b);
+
+/// Returns a * transpose(b) without materializing the transpose.
+/// Requires a.cols() == b.cols().
+Matrix MatmulTransposeB(const Matrix& a, const Matrix& b);
+
+/// Returns the transpose of m.
+Matrix Transpose(const Matrix& m);
+
+/// Returns max(0, x) elementwise.
+Matrix Relu(const Matrix& m);
+
+/// Returns a copy of `grad` with entries zeroed wherever `input` <= 0
+/// (the ReLU backward rule).
+Matrix ReluBackward(const Matrix& grad, const Matrix& input);
+
+/// Row-wise numerically-stable softmax.
+Matrix SoftmaxRows(const Matrix& logits);
+
+/// Row-wise numerically-stable log-softmax.
+Matrix LogSoftmaxRows(const Matrix& logits);
+
+/// Shannon entropy of each row of a row-stochastic matrix, in nats:
+/// H(p) = -sum_j p_j log p_j, with 0 log 0 = 0. Returns one value per row.
+std::vector<double> RowEntropy(const Matrix& probs);
+
+/// Index of the maximum entry in each row (first one on ties).
+std::vector<int64_t> ArgmaxRows(const Matrix& m);
+
+/// Column sums as a 1 x cols matrix.
+Matrix ColumnSums(const Matrix& m);
+
+/// Broadcast-adds a 1 x cols bias row to every row of m.
+Matrix AddRowBroadcast(const Matrix& m, const Matrix& bias_row);
+
+/// Returns the rows of `m` selected by `indices`, in order.
+Matrix GatherRows(const Matrix& m, const std::vector<int64_t>& indices);
+
+/// Returns a + b (shapes must match).
+Matrix Add(const Matrix& a, const Matrix& b);
+
+/// Returns a - b (shapes must match).
+Matrix Sub(const Matrix& a, const Matrix& b);
+
+/// Returns the horizontal concatenation [a | b]. Row counts must match.
+Matrix ConcatCols(const Matrix& a, const Matrix& b);
+
+}  // namespace rdd
+
+#endif  // RDD_TENSOR_OPS_H_

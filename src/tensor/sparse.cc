@@ -1,0 +1,138 @@
+#include "tensor/sparse.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace rdd {
+
+SparseMatrix SparseMatrix::FromCoo(int64_t rows, int64_t cols,
+                                   std::vector<SparseEntry> entries) {
+  RDD_CHECK_GE(rows, 0);
+  RDD_CHECK_GE(cols, 0);
+  for (const SparseEntry& e : entries) {
+    RDD_CHECK_GE(e.row, 0);
+    RDD_CHECK_LT(e.row, rows);
+    RDD_CHECK_GE(e.col, 0);
+    RDD_CHECK_LT(e.col, cols);
+  }
+  std::sort(entries.begin(), entries.end(),
+            [](const SparseEntry& a, const SparseEntry& b) {
+              return a.row != b.row ? a.row < b.row : a.col < b.col;
+            });
+
+  SparseMatrix m;
+  m.rows_ = rows;
+  m.cols_ = cols;
+  m.row_ptr_.assign(static_cast<size_t>(rows) + 1, 0);
+  m.col_idx_.reserve(entries.size());
+  m.values_.reserve(entries.size());
+
+  for (size_t i = 0; i < entries.size();) {
+    const int64_t r = entries[i].row;
+    const int64_t c = entries[i].col;
+    float sum = 0.0f;
+    while (i < entries.size() && entries[i].row == r && entries[i].col == c) {
+      sum += entries[i].value;
+      ++i;
+    }
+    m.col_idx_.push_back(c);
+    m.values_.push_back(sum);
+    m.row_ptr_[static_cast<size_t>(r) + 1] =
+        static_cast<int64_t>(m.values_.size());
+  }
+  // Rows with no entries inherit the running prefix.
+  for (size_t r = 1; r < m.row_ptr_.size(); ++r) {
+    m.row_ptr_[r] = std::max(m.row_ptr_[r], m.row_ptr_[r - 1]);
+  }
+  return m;
+}
+
+SparseMatrix SparseMatrix::FromDense(const Matrix& dense) {
+  std::vector<SparseEntry> entries;
+  for (int64_t r = 0; r < dense.rows(); ++r) {
+    const float* row = dense.RowData(r);
+    for (int64_t c = 0; c < dense.cols(); ++c) {
+      if (row[c] != 0.0f) entries.push_back({r, c, row[c]});
+    }
+  }
+  return FromCoo(dense.rows(), dense.cols(), std::move(entries));
+}
+
+int64_t SparseMatrix::RowNnz(int64_t r) const {
+  RDD_CHECK_GE(r, 0);
+  RDD_CHECK_LT(r, rows_);
+  return row_ptr_[static_cast<size_t>(r) + 1] - row_ptr_[static_cast<size_t>(r)];
+}
+
+float SparseMatrix::At(int64_t r, int64_t c) const {
+  RDD_CHECK_GE(r, 0);
+  RDD_CHECK_LT(r, rows_);
+  RDD_CHECK_GE(c, 0);
+  RDD_CHECK_LT(c, cols_);
+  const auto begin = col_idx_.begin() + row_ptr_[static_cast<size_t>(r)];
+  const auto end = col_idx_.begin() + row_ptr_[static_cast<size_t>(r) + 1];
+  const auto it = std::lower_bound(begin, end, c);
+  if (it == end || *it != c) return 0.0f;
+  return values_[static_cast<size_t>(it - col_idx_.begin())];
+}
+
+Matrix SparseMatrix::ToDense() const {
+  Matrix out(rows_, cols_);
+  for (int64_t r = 0; r < rows_; ++r) {
+    for (int64_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
+      out.At(r, col_idx_[k]) = values_[k];
+    }
+  }
+  return out;
+}
+
+SparseMatrix SparseMatrix::Transpose() const {
+  std::vector<SparseEntry> entries;
+  entries.reserve(values_.size());
+  for (int64_t r = 0; r < rows_; ++r) {
+    for (int64_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
+      entries.push_back({col_idx_[k], r, values_[k]});
+    }
+  }
+  return FromCoo(cols_, rows_, std::move(entries));
+}
+
+Matrix SparseMatrix::Multiply(const Matrix& dense) const {
+  Matrix out(rows_, dense.cols());
+  MultiplyAdd(dense, 1.0f, &out);
+  return out;
+}
+
+void SparseMatrix::MultiplyAdd(const Matrix& dense, float alpha,
+                               Matrix* out) const {
+  RDD_CHECK_EQ(cols_, dense.rows());
+  RDD_CHECK_EQ(out->rows(), rows_);
+  RDD_CHECK_EQ(out->cols(), dense.cols());
+  const int64_t n = dense.cols();
+  for (int64_t r = 0; r < rows_; ++r) {
+    float* out_row = out->RowData(r);
+    for (int64_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
+      const float v = alpha * values_[k];
+      const float* in_row = dense.RowData(col_idx_[k]);
+      for (int64_t c = 0; c < n; ++c) out_row[c] += v * in_row[c];
+    }
+  }
+}
+
+Matrix SparseMatrix::TransposeMultiply(const Matrix& dense) const {
+  RDD_CHECK_EQ(rows_, dense.rows());
+  Matrix out(cols_, dense.cols());
+  const int64_t n = dense.cols();
+  for (int64_t r = 0; r < rows_; ++r) {
+    const float* in_row = dense.RowData(r);
+    for (int64_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
+      const float v = values_[k];
+      float* out_row = out.RowData(col_idx_[k]);
+      for (int64_t c = 0; c < n; ++c) out_row[c] += v * in_row[c];
+    }
+  }
+  return out;
+}
+
+}  // namespace rdd

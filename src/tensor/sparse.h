@@ -1,0 +1,82 @@
+#ifndef RDD_TENSOR_SPARSE_H_
+#define RDD_TENSOR_SPARSE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/matrix.h"
+
+namespace rdd {
+
+/// One nonzero entry in COO form; used to assemble sparse matrices.
+struct SparseEntry {
+  int64_t row = 0;
+  int64_t col = 0;
+  float value = 0.0f;
+};
+
+/// Compressed-sparse-row single-precision matrix. Immutable after
+/// construction; used for the normalized adjacency matrix and for sparse
+/// bag-of-words feature matrices.
+class SparseMatrix {
+ public:
+  /// Creates an empty 0 x 0 matrix.
+  SparseMatrix() = default;
+
+  /// Builds a CSR matrix from COO entries. Entries may arrive in any order;
+  /// duplicates (same row and col) are summed. Indices must lie inside
+  /// [0, rows) x [0, cols).
+  static SparseMatrix FromCoo(int64_t rows, int64_t cols,
+                              std::vector<SparseEntry> entries);
+
+  /// Builds a sparse matrix holding the nonzero entries of `dense`.
+  static SparseMatrix FromDense(const Matrix& dense);
+
+  int64_t rows() const { return rows_; }
+  int64_t cols() const { return cols_; }
+  int64_t nnz() const { return static_cast<int64_t>(values_.size()); }
+
+  /// CSR row-pointer array of length rows() + 1.
+  const std::vector<int64_t>& row_ptr() const { return row_ptr_; }
+  /// Column index array of length nnz(), sorted within each row.
+  const std::vector<int64_t>& col_idx() const { return col_idx_; }
+  /// Value array of length nnz().
+  const std::vector<float>& values() const { return values_; }
+
+  /// Number of nonzeros in row r.
+  int64_t RowNnz(int64_t r) const;
+
+  /// Value at (r, c); zero when the entry is absent. O(log nnz(row)).
+  float At(int64_t r, int64_t c) const;
+
+  /// Dense copy of this matrix. For tests and small matrices only.
+  Matrix ToDense() const;
+
+  /// Transposed copy.
+  SparseMatrix Transpose() const;
+
+  /// Returns this * dense, a (rows x dense.cols) dense matrix. Requires
+  /// cols() == dense.rows(). This is the SpMM kernel both the adjacency
+  /// propagation and the sparse first layer use.
+  Matrix Multiply(const Matrix& dense) const;
+
+  /// Accumulates alpha * (this * dense) into *out (same shape rules as
+  /// Multiply). Used to avoid temporaries in hot loops.
+  void MultiplyAdd(const Matrix& dense, float alpha, Matrix* out) const;
+
+  /// Returns transpose(this) * dense without materializing the transpose,
+  /// a (cols x dense.cols) dense matrix. Requires rows() == dense.rows().
+  /// This is the gradient kernel for SpMM.
+  Matrix TransposeMultiply(const Matrix& dense) const;
+
+ private:
+  int64_t rows_ = 0;
+  int64_t cols_ = 0;
+  std::vector<int64_t> row_ptr_;
+  std::vector<int64_t> col_idx_;
+  std::vector<float> values_;
+};
+
+}  // namespace rdd
+
+#endif  // RDD_TENSOR_SPARSE_H_

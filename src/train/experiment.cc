@@ -1,0 +1,40 @@
+#include "train/experiment.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace rdd {
+
+TrialStats Summarize(const std::vector<double>& values) {
+  TrialStats stats;
+  stats.count = static_cast<int64_t>(values.size());
+  if (values.empty()) return stats;
+  double sum = 0.0;
+  stats.min = values[0];
+  stats.max = values[0];
+  for (double v : values) {
+    sum += v;
+    stats.min = std::min(stats.min, v);
+    stats.max = std::max(stats.max, v);
+  }
+  stats.mean = sum / static_cast<double>(values.size());
+  double sq = 0.0;
+  for (double v : values) sq += (v - stats.mean) * (v - stats.mean);
+  stats.stddev = values.size() > 1
+                     ? std::sqrt(sq / static_cast<double>(values.size() - 1))
+                     : 0.0;
+  return stats;
+}
+
+TrialStats RunTrials(int num_trials,
+                     const std::function<double(int)>& trial) {
+  RDD_CHECK_GT(num_trials, 0);
+  std::vector<double> values;
+  values.reserve(static_cast<size_t>(num_trials));
+  for (int i = 0; i < num_trials; ++i) values.push_back(trial(i));
+  return Summarize(values);
+}
+
+}  // namespace rdd

@@ -1,0 +1,31 @@
+#ifndef RDD_TRAIN_EXPERIMENT_H_
+#define RDD_TRAIN_EXPERIMENT_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace rdd {
+
+/// Mean / standard deviation / extrema of a set of trial results. The
+/// paper reports the mean test accuracy over 10 runs; the bench harnesses
+/// use this type for the same aggregation.
+struct TrialStats {
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  int64_t count = 0;
+};
+
+/// Aggregates raw trial values.
+TrialStats Summarize(const std::vector<double>& values);
+
+/// Runs `trial` `num_trials` times with trial indices 0..n-1 (each trial
+/// derives its own seed from the index) and summarizes the returned metric.
+TrialStats RunTrials(int num_trials,
+                     const std::function<double(int trial_index)>& trial);
+
+}  // namespace rdd
+
+#endif  // RDD_TRAIN_EXPERIMENT_H_

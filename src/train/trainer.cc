@@ -1,0 +1,91 @@
+#include "train/trainer.h"
+
+#include "autograd/ops.h"
+#include "nn/metrics.h"
+#include "nn/optimizer.h"
+#include "util/logging.h"
+#include "util/timer.h"
+
+namespace rdd {
+
+TrainReport TrainWithLoss(GraphModel* model, const Dataset& dataset,
+                          const TrainConfig& config, const LossFn& loss_fn) {
+  RDD_CHECK(model != nullptr);
+  RDD_CHECK_GT(config.max_epochs, 0);
+  RDD_CHECK_GT(config.patience, 0);
+  WallTimer timer;
+  Adam optimizer(model->Parameters(), config.lr, config.weight_decay);
+
+  TrainReport report;
+  std::vector<Matrix> best_params;
+  int epochs_since_best = 0;
+  for (int epoch = 0; epoch < config.max_epochs; ++epoch) {
+    ModelOutput output = model->Forward(/*training=*/true);
+    Variable loss = loss_fn(output, epoch);
+    loss.Backward();
+    optimizer.Step();
+
+    const double val_acc =
+        EvaluateAccuracy(model, dataset, dataset.split.val);
+    report.val_history.push_back(val_acc);
+    report.epochs_run = epoch + 1;
+    if (config.verbose) {
+      RDD_LOG(Info) << "epoch " << epoch << " loss "
+                    << loss.value().At(0, 0) << " val_acc " << val_acc;
+    }
+    if (val_acc > report.best_val_accuracy) {
+      report.best_val_accuracy = val_acc;
+      epochs_since_best = 0;
+      if (config.restore_best) {
+        best_params = SnapshotParameters(model->Parameters());
+      }
+    } else if (++epochs_since_best >= config.patience) {
+      break;
+    }
+  }
+  if (config.restore_best && !best_params.empty()) {
+    std::vector<Variable> params = model->Parameters();
+    RestoreParameters(best_params, &params);
+  }
+  report.test_accuracy = EvaluateAccuracy(model, dataset, dataset.split.test);
+  report.train_seconds = timer.ElapsedSeconds();
+  return report;
+}
+
+TrainReport TrainSupervised(GraphModel* model, const Dataset& dataset,
+                            const TrainConfig& config) {
+  return TrainWithLoss(
+      model, dataset, config,
+      [&dataset](const ModelOutput& output, int /*epoch*/) {
+        return ag::SoftmaxCrossEntropy(output.logits, dataset.labels,
+                                       dataset.split.train,
+                                       ag::Reduction::kMean);
+      });
+}
+
+double EvaluateAccuracy(GraphModel* model, const Dataset& dataset,
+                        const std::vector<int64_t>& indices) {
+  const ModelOutput output = model->Forward(/*training=*/false);
+  return Accuracy(output.logits.value(), dataset.labels, indices);
+}
+
+std::vector<Matrix> SnapshotParameters(const std::vector<Variable>& params) {
+  std::vector<Matrix> snapshot;
+  snapshot.reserve(params.size());
+  for (const Variable& p : params) snapshot.push_back(p.value());
+  return snapshot;
+}
+
+void RestoreParameters(const std::vector<Matrix>& snapshot,
+                       std::vector<Variable>* params) {
+  RDD_CHECK(params != nullptr);
+  RDD_CHECK_EQ(snapshot.size(), params->size());
+  for (size_t i = 0; i < snapshot.size(); ++i) {
+    Matrix* value = (*params)[i].mutable_value();
+    RDD_CHECK_EQ(value->rows(), snapshot[i].rows());
+    RDD_CHECK_EQ(value->cols(), snapshot[i].cols());
+    *value = snapshot[i];
+  }
+}
+
+}  // namespace rdd

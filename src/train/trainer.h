@@ -1,0 +1,65 @@
+#ifndef RDD_TRAIN_TRAINER_H_
+#define RDD_TRAIN_TRAINER_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "autograd/variable.h"
+#include "data/dataset.h"
+#include "models/graph_model.h"
+
+namespace rdd {
+
+/// Optimization settings shared by every trainer in the library. Defaults
+/// follow the paper's setup: Adam, lr 0.01, weight decay 5e-4, early
+/// stopping when validation accuracy fails to improve for 20 epochs.
+struct TrainConfig {
+  int max_epochs = 300;
+  int patience = 20;
+  float lr = 0.01f;
+  float weight_decay = 5e-4f;
+  bool restore_best = true;  ///< Reload best-validation weights at the end.
+  bool verbose = false;      ///< Log per-epoch progress.
+};
+
+/// Outcome of one model's training run.
+struct TrainReport {
+  double best_val_accuracy = 0.0;
+  double test_accuracy = 0.0;
+  int epochs_run = 0;
+  double train_seconds = 0.0;
+  std::vector<double> val_history;  ///< Validation accuracy per epoch.
+};
+
+/// Builds the loss for one epoch. Receives the training-mode forward output
+/// and the epoch index; returns a 1x1 scalar Variable. This hook is how the
+/// RDD trainer injects its reliability-driven loss into the shared
+/// early-stopping loop.
+using LossFn = std::function<Variable(const ModelOutput&, int epoch)>;
+
+/// Trains `model` with Adam + early stopping on validation accuracy using a
+/// caller-supplied loss. Restores the best-validation parameters before
+/// returning when config.restore_best is set.
+TrainReport TrainWithLoss(GraphModel* model, const Dataset& dataset,
+                          const TrainConfig& config, const LossFn& loss_fn);
+
+/// Standard supervised training: masked softmax cross-entropy over the
+/// labeled nodes (Eq. 3 of the paper).
+TrainReport TrainSupervised(GraphModel* model, const Dataset& dataset,
+                            const TrainConfig& config);
+
+/// Evaluation-mode accuracy of `model` over the given node set.
+double EvaluateAccuracy(GraphModel* model, const Dataset& dataset,
+                        const std::vector<int64_t>& indices);
+
+/// Copies the current parameter values of `params`.
+std::vector<Matrix> SnapshotParameters(const std::vector<Variable>& params);
+
+/// Writes `snapshot` back into `params` (shapes must match).
+void RestoreParameters(const std::vector<Matrix>& snapshot,
+                       std::vector<Variable>* params);
+
+}  // namespace rdd
+
+#endif  // RDD_TRAIN_TRAINER_H_

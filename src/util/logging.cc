@@ -1,0 +1,70 @@
+#include "util/logging.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace rdd {
+
+namespace {
+
+std::atomic<int> g_min_level{static_cast<int>(LogLevel::kInfo)};
+
+const char* LevelTag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "D";
+    case LogLevel::kInfo:
+      return "I";
+    case LogLevel::kWarning:
+      return "W";
+    case LogLevel::kError:
+      return "E";
+  }
+  return "?";
+}
+
+const char* Basename(const char* path) {
+  const char* slash = std::strrchr(path, '/');
+  return slash != nullptr ? slash + 1 : path;
+}
+
+void Emit(LogLevel level, const char* file, int line, const std::string& msg) {
+  std::fprintf(stderr, "[%s %s:%d] %s\n", LevelTag(level), Basename(file), line,
+               msg.c_str());
+}
+
+}  // namespace
+
+void SetLogLevel(LogLevel level) {
+  g_min_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+LogLevel GetLogLevel() {
+  return static_cast<LogLevel>(g_min_level.load(std::memory_order_relaxed));
+}
+
+namespace internal_logging {
+
+LogMessage::LogMessage(LogLevel level, const char* file, int line)
+    : level_(level), file_(file), line_(line) {}
+
+LogMessage::~LogMessage() {
+  if (static_cast<int>(level_) >=
+      g_min_level.load(std::memory_order_relaxed)) {
+    Emit(level_, file_, line_, stream_.str());
+  }
+}
+
+FatalLogMessage::FatalLogMessage(const char* file, int line)
+    : file_(file), line_(line) {}
+
+FatalLogMessage::~FatalLogMessage() {
+  Emit(LogLevel::kError, file_, line_, stream_.str());
+  std::abort();
+}
+
+}  // namespace internal_logging
+
+}  // namespace rdd

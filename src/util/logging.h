@@ -1,0 +1,87 @@
+#ifndef RDD_UTIL_LOGGING_H_
+#define RDD_UTIL_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace rdd {
+
+/// Log severities, in increasing order of importance.
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Sets the minimum severity that will be emitted (default: kInfo).
+void SetLogLevel(LogLevel level);
+/// Returns the current minimum severity.
+LogLevel GetLogLevel();
+
+namespace internal_logging {
+
+/// Stream-style log message collector; emits on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+/// Like LogMessage but aborts the process after emitting; used by RDD_CHECK.
+class FatalLogMessage {
+ public:
+  FatalLogMessage(const char* file, int line);
+  [[noreturn]] ~FatalLogMessage();
+
+  FatalLogMessage(const FatalLogMessage&) = delete;
+  FatalLogMessage& operator=(const FatalLogMessage&) = delete;
+
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal_logging
+
+/// Stream-style logging: RDD_LOG(INFO) << "epoch " << e;
+#define RDD_LOG(severity)                                              \
+  ::rdd::internal_logging::LogMessage(::rdd::LogLevel::k##severity,    \
+                                      __FILE__, __LINE__)              \
+      .stream()
+
+/// Invariant check for programmer errors; aborts with a message on failure.
+/// Enabled in all build types (cheap relative to the numeric kernels).
+#define RDD_CHECK(condition)                                       \
+  if (!(condition))                                                \
+  ::rdd::internal_logging::FatalLogMessage(__FILE__, __LINE__)     \
+          .stream()                                                \
+      << "Check failed: " #condition " "
+
+/// Convenience comparison checks that print both operands on failure.
+#define RDD_CHECK_OP(op, a, b)                                        \
+  if (!((a)op(b)))                                                    \
+  ::rdd::internal_logging::FatalLogMessage(__FILE__, __LINE__)        \
+          .stream()                                                   \
+      << "Check failed: " #a " " #op " " #b " (" << (a) << " vs "     \
+      << (b) << ") "
+
+#define RDD_CHECK_EQ(a, b) RDD_CHECK_OP(==, a, b)
+#define RDD_CHECK_NE(a, b) RDD_CHECK_OP(!=, a, b)
+#define RDD_CHECK_LT(a, b) RDD_CHECK_OP(<, a, b)
+#define RDD_CHECK_LE(a, b) RDD_CHECK_OP(<=, a, b)
+#define RDD_CHECK_GT(a, b) RDD_CHECK_OP(>, a, b)
+#define RDD_CHECK_GE(a, b) RDD_CHECK_OP(>=, a, b)
+
+}  // namespace rdd
+
+#endif  // RDD_UTIL_LOGGING_H_

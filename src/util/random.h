@@ -1,0 +1,69 @@
+#ifndef RDD_UTIL_RANDOM_H_
+#define RDD_UTIL_RANDOM_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace rdd {
+
+/// Deterministic, seedable pseudo-random generator used by every stochastic
+/// component in the library (weight init, dropout, graph/feature generation,
+/// data splits). Wraps a splitmix64-seeded xoshiro256** core so results are
+/// reproducible bit-for-bit across runs on a given platform, independent of
+/// the standard library's distribution implementations.
+class Rng {
+ public:
+  /// Constructs a generator from a 64-bit seed.
+  explicit Rng(uint64_t seed);
+
+  /// Next raw 64 random bits.
+  uint64_t NextU64();
+
+  /// Uniform double in [0, 1).
+  double Uniform();
+
+  /// Uniform double in [lo, hi).
+  double Uniform(double lo, double hi);
+
+  /// Uniform integer in [0, n). Requires n > 0.
+  int64_t UniformInt(int64_t n);
+
+  /// Standard normal sample (Box-Muller).
+  double Gaussian();
+
+  /// Normal sample with the given mean and standard deviation.
+  double Gaussian(double mean, double stddev);
+
+  /// Bernoulli trial with success probability p.
+  bool Bernoulli(double p);
+
+  /// Samples an index in [0, weights.size()) proportionally to `weights`.
+  /// Weights must be non-negative with a positive sum.
+  int64_t Categorical(const std::vector<double>& weights);
+
+  /// Fisher-Yates shuffle of `items` in place.
+  template <typename T>
+  void Shuffle(std::vector<T>* items) {
+    for (int64_t i = static_cast<int64_t>(items->size()) - 1; i > 0; --i) {
+      int64_t j = UniformInt(i + 1);
+      std::swap((*items)[i], (*items)[j]);
+    }
+  }
+
+  /// Samples `k` distinct indices from [0, n) in random order. Requires
+  /// 0 <= k <= n.
+  std::vector<int64_t> SampleWithoutReplacement(int64_t n, int64_t k);
+
+  /// Derives an independent child generator; used to fan a master seed out to
+  /// per-model / per-trial generators without correlated streams.
+  Rng Fork();
+
+ private:
+  uint64_t state_[4];
+  bool has_cached_gaussian_ = false;
+  double cached_gaussian_ = 0.0;
+};
+
+}  // namespace rdd
+
+#endif  // RDD_UTIL_RANDOM_H_

@@ -1,0 +1,42 @@
+#include "util/status.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace rdd {
+
+const char* StatusCodeToString(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kInvalidArgument:
+      return "InvalidArgument";
+    case StatusCode::kOutOfRange:
+      return "OutOfRange";
+    case StatusCode::kNotFound:
+      return "NotFound";
+    case StatusCode::kIoError:
+      return "IoError";
+    case StatusCode::kFailedPrecondition:
+      return "FailedPrecondition";
+    case StatusCode::kInternal:
+      return "Internal";
+  }
+  return "Unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out = StatusCodeToString(code_);
+  out += ": ";
+  out += message_;
+  return out;
+}
+
+void AbortOnBadStatusAccess(const Status& status) {
+  std::fprintf(stderr, "StatusOr accessed with error: %s\n",
+               status.ToString().c_str());
+  std::abort();
+}
+
+}  // namespace rdd

@@ -1,0 +1,132 @@
+#ifndef RDD_UTIL_STATUS_H_
+#define RDD_UTIL_STATUS_H_
+
+#include <string>
+#include <utility>
+
+namespace rdd {
+
+/// Error categories used across the library. Recoverable failures (bad user
+/// input, I/O problems, configuration mistakes) are reported through Status
+/// rather than exceptions; programmer errors abort via RDD_CHECK.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kOutOfRange = 2,
+  kNotFound = 3,
+  kIoError = 4,
+  kFailedPrecondition = 5,
+  kInternal = 6,
+};
+
+/// Returns a human-readable name for a status code ("InvalidArgument", ...).
+const char* StatusCodeToString(StatusCode code);
+
+/// A lightweight success-or-error result, modeled after the RocksDB/Abseil
+/// Status idiom. Ok statuses carry no allocation.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  /// Factory helpers for each error category.
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  /// True iff this status represents success.
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  /// Error message; empty for OK statuses.
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<Code>: <message>" for diagnostics.
+  std::string ToString() const;
+
+ private:
+  Status(StatusCode code, std::string msg)
+      : code_(code), message_(std::move(msg)) {}
+
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+/// Holds either a value of type T or an error Status. Callers must check
+/// ok() before dereferencing; dereferencing an errored StatusOr aborts.
+template <typename T>
+class StatusOr {
+ public:
+  /// Implicit construction from a value (success).
+  StatusOr(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit construction from an error status. `status` must not be OK.
+  StatusOr(Status status) : status_(std::move(status)) {}  // NOLINT
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  /// Accessors for the contained value. Must only be called when ok().
+  const T& value() const& {
+    AbortIfError();
+    return value_;
+  }
+  T& value() & {
+    AbortIfError();
+    return value_;
+  }
+  T&& value() && {
+    AbortIfError();
+    return std::move(value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  void AbortIfError() const;
+
+  Status status_;
+  T value_{};
+};
+
+/// Internal helper used by StatusOr::AbortIfError; defined in status.cc so
+/// the abort path is out of line.
+[[noreturn]] void AbortOnBadStatusAccess(const Status& status);
+
+template <typename T>
+void StatusOr<T>::AbortIfError() const {
+  if (!status_.ok()) AbortOnBadStatusAccess(status_);
+}
+
+/// Propagates an error status from an expression to the caller.
+#define RDD_RETURN_IF_ERROR(expr)                \
+  do {                                           \
+    ::rdd::Status _rdd_status = (expr);          \
+    if (!_rdd_status.ok()) return _rdd_status;   \
+  } while (false)
+
+}  // namespace rdd
+
+#endif  // RDD_UTIL_STATUS_H_

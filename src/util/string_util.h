@@ -1,0 +1,25 @@
+#ifndef RDD_UTIL_STRING_UTIL_H_
+#define RDD_UTIL_STRING_UTIL_H_
+
+#include <string>
+#include <vector>
+
+namespace rdd {
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// Joins `parts` with `sep` between consecutive elements.
+std::string StrJoin(const std::vector<std::string>& parts,
+                    const std::string& sep);
+
+/// Splits `text` on the single-character separator, keeping empty fields.
+std::vector<std::string> StrSplit(const std::string& text, char sep);
+
+/// Formats a double with `digits` places after the decimal point.
+std::string FormatDouble(double value, int digits);
+
+}  // namespace rdd
+
+#endif  // RDD_UTIL_STRING_UTIL_H_

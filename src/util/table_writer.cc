@@ -1,0 +1,88 @@
+#include "util/table_writer.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace rdd {
+
+TableWriter::TableWriter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+  RDD_CHECK(!headers_.empty());
+}
+
+void TableWriter::AddRow(std::vector<std::string> cells) {
+  RDD_CHECK_EQ(cells.size(), headers_.size());
+  rows_.push_back(Row{/*separator=*/false, std::move(cells)});
+}
+
+void TableWriter::AddSeparator() {
+  rows_.push_back(Row{/*separator=*/true, {}});
+}
+
+size_t TableWriter::num_rows() const {
+  size_t n = 0;
+  for (const Row& row : rows_) {
+    if (!row.separator) ++n;
+  }
+  return n;
+}
+
+std::string TableWriter::Render() const {
+  std::vector<size_t> widths(headers_.size());
+  for (size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const Row& row : rows_) {
+    if (row.separator) continue;
+    for (size_t c = 0; c < row.cells.size(); ++c) {
+      widths[c] = std::max(widths[c], row.cells[c].size());
+    }
+  }
+
+  auto render_rule = [&widths]() {
+    std::string line = "+";
+    for (size_t w : widths) {
+      line.append(w + 2, '-');
+      line += "+";
+    }
+    line += "\n";
+    return line;
+  };
+  auto render_cells = [&widths](const std::vector<std::string>& cells) {
+    std::string line = "|";
+    for (size_t c = 0; c < cells.size(); ++c) {
+      line += " " + cells[c];
+      line.append(widths[c] - cells[c].size() + 1, ' ');
+      line += "|";
+    }
+    line += "\n";
+    return line;
+  };
+
+  std::string out = render_rule();
+  out += render_cells(headers_);
+  out += render_rule();
+  for (const Row& row : rows_) {
+    out += row.separator ? render_rule() : render_cells(row.cells);
+  }
+  out += render_rule();
+  return out;
+}
+
+std::string TableWriter::RenderCsv() const {
+  auto render_line = [](const std::vector<std::string>& cells) {
+    std::string line;
+    for (size_t c = 0; c < cells.size(); ++c) {
+      if (c > 0) line += ",";
+      line += cells[c];
+    }
+    line += "\n";
+    return line;
+  };
+  std::string out = render_line(headers_);
+  for (const Row& row : rows_) {
+    if (!row.separator) out += render_line(row.cells);
+  }
+  return out;
+}
+
+}  // namespace rdd

@@ -1,0 +1,48 @@
+#ifndef RDD_UTIL_TABLE_WRITER_H_
+#define RDD_UTIL_TABLE_WRITER_H_
+
+#include <string>
+#include <vector>
+
+namespace rdd {
+
+/// Builds aligned, monospace result tables for the benchmark harnesses so
+/// that each bench binary can print rows in the same layout the paper uses.
+///
+///   TableWriter table({"Models", "Cora", "Citeseer"});
+///   table.AddRow({"GCN", "81.8", "70.8"});
+///   std::cout << table.Render();
+class TableWriter {
+ public:
+  /// Creates a table with the given column headers.
+  explicit TableWriter(std::vector<std::string> headers);
+
+  /// Appends a data row; must have exactly as many cells as there are
+  /// headers.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Appends a horizontal separator row.
+  void AddSeparator();
+
+  /// Number of data rows added so far (separators excluded).
+  size_t num_rows() const;
+
+  /// Renders the table with aligned columns, a header rule, and a border.
+  std::string Render() const;
+
+  /// Renders as comma-separated values (header + data rows, no separators).
+  std::string RenderCsv() const;
+
+ private:
+  struct Row {
+    bool separator = false;
+    std::vector<std::string> cells;
+  };
+
+  std::vector<std::string> headers_;
+  std::vector<Row> rows_;
+};
+
+}  // namespace rdd
+
+#endif  // RDD_UTIL_TABLE_WRITER_H_

@@ -1,0 +1,32 @@
+#ifndef RDD_UTIL_TIMER_H_
+#define RDD_UTIL_TIMER_H_
+
+#include <chrono>
+
+namespace rdd {
+
+/// Simple monotonic wall-clock timer for measuring training phases.
+class WallTimer {
+ public:
+  /// Starts (or restarts) the timer.
+  WallTimer() : start_(Clock::now()) {}
+
+  /// Resets the start point to now.
+  void Restart() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last Restart().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Milliseconds elapsed since construction or the last Restart().
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace rdd
+
+#endif  // RDD_UTIL_TIMER_H_

@@ -1,0 +1,356 @@
+#include "autograd/ops.h"
+#include "autograd/variable.h"
+
+#include <cmath>
+#include <functional>
+
+#include <gtest/gtest.h>
+
+#include "tensor/ops.h"
+#include "tensor/sparse.h"
+#include "util/random.h"
+
+namespace rdd {
+namespace {
+
+Matrix RandomMatrix(int64_t rows, int64_t cols, Rng* rng) {
+  Matrix m(rows, cols);
+  for (int64_t i = 0; i < m.size(); ++i) {
+    m.Data()[i] = static_cast<float>(rng->Gaussian());
+  }
+  return m;
+}
+
+/// Checks d(scalar_fn)/d(leaf) against central finite differences. The
+/// function is re-evaluated from scratch for each perturbed entry, so it
+/// must be deterministic.
+void CheckGradient(
+    const std::function<Variable(const Variable&)>& scalar_fn, Matrix at,
+    double rel_tol = 2e-2, double abs_tol = 2e-3) {
+  Variable leaf(at, /*requires_grad=*/true);
+  Variable loss = scalar_fn(leaf);
+  loss.Backward();
+  const Matrix analytic = leaf.grad();
+
+  const float eps = 1e-2f;
+  for (int64_t i = 0; i < at.size(); ++i) {
+    Matrix plus = at;
+    plus.Data()[i] += eps;
+    Matrix minus = at;
+    minus.Data()[i] -= eps;
+    const double f_plus =
+        scalar_fn(Variable(plus, true)).value().At(0, 0);
+    const double f_minus =
+        scalar_fn(Variable(minus, true)).value().At(0, 0);
+    const double numeric = (f_plus - f_minus) / (2.0 * eps);
+    const double got = analytic.Data()[i];
+    const double scale = std::max({1.0, std::fabs(numeric), std::fabs(got)});
+    EXPECT_NEAR(got, numeric, std::max(abs_tol, rel_tol * scale))
+        << "entry " << i;
+  }
+}
+
+TEST(VariableTest, LeafHoldsValue) {
+  Variable v(Matrix(2, 2, {1, 2, 3, 4}), true);
+  EXPECT_TRUE(v.defined());
+  EXPECT_TRUE(v.requires_grad());
+  EXPECT_EQ(v.rows(), 2);
+  EXPECT_EQ(v.value().At(1, 1), 4.0f);
+}
+
+TEST(VariableTest, UndefinedByDefault) {
+  Variable v;
+  EXPECT_FALSE(v.defined());
+}
+
+TEST(VariableTest, GradStartsZero) {
+  Variable v(Matrix(2, 2), true);
+  EXPECT_TRUE(v.grad().Equals(Matrix(2, 2)));
+}
+
+TEST(VariableTest, BackwardThroughSumAll) {
+  Variable v(Matrix(2, 3, {1, 2, 3, 4, 5, 6}), true);
+  ag::SumAll(v).Backward();
+  EXPECT_TRUE(v.grad().Equals(Matrix::Constant(2, 3, 1.0f)));
+}
+
+TEST(VariableTest, RepeatedBackwardResetsGradients) {
+  Variable v(Matrix(1, 2, {1, 1}), true);
+  ag::SumAll(ag::Scale(v, 2.0f)).Backward();
+  EXPECT_TRUE(v.grad().Equals(Matrix::Constant(1, 2, 2.0f)));
+  // A second tape rooted at the same leaf must not double-accumulate.
+  ag::SumAll(ag::Scale(v, 3.0f)).Backward();
+  EXPECT_TRUE(v.grad().Equals(Matrix::Constant(1, 2, 3.0f)));
+}
+
+TEST(VariableTest, DiamondGraphAccumulates) {
+  // loss = sum(v + v) -> d/dv = 2 everywhere.
+  Variable v(Matrix(1, 2, {1, 5}), true);
+  ag::SumAll(ag::Add(v, v)).Backward();
+  EXPECT_TRUE(v.grad().Equals(Matrix::Constant(1, 2, 2.0f)));
+}
+
+TEST(VariableDeathTest, BackwardRequiresScalar) {
+  Variable v(Matrix(2, 2), true);
+  EXPECT_DEATH(v.Backward(), "Check failed");
+}
+
+TEST(AutogradGradcheck, MatmulBothInputs) {
+  Rng rng(10);
+  const Matrix a0 = RandomMatrix(3, 4, &rng);
+  const Matrix b0 = RandomMatrix(4, 2, &rng);
+  CheckGradient(
+      [&b0](const Variable& a) {
+        return ag::SumAll(ag::Matmul(a, Variable(b0, true)));
+      },
+      a0);
+  CheckGradient(
+      [&a0](const Variable& b) {
+        return ag::SumAll(ag::Matmul(Variable(a0, true), b));
+      },
+      b0);
+}
+
+TEST(AutogradGradcheck, SpmmConst) {
+  Rng rng(11);
+  const SparseMatrix s = SparseMatrix::FromCoo(
+      3, 4,
+      {{0, 0, 1.5f}, {0, 3, -2.0f}, {1, 1, 0.5f}, {2, 0, 1.0f}, {2, 2, 3.0f}});
+  CheckGradient(
+      [&s](const Variable& b) { return ag::SumAll(ag::SpmmConst(&s, b)); },
+      RandomMatrix(4, 3, &rng));
+}
+
+TEST(AutogradGradcheck, AddAndSub) {
+  Rng rng(12);
+  const Matrix other = RandomMatrix(2, 3, &rng);
+  CheckGradient(
+      [&other](const Variable& a) {
+        return ag::SumAll(ag::Add(a, Variable(other, true)));
+      },
+      RandomMatrix(2, 3, &rng));
+  CheckGradient(
+      [&other](const Variable& a) {
+        // Weight the output so the Sub gradient isn't trivially 1.
+        return ag::SumAll(
+            ag::Matmul(ag::Sub(Variable(other, true), a),
+                       Variable(Matrix(3, 1, {1, 2, 3}), false)));
+      },
+      RandomMatrix(2, 3, &rng));
+}
+
+TEST(AutogradGradcheck, AddBias) {
+  Rng rng(13);
+  const Matrix x0 = RandomMatrix(4, 3, &rng);
+  CheckGradient(
+      [&x0](const Variable& bias) {
+        return ag::SumAll(
+            ag::Matmul(ag::AddBias(Variable(x0, true), bias),
+                       Variable(Matrix(3, 1, {1, -2, 3}), false)));
+      },
+      RandomMatrix(1, 3, &rng));
+}
+
+TEST(AutogradGradcheck, Scale) {
+  Rng rng(14);
+  CheckGradient(
+      [](const Variable& a) { return ag::SumAll(ag::Scale(a, -2.5f)); },
+      RandomMatrix(2, 2, &rng));
+}
+
+TEST(AutogradGradcheck, ReluAwayFromKink) {
+  Rng rng(15);
+  Matrix x = RandomMatrix(3, 3, &rng);
+  // Keep entries away from 0 where ReLU is non-differentiable.
+  for (int64_t i = 0; i < x.size(); ++i) {
+    if (std::fabs(x.Data()[i]) < 0.2f) x.Data()[i] = 0.5f;
+  }
+  CheckGradient(
+      [](const Variable& a) { return ag::SumAll(ag::Relu(a)); }, x);
+}
+
+TEST(AutogradGradcheck, ConcatCols) {
+  Rng rng(16);
+  const Matrix b0 = RandomMatrix(3, 2, &rng);
+  const Matrix weights(4, 1, {1, -1, 2, 0.5});
+  CheckGradient(
+      [&](const Variable& a) {
+        return ag::SumAll(ag::Matmul(
+            ag::ConcatCols(a, Variable(b0, true)), Variable(weights, false)));
+      },
+      RandomMatrix(3, 2, &rng));
+  const Matrix a0 = RandomMatrix(3, 2, &rng);
+  CheckGradient(
+      [&](const Variable& b) {
+        return ag::SumAll(ag::Matmul(
+            ag::ConcatCols(Variable(a0, true), b), Variable(weights, false)));
+      },
+      b0);
+}
+
+TEST(AutogradGradcheck, SoftmaxCrossEntropy) {
+  Rng rng(17);
+  const std::vector<int64_t> labels = {0, 2, 1, 2};
+  const std::vector<int64_t> indices = {0, 1, 3};
+  for (ag::Reduction reduction :
+       {ag::Reduction::kMean, ag::Reduction::kSum}) {
+    CheckGradient(
+        [&](const Variable& logits) {
+          return ag::SoftmaxCrossEntropy(logits, labels, indices, reduction);
+        },
+        RandomMatrix(4, 3, &rng));
+  }
+}
+
+TEST(AutogradGradcheck, RowSquaredError) {
+  Rng rng(18);
+  const Matrix target = RandomMatrix(4, 3, &rng);
+  const std::vector<int64_t> indices = {1, 3};
+  for (ag::Reduction reduction :
+       {ag::Reduction::kMean, ag::Reduction::kSum}) {
+    CheckGradient(
+        [&](const Variable& pred) {
+          return ag::RowSquaredError(pred, target, indices, reduction);
+        },
+        RandomMatrix(4, 3, &rng));
+  }
+}
+
+TEST(AutogradGradcheck, EdgeLaplacian) {
+  Rng rng(19);
+  const std::vector<std::pair<int64_t, int64_t>> edges = {{0, 1}, {1, 2},
+                                                          {0, 3}};
+  for (ag::Reduction reduction :
+       {ag::Reduction::kMean, ag::Reduction::kSum}) {
+    CheckGradient(
+        [&](const Variable& emb) {
+          return ag::EdgeLaplacian(emb, edges, reduction);
+        },
+        RandomMatrix(4, 3, &rng));
+  }
+}
+
+TEST(AutogradGradcheck, Softmax) {
+  Rng rng(30);
+  const Matrix weights = RandomMatrix(3, 1, &rng);
+  CheckGradient(
+      [&](const Variable& logits) {
+        return ag::SumAll(
+            ag::Matmul(ag::Softmax(logits), Variable(weights, false)));
+      },
+      RandomMatrix(4, 3, &rng));
+}
+
+TEST(SoftmaxOpTest, ForwardMatchesKernel) {
+  Rng rng(31);
+  const Matrix logits = RandomMatrix(5, 4, &rng);
+  Variable v(logits, false);
+  EXPECT_TRUE(ag::Softmax(v).value().ApproxEquals(SoftmaxRows(logits), 1e-6f));
+}
+
+TEST(AutogradGradcheck, SoftCrossEntropy) {
+  Rng rng(20);
+  Matrix target = SoftmaxRows(RandomMatrix(3, 4, &rng));
+  const std::vector<int64_t> indices = {0, 2};
+  CheckGradient(
+      [&](const Variable& logits) {
+        return ag::SoftCrossEntropy(logits, target, indices,
+                                    ag::Reduction::kMean);
+      },
+      RandomMatrix(3, 4, &rng));
+}
+
+TEST(AutogradGradcheck, WeightedSum) {
+  Rng rng(21);
+  const Matrix b0 = RandomMatrix(2, 2, &rng);
+  CheckGradient(
+      [&](const Variable& a) {
+        Variable term1 = ag::SumAll(a);
+        Variable term2 = ag::SumAll(ag::Matmul(a, Variable(b0, false)));
+        return ag::WeightedSum({term1, term2}, {0.5f, 2.0f});
+      },
+      RandomMatrix(2, 2, &rng));
+}
+
+TEST(AutogradGradcheck, TwoLayerComposition) {
+  // A miniature GCN-shaped computation: relu(S X W1) W2 with CE loss.
+  Rng rng(22);
+  const SparseMatrix s = SparseMatrix::FromCoo(
+      3, 3, {{0, 0, 0.5f}, {0, 1, 0.5f}, {1, 1, 1.0f}, {2, 0, 0.3f},
+             {2, 2, 0.7f}});
+  const Matrix x0 = RandomMatrix(3, 4, &rng);
+  const Matrix w2_0 = RandomMatrix(5, 2, &rng);
+  const std::vector<int64_t> labels = {0, 1, 0};
+  const std::vector<int64_t> indices = {0, 1, 2};
+  CheckGradient(
+      [&](const Variable& w1) {
+        Variable h = ag::Relu(ag::SpmmConst(&s, ag::Matmul(
+            Variable(x0, false), w1)));
+        Variable logits = ag::Matmul(h, Variable(w2_0, false));
+        return ag::SoftmaxCrossEntropy(logits, labels, indices,
+                                       ag::Reduction::kMean);
+      },
+      RandomMatrix(4, 5, &rng));
+}
+
+TEST(DropoutTest, EvalModeIsIdentity) {
+  Rng rng(23);
+  Variable v(RandomMatrix(3, 3, &rng), true);
+  Variable out = ag::Dropout(v, 0.5f, /*training=*/false, &rng);
+  EXPECT_TRUE(out.value().Equals(v.value()));
+}
+
+TEST(DropoutTest, ZeroRateIsIdentity) {
+  Rng rng(24);
+  Variable v(RandomMatrix(3, 3, &rng), true);
+  Variable out = ag::Dropout(v, 0.0f, /*training=*/true, &rng);
+  EXPECT_TRUE(out.value().Equals(v.value()));
+}
+
+TEST(DropoutTest, TrainingZeroesAndRescales) {
+  Rng rng(25);
+  Variable v(Matrix::Constant(50, 50, 1.0f), true);
+  const float rate = 0.4f;
+  Variable out = ag::Dropout(v, rate, /*training=*/true, &rng);
+  int64_t zeros = 0;
+  const float keep_scale = 1.0f / (1.0f - rate);
+  for (int64_t i = 0; i < out.value().size(); ++i) {
+    const float x = out.value().Data()[i];
+    if (x == 0.0f) {
+      ++zeros;
+    } else {
+      EXPECT_FLOAT_EQ(x, keep_scale);
+    }
+  }
+  const double zero_fraction =
+      static_cast<double>(zeros) / static_cast<double>(out.value().size());
+  EXPECT_NEAR(zero_fraction, rate, 0.05);
+}
+
+TEST(DropoutTest, BackwardUsesSameMask) {
+  Rng rng(26);
+  Variable v(Matrix::Constant(10, 10, 2.0f), true);
+  Variable out = ag::Dropout(v, 0.5f, /*training=*/true, &rng);
+  ag::SumAll(out).Backward();
+  // Gradient must be exactly (mask value): 0 where dropped, 2 where kept.
+  for (int64_t i = 0; i < v.grad().size(); ++i) {
+    const float g = v.grad().Data()[i];
+    const float y = out.value().Data()[i];
+    if (y == 0.0f) {
+      EXPECT_EQ(g, 0.0f);
+    } else {
+      EXPECT_FLOAT_EQ(g, 2.0f);
+    }
+  }
+}
+
+TEST(AutogradTest, GradientsDoNotFlowToFrozenLeaves) {
+  Variable frozen(Matrix(2, 2, {1, 2, 3, 4}), /*requires_grad=*/false);
+  Variable trainable(Matrix(2, 2, {1, 1, 1, 1}), /*requires_grad=*/true);
+  ag::SumAll(ag::Matmul(frozen, trainable)).Backward();
+  EXPECT_TRUE(frozen.grad().Equals(Matrix(2, 2)));
+  EXPECT_FALSE(trainable.grad().Equals(Matrix(2, 2)));
+}
+
+}  // namespace
+}  // namespace rdd

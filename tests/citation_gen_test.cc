@@ -1,0 +1,168 @@
+#include "data/citation_gen.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/components.h"
+#include "graph/metrics.h"
+
+namespace rdd {
+namespace {
+
+/// A small config that keeps generator tests fast.
+CitationGenConfig SmallConfig() {
+  CitationGenConfig config;
+  config.name = "small";
+  config.num_nodes = 600;
+  config.num_features = 200;
+  config.num_edges = 1500;
+  config.num_classes = 4;
+  config.labeled_per_class = 10;
+  config.val_size = 80;
+  config.test_size = 120;
+  return config;
+}
+
+TEST(CitationGenTest, ShapesMatchConfig) {
+  const CitationGenConfig config = SmallConfig();
+  const Dataset d = GenerateCitationNetwork(config, 1);
+  EXPECT_EQ(d.NumNodes(), config.num_nodes);
+  EXPECT_EQ(d.FeatureDim(), config.num_features);
+  EXPECT_EQ(d.graph.num_edges(), config.num_edges);
+  EXPECT_EQ(d.num_classes, config.num_classes);
+  EXPECT_EQ(static_cast<int64_t>(d.split.train.size()),
+            config.num_classes * config.labeled_per_class);
+  EXPECT_EQ(static_cast<int64_t>(d.split.val.size()), config.val_size);
+  EXPECT_EQ(static_cast<int64_t>(d.split.test.size()), config.test_size);
+}
+
+TEST(CitationGenTest, ValidatesCleanly) {
+  const Dataset d = GenerateCitationNetwork(SmallConfig(), 2);
+  std::string error;
+  EXPECT_TRUE(ValidateDataset(d, &error)) << error;
+}
+
+TEST(CitationGenTest, DeterministicForSeed) {
+  const Dataset a = GenerateCitationNetwork(SmallConfig(), 7);
+  const Dataset b = GenerateCitationNetwork(SmallConfig(), 7);
+  EXPECT_EQ(a.labels, b.labels);
+  EXPECT_EQ(a.graph.num_edges(), b.graph.num_edges());
+  EXPECT_EQ(a.split.train, b.split.train);
+  EXPECT_EQ(a.features.nnz(), b.features.nnz());
+}
+
+TEST(CitationGenTest, DifferentSeedsDiffer) {
+  const Dataset a = GenerateCitationNetwork(SmallConfig(), 7);
+  const Dataset b = GenerateCitationNetwork(SmallConfig(), 8);
+  EXPECT_NE(a.labels, b.labels);
+}
+
+TEST(CitationGenTest, HomophilyNearConfigured) {
+  CitationGenConfig config = SmallConfig();
+  config.homophily = 0.75;
+  const Dataset d = GenerateCitationNetwork(config, 3);
+  EXPECT_NEAR(EdgeHomophily(d.graph, d.labels), 0.75, 0.08);
+}
+
+TEST(CitationGenTest, FeaturesAreSparseBinary) {
+  const Dataset d = GenerateCitationNetwork(SmallConfig(), 4);
+  for (float v : d.features.values()) EXPECT_EQ(v, 1.0f);
+  // Density well below 20%.
+  EXPECT_LT(d.features.nnz(),
+            d.NumNodes() * d.FeatureDim() / 5);
+  // Every node has at least one word.
+  for (int64_t i = 0; i < d.NumNodes(); ++i) {
+    EXPECT_GE(d.features.RowNnz(i), 1) << "node " << i;
+  }
+}
+
+TEST(CitationGenTest, OneHotFeatureMode) {
+  CitationGenConfig config = SmallConfig();
+  config.one_hot_features = true;
+  config.num_features = config.num_nodes;
+  const Dataset d = GenerateCitationNetwork(config, 5);
+  EXPECT_EQ(d.features.nnz(), d.NumNodes());
+  for (int64_t i = 0; i < d.NumNodes(); ++i) {
+    EXPECT_EQ(d.features.At(i, i), 1.0f);
+  }
+}
+
+TEST(CitationGenTest, LabeledFractionOverridesPerClass) {
+  CitationGenConfig config = SmallConfig();
+  config.labeled_fraction = 0.1;
+  const Dataset d = GenerateCitationNetwork(config, 6);
+  // ~10% of 600 nodes, rounded up per class.
+  EXPECT_GE(static_cast<int64_t>(d.split.train.size()), 60);
+  EXPECT_LE(static_cast<int64_t>(d.split.train.size()), 70);
+}
+
+TEST(CitationGenTest, ClassImbalanceSkewssSizes) {
+  CitationGenConfig config = SmallConfig();
+  config.class_imbalance = 1.0;
+  const Dataset d = GenerateCitationNetwork(config, 9);
+  std::vector<int64_t> counts(static_cast<size_t>(d.num_classes), 0);
+  for (int64_t y : d.labels) ++counts[static_cast<size_t>(y)];
+  EXPECT_GT(counts[0], counts[static_cast<size_t>(d.num_classes - 1)]);
+}
+
+TEST(CitationGenTest, MostNodesInGiantComponent) {
+  const Dataset d = GenerateCitationNetwork(SmallConfig(), 10);
+  const ComponentsResult cc = ConnectedComponents(d.graph);
+  int64_t largest = 0;
+  for (int64_t s : cc.component_sizes) largest = std::max(largest, s);
+  EXPECT_GT(largest, d.NumNodes() / 2);
+}
+
+TEST(PresetTest, CoraLikeMatchesTable2) {
+  const CitationGenConfig config = CoraLikeConfig();
+  EXPECT_EQ(config.num_nodes, 2708);
+  EXPECT_EQ(config.num_features, 1433);
+  EXPECT_EQ(config.num_edges, 5429);
+  EXPECT_EQ(config.num_classes, 7);
+  EXPECT_EQ(config.labeled_per_class, 20);
+  EXPECT_EQ(config.val_size, 500);
+  EXPECT_EQ(config.test_size, 1000);
+}
+
+TEST(PresetTest, CiteseerLikeMatchesTable2) {
+  const CitationGenConfig config = CiteseerLikeConfig();
+  EXPECT_EQ(config.num_nodes, 3327);
+  EXPECT_EQ(config.num_features, 3703);
+  EXPECT_EQ(config.num_edges, 4732);
+  EXPECT_EQ(config.num_classes, 6);
+}
+
+TEST(PresetTest, PubmedLikeMatchesTable2) {
+  const CitationGenConfig config = PubmedLikeConfig();
+  EXPECT_EQ(config.num_nodes, 19717);
+  EXPECT_EQ(config.num_features, 500);
+  EXPECT_EQ(config.num_edges, 44338);
+  EXPECT_EQ(config.num_classes, 3);
+}
+
+TEST(PresetTest, NellLikeFullScaleMatchesTable2) {
+  const CitationGenConfig config = NellLikeConfig(1.0);
+  EXPECT_EQ(config.num_nodes, 65755);
+  EXPECT_EQ(config.num_edges, 266144);
+  EXPECT_EQ(config.num_classes, 210);
+  EXPECT_TRUE(config.one_hot_features);
+  EXPECT_DOUBLE_EQ(config.labeled_fraction, 0.10);
+}
+
+TEST(PresetTest, NellLikeScalesProportionally) {
+  const CitationGenConfig full = NellLikeConfig(1.0);
+  const CitationGenConfig half = NellLikeConfig(0.5);
+  EXPECT_NEAR(static_cast<double>(half.num_nodes),
+              static_cast<double>(full.num_nodes) / 2.0, 2.0);
+  EXPECT_NEAR(static_cast<double>(half.num_classes),
+              static_cast<double>(full.num_classes) / 2.0, 1.0);
+}
+
+TEST(PresetTest, NellLikeSmallScaleGenerates) {
+  const Dataset d = GenerateCitationNetwork(NellLikeConfig(0.03), 11);
+  std::string error;
+  EXPECT_TRUE(ValidateDataset(d, &error)) << error;
+  EXPECT_EQ(d.FeatureDim(), d.NumNodes());  // One-hot.
+}
+
+}  // namespace
+}  // namespace rdd

@@ -1,0 +1,51 @@
+#include "graph/components.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+
+namespace rdd {
+namespace {
+
+TEST(ComponentsTest, EmptyGraph) {
+  const ComponentsResult result = ConnectedComponents(Graph());
+  EXPECT_EQ(result.num_components, 0);
+  EXPECT_TRUE(result.component_of.empty());
+}
+
+TEST(ComponentsTest, SingleComponent) {
+  const ComponentsResult result = ConnectedComponents(MakePathGraph(5));
+  EXPECT_EQ(result.num_components, 1);
+  EXPECT_EQ(result.component_sizes[0], 5);
+  for (int64_t c : result.component_of) EXPECT_EQ(c, 0);
+}
+
+TEST(ComponentsTest, DisconnectedPieces) {
+  // {0,1} and {2,3,4} and isolated {5}.
+  const Graph g(6, {{0, 1}, {2, 3}, {3, 4}});
+  const ComponentsResult result = ConnectedComponents(g);
+  EXPECT_EQ(result.num_components, 3);
+  EXPECT_EQ(result.component_of[0], result.component_of[1]);
+  EXPECT_EQ(result.component_of[2], result.component_of[4]);
+  EXPECT_NE(result.component_of[0], result.component_of[2]);
+  EXPECT_NE(result.component_of[5], result.component_of[0]);
+  EXPECT_EQ(result.component_sizes[result.component_of[5]], 1);
+}
+
+TEST(ComponentsTest, SizesSumToNodeCount) {
+  const Graph g(7, {{0, 1}, {2, 3}, {4, 5}});
+  const ComponentsResult result = ConnectedComponents(g);
+  int64_t total = 0;
+  for (int64_t s : result.component_sizes) total += s;
+  EXPECT_EQ(total, 7);
+}
+
+TEST(ComponentsTest, IdsAssignedInFirstAppearanceOrder) {
+  const Graph g(4, {{0, 3}, {1, 2}});
+  const ComponentsResult result = ConnectedComponents(g);
+  EXPECT_EQ(result.component_of[0], 0);
+  EXPECT_EQ(result.component_of[1], 1);
+}
+
+}  // namespace
+}  // namespace rdd

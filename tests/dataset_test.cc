@@ -1,0 +1,148 @@
+#include "data/dataset.h"
+
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+
+namespace rdd {
+namespace {
+
+Dataset TinyDataset() {
+  Dataset d;
+  d.name = "tiny";
+  d.graph = MakePathGraph(6);
+  d.features = SparseMatrix::FromCoo(6, 2, {{0, 0, 1.0f}, {5, 1, 1.0f}});
+  d.labels = {0, 0, 0, 1, 1, 1};
+  d.num_classes = 2;
+  d.split.train = {0, 3};
+  d.split.val = {1, 4};
+  d.split.test = {2, 5};
+  return d;
+}
+
+TEST(DatasetTest, BasicAccessors) {
+  const Dataset d = TinyDataset();
+  EXPECT_EQ(d.NumNodes(), 6);
+  EXPECT_EQ(d.FeatureDim(), 2);
+  EXPECT_NEAR(d.LabelRate(), 2.0 / 6.0, 1e-12);
+}
+
+TEST(DatasetTest, UnlabeledNodes) {
+  const Dataset d = TinyDataset();
+  const std::vector<int64_t> expected = {1, 2, 4, 5};
+  EXPECT_EQ(d.UnlabeledNodes(), expected);
+}
+
+TEST(DatasetTest, TrainMask) {
+  const Dataset d = TinyDataset();
+  const std::vector<bool> mask = d.TrainMask();
+  EXPECT_TRUE(mask[0]);
+  EXPECT_TRUE(mask[3]);
+  EXPECT_FALSE(mask[1]);
+  EXPECT_FALSE(mask[5]);
+}
+
+TEST(ValidateDatasetTest, AcceptsValid) {
+  std::string error;
+  EXPECT_TRUE(ValidateDataset(TinyDataset(), &error)) << error;
+  EXPECT_TRUE(error.empty());
+}
+
+TEST(ValidateDatasetTest, RejectsFeatureRowMismatch) {
+  Dataset d = TinyDataset();
+  d.features = SparseMatrix::FromCoo(5, 2, {});
+  std::string error;
+  EXPECT_FALSE(ValidateDataset(d, &error));
+  EXPECT_NE(error.find("feature rows"), std::string::npos);
+}
+
+TEST(ValidateDatasetTest, RejectsLabelOutOfRange) {
+  Dataset d = TinyDataset();
+  d.labels[2] = 9;
+  std::string error;
+  EXPECT_FALSE(ValidateDataset(d, &error));
+}
+
+TEST(ValidateDatasetTest, RejectsOverlappingSplits) {
+  Dataset d = TinyDataset();
+  d.split.val.push_back(0);  // Also in train.
+  std::string error;
+  EXPECT_FALSE(ValidateDataset(d, &error));
+  EXPECT_NE(error.find("overlap"), std::string::npos);
+}
+
+TEST(ValidateDatasetTest, RejectsSplitIndexOutOfRange) {
+  Dataset d = TinyDataset();
+  d.split.test.push_back(6);
+  std::string error;
+  EXPECT_FALSE(ValidateDataset(d, &error));
+}
+
+class PlanetoidSplitTest : public ::testing::TestWithParam<int64_t> {};
+
+TEST_P(PlanetoidSplitTest, PerClassCountsRespected) {
+  const int64_t per_class = GetParam();
+  Rng rng(31);
+  std::vector<int64_t> labels(300);
+  for (size_t i = 0; i < labels.size(); ++i) {
+    labels[i] = static_cast<int64_t>(i % 3);
+  }
+  const Split split =
+      MakePlanetoidSplit(labels, 3, per_class, 50, 80, &rng);
+  EXPECT_EQ(static_cast<int64_t>(split.train.size()), 3 * per_class);
+  EXPECT_EQ(split.val.size(), 50u);
+  EXPECT_EQ(split.test.size(), 80u);
+  // Exactly per_class from each class.
+  std::vector<int64_t> counts(3, 0);
+  for (int64_t i : split.train) ++counts[static_cast<size_t>(labels[i])];
+  for (int64_t c : counts) EXPECT_EQ(c, per_class);
+}
+
+INSTANTIATE_TEST_SUITE_P(Counts, PlanetoidSplitTest,
+                         ::testing::Values(1, 5, 20, 50));
+
+TEST(PlanetoidSplitTest, SplitsAreDisjoint) {
+  Rng rng(37);
+  std::vector<int64_t> labels(200);
+  for (size_t i = 0; i < labels.size(); ++i) {
+    labels[i] = static_cast<int64_t>(i % 4);
+  }
+  const Split split = MakePlanetoidSplit(labels, 4, 10, 40, 60, &rng);
+  std::set<int64_t> all;
+  for (const auto* part : {&split.train, &split.val, &split.test}) {
+    for (int64_t i : *part) EXPECT_TRUE(all.insert(i).second);
+  }
+}
+
+TEST(StratifiedSplitTest, HonorsPerClassVector) {
+  Rng rng(41);
+  std::vector<int64_t> labels(100);
+  for (size_t i = 0; i < labels.size(); ++i) {
+    labels[i] = i < 60 ? 0 : 1;
+  }
+  const Split split = MakeStratifiedSplit(labels, {6, 4}, 10, 10, &rng);
+  std::vector<int64_t> counts(2, 0);
+  for (int64_t i : split.train) ++counts[static_cast<size_t>(labels[i])];
+  EXPECT_EQ(counts[0], 6);
+  EXPECT_EQ(counts[1], 4);
+}
+
+TEST(StratifiedSplitDeathTest, TooFewNodesAborts) {
+  Rng rng(43);
+  std::vector<int64_t> labels = {0, 0, 1};
+  EXPECT_DEATH(MakeStratifiedSplit(labels, {3, 2}, 0, 0, &rng),
+               "too few nodes");
+}
+
+TEST(StratifiedSplitDeathTest, ValTestOverflowAborts) {
+  Rng rng(47);
+  std::vector<int64_t> labels = {0, 0, 0, 0, 1, 1};
+  EXPECT_DEATH(MakeStratifiedSplit(labels, {1, 1}, 3, 3, &rng),
+               "not enough nodes");
+}
+
+}  // namespace
+}  // namespace rdd

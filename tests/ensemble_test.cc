@@ -1,0 +1,259 @@
+#include "ensemble/ensemble.h"
+
+#include <gtest/gtest.h>
+
+#include "data/citation_gen.h"
+#include "ensemble/bagging.h"
+#include "ensemble/bans.h"
+#include "ensemble/co_training.h"
+#include "ensemble/mean_teacher.h"
+#include "ensemble/self_training.h"
+#include "ensemble/snapshot.h"
+
+namespace rdd {
+namespace {
+
+TEST(SoftmaxEnsembleTest, SingleMemberIsIdentity) {
+  SoftmaxEnsemble ensemble;
+  const Matrix probs(2, 2, {0.6f, 0.4f, 0.1f, 0.9f});
+  ensemble.AddMember(probs, 2.0);
+  EXPECT_EQ(ensemble.size(), 1);
+  EXPECT_TRUE(ensemble.CombinedProbs().ApproxEquals(probs, 1e-6f));
+}
+
+TEST(SoftmaxEnsembleTest, WeightsAreNormalized) {
+  SoftmaxEnsemble ensemble;
+  ensemble.AddMember(Matrix(1, 2, {1.0f, 0.0f}), 1.0);
+  ensemble.AddMember(Matrix(1, 2, {0.0f, 1.0f}), 1.0);
+  const Matrix combined = ensemble.CombinedProbs();
+  EXPECT_NEAR(combined.At(0, 0), 0.5f, 1e-6f);
+  EXPECT_NEAR(combined.At(0, 1), 0.5f, 1e-6f);
+}
+
+TEST(SoftmaxEnsembleTest, HigherWeightDominates) {
+  SoftmaxEnsemble ensemble;
+  ensemble.AddMember(Matrix(1, 2, {1.0f, 0.0f}), 9.0);
+  ensemble.AddMember(Matrix(1, 2, {0.0f, 1.0f}), 1.0);
+  EXPECT_NEAR(ensemble.CombinedProbs().At(0, 0), 0.9f, 1e-6f);
+}
+
+TEST(SoftmaxEnsembleTest, MajorityVoteCorrectsMinorityError) {
+  SoftmaxEnsemble ensemble;
+  // Two members right, one wrong, uniform weights.
+  ensemble.AddMember(Matrix(1, 2, {0.8f, 0.2f}), 1.0);
+  ensemble.AddMember(Matrix(1, 2, {0.7f, 0.3f}), 1.0);
+  ensemble.AddMember(Matrix(1, 2, {0.1f, 0.9f}), 1.0);
+  EXPECT_DOUBLE_EQ(ensemble.Accuracy({0}, {0}), 1.0);
+}
+
+TEST(SoftmaxEnsembleTest, AverageMemberAccuracy) {
+  SoftmaxEnsemble ensemble;
+  ensemble.AddMember(Matrix(1, 2, {0.8f, 0.2f}), 1.0);
+  ensemble.AddMember(Matrix(1, 2, {0.2f, 0.8f}), 1.0);
+  EXPECT_DOUBLE_EQ(ensemble.AverageMemberAccuracy({0}, {0}), 0.5);
+}
+
+TEST(SoftmaxEnsembleDeathTest, MismatchedShapesAbort) {
+  SoftmaxEnsemble ensemble;
+  ensemble.AddMember(Matrix(2, 2), 1.0);
+  EXPECT_DEATH(ensemble.AddMember(Matrix(3, 2), 1.0), "Check failed");
+}
+
+TEST(SoftmaxEnsembleDeathTest, NonPositiveWeightAborts) {
+  SoftmaxEnsemble ensemble;
+  EXPECT_DEATH(ensemble.AddMember(Matrix(1, 1), -1.0), "Check failed");
+}
+
+TEST(SelectConfidentPerClassTest, PicksTopConfidencePerClass) {
+  // 4 nodes, 2 classes.
+  const Matrix probs(4, 2, {0.9f, 0.1f,    // class 0, conf 0.9
+                            0.6f, 0.4f,    // class 0, conf 0.6
+                            0.2f, 0.8f,    // class 1, conf 0.8
+                            0.45f, 0.55f});  // class 1, conf 0.55
+  const auto picks = SelectConfidentPerClass(
+      probs, 2, 1, std::vector<bool>(4, false));
+  ASSERT_EQ(picks.size(), 2u);
+  EXPECT_EQ(picks[0], (std::pair<int64_t, int64_t>{0, 0}));
+  EXPECT_EQ(picks[1], (std::pair<int64_t, int64_t>{2, 1}));
+}
+
+TEST(SelectConfidentPerClassTest, RespectsExclusion) {
+  const Matrix probs(2, 2, {0.9f, 0.1f, 0.8f, 0.2f});
+  const auto picks =
+      SelectConfidentPerClass(probs, 2, 5, {true, false});
+  ASSERT_EQ(picks.size(), 1u);
+  EXPECT_EQ(picks[0].first, 1);
+}
+
+TEST(SelectConfidentPerClassTest, EmptyWhenAllExcluded) {
+  const Matrix probs(2, 2, {0.9f, 0.1f, 0.8f, 0.2f});
+  EXPECT_TRUE(SelectConfidentPerClass(probs, 2, 5, {true, true}).empty());
+}
+
+/// Shared fixture: a small but learnable dataset.
+class EnsembleTrainersTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    CitationGenConfig config;
+    config.num_nodes = 400;
+    config.num_features = 120;
+    config.num_edges = 1200;
+    config.num_classes = 4;
+    config.homophily = 0.8;
+    config.topic_purity = 0.45;
+    config.labeled_per_class = 8;
+    config.val_size = 60;
+    config.test_size = 100;
+    dataset_ = new Dataset(GenerateCitationNetwork(config, 17));
+    context_ = new GraphContext(GraphContext::FromDataset(*dataset_));
+    train_.max_epochs = 60;
+  }
+  static void TearDownTestSuite() {
+    delete context_;
+    delete dataset_;
+  }
+  static Dataset* dataset_;
+  static GraphContext* context_;
+  static TrainConfig train_;
+};
+
+Dataset* EnsembleTrainersTest::dataset_ = nullptr;
+GraphContext* EnsembleTrainersTest::context_ = nullptr;
+TrainConfig EnsembleTrainersTest::train_;
+
+TEST_F(EnsembleTrainersTest, BaggingTrainsRequestedMembers) {
+  BaggingConfig config;
+  config.num_models = 3;
+  config.train = train_;
+  const EnsembleTrainResult result =
+      TrainBagging(*dataset_, *context_, config, 1);
+  EXPECT_EQ(result.ensemble.size(), 3);
+  EXPECT_EQ(result.reports.size(), 3u);
+  EXPECT_GT(result.ensemble_test_accuracy, 0.5);
+  EXPECT_GT(result.total_seconds, 0.0);
+  // Uniform weights.
+  for (double w : result.ensemble.weights()) EXPECT_DOUBLE_EQ(w, 1.0);
+}
+
+TEST_F(EnsembleTrainersTest, BaggingEnsembleAtLeastNearAverage) {
+  BaggingConfig config;
+  config.num_models = 3;
+  config.train = train_;
+  const EnsembleTrainResult result =
+      TrainBagging(*dataset_, *context_, config, 2);
+  EXPECT_GE(result.ensemble_test_accuracy,
+            result.average_member_test_accuracy - 0.02);
+}
+
+TEST_F(EnsembleTrainersTest, BansChainsStudents) {
+  BansConfig config;
+  config.num_models = 3;
+  config.train = train_;
+  const EnsembleTrainResult result =
+      TrainBans(*dataset_, *context_, config, 3);
+  EXPECT_EQ(result.ensemble.size(), 3);
+  EXPECT_GT(result.ensemble_test_accuracy, 0.5);
+}
+
+TEST_F(EnsembleTrainersTest, BansTemperatureSoftensTargets) {
+  // Just exercises the tempered path end-to-end; T = 4 heavily softens the
+  // mimic targets and the chain must still learn.
+  BansConfig config;
+  config.num_models = 2;
+  config.temperature = 4.0f;
+  config.train = train_;
+  const EnsembleTrainResult result =
+      TrainBans(*dataset_, *context_, config, 13);
+  EXPECT_GT(result.ensemble_test_accuracy, 0.5);
+}
+
+TEST_F(EnsembleTrainersTest, SelfTrainingAddsPseudoLabels) {
+  SelfTrainingConfig config;
+  config.rounds = 1;
+  config.additions_per_class = 10;
+  config.train = train_;
+  const SelfTrainingResult result =
+      TrainSelfTraining(*dataset_, *context_, config, 4);
+  EXPECT_EQ(result.pseudo_labels_added, 4 * 10);
+  EXPECT_GT(result.test_accuracy, 0.5);
+  EXPECT_GE(result.pseudo_labels_correct, 0);
+  EXPECT_LE(result.pseudo_labels_correct, result.pseudo_labels_added);
+  // Confident pseudo labels should be much better than chance (25%).
+  EXPECT_GT(static_cast<double>(result.pseudo_labels_correct) /
+                static_cast<double>(result.pseudo_labels_added),
+            0.5);
+}
+
+TEST_F(EnsembleTrainersTest, SelfTrainingZeroRoundsIsPlainGcn) {
+  SelfTrainingConfig config;
+  config.rounds = 0;
+  config.train = train_;
+  const SelfTrainingResult result =
+      TrainSelfTraining(*dataset_, *context_, config, 5);
+  EXPECT_EQ(result.pseudo_labels_added, 0);
+  EXPECT_GT(result.test_accuracy, 0.5);
+}
+
+TEST(SnapshotLrTest, CosineDecaysWithinCycle) {
+  const float max_lr = 0.02f;
+  const float min_lr = 1e-4f;
+  EXPECT_NEAR(SnapshotCyclicLr(max_lr, min_lr, 0, 50), max_lr, 1e-7f);
+  // Near the end of the cycle the LR approaches min_lr.
+  EXPECT_LT(SnapshotCyclicLr(max_lr, min_lr, 49, 50), min_lr + 0.001f);
+  // Monotone decreasing.
+  float prev = max_lr + 1.0f;
+  for (int e = 0; e < 50; ++e) {
+    const float lr = SnapshotCyclicLr(max_lr, min_lr, e, 50);
+    EXPECT_LT(lr, prev);
+    EXPECT_GE(lr, min_lr);
+    prev = lr;
+  }
+}
+
+TEST(SnapshotLrTest, MidpointIsMeanOfExtremes) {
+  EXPECT_NEAR(SnapshotCyclicLr(0.02f, 0.0f, 25, 50), 0.01f, 1e-6f);
+}
+
+TEST_F(EnsembleTrainersTest, SnapshotEnsembleTrainsOneCyclePerMember) {
+  SnapshotConfig config;
+  config.num_cycles = 3;
+  config.epochs_per_cycle = 40;
+  config.train = train_;
+  const EnsembleTrainResult result =
+      TrainSnapshotEnsemble(*dataset_, *context_, config, 8);
+  EXPECT_EQ(result.ensemble.size(), 3);
+  EXPECT_EQ(result.ensemble_accuracy_after_member.size(), 3u);
+  EXPECT_GT(result.ensemble_test_accuracy, 0.5);
+  for (const TrainReport& report : result.reports) {
+    EXPECT_EQ(report.epochs_run, 40);
+  }
+}
+
+TEST_F(EnsembleTrainersTest, MeanTeacherTracksStudent) {
+  MeanTeacherConfig config;
+  config.train = train_;
+  config.train.max_epochs = 80;
+  const MeanTeacherResult result =
+      TrainMeanTeacher(*dataset_, *context_, config, 9);
+  EXPECT_GT(result.teacher_test_accuracy, 0.5);
+  EXPECT_GT(result.student_test_accuracy, 0.5);
+  // The EMA teacher should end up close to (typically above) the student.
+  EXPECT_GT(result.teacher_test_accuracy,
+            result.student_test_accuracy - 0.05);
+}
+
+TEST_F(EnsembleTrainersTest, CoTrainingUsesRandomWalkView) {
+  CoTrainingConfig config;
+  config.additions_per_class = 10;
+  config.train = train_;
+  const CoTrainingResult result =
+      TrainCoTraining(*dataset_, *context_, config, 6);
+  EXPECT_GT(result.pseudo_labels_added, 0);
+  EXPECT_GT(result.test_accuracy, 0.5);
+  EXPECT_GT(static_cast<double>(result.pseudo_labels_correct) /
+                static_cast<double>(result.pseudo_labels_added),
+            0.4);
+}
+
+}  // namespace
+}  // namespace rdd

@@ -1,0 +1,177 @@
+#include "models/gat.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "autograd/graph_ops.h"
+#include "autograd/ops.h"
+#include "data/citation_gen.h"
+#include "graph/generators.h"
+#include "graph/normalize.h"
+#include "models/model_factory.h"
+#include "train/trainer.h"
+#include "util/random.h"
+
+namespace rdd {
+namespace {
+
+Matrix RandomMatrix(int64_t rows, int64_t cols, Rng* rng) {
+  Matrix m(rows, cols);
+  for (int64_t i = 0; i < m.size(); ++i) {
+    m.Data()[i] = static_cast<float>(rng->Gaussian());
+  }
+  return m;
+}
+
+TEST(NeighborAttentionTest, RowsAreConvexCombinations) {
+  // On a complete graph with self-loops, each output row is a convex
+  // combination of all h rows, so constant columns stay constant.
+  Rng rng(1);
+  const Graph g = MakeCompleteGraph(4);
+  const SparseMatrix pattern = GcnNormalizedAdjacency(g);
+  Matrix h0 = RandomMatrix(4, 3, &rng);
+  for (int64_t i = 0; i < 4; ++i) h0.At(i, 2) = 5.0f;  // Constant column.
+  Variable h(h0, false);
+  Variable s1(RandomMatrix(4, 1, &rng), false);
+  Variable s2(RandomMatrix(4, 1, &rng), false);
+  const Variable out = ag::NeighborAttention(&pattern, h, s1, s2);
+  for (int64_t i = 0; i < 4; ++i) {
+    EXPECT_NEAR(out.value().At(i, 2), 5.0f, 1e-5f);
+  }
+}
+
+TEST(NeighborAttentionTest, UniformScoresAverageNeighbors) {
+  // Zero scores -> uniform attention -> plain neighborhood mean.
+  const Graph g = MakePathGraph(3);
+  const SparseMatrix pattern = GcnNormalizedAdjacency(g);
+  Variable h(Matrix(3, 1, {3.0f, 6.0f, 9.0f}), false);
+  Variable s1(Matrix(3, 1), false);
+  Variable s2(Matrix(3, 1), false);
+  const Variable out = ag::NeighborAttention(&pattern, h, s1, s2);
+  // Node 0 attends {0, 1}: (3+6)/2 = 4.5.
+  EXPECT_NEAR(out.value().At(0, 0), 4.5f, 1e-5f);
+  // Node 1 attends {0, 1, 2}: 6.
+  EXPECT_NEAR(out.value().At(1, 0), 6.0f, 1e-5f);
+}
+
+TEST(NeighborAttentionTest, HighScoreNeighborDominates) {
+  const Graph g = MakeStarGraph(3);  // 0 - {1, 2}.
+  const SparseMatrix pattern = GcnNormalizedAdjacency(g);
+  Variable h(Matrix(3, 1, {0.0f, 10.0f, -10.0f}), false);
+  Variable s1(Matrix(3, 1), false);
+  // Neighbor score strongly favors node 1.
+  Variable s2(Matrix(3, 1, {0.0f, 20.0f, 0.0f}), false);
+  const Variable out = ag::NeighborAttention(&pattern, h, s1, s2);
+  EXPECT_NEAR(out.value().At(0, 0), 10.0f, 1e-2f);
+}
+
+TEST(NeighborAttentionTest, IsolatedNodeYieldsZeroRow) {
+  const Graph g(3, {{0, 1}});
+  // Pattern without self-loops so node 2's row is empty.
+  const SparseMatrix pattern = PlainAdjacency(g);
+  Rng rng(2);
+  Variable h(RandomMatrix(3, 2, &rng), false);
+  Variable s1(RandomMatrix(3, 1, &rng), false);
+  Variable s2(RandomMatrix(3, 1, &rng), false);
+  const Variable out = ag::NeighborAttention(&pattern, h, s1, s2);
+  EXPECT_EQ(out.value().At(2, 0), 0.0f);
+  EXPECT_EQ(out.value().At(2, 1), 0.0f);
+}
+
+/// Central-difference gradient check through the fused attention op.
+void CheckAttentionGradient(int which_input) {
+  Rng rng(42 + which_input);
+  const Graph g = MakeCycleGraph(5);
+  const SparseMatrix pattern = GcnNormalizedAdjacency(g);
+  const Matrix h0 = RandomMatrix(5, 3, &rng);
+  const Matrix s1_0 = RandomMatrix(5, 1, &rng);
+  const Matrix s2_0 = RandomMatrix(5, 1, &rng);
+  const Matrix weights = RandomMatrix(3, 1, &rng);
+
+  auto loss_for = [&](const Matrix& hm, const Matrix& s1m,
+                      const Matrix& s2m, bool track) {
+    Variable h(hm, track && which_input == 0);
+    Variable s1(s1m, track && which_input == 1);
+    Variable s2(s2m, track && which_input == 2);
+    return ag::SumAll(ag::Matmul(
+        ag::NeighborAttention(&pattern, h, s1, s2), Variable(weights, false)));
+  };
+
+  // Analytic gradient.
+  Variable h(h0, which_input == 0);
+  Variable s1(s1_0, which_input == 1);
+  Variable s2(s2_0, which_input == 2);
+  Variable loss = ag::SumAll(ag::Matmul(
+      ag::NeighborAttention(&pattern, h, s1, s2), Variable(weights, false)));
+  loss.Backward();
+  const Matrix& analytic = which_input == 0 ? h.grad()
+                           : which_input == 1 ? s1.grad()
+                                              : s2.grad();
+
+  const Matrix& base = which_input == 0 ? h0 : which_input == 1 ? s1_0 : s2_0;
+  const float eps = 1e-2f;
+  for (int64_t i = 0; i < base.size(); ++i) {
+    Matrix plus = base;
+    plus.Data()[i] += eps;
+    Matrix minus = base;
+    minus.Data()[i] -= eps;
+    auto eval = [&](const Matrix& perturbed) {
+      const Matrix& hm = which_input == 0 ? perturbed : h0;
+      const Matrix& s1m = which_input == 1 ? perturbed : s1_0;
+      const Matrix& s2m = which_input == 2 ? perturbed : s2_0;
+      return loss_for(hm, s1m, s2m, false).value().At(0, 0);
+    };
+    const double numeric =
+        (eval(plus) - eval(minus)) / (2.0 * eps);
+    EXPECT_NEAR(analytic.Data()[i], numeric,
+                2e-2 * std::max(1.0, std::fabs(numeric)))
+        << "input " << which_input << " entry " << i;
+  }
+}
+
+TEST(NeighborAttentionGradcheck, FeatureGradient) {
+  CheckAttentionGradient(0);
+}
+TEST(NeighborAttentionGradcheck, SelfScoreGradient) {
+  CheckAttentionGradient(1);
+}
+TEST(NeighborAttentionGradcheck, NeighborScoreGradient) {
+  CheckAttentionGradient(2);
+}
+
+TEST(GatModelTest, TrainsOnSyntheticCitationNetwork) {
+  CitationGenConfig config;
+  config.num_nodes = 300;
+  config.num_features = 100;
+  config.num_edges = 900;
+  config.num_classes = 3;
+  config.homophily = 0.85;
+  config.topic_purity = 0.5;
+  config.labeled_per_class = 8;
+  config.val_size = 50;
+  config.test_size = 80;
+  const Dataset dataset = GenerateCitationNetwork(config, 55);
+  const GraphContext context = GraphContext::FromDataset(dataset);
+
+  ModelConfig gat_config;
+  gat_config.kind = ModelKind::kGat;
+  gat_config.hidden_dim = 8;
+  gat_config.gat_heads = 2;
+  auto model = BuildModel(context, gat_config, 3);
+  const ModelOutput out = model->Forward(false);
+  EXPECT_EQ(out.logits.rows(), 300);
+  EXPECT_EQ(out.logits.cols(), 3);
+
+  TrainConfig train;
+  train.max_epochs = 80;
+  const TrainReport report = TrainSupervised(model.get(), dataset, train);
+  EXPECT_GT(report.test_accuracy, 0.6);
+}
+
+TEST(GatModelTest, FactoryNameAndHeads) {
+  EXPECT_STREQ(ModelKindToString(ModelKind::kGat), "GAT");
+}
+
+}  // namespace
+}  // namespace rdd

@@ -1,0 +1,156 @@
+#include "graph/generators.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/metrics.h"
+#include "util/random.h"
+
+namespace rdd {
+namespace {
+
+TEST(DeterministicGeneratorsTest, PathGraph) {
+  const Graph g = MakePathGraph(4);
+  EXPECT_EQ(g.num_edges(), 3);
+  EXPECT_EQ(g.Degree(0), 1);
+  EXPECT_EQ(g.Degree(1), 2);
+}
+
+TEST(DeterministicGeneratorsTest, CycleGraph) {
+  const Graph g = MakeCycleGraph(5);
+  EXPECT_EQ(g.num_edges(), 5);
+  for (int64_t i = 0; i < 5; ++i) EXPECT_EQ(g.Degree(i), 2);
+}
+
+TEST(DeterministicGeneratorsTest, StarGraph) {
+  const Graph g = MakeStarGraph(6);
+  EXPECT_EQ(g.num_edges(), 5);
+  EXPECT_EQ(g.Degree(0), 5);
+  EXPECT_EQ(g.Degree(3), 1);
+}
+
+TEST(DeterministicGeneratorsTest, CompleteGraph) {
+  const Graph g = MakeCompleteGraph(5);
+  EXPECT_EQ(g.num_edges(), 10);
+  for (int64_t i = 0; i < 5; ++i) EXPECT_EQ(g.Degree(i), 4);
+}
+
+TEST(DeterministicGeneratorsTest, GridGraph) {
+  const Graph g = MakeGridGraph(3, 4);
+  EXPECT_EQ(g.num_nodes(), 12);
+  // Edges: 3 * 3 horizontal + 2 * 4 vertical = 17.
+  EXPECT_EQ(g.num_edges(), 17);
+  EXPECT_EQ(g.Degree(0), 2);   // Corner.
+  EXPECT_EQ(g.Degree(5), 4);   // Interior.
+}
+
+TEST(ErdosRenyiTest, EdgeCountNearExpectation) {
+  Rng rng(11);
+  const int64_t n = 100;
+  const double p = 0.1;
+  const Graph g = MakeErdosRenyiGraph(n, p, &rng);
+  const double expected = p * n * (n - 1) / 2.0;
+  EXPECT_NEAR(static_cast<double>(g.num_edges()), expected, expected * 0.25);
+}
+
+TEST(ErdosRenyiTest, ExtremeProbabilities) {
+  Rng rng(12);
+  EXPECT_EQ(MakeErdosRenyiGraph(10, 0.0, &rng).num_edges(), 0);
+  EXPECT_EQ(MakeErdosRenyiGraph(10, 1.0, &rng).num_edges(), 45);
+}
+
+TEST(ErdosRenyiTest, DeterministicGivenSeed) {
+  Rng a(13);
+  Rng b(13);
+  const Graph ga = MakeErdosRenyiGraph(30, 0.2, &a);
+  const Graph gb = MakeErdosRenyiGraph(30, 0.2, &b);
+  ASSERT_EQ(ga.num_edges(), gb.num_edges());
+  for (int64_t i = 0; i < ga.num_edges(); ++i) {
+    EXPECT_EQ(ga.edges()[i].u, gb.edges()[i].u);
+    EXPECT_EQ(ga.edges()[i].v, gb.edges()[i].v);
+  }
+}
+
+class LabeledSbmTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(LabeledSbmTest, HomophilyTracksParameter) {
+  const double homophily = GetParam();
+  Rng rng(17);
+  std::vector<int64_t> labels(600);
+  for (size_t i = 0; i < labels.size(); ++i) {
+    labels[i] = static_cast<int64_t>(i % 3);
+  }
+  LabeledSbmParams params;
+  params.target_edges = 2000;
+  params.homophily = homophily;
+  params.degree_skew = 0.5;
+  const Graph g = MakeLabeledSbmGraph(labels, params, &rng);
+  EXPECT_NEAR(EdgeHomophily(g, labels), homophily, 0.06);
+}
+
+INSTANTIATE_TEST_SUITE_P(HomophilySweep, LabeledSbmTest,
+                         ::testing::Values(0.3, 0.5, 0.7, 0.9));
+
+TEST(LabeledSbmTest, HitsTargetEdgeCount) {
+  Rng rng(19);
+  std::vector<int64_t> labels(500, 0);
+  for (size_t i = 250; i < 500; ++i) labels[i] = 1;
+  LabeledSbmParams params;
+  params.target_edges = 1500;
+  const Graph g = MakeLabeledSbmGraph(labels, params, &rng);
+  EXPECT_EQ(g.num_edges(), 1500);
+}
+
+TEST(LabeledSbmTest, DegreeSkewProducesHeavyTail) {
+  Rng rng(23);
+  std::vector<int64_t> labels(800, 0);
+  LabeledSbmParams flat;
+  flat.target_edges = 3000;
+  flat.homophily = 1.0;
+  flat.degree_skew = 0.0;
+  LabeledSbmParams skewed = flat;
+  skewed.degree_skew = 1.0;
+  Rng rng2(23);
+  const int64_t flat_max = MakeLabeledSbmGraph(labels, flat, &rng).MaxDegree();
+  const int64_t skew_max =
+      MakeLabeledSbmGraph(labels, skewed, &rng2).MaxDegree();
+  EXPECT_GT(skew_max, flat_max);
+}
+
+TEST(LabeledSbmTest, SimpleGraphInvariants) {
+  Rng rng(29);
+  std::vector<int64_t> labels(200);
+  for (size_t i = 0; i < labels.size(); ++i) {
+    labels[i] = static_cast<int64_t>(i % 4);
+  }
+  LabeledSbmParams params;
+  params.target_edges = 800;
+  const Graph g = MakeLabeledSbmGraph(labels, params, &rng);
+  for (const Edge& e : g.edges()) {
+    EXPECT_NE(e.u, e.v);
+    EXPECT_LT(e.u, e.v);
+  }
+}
+
+TEST(MetricsTest, EdgeHomophilyExtremes) {
+  const std::vector<int64_t> labels = {0, 0, 1, 1};
+  EXPECT_DOUBLE_EQ(EdgeHomophily(Graph(4, {{0, 1}, {2, 3}}), labels), 1.0);
+  EXPECT_DOUBLE_EQ(EdgeHomophily(Graph(4, {{0, 2}, {1, 3}}), labels), 0.0);
+  EXPECT_DOUBLE_EQ(EdgeHomophily(Graph(4, {}), labels), 0.0);
+}
+
+TEST(MetricsTest, DegreeStats) {
+  const Graph g = MakeStarGraph(5);  // Hub degree 4, leaves 1.
+  const DegreeStats stats = ComputeDegreeStats(g);
+  EXPECT_EQ(stats.min_degree, 1);
+  EXPECT_EQ(stats.max_degree, 4);
+  EXPECT_DOUBLE_EQ(stats.mean_degree, 8.0 / 5.0);
+  EXPECT_DOUBLE_EQ(stats.isolated_fraction, 0.0);
+}
+
+TEST(MetricsTest, IsolatedFraction) {
+  const Graph g(4, {{0, 1}});
+  EXPECT_DOUBLE_EQ(ComputeDegreeStats(g).isolated_fraction, 0.5);
+}
+
+}  // namespace
+}  // namespace rdd

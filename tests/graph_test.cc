@@ -1,0 +1,73 @@
+#include "graph/graph.h"
+
+#include <gtest/gtest.h>
+
+namespace rdd {
+namespace {
+
+TEST(GraphTest, EmptyGraph) {
+  Graph g;
+  EXPECT_EQ(g.num_nodes(), 0);
+  EXPECT_EQ(g.num_edges(), 0);
+  EXPECT_EQ(g.MaxDegree(), 0);
+  EXPECT_DOUBLE_EQ(g.AverageDegree(), 0.0);
+}
+
+TEST(GraphTest, BasicConstruction) {
+  Graph g(4, {{0, 1}, {1, 2}, {2, 3}});
+  EXPECT_EQ(g.num_nodes(), 4);
+  EXPECT_EQ(g.num_edges(), 3);
+  EXPECT_EQ(g.Degree(0), 1);
+  EXPECT_EQ(g.Degree(1), 2);
+  EXPECT_TRUE(g.HasEdge(0, 1));
+  EXPECT_TRUE(g.HasEdge(1, 0));  // Undirected.
+  EXPECT_FALSE(g.HasEdge(0, 2));
+}
+
+TEST(GraphTest, SelfLoopsDropped) {
+  Graph g(3, {{0, 0}, {0, 1}, {1, 1}});
+  EXPECT_EQ(g.num_edges(), 1);
+  EXPECT_FALSE(g.HasEdge(0, 0));
+}
+
+TEST(GraphTest, DuplicatesAndReversalsMerged) {
+  Graph g(3, {{0, 1}, {1, 0}, {0, 1}, {2, 1}});
+  EXPECT_EQ(g.num_edges(), 2);
+  EXPECT_EQ(g.Degree(1), 2);
+}
+
+TEST(GraphTest, EdgesAreCanonical) {
+  Graph g(5, {{4, 2}, {3, 0}});
+  for (const Edge& e : g.edges()) EXPECT_LT(e.u, e.v);
+}
+
+TEST(GraphTest, NeighborsSorted) {
+  Graph g(5, {{2, 4}, {2, 0}, {2, 3}, {2, 1}});
+  const std::vector<int64_t> expected = {0, 1, 3, 4};
+  EXPECT_EQ(g.Neighbors(2), expected);
+}
+
+TEST(GraphTest, DegreeStatsHelpers) {
+  Graph g(4, {{0, 1}, {0, 2}, {0, 3}});  // Star.
+  EXPECT_EQ(g.MaxDegree(), 3);
+  EXPECT_DOUBLE_EQ(g.AverageDegree(), 1.5);
+}
+
+TEST(GraphTest, IsolatedNodesAllowed) {
+  Graph g(5, {{0, 1}});
+  EXPECT_EQ(g.Degree(4), 0);
+  EXPECT_TRUE(g.Neighbors(4).empty());
+}
+
+TEST(GraphDeathTest, OutOfRangeEdgeAborts) {
+  EXPECT_DEATH(Graph(2, {{0, 2}}), "Check failed");
+  EXPECT_DEATH(Graph(2, {{-1, 0}}), "Check failed");
+}
+
+TEST(GraphDeathTest, OutOfRangeNeighborsAborts) {
+  Graph g(2, {{0, 1}});
+  EXPECT_DEATH((void)g.Neighbors(2), "Check failed");
+}
+
+}  // namespace
+}  // namespace rdd

@@ -1,0 +1,147 @@
+// End-to-end integration tests: the full pipeline (generate data -> build
+// context -> train baselines and RDD -> compare) on a mid-size synthetic
+// citation network. These tests assert the paper's qualitative claims hold
+// in this implementation.
+
+#include <gtest/gtest.h>
+
+#include "core/rdd_trainer.h"
+#include "data/citation_gen.h"
+#include "data/serialize.h"
+#include "ensemble/bagging.h"
+#include "ensemble/bans.h"
+#include "models/model_factory.h"
+#include "nn/metrics.h"
+#include "train/trainer.h"
+
+namespace rdd {
+namespace {
+
+class IntegrationTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    // A scaled-down Cora-like network: same homophily/purity regime,
+    // fewer nodes so the whole suite stays fast.
+    CitationGenConfig config;
+    config.name = "cora-mini";
+    config.num_nodes = 800;
+    config.num_features = 300;
+    config.num_edges = 1700;
+    config.num_classes = 5;
+    config.homophily = 0.72;
+    config.topic_purity = 0.32;
+    config.labeled_per_class = 12;
+    config.val_size = 120;
+    config.test_size = 250;
+    dataset_ = new Dataset(GenerateCitationNetwork(config, 1234));
+    context_ = new GraphContext(GraphContext::FromDataset(*dataset_));
+
+    // Train the shared baselines once.
+    TrainConfig train;
+    train.max_epochs = 120;
+    ModelConfig gcn_config;
+    auto gcn = BuildModel(*context_, gcn_config, 7);
+    gcn_report_ = new TrainReport(TrainSupervised(gcn.get(), *dataset_, train));
+
+    RddConfig rdd_config;
+    rdd_config.num_base_models = 4;
+    rdd_config.train = train;
+    rdd_result_ = new RddResult(TrainRdd(*dataset_, *context_, rdd_config, 7));
+  }
+  static void TearDownTestSuite() {
+    delete rdd_result_;
+    delete gcn_report_;
+    delete context_;
+    delete dataset_;
+  }
+
+  static Dataset* dataset_;
+  static GraphContext* context_;
+  static TrainReport* gcn_report_;
+  static RddResult* rdd_result_;
+};
+
+Dataset* IntegrationTest::dataset_ = nullptr;
+GraphContext* IntegrationTest::context_ = nullptr;
+TrainReport* IntegrationTest::gcn_report_ = nullptr;
+RddResult* IntegrationTest::rdd_result_ = nullptr;
+
+TEST_F(IntegrationTest, GcnBaselineIsHealthy) {
+  // Chance level is 20%; a healthy GCN should be far above it.
+  EXPECT_GT(gcn_report_->test_accuracy, 0.6);
+}
+
+TEST_F(IntegrationTest, RddEnsembleBeatsPlainGcn) {
+  // The paper's headline claim (Table 3): RDD(Ensemble) > GCN.
+  EXPECT_GT(rdd_result_->ensemble_test_accuracy,
+            gcn_report_->test_accuracy);
+}
+
+TEST_F(IntegrationTest, RddSingleBeatsPlainGcn) {
+  // Second headline claim: even the last single student beats plain GCN.
+  EXPECT_GT(rdd_result_->single_test_accuracy, gcn_report_->test_accuracy);
+}
+
+TEST_F(IntegrationTest, SelfBoostingImprovesStudents) {
+  // The last student should be at least as good as the first (boosting
+  // cycle of Fig. 2); allow a small tolerance for seed noise.
+  const double first =
+      Accuracy(rdd_result_->teacher.member_probs(0), dataset_->labels,
+               dataset_->split.test);
+  const double last =
+      Accuracy(rdd_result_->teacher.member_probs(rdd_result_->teacher.size() - 1),
+               dataset_->labels, dataset_->split.test);
+  EXPECT_GT(last, first - 0.01);
+}
+
+TEST_F(IntegrationTest, EnsembleAtLeastMemberAverage) {
+  EXPECT_GE(rdd_result_->ensemble_test_accuracy,
+            rdd_result_->average_member_test_accuracy - 0.01);
+}
+
+TEST_F(IntegrationTest, ReliabilityDiagnosticsWellFormed) {
+  for (size_t t = 1; t < rdd_result_->diagnostics.size(); ++t) {
+    const StudentDiagnostics& diag = rdd_result_->diagnostics[t];
+    EXPECT_GT(diag.reliable_nodes, 0);
+    EXPECT_LE(diag.reliable_nodes, dataset_->NumNodes());
+    EXPECT_LE(diag.distill_nodes, dataset_->NumNodes());
+    EXPECT_LE(diag.reliable_edges, dataset_->graph.num_edges());
+  }
+}
+
+TEST_F(IntegrationTest, SerializeTrainRoundTrip) {
+  // Saving and reloading the dataset must not change training results.
+  const std::string path = std::string(::testing::TempDir()) + "/integ.rdd";
+  ASSERT_TRUE(SaveDataset(*dataset_, path).ok());
+  StatusOr<Dataset> loaded = LoadDataset(path);
+  ASSERT_TRUE(loaded.ok());
+  const GraphContext loaded_context = GraphContext::FromDataset(*loaded);
+  TrainConfig train;
+  train.max_epochs = 40;
+  auto model_a = BuildModel(*context_, ModelConfig{}, 99);
+  auto model_b = BuildModel(loaded_context, ModelConfig{}, 99);
+  const TrainReport report_a = TrainSupervised(model_a.get(), *dataset_, train);
+  const TrainReport report_b = TrainSupervised(model_b.get(), *loaded, train);
+  EXPECT_DOUBLE_EQ(report_a.test_accuracy, report_b.test_accuracy);
+  std::remove(path.c_str());
+}
+
+TEST_F(IntegrationTest, BaggingAndBansBeatSingleGcn) {
+  TrainConfig train;
+  train.max_epochs = 120;
+  BaggingConfig bagging;
+  bagging.num_models = 3;
+  bagging.train = train;
+  const EnsembleTrainResult bag =
+      TrainBagging(*dataset_, *context_, bagging, 31);
+  EXPECT_GT(bag.ensemble_test_accuracy, gcn_report_->test_accuracy - 0.01);
+
+  BansConfig bans;
+  bans.num_models = 3;
+  bans.train = train;
+  const EnsembleTrainResult ban = TrainBans(*dataset_, *context_, bans, 31);
+  EXPECT_GT(ban.ensemble_test_accuracy, gcn_report_->test_accuracy - 0.01);
+}
+
+}  // namespace
+}  // namespace rdd

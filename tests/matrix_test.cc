@@ -1,0 +1,136 @@
+#include "tensor/matrix.h"
+
+#include <gtest/gtest.h>
+
+namespace rdd {
+namespace {
+
+TEST(MatrixTest, DefaultIsEmpty) {
+  Matrix m;
+  EXPECT_EQ(m.rows(), 0);
+  EXPECT_EQ(m.cols(), 0);
+  EXPECT_TRUE(m.empty());
+}
+
+TEST(MatrixTest, ConstructedZeroInitialized) {
+  Matrix m(2, 3);
+  EXPECT_EQ(m.rows(), 2);
+  EXPECT_EQ(m.cols(), 3);
+  EXPECT_EQ(m.size(), 6);
+  for (int64_t r = 0; r < 2; ++r) {
+    for (int64_t c = 0; c < 3; ++c) EXPECT_EQ(m.At(r, c), 0.0f);
+  }
+}
+
+TEST(MatrixTest, FromValuesRowMajor) {
+  Matrix m(2, 2, {1, 2, 3, 4});
+  EXPECT_EQ(m.At(0, 0), 1.0f);
+  EXPECT_EQ(m.At(0, 1), 2.0f);
+  EXPECT_EQ(m.At(1, 0), 3.0f);
+  EXPECT_EQ(m.At(1, 1), 4.0f);
+}
+
+TEST(MatrixTest, IdentityDiagonal) {
+  const Matrix id = Matrix::Identity(3);
+  for (int64_t r = 0; r < 3; ++r) {
+    for (int64_t c = 0; c < 3; ++c) {
+      EXPECT_EQ(id.At(r, c), r == c ? 1.0f : 0.0f);
+    }
+  }
+}
+
+TEST(MatrixTest, ConstantFillsAll) {
+  const Matrix m = Matrix::Constant(2, 2, 7.5f);
+  EXPECT_EQ(m.At(0, 0), 7.5f);
+  EXPECT_EQ(m.At(1, 1), 7.5f);
+}
+
+TEST(MatrixTest, AtIsWritable) {
+  Matrix m(2, 2);
+  m.At(1, 0) = 5.0f;
+  EXPECT_EQ(m.At(1, 0), 5.0f);
+}
+
+TEST(MatrixTest, RowDataPointsIntoBuffer) {
+  Matrix m(2, 3, {1, 2, 3, 4, 5, 6});
+  const float* row1 = m.RowData(1);
+  EXPECT_EQ(row1[0], 4.0f);
+  EXPECT_EQ(row1[2], 6.0f);
+}
+
+TEST(MatrixTest, AddSubMul) {
+  Matrix a(1, 3, {1, 2, 3});
+  const Matrix b(1, 3, {4, 5, 6});
+  a.Add(b);
+  EXPECT_TRUE(a.Equals(Matrix(1, 3, {5, 7, 9})));
+  a.Sub(b);
+  EXPECT_TRUE(a.Equals(Matrix(1, 3, {1, 2, 3})));
+  a.Mul(b);
+  EXPECT_TRUE(a.Equals(Matrix(1, 3, {4, 10, 18})));
+}
+
+TEST(MatrixTest, ScaleAndAxpy) {
+  Matrix a(1, 2, {1, 2});
+  a.Scale(3.0f);
+  EXPECT_TRUE(a.Equals(Matrix(1, 2, {3, 6})));
+  a.Axpy(2.0f, Matrix(1, 2, {1, 1}));
+  EXPECT_TRUE(a.Equals(Matrix(1, 2, {5, 8})));
+}
+
+TEST(MatrixTest, RowExtractAndSet) {
+  Matrix m(2, 2, {1, 2, 3, 4});
+  const Matrix row = m.Row(1);
+  EXPECT_TRUE(row.Equals(Matrix(1, 2, {3, 4})));
+  m.SetRow(0, Matrix(1, 2, {9, 8}));
+  EXPECT_TRUE(m.Equals(Matrix(2, 2, {9, 8, 3, 4})));
+}
+
+TEST(MatrixTest, SquaredNormAndSum) {
+  const Matrix m(1, 3, {1, -2, 2});
+  EXPECT_DOUBLE_EQ(m.SquaredNorm(), 9.0);
+  EXPECT_DOUBLE_EQ(m.Sum(), 1.0);
+}
+
+TEST(MatrixTest, EqualsRequiresShapeMatch) {
+  EXPECT_FALSE(Matrix(1, 2).Equals(Matrix(2, 1)));
+  EXPECT_TRUE(Matrix(2, 2).Equals(Matrix(2, 2)));
+}
+
+TEST(MatrixTest, ApproxEqualsTolerance) {
+  const Matrix a(1, 1, {1.0f});
+  const Matrix b(1, 1, {1.05f});
+  EXPECT_TRUE(a.ApproxEquals(b, 0.1f));
+  EXPECT_FALSE(a.ApproxEquals(b, 0.01f));
+}
+
+TEST(MatrixTest, FillOverwrites) {
+  Matrix m(2, 2, {1, 2, 3, 4});
+  m.Fill(0.5f);
+  EXPECT_TRUE(m.Equals(Matrix::Constant(2, 2, 0.5f)));
+  m.SetZero();
+  EXPECT_TRUE(m.Equals(Matrix(2, 2)));
+}
+
+TEST(MatrixTest, ToStringRendersSmallMatrix) {
+  const Matrix m(2, 2, {1, 2, 3, 4});
+  EXPECT_EQ(m.ToString(), "[[1, 2], [3, 4]]");
+}
+
+TEST(MatrixDeathTest, OutOfBoundsAccessAborts) {
+  Matrix m(2, 2);
+  EXPECT_DEATH({ (void)m.At(2, 0); }, "Check failed");
+  EXPECT_DEATH({ (void)m.At(0, -1); }, "Check failed");
+}
+
+TEST(MatrixDeathTest, MismatchedAddAborts) {
+  Matrix a(2, 2);
+  const Matrix b(2, 3);
+  EXPECT_DEATH(a.Add(b), "Check failed");
+}
+
+TEST(MatrixDeathTest, BadValueCountAborts) {
+  EXPECT_DEATH(Matrix(2, 2, {1.0f, 2.0f}), "Check failed");
+}
+
+}  // namespace
+}  // namespace rdd

@@ -1,0 +1,240 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "autograd/ops.h"
+#include "nn/graph_conv.h"
+#include "nn/init.h"
+#include "nn/linear.h"
+#include "nn/metrics.h"
+#include "nn/module.h"
+#include "nn/optimizer.h"
+#include "tensor/ops.h"
+#include "util/random.h"
+
+namespace rdd {
+namespace {
+
+TEST(InitTest, GlorotBoundsRespectFanInOut) {
+  Rng rng(1);
+  const int64_t fan_in = 50;
+  const int64_t fan_out = 30;
+  const Matrix w = GlorotUniform(fan_in, fan_out, &rng);
+  const float bound = std::sqrt(6.0f / (fan_in + fan_out));
+  for (int64_t i = 0; i < w.size(); ++i) {
+    EXPECT_GE(w.Data()[i], -bound);
+    EXPECT_LT(w.Data()[i], bound);
+  }
+}
+
+TEST(InitTest, GlorotMeanNearZero) {
+  Rng rng(2);
+  const Matrix w = GlorotUniform(100, 100, &rng);
+  EXPECT_NEAR(w.Sum() / w.size(), 0.0, 0.01);
+}
+
+TEST(InitTest, ZeroInitIsZero) {
+  EXPECT_TRUE(ZeroInit(3, 4).Equals(Matrix(3, 4)));
+}
+
+TEST(InitTest, UniformInitRange) {
+  Rng rng(3);
+  const Matrix w = UniformInit(20, 20, 2.0f, 3.0f, &rng);
+  for (int64_t i = 0; i < w.size(); ++i) {
+    EXPECT_GE(w.Data()[i], 2.0f);
+    EXPECT_LT(w.Data()[i], 3.0f);
+  }
+}
+
+TEST(LinearTest, ShapesAndParameterCount) {
+  Rng rng(4);
+  Linear layer(5, 3, &rng);
+  EXPECT_EQ(layer.in_dim(), 5);
+  EXPECT_EQ(layer.out_dim(), 3);
+  EXPECT_EQ(layer.Parameters().size(), 2u);  // Weight + bias.
+  EXPECT_EQ(layer.NumParameters(), 5 * 3 + 3);
+  Linear no_bias(5, 3, &rng, /*use_bias=*/false);
+  EXPECT_EQ(no_bias.Parameters().size(), 1u);
+}
+
+TEST(LinearTest, ForwardMatchesManualCompute) {
+  Rng rng(5);
+  Linear layer(2, 2, &rng);
+  const Variable x(Matrix(1, 2, {1.0f, 2.0f}), false);
+  const Matrix expected = AddRowBroadcast(
+      Matmul(x.value(), layer.weight().value()),
+      Matrix(1, 2));  // Bias is zero-initialized.
+  EXPECT_TRUE(layer.Forward(x).value().ApproxEquals(expected, 1e-6f));
+}
+
+TEST(LinearTest, SparseForwardMatchesDense) {
+  Rng rng(6);
+  Linear layer(4, 3, &rng);
+  Matrix dense(5, 4);
+  dense.At(0, 1) = 2.0f;
+  dense.At(3, 2) = -1.0f;
+  dense.At(4, 0) = 0.5f;
+  const SparseMatrix sparse = SparseMatrix::FromDense(dense);
+  const Variable dense_in(dense, false);
+  EXPECT_TRUE(layer.ForwardSparse(&sparse).value().ApproxEquals(
+      layer.Forward(dense_in).value(), 1e-5f));
+}
+
+TEST(LinearTest, GradientsFlowToParameters) {
+  Rng rng(7);
+  Linear layer(3, 2, &rng);
+  const Variable x(Matrix::Constant(4, 3, 1.0f), false);
+  ag::SumAll(layer.Forward(x)).Backward();
+  // d(sum)/d(bias) = #rows for every bias entry.
+  const Variable& bias = layer.Parameters()[1];
+  EXPECT_TRUE(bias.grad().Equals(Matrix::Constant(1, 2, 4.0f)));
+  // d(sum)/dW_ij = sum of column i of x = 4.
+  EXPECT_TRUE(layer.Parameters()[0].grad().Equals(
+      Matrix::Constant(3, 2, 4.0f)));
+}
+
+TEST(GraphConvTest, PropagatesOverAdjacency) {
+  Rng rng(8);
+  // Two disconnected nodes: Ahat = I, so the layer reduces to Linear.
+  const SparseMatrix identity = SparseMatrix::FromCoo(
+      2, 2, {{0, 0, 1.0f}, {1, 1, 1.0f}});
+  GraphConvolution layer(&identity, 3, 2, &rng);
+  const Matrix x0(2, 3, {1, 0, 0, 0, 1, 0});
+  const Variable x(x0, false);
+  const Variable out = layer.Forward(x);
+  EXPECT_EQ(out.rows(), 2);
+  EXPECT_EQ(out.cols(), 2);
+}
+
+TEST(GraphConvTest, MixingAveragesNeighborFeatures) {
+  Rng rng(9);
+  // Ahat = all-0.5 2x2 matrix mixes the two rows equally, so outputs match.
+  const SparseMatrix mix = SparseMatrix::FromCoo(
+      2, 2, {{0, 0, 0.5f}, {0, 1, 0.5f}, {1, 0, 0.5f}, {1, 1, 0.5f}});
+  GraphConvolution layer(&mix, 2, 2, &rng);
+  const Variable x(Matrix(2, 2, {4, 0, 0, 2}), false);
+  const Matrix out = layer.Forward(x).value();
+  EXPECT_NEAR(out.At(0, 0), out.At(1, 0), 1e-6);
+  EXPECT_NEAR(out.At(0, 1), out.At(1, 1), 1e-6);
+}
+
+TEST(GraphConvTest, SparseForwardMatchesDense) {
+  Rng rng(10);
+  const SparseMatrix adj = SparseMatrix::FromCoo(
+      3, 3, {{0, 0, 0.4f}, {0, 1, 0.6f}, {1, 1, 1.0f}, {2, 2, 1.0f}});
+  GraphConvolution layer(&adj, 4, 2, &rng);
+  Matrix dense(3, 4);
+  dense.At(0, 0) = 1.0f;
+  dense.At(2, 3) = 2.0f;
+  const SparseMatrix sparse_features = SparseMatrix::FromDense(dense);
+  EXPECT_TRUE(layer.ForwardSparse(&sparse_features)
+                  .value()
+                  .ApproxEquals(layer.Forward(Variable(dense, false)).value(),
+                                1e-5f));
+}
+
+TEST(ModuleTest, NumParametersAggregates) {
+  Rng rng(11);
+  Linear a(4, 4, &rng);
+  EXPECT_EQ(a.NumParameters(), 20);
+}
+
+TEST(SgdTest, ConvergesOnQuadratic) {
+  // Minimize ||w - target||^2 by SGD.
+  Variable w(Matrix(1, 3), true);
+  const Matrix target(1, 3, {1.0f, -2.0f, 0.5f});
+  Sgd opt({w}, /*lr=*/0.1f);
+  for (int step = 0; step < 200; ++step) {
+    Variable loss = ag::RowSquaredError(w, target, {0},
+                                        ag::Reduction::kMean);
+    loss.Backward();
+    opt.Step();
+  }
+  EXPECT_TRUE(w.value().ApproxEquals(target, 1e-3f));
+}
+
+TEST(SgdTest, WeightDecayShrinksWeights) {
+  Variable w(Matrix::Constant(1, 2, 10.0f), true);
+  Sgd opt({w}, /*lr=*/0.1f, /*weight_decay=*/0.5f);
+  // Zero gradient: only the decay acts.
+  w.ZeroGrad();
+  opt.Step();
+  EXPECT_NEAR(w.value().At(0, 0), 10.0f * (1.0f - 0.05f), 1e-5f);
+}
+
+TEST(AdamTest, ConvergesOnQuadratic) {
+  Variable w(Matrix(1, 4), true);
+  const Matrix target(1, 4, {3.0f, -1.0f, 2.0f, 0.0f});
+  Adam opt({w}, /*lr=*/0.05f);
+  for (int step = 0; step < 500; ++step) {
+    Variable loss = ag::RowSquaredError(w, target, {0},
+                                        ag::Reduction::kMean);
+    loss.Backward();
+    opt.Step();
+  }
+  EXPECT_TRUE(w.value().ApproxEquals(target, 1e-2f));
+  EXPECT_EQ(opt.step_count(), 500);
+}
+
+TEST(AdamTest, FirstStepMagnitudeIsLr) {
+  // With bias correction, Adam's first step is ~lr * sign(grad).
+  Variable w(Matrix(1, 1), true);
+  Adam opt({w}, /*lr=*/0.01f);
+  Variable loss = ag::Scale(ag::SumAll(w), 5.0f);  // grad = 5.
+  loss.Backward();
+  opt.Step();
+  EXPECT_NEAR(w.value().At(0, 0), -0.01f, 1e-4f);
+}
+
+TEST(OptimizerTest, ZeroGradClears) {
+  Variable w(Matrix(1, 2), true);
+  Sgd opt({w}, 0.1f);
+  ag::SumAll(w).Backward();
+  EXPECT_FALSE(w.grad().Equals(Matrix(1, 2)));
+  opt.ZeroGrad();
+  EXPECT_TRUE(w.grad().Equals(Matrix(1, 2)));
+}
+
+TEST(AccuracyTest, PerfectAndZero) {
+  const Matrix scores(2, 2, {0.9f, 0.1f, 0.2f, 0.8f});
+  EXPECT_DOUBLE_EQ(Accuracy(scores, {0, 1}, {0, 1}), 1.0);
+  EXPECT_DOUBLE_EQ(Accuracy(scores, {1, 0}, {0, 1}), 0.0);
+}
+
+TEST(AccuracyTest, SubsetOnly) {
+  const Matrix scores(3, 2, {0.9f, 0.1f, 0.1f, 0.9f, 0.9f, 0.1f});
+  // Node 2 is wrong but not in the index set.
+  EXPECT_DOUBLE_EQ(Accuracy(scores, {0, 1, 1}, {0, 1}), 1.0);
+  EXPECT_DOUBLE_EQ(Accuracy(scores, {0, 1, 1}, {0, 1, 2}), 2.0 / 3.0);
+}
+
+TEST(AccuracyTest, EmptyIndicesIsZero) {
+  EXPECT_DOUBLE_EQ(Accuracy(Matrix(1, 2), {0}, {}), 0.0);
+}
+
+TEST(ConfusionMatrixTest, CountsByTrueAndPredicted) {
+  const Matrix scores(3, 2, {0.9f, 0.1f, 0.1f, 0.9f, 0.8f, 0.2f});
+  const Matrix confusion =
+      ConfusionMatrix(scores, {0, 0, 1}, {0, 1, 2}, 2);
+  EXPECT_EQ(confusion.At(0, 0), 1.0f);  // Node 0: true 0, pred 0.
+  EXPECT_EQ(confusion.At(0, 1), 1.0f);  // Node 1: true 0, pred 1.
+  EXPECT_EQ(confusion.At(1, 0), 1.0f);  // Node 2: true 1, pred 0.
+  EXPECT_EQ(confusion.At(1, 1), 0.0f);
+}
+
+TEST(MacroF1Test, PerfectPredictionIsOne) {
+  const Matrix scores(4, 2, {1, 0, 1, 0, 0, 1, 0, 1});
+  EXPECT_NEAR(MacroF1(scores, {0, 0, 1, 1}, {0, 1, 2, 3}, 2), 1.0, 1e-9);
+}
+
+TEST(MacroF1Test, PenalizesMinorityErrors) {
+  // 3 of class 0 right, the single class-1 node wrong: accuracy 0.75 but
+  // macro-F1 is much lower because class 1 has F1 = 0.
+  const Matrix scores(4, 2, {1, 0, 1, 0, 1, 0, 1, 0});
+  const double f1 = MacroF1(scores, {0, 0, 0, 1}, {0, 1, 2, 3}, 2);
+  EXPECT_LT(f1, 0.5);
+  EXPECT_GT(f1, 0.0);
+}
+
+}  // namespace
+}  // namespace rdd

@@ -1,0 +1,79 @@
+#include "graph/normalize.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "tensor/ops.h"
+#include "util/random.h"
+
+namespace rdd {
+namespace {
+
+TEST(GcnNormalizedAdjacencyTest, PathGraphValues) {
+  // Path 0-1-2. Degrees with self-loops: 2, 3, 2.
+  const Graph g = MakePathGraph(3);
+  const SparseMatrix ahat = GcnNormalizedAdjacency(g);
+  EXPECT_NEAR(ahat.At(0, 0), 1.0 / 2.0, 1e-6);
+  EXPECT_NEAR(ahat.At(1, 1), 1.0 / 3.0, 1e-6);
+  EXPECT_NEAR(ahat.At(0, 1), 1.0 / std::sqrt(6.0), 1e-6);
+  EXPECT_NEAR(ahat.At(1, 0), 1.0 / std::sqrt(6.0), 1e-6);
+  EXPECT_EQ(ahat.At(0, 2), 0.0f);
+}
+
+TEST(GcnNormalizedAdjacencyTest, IsSymmetric) {
+  Rng rng(7);
+  const Graph g = MakeErdosRenyiGraph(30, 0.2, &rng);
+  const SparseMatrix ahat = GcnNormalizedAdjacency(g);
+  const Matrix dense = ahat.ToDense();
+  EXPECT_TRUE(dense.ApproxEquals(Transpose(dense), 1e-6f));
+}
+
+TEST(GcnNormalizedAdjacencyTest, IsolatedNodeGetsUnitSelfLoop) {
+  const Graph g(3, {{0, 1}});
+  const SparseMatrix ahat = GcnNormalizedAdjacency(g);
+  EXPECT_NEAR(ahat.At(2, 2), 1.0, 1e-6);
+}
+
+TEST(GcnNormalizedAdjacencyTest, SpectralRadiusAtMostOne) {
+  // Power iteration on Ahat should not blow up: ||Ahat x|| <= ||x||.
+  Rng rng(8);
+  const Graph g = MakeErdosRenyiGraph(50, 0.1, &rng);
+  const SparseMatrix ahat = GcnNormalizedAdjacency(g);
+  Matrix x(50, 1);
+  for (int64_t i = 0; i < 50; ++i) {
+    x.At(i, 0) = static_cast<float>(rng.Gaussian());
+  }
+  double prev = std::sqrt(x.SquaredNorm());
+  for (int iter = 0; iter < 5; ++iter) {
+    x = ahat.Multiply(x);
+    const double now = std::sqrt(x.SquaredNorm());
+    EXPECT_LE(now, prev * (1.0 + 1e-5));
+    prev = now;
+  }
+}
+
+TEST(RowNormalizedAdjacencyTest, RowsSumToOne) {
+  Rng rng(9);
+  const Graph g = MakeErdosRenyiGraph(20, 0.3, &rng);
+  const SparseMatrix p = RowNormalizedAdjacency(g);
+  const Matrix dense = p.ToDense();
+  for (int64_t r = 0; r < dense.rows(); ++r) {
+    double sum = 0.0;
+    for (int64_t c = 0; c < dense.cols(); ++c) sum += dense.At(r, c);
+    EXPECT_NEAR(sum, 1.0, 1e-5);
+  }
+}
+
+TEST(PlainAdjacencyTest, MatchesGraphEdges) {
+  const Graph g(4, {{0, 1}, {2, 3}});
+  const SparseMatrix a = PlainAdjacency(g);
+  EXPECT_EQ(a.nnz(), 4);  // Two undirected edges, stored symmetrically.
+  EXPECT_EQ(a.At(0, 1), 1.0f);
+  EXPECT_EQ(a.At(1, 0), 1.0f);
+  EXPECT_EQ(a.At(0, 0), 0.0f);  // No self-loops.
+}
+
+}  // namespace
+}  // namespace rdd

@@ -1,0 +1,167 @@
+#include "tensor/ops.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace rdd {
+namespace {
+
+Matrix RandomMatrix(int64_t rows, int64_t cols, Rng* rng) {
+  Matrix m(rows, cols);
+  for (int64_t i = 0; i < m.size(); ++i) {
+    m.Data()[i] = static_cast<float>(rng->Gaussian());
+  }
+  return m;
+}
+
+TEST(MatmulTest, KnownProduct) {
+  const Matrix a(2, 3, {1, 2, 3, 4, 5, 6});
+  const Matrix b(3, 2, {7, 8, 9, 10, 11, 12});
+  EXPECT_TRUE(Matmul(a, b).Equals(Matrix(2, 2, {58, 64, 139, 154})));
+}
+
+TEST(MatmulTest, IdentityIsNeutral) {
+  Rng rng(1);
+  const Matrix a = RandomMatrix(4, 4, &rng);
+  EXPECT_TRUE(Matmul(a, Matrix::Identity(4)).ApproxEquals(a, 1e-6f));
+  EXPECT_TRUE(Matmul(Matrix::Identity(4), a).ApproxEquals(a, 1e-6f));
+}
+
+TEST(MatmulTest, TransposeVariantsMatchExplicit) {
+  Rng rng(2);
+  const Matrix a = RandomMatrix(5, 3, &rng);
+  const Matrix b = RandomMatrix(5, 4, &rng);
+  EXPECT_TRUE(MatmulTransposeA(a, b).ApproxEquals(
+      Matmul(Transpose(a), b), 1e-5f));
+  const Matrix c = RandomMatrix(6, 3, &rng);
+  EXPECT_TRUE(MatmulTransposeB(a, c).ApproxEquals(
+      Matmul(a, Transpose(c)), 1e-5f));
+}
+
+TEST(TransposeTest, DoubleTransposeIsIdentity) {
+  Rng rng(3);
+  const Matrix a = RandomMatrix(3, 7, &rng);
+  EXPECT_TRUE(Transpose(Transpose(a)).Equals(a));
+}
+
+TEST(ReluTest, ClampsNegatives) {
+  const Matrix x(1, 4, {-1.0f, 0.0f, 2.0f, -3.5f});
+  EXPECT_TRUE(Relu(x).Equals(Matrix(1, 4, {0, 0, 2, 0})));
+}
+
+TEST(ReluBackwardTest, MasksGradient) {
+  const Matrix input(1, 4, {-1.0f, 0.0f, 2.0f, 5.0f});
+  const Matrix grad(1, 4, {10, 20, 30, 40});
+  EXPECT_TRUE(ReluBackward(grad, input).Equals(Matrix(1, 4, {0, 0, 30, 40})));
+}
+
+TEST(SoftmaxTest, RowsSumToOne) {
+  Rng rng(4);
+  const Matrix logits = RandomMatrix(6, 5, &rng);
+  const Matrix probs = SoftmaxRows(logits);
+  for (int64_t r = 0; r < probs.rows(); ++r) {
+    double sum = 0.0;
+    for (int64_t c = 0; c < probs.cols(); ++c) {
+      EXPECT_GT(probs.At(r, c), 0.0f);
+      sum += probs.At(r, c);
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-5);
+  }
+}
+
+TEST(SoftmaxTest, InvariantToRowShift) {
+  const Matrix a(1, 3, {1, 2, 3});
+  const Matrix b(1, 3, {101, 102, 103});
+  EXPECT_TRUE(SoftmaxRows(a).ApproxEquals(SoftmaxRows(b), 1e-6f));
+}
+
+TEST(SoftmaxTest, StableForLargeLogits) {
+  const Matrix logits(1, 2, {1000.0f, 0.0f});
+  const Matrix probs = SoftmaxRows(logits);
+  EXPECT_NEAR(probs.At(0, 0), 1.0f, 1e-6f);
+  EXPECT_FALSE(std::isnan(probs.At(0, 1)));
+}
+
+TEST(LogSoftmaxTest, MatchesLogOfSoftmax) {
+  Rng rng(5);
+  const Matrix logits = RandomMatrix(4, 6, &rng);
+  const Matrix log_probs = LogSoftmaxRows(logits);
+  const Matrix probs = SoftmaxRows(logits);
+  for (int64_t r = 0; r < 4; ++r) {
+    for (int64_t c = 0; c < 6; ++c) {
+      EXPECT_NEAR(log_probs.At(r, c), std::log(probs.At(r, c)), 1e-5);
+    }
+  }
+}
+
+TEST(RowEntropyTest, UniformIsMaximal) {
+  const int64_t k = 4;
+  const Matrix uniform = Matrix::Constant(1, k, 1.0f / k);
+  const auto entropy = RowEntropy(uniform);
+  EXPECT_NEAR(entropy[0], std::log(static_cast<double>(k)), 1e-6);
+}
+
+TEST(RowEntropyTest, DeterministicIsZero) {
+  Matrix onehot(1, 4);
+  onehot.At(0, 2) = 1.0f;
+  EXPECT_NEAR(RowEntropy(onehot)[0], 0.0, 1e-9);
+}
+
+TEST(RowEntropyTest, PeakedLessThanFlat) {
+  const Matrix peaked(1, 3, {0.8f, 0.1f, 0.1f});
+  const Matrix flat(1, 3, {0.4f, 0.3f, 0.3f});
+  EXPECT_LT(RowEntropy(peaked)[0], RowEntropy(flat)[0]);
+}
+
+TEST(ArgmaxRowsTest, PicksMaxAndBreaksTiesLow) {
+  const Matrix m(3, 3, {1, 5, 2,
+                        9, 0, 9,
+                        -3, -2, -4});
+  const auto idx = ArgmaxRows(m);
+  EXPECT_EQ(idx[0], 1);
+  EXPECT_EQ(idx[1], 0);  // Tie goes to the first index.
+  EXPECT_EQ(idx[2], 1);
+}
+
+TEST(ColumnSumsTest, SumsEachColumn) {
+  const Matrix m(2, 3, {1, 2, 3, 4, 5, 6});
+  EXPECT_TRUE(ColumnSums(m).Equals(Matrix(1, 3, {5, 7, 9})));
+}
+
+TEST(AddRowBroadcastTest, AddsBiasToEveryRow) {
+  const Matrix m(2, 2, {1, 2, 3, 4});
+  const Matrix bias(1, 2, {10, 20});
+  EXPECT_TRUE(AddRowBroadcast(m, bias).Equals(Matrix(2, 2, {11, 22, 13, 24})));
+}
+
+TEST(GatherRowsTest, SelectsInOrder) {
+  const Matrix m(3, 2, {1, 2, 3, 4, 5, 6});
+  const Matrix picked = GatherRows(m, {2, 0});
+  EXPECT_TRUE(picked.Equals(Matrix(2, 2, {5, 6, 1, 2})));
+}
+
+TEST(ConcatColsTest, StacksHorizontally) {
+  const Matrix a(2, 1, {1, 2});
+  const Matrix b(2, 2, {3, 4, 5, 6});
+  EXPECT_TRUE(ConcatCols(a, b).Equals(Matrix(2, 3, {1, 3, 4, 2, 5, 6})));
+}
+
+TEST(AddSubTest, ElementwiseFreeFunctions) {
+  const Matrix a(1, 2, {1, 2});
+  const Matrix b(1, 2, {10, 20});
+  EXPECT_TRUE(Add(a, b).Equals(Matrix(1, 2, {11, 22})));
+  EXPECT_TRUE(Sub(b, a).Equals(Matrix(1, 2, {9, 18})));
+}
+
+TEST(OpsDeathTest, ShapeMismatchesAbort) {
+  EXPECT_DEATH((void)Matmul(Matrix(2, 3), Matrix(2, 3)), "Check failed");
+  EXPECT_DEATH((void)ConcatCols(Matrix(2, 1), Matrix(3, 1)), "Check failed");
+  EXPECT_DEATH((void)AddRowBroadcast(Matrix(2, 2), Matrix(1, 3)),
+               "Check failed");
+}
+
+}  // namespace
+}  // namespace rdd

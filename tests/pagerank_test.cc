@@ -1,0 +1,98 @@
+#include "graph/pagerank.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "util/random.h"
+
+namespace rdd {
+namespace {
+
+double Sum(const std::vector<double>& v) {
+  double s = 0.0;
+  for (double x : v) s += x;
+  return s;
+}
+
+TEST(PageRankTest, EmptyGraph) {
+  EXPECT_TRUE(PageRank(Graph()).empty());
+}
+
+TEST(PageRankTest, SumsToOne) {
+  Rng rng(3);
+  const Graph g = MakeErdosRenyiGraph(40, 0.1, &rng);
+  EXPECT_NEAR(Sum(PageRank(g)), 1.0, 1e-9);
+}
+
+TEST(PageRankTest, SymmetricGraphIsUniform) {
+  const Graph g = MakeCycleGraph(8);
+  const auto rank = PageRank(g);
+  for (double r : rank) EXPECT_NEAR(r, 1.0 / 8.0, 1e-9);
+}
+
+TEST(PageRankTest, CompleteGraphIsUniform) {
+  const Graph g = MakeCompleteGraph(5);
+  const auto rank = PageRank(g);
+  for (double r : rank) EXPECT_NEAR(r, 0.2, 1e-9);
+}
+
+TEST(PageRankTest, HubDominatesStar) {
+  const Graph g = MakeStarGraph(10);
+  const auto rank = PageRank(g);
+  for (size_t i = 1; i < rank.size(); ++i) {
+    EXPECT_GT(rank[0], rank[i]);
+    EXPECT_NEAR(rank[i], rank[1], 1e-12);  // Leaves are symmetric.
+  }
+}
+
+TEST(PageRankTest, IsolatedNodesGetTeleportMass) {
+  const Graph g(4, {{0, 1}});
+  const auto rank = PageRank(g);
+  EXPECT_NEAR(Sum(rank), 1.0, 1e-9);
+  EXPECT_GT(rank[2], 0.0);
+  EXPECT_NEAR(rank[2], rank[3], 1e-12);
+  // Connected nodes should outrank isolated ones.
+  EXPECT_GT(rank[0], rank[2]);
+}
+
+TEST(PageRankTest, DampingChangesConcentration) {
+  const Graph g = MakeStarGraph(20);
+  PageRankOptions strong;
+  strong.damping = 0.95;
+  PageRankOptions weak;
+  weak.damping = 0.5;
+  // Higher damping concentrates more mass on the hub.
+  EXPECT_GT(PageRank(g, strong)[0], PageRank(g, weak)[0]);
+}
+
+TEST(PageRankTest, ConvergedResultIsStationary) {
+  Rng rng(5);
+  const Graph g = MakeErdosRenyiGraph(30, 0.2, &rng);
+  PageRankOptions options;
+  options.max_iterations = 500;
+  options.tolerance = 1e-13;
+  const auto rank = PageRank(g, options);
+  // One more hand-rolled power step should not change the vector.
+  const double n = static_cast<double>(g.num_nodes());
+  std::vector<double> next(rank.size(), (1.0 - options.damping) / n);
+  for (int64_t i = 0; i < g.num_nodes(); ++i) {
+    const double share = options.damping * rank[static_cast<size_t>(i)] /
+                         static_cast<double>(g.Degree(i));
+    for (int64_t j : g.Neighbors(i)) next[static_cast<size_t>(j)] += share;
+  }
+  for (size_t i = 0; i < rank.size(); ++i) {
+    EXPECT_NEAR(next[i], rank[i], 1e-9);
+  }
+}
+
+TEST(PageRankDeathTest, BadDampingAborts) {
+  PageRankOptions options;
+  options.damping = 1.0;
+  EXPECT_DEATH((void)PageRank(MakeCycleGraph(3), options), "Check failed");
+}
+
+}  // namespace
+}  // namespace rdd

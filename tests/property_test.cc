@@ -1,0 +1,251 @@
+// Property-based test sweeps (parameterized gtest): algebraic invariants of
+// the tensor kernels, analytic invariants of softmax/entropy, structural
+// invariants of the graph normalizations, and distributional invariants of
+// the data generator, each checked across a grid of random configurations.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "autograd/ops.h"
+#include "core/reliability.h"
+#include "core/schedule.h"
+#include "data/citation_gen.h"
+#include "graph/generators.h"
+#include "graph/normalize.h"
+#include "graph/pagerank.h"
+#include "tensor/ops.h"
+#include "util/random.h"
+
+namespace rdd {
+namespace {
+
+Matrix RandomMatrix(int64_t rows, int64_t cols, Rng* rng) {
+  Matrix m(rows, cols);
+  for (int64_t i = 0; i < m.size(); ++i) {
+    m.Data()[i] = static_cast<float>(rng->Gaussian());
+  }
+  return m;
+}
+
+SparseMatrix RandomSparse(int64_t rows, int64_t cols, double density,
+                          Rng* rng) {
+  std::vector<SparseEntry> entries;
+  for (int64_t r = 0; r < rows; ++r) {
+    for (int64_t c = 0; c < cols; ++c) {
+      if (rng->Bernoulli(density)) {
+        entries.push_back({r, c, static_cast<float>(rng->Gaussian())});
+      }
+    }
+  }
+  return SparseMatrix::FromCoo(rows, cols, std::move(entries));
+}
+
+// ---------------------------------------------------------------------------
+// Matmul algebra over a shape grid.
+
+struct ShapeCase {
+  int64_t m, k, n;
+};
+
+class MatmulPropertyTest : public ::testing::TestWithParam<ShapeCase> {};
+
+TEST_P(MatmulPropertyTest, DistributesOverAddition) {
+  const ShapeCase shape = GetParam();
+  Rng rng(shape.m * 100 + shape.k * 10 + shape.n);
+  const Matrix a = RandomMatrix(shape.m, shape.k, &rng);
+  const Matrix b = RandomMatrix(shape.k, shape.n, &rng);
+  const Matrix c = RandomMatrix(shape.k, shape.n, &rng);
+  EXPECT_TRUE(Matmul(a, Add(b, c)).ApproxEquals(
+      Add(Matmul(a, b), Matmul(a, c)), 1e-3f));
+}
+
+TEST_P(MatmulPropertyTest, TransposeReversesProduct) {
+  const ShapeCase shape = GetParam();
+  Rng rng(shape.m * 7 + shape.k * 3 + shape.n);
+  const Matrix a = RandomMatrix(shape.m, shape.k, &rng);
+  const Matrix b = RandomMatrix(shape.k, shape.n, &rng);
+  EXPECT_TRUE(Transpose(Matmul(a, b)).ApproxEquals(
+      Matmul(Transpose(b), Transpose(a)), 1e-3f));
+}
+
+TEST_P(MatmulPropertyTest, SparseAgreesWithDense) {
+  const ShapeCase shape = GetParam();
+  Rng rng(shape.m + shape.k + shape.n);
+  const SparseMatrix sparse = RandomSparse(shape.m, shape.k, 0.3, &rng);
+  const Matrix dense_lhs = sparse.ToDense();
+  const Matrix rhs = RandomMatrix(shape.k, shape.n, &rng);
+  EXPECT_TRUE(sparse.Multiply(rhs).ApproxEquals(Matmul(dense_lhs, rhs),
+                                                1e-3f));
+  const Matrix tall = RandomMatrix(shape.m, shape.n, &rng);
+  EXPECT_TRUE(sparse.TransposeMultiply(tall).ApproxEquals(
+      MatmulTransposeA(dense_lhs, tall), 1e-3f));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, MatmulPropertyTest,
+    ::testing::Values(ShapeCase{1, 1, 1}, ShapeCase{3, 5, 2},
+                      ShapeCase{8, 8, 8}, ShapeCase{13, 1, 7},
+                      ShapeCase{1, 17, 4}, ShapeCase{20, 6, 20}));
+
+// ---------------------------------------------------------------------------
+// Softmax / entropy invariants over random matrices.
+
+class SoftmaxPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SoftmaxPropertyTest, EntropyBounds) {
+  Rng rng(static_cast<uint64_t>(GetParam()));
+  const int64_t k = 2 + rng.UniformInt(9);
+  const Matrix probs = SoftmaxRows(RandomMatrix(12, k, &rng));
+  for (double h : RowEntropy(probs)) {
+    EXPECT_GE(h, 0.0);
+    EXPECT_LE(h, std::log(static_cast<double>(k)) + 1e-9);
+  }
+}
+
+TEST_P(SoftmaxPropertyTest, ArgmaxInvariantUnderSoftmax) {
+  Rng rng(static_cast<uint64_t>(GetParam()) + 1000);
+  const Matrix logits = RandomMatrix(10, 6, &rng);
+  EXPECT_EQ(ArgmaxRows(logits), ArgmaxRows(SoftmaxRows(logits)));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SoftmaxPropertyTest,
+                         ::testing::Range(0, 8));
+
+// ---------------------------------------------------------------------------
+// Graph normalization invariants over random graphs.
+
+class NormalizationPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(NormalizationPropertyTest, GcnNormalizationSymmetricAndBounded) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 31 + 5);
+  const Graph g = MakeErdosRenyiGraph(40, 0.12, &rng);
+  const SparseMatrix ahat = GcnNormalizedAdjacency(g);
+  const Matrix dense = ahat.ToDense();
+  EXPECT_TRUE(dense.ApproxEquals(Transpose(dense), 1e-6f));
+  for (int64_t i = 0; i < dense.size(); ++i) {
+    EXPECT_GE(dense.Data()[i], 0.0f);
+    EXPECT_LE(dense.Data()[i], 1.0f);
+  }
+}
+
+TEST_P(NormalizationPropertyTest, PageRankIsDistribution) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 17 + 3);
+  const Graph g = MakeErdosRenyiGraph(50, 0.08, &rng);
+  const auto rank = PageRank(g);
+  double sum = 0.0;
+  for (double r : rank) {
+    EXPECT_GT(r, 0.0);
+    sum += r;
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-8);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, NormalizationPropertyTest,
+                         ::testing::Range(0, 6));
+
+// ---------------------------------------------------------------------------
+// Percentile threshold properties.
+
+class PercentilePropertyTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(PercentilePropertyTest, CoversAtLeastRequestedFraction) {
+  const double percent = GetParam();
+  Rng rng(static_cast<uint64_t>(percent * 10));
+  std::vector<double> values(137);
+  for (double& v : values) v = rng.Gaussian();
+  const double threshold = LowerPercentileThreshold(values, percent);
+  int64_t below = 0;
+  for (double v : values) {
+    if (v <= threshold) ++below;
+  }
+  EXPECT_GE(static_cast<double>(below) / static_cast<double>(values.size()),
+            percent / 100.0 - 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Percents, PercentilePropertyTest,
+                         ::testing::Values(1.0, 10.0, 40.0, 50.0, 80.0,
+                                           99.0, 100.0));
+
+// ---------------------------------------------------------------------------
+// Autograd linearity: for f(x) = sum(c * x), the gradient is exactly c.
+
+class LinearityPropertyTest : public ::testing::TestWithParam<float> {};
+
+TEST_P(LinearityPropertyTest, ScaleGradientIsConstant) {
+  const float c = GetParam();
+  Rng rng(11);
+  Variable x(RandomMatrix(4, 4, &rng), true);
+  ag::SumAll(ag::Scale(x, c)).Backward();
+  EXPECT_TRUE(x.grad().ApproxEquals(Matrix::Constant(4, 4, c), 1e-5f));
+}
+
+INSTANTIATE_TEST_SUITE_P(Coefficients, LinearityPropertyTest,
+                         ::testing::Values(-3.0f, -1.0f, 0.0f, 0.5f, 2.0f));
+
+// ---------------------------------------------------------------------------
+// Generator invariants over a config grid.
+
+struct GenCase {
+  int64_t nodes, classes;
+  double homophily;
+};
+
+class GeneratorPropertyTest : public ::testing::TestWithParam<GenCase> {};
+
+TEST_P(GeneratorPropertyTest, StructuralInvariants) {
+  const GenCase param = GetParam();
+  CitationGenConfig config;
+  config.num_nodes = param.nodes;
+  config.num_features = 120;
+  config.num_edges = param.nodes * 3;
+  config.num_classes = param.classes;
+  config.homophily = param.homophily;
+  config.labeled_per_class = 4;
+  config.val_size = param.nodes / 10;
+  config.test_size = param.nodes / 5;
+  const Dataset d = GenerateCitationNetwork(config, 77);
+
+  std::string error;
+  EXPECT_TRUE(ValidateDataset(d, &error)) << error;
+  // Every class is populated.
+  std::vector<int64_t> counts(static_cast<size_t>(param.classes), 0);
+  for (int64_t y : d.labels) ++counts[static_cast<size_t>(y)];
+  for (int64_t c : counts) EXPECT_GT(c, 0);
+  // The split has the exact stratified sizes.
+  EXPECT_EQ(static_cast<int64_t>(d.split.train.size()),
+            4 * param.classes);
+  // Every node has at least one feature.
+  for (int64_t i = 0; i < d.NumNodes(); ++i) {
+    EXPECT_GE(d.features.RowNnz(i), 1);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, GeneratorPropertyTest,
+    ::testing::Values(GenCase{300, 3, 0.5}, GenCase{300, 3, 0.9},
+                      GenCase{500, 7, 0.7}, GenCase{800, 5, 0.8},
+                      GenCase{400, 2, 0.6}));
+
+// ---------------------------------------------------------------------------
+// Cosine annealing bounds across configurations.
+
+class SchedulePropertyTest
+    : public ::testing::TestWithParam<std::pair<float, int>> {};
+
+TEST_P(SchedulePropertyTest, BoundedByTwiceInitial) {
+  const auto [gamma, epochs] = GetParam();
+  for (int e = 0; e < epochs; ++e) {
+    const float g = CosineAnnealedGamma(gamma, e, epochs);
+    EXPECT_GE(g, 0.0f);
+    EXPECT_LE(g, 2.0f * gamma + 1e-5f);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configs, SchedulePropertyTest,
+    ::testing::Values(std::pair{0.5f, 10}, std::pair{1.0f, 100},
+                      std::pair{3.0f, 500}, std::pair{0.01f, 37}));
+
+}  // namespace
+}  // namespace rdd

@@ -1,0 +1,192 @@
+#include "core/rdd_trainer.h"
+
+#include <gtest/gtest.h>
+
+#include "data/citation_gen.h"
+#include "graph/generators.h"
+#include "graph/pagerank.h"
+#include "tensor/ops.h"
+
+namespace rdd {
+namespace {
+
+class RddTrainerTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    CitationGenConfig config;
+    config.num_nodes = 400;
+    config.num_features = 120;
+    config.num_edges = 1200;
+    config.num_classes = 4;
+    config.homophily = 0.75;
+    config.topic_purity = 0.4;
+    config.labeled_per_class = 8;
+    config.val_size = 60;
+    config.test_size = 100;
+    dataset_ = new Dataset(GenerateCitationNetwork(config, 21));
+    context_ = new GraphContext(GraphContext::FromDataset(*dataset_));
+  }
+  static void TearDownTestSuite() {
+    delete context_;
+    delete dataset_;
+  }
+
+  static RddConfig FastConfig() {
+    RddConfig config;
+    config.num_base_models = 3;
+    config.train.max_epochs = 60;
+    return config;
+  }
+
+  static Dataset* dataset_;
+  static GraphContext* context_;
+};
+
+Dataset* RddTrainerTest::dataset_ = nullptr;
+GraphContext* RddTrainerTest::context_ = nullptr;
+
+TEST(ComputeEnsembleWeightTest, ConfidentModelGetsMoreWeight) {
+  const Graph g = MakeCycleGraph(4);
+  const auto pagerank = PageRank(g);
+  // Confident predictions (low entropy) vs uncertain ones.
+  const Matrix confident(4, 2, {0.99f, 0.01f, 0.99f, 0.01f,
+                                0.99f, 0.01f, 0.99f, 0.01f});
+  const Matrix uncertain = Matrix::Constant(4, 2, 0.5f);
+  EXPECT_GT(ComputeEnsembleWeight(confident, pagerank),
+            ComputeEnsembleWeight(uncertain, pagerank));
+}
+
+TEST(ComputeEnsembleWeightTest, ZeroEntropyIsBoundedByEpsilonFloor) {
+  const Graph g = MakeCycleGraph(3);
+  Matrix onehot(3, 2);
+  for (int64_t i = 0; i < 3; ++i) onehot.At(i, 0) = 1.0f;
+  const double weight = ComputeEnsembleWeight(onehot, PageRank(g));
+  EXPECT_LE(weight, 1.0 / 1e-8 + 1.0);
+  EXPECT_GT(weight, 0.0);
+}
+
+TEST(ComputeEnsembleWeightTest, PageRankWeightsEntropy) {
+  // Two nodes: hub (high PageRank) and leaf. A model uncertain on the hub
+  // should be weighted lower than one uncertain on the leaf.
+  const Graph star = MakeStarGraph(5);
+  const auto pagerank = PageRank(star);
+  Matrix uncertain_hub = Matrix::Constant(5, 2, 0.5f);
+  for (int64_t i = 1; i < 5; ++i) {
+    uncertain_hub.At(i, 0) = 0.99f;
+    uncertain_hub.At(i, 1) = 0.01f;
+  }
+  Matrix uncertain_leaf = Matrix::Constant(5, 2, 0.5f);
+  uncertain_leaf.At(0, 0) = 0.99f;
+  uncertain_leaf.At(0, 1) = 0.01f;
+  for (int64_t i = 2; i < 5; ++i) {
+    uncertain_leaf.At(i, 0) = 0.99f;
+    uncertain_leaf.At(i, 1) = 0.01f;
+  }
+  EXPECT_LT(ComputeEnsembleWeight(uncertain_hub, pagerank),
+            ComputeEnsembleWeight(uncertain_leaf, pagerank));
+}
+
+TEST_F(RddTrainerTest, ProducesRequestedMembers) {
+  const RddResult result = TrainRdd(*dataset_, *context_, FastConfig(), 1);
+  EXPECT_EQ(result.teacher.size(), 3);
+  EXPECT_EQ(result.reports.size(), 3u);
+  EXPECT_EQ(result.alphas.size(), 3u);
+  EXPECT_EQ(result.diagnostics.size(), 3u);
+  for (double a : result.alphas) EXPECT_GT(a, 0.0);
+}
+
+TEST_F(RddTrainerTest, LearnsWellAboveChance) {
+  const RddResult result = TrainRdd(*dataset_, *context_, FastConfig(), 2);
+  EXPECT_GT(result.single_test_accuracy, 0.5);
+  EXPECT_GT(result.ensemble_test_accuracy, 0.5);
+  EXPECT_GT(result.average_member_test_accuracy, 0.5);
+  EXPECT_GT(result.total_seconds, 0.0);
+}
+
+TEST_F(RddTrainerTest, LaterStudentsSeeReliabilityDiagnostics) {
+  const RddResult result = TrainRdd(*dataset_, *context_, FastConfig(), 3);
+  // Student 0 trains purely supervised (no reliability pass).
+  EXPECT_EQ(result.diagnostics[0].reliable_nodes, 0);
+  // Students 1+ track nonempty reliable sets.
+  for (size_t t = 1; t < result.diagnostics.size(); ++t) {
+    EXPECT_GT(result.diagnostics[t].reliable_nodes, 0);
+    EXPECT_GT(result.diagnostics[t].distill_nodes, 0);
+  }
+}
+
+TEST_F(RddTrainerTest, DeterministicForSeed) {
+  const RddResult a = TrainRdd(*dataset_, *context_, FastConfig(), 7);
+  const RddResult b = TrainRdd(*dataset_, *context_, FastConfig(), 7);
+  EXPECT_DOUBLE_EQ(a.single_test_accuracy, b.single_test_accuracy);
+  EXPECT_DOUBLE_EQ(a.ensemble_test_accuracy, b.ensemble_test_accuracy);
+  ASSERT_EQ(a.alphas.size(), b.alphas.size());
+  for (size_t i = 0; i < a.alphas.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.alphas[i], b.alphas[i]);
+  }
+}
+
+TEST_F(RddTrainerTest, UniformWeightAblation) {
+  RddConfig config = FastConfig();
+  config.use_entropy_pagerank_weights = false;
+  const RddResult result = TrainRdd(*dataset_, *context_, config, 4);
+  for (double a : result.alphas) EXPECT_DOUBLE_EQ(a, 1.0);
+}
+
+TEST_F(RddTrainerTest, NoL2AblationRuns) {
+  RddConfig config = FastConfig();
+  config.gamma_initial = 0.0f;
+  const RddResult result = TrainRdd(*dataset_, *context_, config, 5);
+  EXPECT_GT(result.ensemble_test_accuracy, 0.5);
+}
+
+TEST_F(RddTrainerTest, NoLregAblationRuns) {
+  RddConfig config = FastConfig();
+  config.beta = 0.0f;
+  const RddResult result = TrainRdd(*dataset_, *context_, config, 6);
+  EXPECT_GT(result.ensemble_test_accuracy, 0.5);
+}
+
+TEST_F(RddTrainerTest, NodeReliabilityAblationRuns) {
+  RddConfig config = FastConfig();
+  config.use_node_reliability = false;
+  const RddResult result = TrainRdd(*dataset_, *context_, config, 7);
+  EXPECT_GT(result.ensemble_test_accuracy, 0.5);
+  // Without node reliability every node is a distillation target.
+  EXPECT_EQ(result.diagnostics[1].distill_nodes, dataset_->NumNodes());
+}
+
+TEST_F(RddTrainerTest, EdgeReliabilityAblationUsesAllEdges) {
+  RddConfig config = FastConfig();
+  config.use_edge_reliability = false;
+  const RddResult result = TrainRdd(*dataset_, *context_, config, 8);
+  EXPECT_EQ(result.diagnostics[1].reliable_edges,
+            dataset_->graph.num_edges());
+}
+
+TEST_F(RddTrainerTest, EmbeddingMseVariantRuns) {
+  RddConfig config = FastConfig();
+  config.distill_loss = DistillLoss::kEmbeddingMse;
+  config.edge_reg_target = EdgeRegTarget::kEmbedding;
+  config.beta = 0.5f;  // Embedding-space Lreg needs a gentler beta.
+  const RddResult result = TrainRdd(*dataset_, *context_, config, 9);
+  EXPECT_GT(result.ensemble_test_accuracy, 0.5);
+}
+
+TEST_F(RddTrainerTest, AnnealingOffRuns) {
+  RddConfig config = FastConfig();
+  config.anneal_gamma = false;
+  const RddResult result = TrainRdd(*dataset_, *context_, config, 10);
+  EXPECT_GT(result.ensemble_test_accuracy, 0.5);
+}
+
+TEST_F(RddTrainerTest, SingleBaseModelDegeneratesToGcn) {
+  RddConfig config = FastConfig();
+  config.num_base_models = 1;
+  const RddResult result = TrainRdd(*dataset_, *context_, config, 11);
+  EXPECT_EQ(result.teacher.size(), 1);
+  EXPECT_DOUBLE_EQ(result.single_test_accuracy,
+                   result.ensemble_test_accuracy);
+}
+
+}  // namespace
+}  // namespace rdd

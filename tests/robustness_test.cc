@@ -1,0 +1,195 @@
+// Failure-injection and degenerate-input tests: corrupted dataset files,
+// pathological graphs (single class, no edges, everything labeled), and
+// edge-case configurations the trainers must survive.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "core/reliability.h"
+#include "core/rdd_trainer.h"
+#include "data/citation_gen.h"
+#include "data/serialize.h"
+#include "graph/generators.h"
+#include "models/model_factory.h"
+#include "tensor/ops.h"
+#include "train/trainer.h"
+
+namespace rdd {
+namespace {
+
+std::string TempPath(const char* name) {
+  return std::string(::testing::TempDir()) + "/" + name;
+}
+
+Dataset SmallDataset(uint64_t seed) {
+  CitationGenConfig config;
+  config.num_nodes = 200;
+  config.num_features = 60;
+  config.num_edges = 500;
+  config.num_classes = 3;
+  config.labeled_per_class = 5;
+  config.val_size = 30;
+  config.test_size = 40;
+  return GenerateCitationNetwork(config, seed);
+}
+
+// ---------------------------------------------------------------------------
+// Serialization corruption sweep: flipping a byte anywhere in the payload
+// must produce either a clean error or a dataset that still validates —
+// never a crash.
+
+class CorruptionTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(CorruptionTest, ByteFlipNeverCrashesLoader) {
+  const Dataset dataset = SmallDataset(9);
+  const std::string path = TempPath("corrupt_sweep.rdd");
+  ASSERT_TRUE(SaveDataset(dataset, path).ok());
+
+  // Read the file, flip one byte at a position derived from the parameter,
+  // write it back.
+  FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  std::fseek(f, 0, SEEK_END);
+  const long size = std::ftell(f);
+  std::fseek(f, 0, SEEK_SET);
+  std::string bytes(static_cast<size_t>(size), '\0');
+  ASSERT_EQ(std::fread(bytes.data(), 1, bytes.size(), f), bytes.size());
+  std::fclose(f);
+
+  const size_t position =
+      static_cast<size_t>(GetParam()) * bytes.size() / 16;
+  bytes[std::min(position, bytes.size() - 1)] ^= 0x5A;
+
+  f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  std::fwrite(bytes.data(), 1, bytes.size(), f);
+  std::fclose(f);
+
+  StatusOr<Dataset> loaded = LoadDataset(path);
+  if (loaded.ok()) {
+    // The flip hit a benign byte (e.g. a feature value); the result must
+    // still be structurally valid.
+    std::string error;
+    EXPECT_TRUE(ValidateDataset(*loaded, &error)) << error;
+  } else {
+    EXPECT_TRUE(loaded.status().code() == StatusCode::kInvalidArgument ||
+                loaded.status().code() == StatusCode::kIoError);
+  }
+  std::remove(path.c_str());
+}
+
+INSTANTIATE_TEST_SUITE_P(Positions, CorruptionTest, ::testing::Range(0, 16));
+
+// ---------------------------------------------------------------------------
+// Degenerate graphs and datasets.
+
+TEST(DegenerateInputTest, EdgelessGraphStillTrains) {
+  Dataset dataset = SmallDataset(10);
+  dataset.graph = Graph(dataset.NumNodes(), {});  // Remove all edges.
+  std::string error;
+  ASSERT_TRUE(ValidateDataset(dataset, &error)) << error;
+  const GraphContext context = GraphContext::FromDataset(dataset);
+  auto model = BuildModel(context, ModelConfig{}, 1);
+  TrainConfig train;
+  train.max_epochs = 20;
+  const TrainReport report = TrainSupervised(model.get(), dataset, train);
+  // With self-loops only, the GCN degenerates to an MLP; it must still
+  // produce finite results and learn something.
+  EXPECT_GE(report.test_accuracy, 0.0);
+  EXPECT_LE(report.test_accuracy, 1.0);
+}
+
+TEST(DegenerateInputTest, RddOnEdgelessGraph) {
+  Dataset dataset = SmallDataset(11);
+  dataset.graph = Graph(dataset.NumNodes(), {});
+  const GraphContext context = GraphContext::FromDataset(dataset);
+  RddConfig config;
+  config.num_base_models = 2;
+  config.train.max_epochs = 20;
+  // No edges -> Er always empty -> the Lreg term is skipped gracefully.
+  const RddResult result = TrainRdd(dataset, context, config, 1);
+  EXPECT_EQ(result.teacher.size(), 2);
+}
+
+TEST(DegenerateInputTest, SingleClassReliability) {
+  // With one class every prediction "agrees"; reliability must not abort.
+  Matrix probs = Matrix::Constant(6, 1, 1.0f);
+  const std::vector<int64_t> labels(6, 0);
+  const std::vector<bool> mask = {true, false, false, false, false, false};
+  const NodeReliability rel = ComputeNodeReliability(
+      probs, probs, labels, mask, NodeReliabilityConfig{});
+  // Zero-entropy predictions: everything is reliable.
+  EXPECT_EQ(rel.reliable_nodes.size(), 6u);
+}
+
+TEST(DegenerateInputTest, AllNodesLabeled) {
+  Dataset dataset = SmallDataset(12);
+  // Label every node that is not in val/test.
+  std::vector<bool> reserved(static_cast<size_t>(dataset.NumNodes()), false);
+  for (int64_t i : dataset.split.val) reserved[static_cast<size_t>(i)] = true;
+  for (int64_t i : dataset.split.test) {
+    reserved[static_cast<size_t>(i)] = true;
+  }
+  dataset.split.train.clear();
+  for (int64_t i = 0; i < dataset.NumNodes(); ++i) {
+    if (!reserved[static_cast<size_t>(i)]) dataset.split.train.push_back(i);
+  }
+  std::string error;
+  ASSERT_TRUE(ValidateDataset(dataset, &error)) << error;
+  const GraphContext context = GraphContext::FromDataset(dataset);
+  auto model = BuildModel(context, ModelConfig{}, 2);
+  TrainConfig train;
+  train.max_epochs = 30;
+  const TrainReport report = TrainSupervised(model.get(), dataset, train);
+  EXPECT_GT(report.test_accuracy, 0.5);
+}
+
+TEST(DegenerateInputTest, StarGraphPropagation) {
+  // Extreme hub topology: normalization and PageRank-weighted training
+  // must stay finite.
+  Dataset dataset = SmallDataset(13);
+  std::vector<Edge> star_edges;
+  for (int64_t i = 1; i < dataset.NumNodes(); ++i) {
+    star_edges.push_back({0, i});
+  }
+  dataset.graph = Graph(dataset.NumNodes(), star_edges);
+  const GraphContext context = GraphContext::FromDataset(dataset);
+  RddConfig config;
+  config.num_base_models = 2;
+  config.train.max_epochs = 15;
+  const RddResult result = TrainRdd(dataset, context, config, 3);
+  EXPECT_GE(result.ensemble_test_accuracy, 0.0);
+  for (double a : result.alphas) EXPECT_TRUE(std::isfinite(a));
+}
+
+TEST(DegenerateInputTest, TinyTrainingBudget) {
+  const Dataset dataset = SmallDataset(14);
+  const GraphContext context = GraphContext::FromDataset(dataset);
+  auto model = BuildModel(context, ModelConfig{}, 4);
+  TrainConfig train;
+  train.max_epochs = 1;  // A single epoch must round-trip cleanly.
+  const TrainReport report = TrainSupervised(model.get(), dataset, train);
+  EXPECT_EQ(report.epochs_run, 1);
+}
+
+TEST(DegenerateInputTest, WideP100TreatsAllUnlabeledAsEntropyReliable) {
+  const Dataset dataset = SmallDataset(15);
+  const GraphContext context = GraphContext::FromDataset(dataset);
+  auto model = BuildModel(context, ModelConfig{}, 5);
+  const Matrix probs = model->PredictProbs();
+  NodeReliabilityConfig config;
+  config.p_percent = 100.0;
+  config.require_agreement = false;
+  const NodeReliability rel = ComputeNodeReliability(
+      probs, probs, dataset.labels, dataset.TrainMask(), config);
+  // Every unlabeled node passes the entropy gate at p = 100.
+  const size_t unlabeled = dataset.UnlabeledNodes().size();
+  EXPECT_GE(rel.reliable_nodes.size(), unlabeled);
+}
+
+}  // namespace
+}  // namespace rdd

@@ -1,0 +1,51 @@
+#include "core/schedule.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace rdd {
+namespace {
+
+TEST(CosineAnnealedGammaTest, StartsAtZero) {
+  EXPECT_FLOAT_EQ(CosineAnnealedGamma(1.0f, 0, 100), 0.0f);
+  EXPECT_FLOAT_EQ(CosineAnnealedGamma(3.0f, 0, 500), 0.0f);
+}
+
+TEST(CosineAnnealedGammaTest, MidpointEqualsInitial) {
+  EXPECT_NEAR(CosineAnnealedGamma(1.0f, 50, 100), 1.0f, 1e-5f);
+  EXPECT_NEAR(CosineAnnealedGamma(2.5f, 250, 500), 2.5f, 1e-5f);
+}
+
+TEST(CosineAnnealedGammaTest, ApproachesTwiceInitial) {
+  EXPECT_NEAR(CosineAnnealedGamma(1.0f, 99, 100), 2.0f, 1e-2f);
+}
+
+TEST(CosineAnnealedGammaTest, MonotonicallyIncreasing) {
+  float prev = -1.0f;
+  for (int e = 0; e < 200; ++e) {
+    const float gamma = CosineAnnealedGamma(1.5f, e, 200);
+    EXPECT_GT(gamma, prev);
+    prev = gamma;
+  }
+}
+
+TEST(CosineAnnealedGammaTest, ScalesLinearlyWithInitial) {
+  const float a = CosineAnnealedGamma(1.0f, 30, 100);
+  const float b = CosineAnnealedGamma(4.0f, 30, 100);
+  EXPECT_NEAR(b, 4.0f * a, 1e-5f);
+}
+
+TEST(CosineAnnealedGammaTest, ZeroInitialStaysZero) {
+  for (int e : {0, 10, 99}) {
+    EXPECT_FLOAT_EQ(CosineAnnealedGamma(0.0f, e, 100), 0.0f);
+  }
+}
+
+TEST(CosineAnnealedGammaDeathTest, EpochBoundsChecked) {
+  EXPECT_DEATH((void)CosineAnnealedGamma(1.0f, 100, 100), "Check failed");
+  EXPECT_DEATH((void)CosineAnnealedGamma(1.0f, -1, 100), "Check failed");
+}
+
+}  // namespace
+}  // namespace rdd

@@ -1,0 +1,116 @@
+#include "data/serialize.h"
+
+#include <cstdio>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "data/citation_gen.h"
+
+namespace rdd {
+namespace {
+
+std::string TempPath(const char* name) {
+  return std::string(::testing::TempDir()) + "/" + name;
+}
+
+Dataset SmallDataset(uint64_t seed) {
+  CitationGenConfig config;
+  config.num_nodes = 300;
+  config.num_features = 80;
+  config.num_edges = 700;
+  config.num_classes = 3;
+  config.labeled_per_class = 5;
+  config.val_size = 40;
+  config.test_size = 60;
+  return GenerateCitationNetwork(config, seed);
+}
+
+TEST(SerializeTest, RoundTripPreservesEverything) {
+  const Dataset original = SmallDataset(1);
+  const std::string path = TempPath("roundtrip.rdd");
+  ASSERT_TRUE(SaveDataset(original, path).ok());
+
+  StatusOr<Dataset> loaded = LoadDataset(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->name, original.name);
+  EXPECT_EQ(loaded->NumNodes(), original.NumNodes());
+  EXPECT_EQ(loaded->labels, original.labels);
+  EXPECT_EQ(loaded->num_classes, original.num_classes);
+  EXPECT_EQ(loaded->split.train, original.split.train);
+  EXPECT_EQ(loaded->split.val, original.split.val);
+  EXPECT_EQ(loaded->split.test, original.split.test);
+  EXPECT_EQ(loaded->graph.num_edges(), original.graph.num_edges());
+  EXPECT_EQ(loaded->features.nnz(), original.features.nnz());
+  EXPECT_EQ(loaded->features.values(), original.features.values());
+  EXPECT_EQ(loaded->features.col_idx(), original.features.col_idx());
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, MissingFileIsIoError) {
+  StatusOr<Dataset> result = LoadDataset(TempPath("does_not_exist.rdd"));
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kIoError);
+}
+
+TEST(SerializeTest, GarbageFileIsInvalidArgument) {
+  const std::string path = TempPath("garbage.rdd");
+  FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  std::fputs("this is not a dataset", f);
+  std::fclose(f);
+  StatusOr<Dataset> result = LoadDataset(path);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, TruncatedFileIsInvalidArgument) {
+  const Dataset original = SmallDataset(2);
+  const std::string path = TempPath("truncated.rdd");
+  ASSERT_TRUE(SaveDataset(original, path).ok());
+  // Truncate to the first 100 bytes.
+  FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  char buffer[100];
+  ASSERT_EQ(std::fread(buffer, 1, sizeof(buffer), f), sizeof(buffer));
+  std::fclose(f);
+  f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  std::fwrite(buffer, 1, sizeof(buffer), f);
+  std::fclose(f);
+
+  StatusOr<Dataset> result = LoadDataset(path);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, UnwritablePathIsIoError) {
+  const Status status =
+      SaveDataset(SmallDataset(3), "/nonexistent_dir/x.rdd");
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kIoError);
+}
+
+TEST(SerializeTest, RoundTripOneHotDataset) {
+  CitationGenConfig config;
+  config.num_nodes = 150;
+  config.num_edges = 400;
+  config.num_classes = 3;
+  config.one_hot_features = true;
+  config.num_features = config.num_nodes;
+  config.labeled_per_class = 4;
+  config.val_size = 20;
+  config.test_size = 30;
+  const Dataset original = GenerateCitationNetwork(config, 4);
+  const std::string path = TempPath("onehot.rdd");
+  ASSERT_TRUE(SaveDataset(original, path).ok());
+  StatusOr<Dataset> loaded = LoadDataset(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->features.nnz(), original.NumNodes());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace rdd

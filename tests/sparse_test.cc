@@ -1,0 +1,133 @@
+#include "tensor/sparse.h"
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace rdd {
+namespace {
+
+SparseMatrix MakeExample() {
+  // [[1, 0, 2],
+  //  [0, 0, 0],
+  //  [3, 4, 0]]
+  return SparseMatrix::FromCoo(3, 3,
+                               {{0, 0, 1.0f}, {0, 2, 2.0f}, {2, 0, 3.0f},
+                                {2, 1, 4.0f}});
+}
+
+TEST(SparseMatrixTest, EmptyByDefault) {
+  SparseMatrix m;
+  EXPECT_EQ(m.rows(), 0);
+  EXPECT_EQ(m.cols(), 0);
+  EXPECT_EQ(m.nnz(), 0);
+}
+
+TEST(SparseMatrixTest, FromCooBasicLayout) {
+  const SparseMatrix m = MakeExample();
+  EXPECT_EQ(m.rows(), 3);
+  EXPECT_EQ(m.cols(), 3);
+  EXPECT_EQ(m.nnz(), 4);
+  EXPECT_EQ(m.RowNnz(0), 2);
+  EXPECT_EQ(m.RowNnz(1), 0);
+  EXPECT_EQ(m.RowNnz(2), 2);
+}
+
+TEST(SparseMatrixTest, AtReturnsStoredAndZero) {
+  const SparseMatrix m = MakeExample();
+  EXPECT_EQ(m.At(0, 0), 1.0f);
+  EXPECT_EQ(m.At(0, 2), 2.0f);
+  EXPECT_EQ(m.At(0, 1), 0.0f);
+  EXPECT_EQ(m.At(1, 1), 0.0f);
+  EXPECT_EQ(m.At(2, 1), 4.0f);
+}
+
+TEST(SparseMatrixTest, DuplicateEntriesAreSummed) {
+  const SparseMatrix m = SparseMatrix::FromCoo(
+      2, 2, {{0, 0, 1.0f}, {0, 0, 2.5f}, {1, 1, 1.0f}});
+  EXPECT_EQ(m.nnz(), 2);
+  EXPECT_EQ(m.At(0, 0), 3.5f);
+}
+
+TEST(SparseMatrixTest, UnorderedInputIsSorted) {
+  const SparseMatrix m = SparseMatrix::FromCoo(
+      2, 3, {{1, 2, 6.0f}, {0, 1, 2.0f}, {1, 0, 4.0f}, {0, 0, 1.0f}});
+  for (int64_t r = 0; r < 2; ++r) {
+    for (int64_t k = m.row_ptr()[r] + 1; k < m.row_ptr()[r + 1]; ++k) {
+      EXPECT_LT(m.col_idx()[k - 1], m.col_idx()[k]);
+    }
+  }
+}
+
+TEST(SparseMatrixTest, ToDenseRoundTrip) {
+  const Matrix dense(2, 3, {0, 5, 0, 7, 0, 9});
+  const SparseMatrix sparse = SparseMatrix::FromDense(dense);
+  EXPECT_EQ(sparse.nnz(), 3);
+  EXPECT_TRUE(sparse.ToDense().Equals(dense));
+}
+
+TEST(SparseMatrixTest, TransposeMatchesDenseTranspose) {
+  const SparseMatrix m = MakeExample();
+  const SparseMatrix t = m.Transpose();
+  EXPECT_EQ(t.rows(), 3);
+  EXPECT_EQ(t.cols(), 3);
+  EXPECT_EQ(t.At(0, 2), 3.0f);
+  EXPECT_EQ(t.At(2, 0), 2.0f);
+  EXPECT_EQ(t.At(1, 2), 4.0f);
+}
+
+TEST(SparseMatrixTest, MultiplyMatchesDense) {
+  const SparseMatrix m = MakeExample();
+  const Matrix x(3, 2, {1, 2, 3, 4, 5, 6});
+  const Matrix product = m.Multiply(x);
+  // Row 0: [1,0,2] . cols -> [1*1+2*5, 1*2+2*6] = [11, 14]
+  EXPECT_TRUE(product.Equals(Matrix(3, 2, {11, 14, 0, 0, 15, 22})));
+}
+
+TEST(SparseMatrixTest, MultiplyAddAccumulates) {
+  const SparseMatrix m = MakeExample();
+  const Matrix x(3, 1, {1, 1, 1});
+  Matrix out = Matrix::Constant(3, 1, 10.0f);
+  m.MultiplyAdd(x, 2.0f, &out);
+  EXPECT_TRUE(out.Equals(Matrix(3, 1, {16, 10, 24})));
+}
+
+TEST(SparseMatrixTest, TransposeMultiplyMatchesExplicitTranspose) {
+  Rng rng(99);
+  std::vector<SparseEntry> entries;
+  for (int i = 0; i < 40; ++i) {
+    entries.push_back({rng.UniformInt(6), rng.UniformInt(5),
+                       static_cast<float>(rng.Gaussian())});
+  }
+  const SparseMatrix m = SparseMatrix::FromCoo(6, 5, entries);
+  Matrix x(6, 3);
+  for (int64_t i = 0; i < x.size(); ++i) {
+    x.Data()[i] = static_cast<float>(rng.Gaussian());
+  }
+  const Matrix expected = m.Transpose().Multiply(x);
+  const Matrix actual = m.TransposeMultiply(x);
+  EXPECT_TRUE(actual.ApproxEquals(expected, 1e-5f));
+}
+
+TEST(SparseMatrixTest, EmptyRowsHandled) {
+  const SparseMatrix m = SparseMatrix::FromCoo(4, 4, {{3, 3, 1.0f}});
+  EXPECT_EQ(m.RowNnz(0), 0);
+  EXPECT_EQ(m.RowNnz(3), 1);
+  const Matrix product = m.Multiply(Matrix::Identity(4));
+  EXPECT_EQ(product.At(3, 3), 1.0f);
+  EXPECT_EQ(product.At(0, 0), 0.0f);
+}
+
+TEST(SparseMatrixDeathTest, OutOfRangeEntryAborts) {
+  EXPECT_DEATH(SparseMatrix::FromCoo(2, 2, {{2, 0, 1.0f}}), "Check failed");
+  EXPECT_DEATH(SparseMatrix::FromCoo(2, 2, {{0, -1, 1.0f}}), "Check failed");
+}
+
+TEST(SparseMatrixDeathTest, ShapeMismatchedMultiplyAborts) {
+  const SparseMatrix m = MakeExample();
+  const Matrix x(2, 2);
+  EXPECT_DEATH((void)m.Multiply(x), "Check failed");
+}
+
+}  // namespace
+}  // namespace rdd

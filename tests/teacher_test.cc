@@ -1,0 +1,80 @@
+#include "core/teacher.h"
+
+#include <gtest/gtest.h>
+
+namespace rdd {
+namespace {
+
+Matrix Probs(std::vector<float> values, int64_t rows, int64_t cols) {
+  return Matrix(rows, cols, std::move(values));
+}
+
+TEST(TeacherTest, EmptyTeacher) {
+  Teacher teacher;
+  EXPECT_EQ(teacher.size(), 0);
+}
+
+TEST(TeacherTest, SingleMemberPassthrough) {
+  Teacher teacher;
+  const Matrix probs = Probs({0.7f, 0.3f, 0.2f, 0.8f}, 2, 2);
+  const Matrix emb = Probs({1.0f, -1.0f, 2.0f, 0.0f}, 2, 2);
+  teacher.AddMember(probs, emb, 5.0);
+  EXPECT_EQ(teacher.size(), 1);
+  EXPECT_TRUE(teacher.PredictProbs().ApproxEquals(probs, 1e-6f));
+  EXPECT_TRUE(teacher.PredictEmbeddings().ApproxEquals(emb, 1e-6f));
+}
+
+TEST(TeacherTest, WeightedAverageOfTwoMembers) {
+  Teacher teacher;
+  teacher.AddMember(Probs({1.0f, 0.0f}, 1, 2), Probs({4.0f, 0.0f}, 1, 2), 3.0);
+  teacher.AddMember(Probs({0.0f, 1.0f}, 1, 2), Probs({0.0f, 8.0f}, 1, 2), 1.0);
+  const Matrix combined = teacher.PredictProbs();
+  EXPECT_NEAR(combined.At(0, 0), 0.75f, 1e-6f);
+  EXPECT_NEAR(combined.At(0, 1), 0.25f, 1e-6f);
+  const Matrix emb = teacher.PredictEmbeddings();
+  EXPECT_NEAR(emb.At(0, 0), 3.0f, 1e-6f);
+  EXPECT_NEAR(emb.At(0, 1), 2.0f, 1e-6f);
+}
+
+TEST(TeacherTest, AccuracyOfCombinedPrediction) {
+  Teacher teacher;
+  // Member A predicts class 0 for both nodes, member B class 1 for both.
+  teacher.AddMember(Probs({0.9f, 0.1f, 0.9f, 0.1f}, 2, 2),
+                    Matrix(2, 2), 1.0);
+  teacher.AddMember(Probs({0.2f, 0.8f, 0.2f, 0.8f}, 2, 2),
+                    Matrix(2, 2), 3.0);
+  // Weighted combination favors member B.
+  EXPECT_DOUBLE_EQ(teacher.Accuracy({1, 1}, {0, 1}), 1.0);
+  EXPECT_DOUBLE_EQ(teacher.Accuracy({0, 0}, {0, 1}), 0.0);
+}
+
+TEST(TeacherTest, AverageMemberAccuracy) {
+  Teacher teacher;
+  teacher.AddMember(Probs({0.9f, 0.1f}, 1, 2), Matrix(1, 2), 1.0);  // Pred 0.
+  teacher.AddMember(Probs({0.1f, 0.9f}, 1, 2), Matrix(1, 2), 1.0);  // Pred 1.
+  // True label 0: member accuracies 1.0 and 0.0.
+  EXPECT_DOUBLE_EQ(teacher.AverageMemberAccuracy({0}, {0}), 0.5);
+}
+
+TEST(TeacherTest, MemberProbsAccessor) {
+  Teacher teacher;
+  const Matrix probs = Probs({0.6f, 0.4f}, 1, 2);
+  teacher.AddMember(probs, Matrix(1, 2), 2.0);
+  EXPECT_TRUE(teacher.member_probs(0).Equals(probs));
+}
+
+TEST(TeacherDeathTest, RejectsNonPositiveWeight) {
+  Teacher teacher;
+  EXPECT_DEATH(teacher.AddMember(Matrix(1, 2), Matrix(1, 2), 0.0),
+               "Check failed");
+}
+
+TEST(TeacherDeathTest, RejectsShapeMismatch) {
+  Teacher teacher;
+  teacher.AddMember(Matrix(2, 2), Matrix(2, 2), 1.0);
+  EXPECT_DEATH(teacher.AddMember(Matrix(3, 2), Matrix(3, 2), 1.0),
+               "Check failed");
+}
+
+}  // namespace
+}  // namespace rdd

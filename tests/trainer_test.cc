@@ -1,0 +1,144 @@
+#include "train/trainer.h"
+
+#include <gtest/gtest.h>
+
+#include "autograd/ops.h"
+#include "data/citation_gen.h"
+#include "models/model_factory.h"
+#include "train/experiment.h"
+
+namespace rdd {
+namespace {
+
+class TrainerTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    CitationGenConfig config;
+    config.num_nodes = 300;
+    config.num_features = 100;
+    config.num_edges = 900;
+    config.num_classes = 3;
+    config.homophily = 0.85;
+    config.topic_purity = 0.5;
+    config.labeled_per_class = 8;
+    config.val_size = 50;
+    config.test_size = 80;
+    dataset_ = new Dataset(GenerateCitationNetwork(config, 5));
+    context_ = new GraphContext(GraphContext::FromDataset(*dataset_));
+  }
+  static void TearDownTestSuite() {
+    delete context_;
+    delete dataset_;
+  }
+  static Dataset* dataset_;
+  static GraphContext* context_;
+};
+
+Dataset* TrainerTest::dataset_ = nullptr;
+GraphContext* TrainerTest::context_ = nullptr;
+
+TEST_F(TrainerTest, SupervisedTrainingLearns) {
+  auto model = BuildModel(*context_, ModelConfig{}, 1);
+  TrainConfig config;
+  config.max_epochs = 80;
+  const TrainReport report = TrainSupervised(model.get(), *dataset_, config);
+  EXPECT_GT(report.test_accuracy, 0.6);
+  EXPECT_GT(report.best_val_accuracy, 0.6);
+  EXPECT_GT(report.epochs_run, 0);
+  EXPECT_LE(report.epochs_run, 80);
+  EXPECT_GT(report.train_seconds, 0.0);
+  EXPECT_EQ(static_cast<int>(report.val_history.size()), report.epochs_run);
+}
+
+TEST_F(TrainerTest, EarlyStoppingTriggersBeforeMaxEpochs) {
+  auto model = BuildModel(*context_, ModelConfig{}, 2);
+  TrainConfig config;
+  config.max_epochs = 500;
+  config.patience = 10;
+  const TrainReport report = TrainSupervised(model.get(), *dataset_, config);
+  EXPECT_LT(report.epochs_run, 500);
+}
+
+TEST_F(TrainerTest, RestoreBestRecoversValidationPeak) {
+  auto model = BuildModel(*context_, ModelConfig{}, 3);
+  TrainConfig config;
+  config.max_epochs = 60;
+  config.restore_best = true;
+  const TrainReport report = TrainSupervised(model.get(), *dataset_, config);
+  // After restore, current validation accuracy equals the recorded best.
+  const double val_now =
+      EvaluateAccuracy(model.get(), *dataset_, dataset_->split.val);
+  EXPECT_NEAR(val_now, report.best_val_accuracy, 1e-9);
+}
+
+TEST_F(TrainerTest, CustomLossHookReceivesEpochs) {
+  auto model = BuildModel(*context_, ModelConfig{}, 4);
+  TrainConfig config;
+  config.max_epochs = 5;
+  config.patience = 100;
+  std::vector<int> seen;
+  TrainWithLoss(model.get(), *dataset_, config,
+                [&](const ModelOutput& output, int epoch) {
+                  seen.push_back(epoch);
+                  return ag::SoftmaxCrossEntropy(
+                      output.logits, dataset_->labels, dataset_->split.train,
+                      ag::Reduction::kMean);
+                });
+  EXPECT_EQ(seen, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST_F(TrainerTest, SnapshotRestoreRoundTrip) {
+  auto model = BuildModel(*context_, ModelConfig{}, 5);
+  std::vector<Variable> params = model->Parameters();
+  const std::vector<Matrix> snapshot = SnapshotParameters(params);
+  const Matrix before = model->Forward(false).logits.value();
+  // Perturb.
+  params[0].mutable_value()->Fill(0.5f);
+  EXPECT_FALSE(model->Forward(false).logits.value().Equals(before));
+  RestoreParameters(snapshot, &params);
+  EXPECT_TRUE(model->Forward(false).logits.value().Equals(before));
+}
+
+TEST_F(TrainerTest, EvaluateAccuracyInRange) {
+  auto model = BuildModel(*context_, ModelConfig{}, 6);
+  const double acc =
+      EvaluateAccuracy(model.get(), *dataset_, dataset_->split.test);
+  EXPECT_GE(acc, 0.0);
+  EXPECT_LE(acc, 1.0);
+}
+
+TEST(SummarizeTest, EmptyInput) {
+  const TrialStats stats = Summarize({});
+  EXPECT_EQ(stats.count, 0);
+  EXPECT_DOUBLE_EQ(stats.mean, 0.0);
+}
+
+TEST(SummarizeTest, SingleValue) {
+  const TrialStats stats = Summarize({4.0});
+  EXPECT_DOUBLE_EQ(stats.mean, 4.0);
+  EXPECT_DOUBLE_EQ(stats.stddev, 0.0);
+  EXPECT_DOUBLE_EQ(stats.min, 4.0);
+  EXPECT_DOUBLE_EQ(stats.max, 4.0);
+}
+
+TEST(SummarizeTest, KnownStatistics) {
+  const TrialStats stats = Summarize({2.0, 4.0, 6.0});
+  EXPECT_DOUBLE_EQ(stats.mean, 4.0);
+  EXPECT_DOUBLE_EQ(stats.stddev, 2.0);
+  EXPECT_DOUBLE_EQ(stats.min, 2.0);
+  EXPECT_DOUBLE_EQ(stats.max, 6.0);
+  EXPECT_EQ(stats.count, 3);
+}
+
+TEST(RunTrialsTest, PassesTrialIndices) {
+  std::vector<int> indices;
+  const TrialStats stats = RunTrials(4, [&](int i) {
+    indices.push_back(i);
+    return static_cast<double>(i);
+  });
+  EXPECT_EQ(indices, (std::vector<int>{0, 1, 2, 3}));
+  EXPECT_DOUBLE_EQ(stats.mean, 1.5);
+}
+
+}  // namespace
+}  // namespace rdd

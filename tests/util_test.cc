@@ -1,0 +1,136 @@
+#include <gtest/gtest.h>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+#include "util/table_writer.h"
+#include "util/timer.h"
+
+namespace rdd {
+namespace {
+
+TEST(StrFormatTest, FormatsLikePrintf) {
+  EXPECT_EQ(StrFormat("%d + %d = %d", 1, 2, 3), "1 + 2 = 3");
+  EXPECT_EQ(StrFormat("%.2f%%", 81.75), "81.75%");
+  EXPECT_EQ(StrFormat("%s", "plain"), "plain");
+  EXPECT_EQ(StrFormat("empty"), "empty");
+}
+
+TEST(StrFormatTest, LongOutput) {
+  const std::string long_str(500, 'x');
+  EXPECT_EQ(StrFormat("%s!", long_str.c_str()), long_str + "!");
+}
+
+TEST(StrJoinTest, JoinsWithSeparator) {
+  EXPECT_EQ(StrJoin({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(StrJoin({"solo"}, ", "), "solo");
+  EXPECT_EQ(StrJoin({}, ", "), "");
+}
+
+TEST(StrSplitTest, SplitsKeepingEmptyFields) {
+  EXPECT_EQ(StrSplit("a,b,c", ','), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(StrSplit(",x,", ','), (std::vector<std::string>{"", "x", ""}));
+  EXPECT_EQ(StrSplit("", ','), (std::vector<std::string>{""}));
+}
+
+TEST(FormatDoubleTest, RoundsToDigits) {
+  EXPECT_EQ(FormatDouble(81.849, 1), "81.8");
+  EXPECT_EQ(FormatDouble(81.85, 0), "82");
+  EXPECT_EQ(FormatDouble(-0.5, 2), "-0.50");
+}
+
+TEST(TableWriterTest, RendersAlignedTable) {
+  TableWriter table({"Models", "Cora"});
+  table.AddRow({"GCN", "81.8"});
+  table.AddRow({"RDD(Ensemble)", "86.1"});
+  const std::string out = table.Render();
+  EXPECT_NE(out.find("| Models"), std::string::npos);
+  EXPECT_NE(out.find("| GCN "), std::string::npos);
+  EXPECT_NE(out.find("86.1"), std::string::npos);
+  // Every line has equal width.
+  size_t width = out.find('\n');
+  size_t pos = 0;
+  while (pos < out.size()) {
+    const size_t next = out.find('\n', pos);
+    EXPECT_EQ(next - pos, width);
+    pos = next + 1;
+  }
+}
+
+TEST(TableWriterTest, SeparatorRows) {
+  TableWriter table({"A"});
+  table.AddRow({"1"});
+  table.AddSeparator();
+  table.AddRow({"2"});
+  EXPECT_EQ(table.num_rows(), 2u);
+  const std::string out = table.Render();
+  // 6 lines of content + 3 rules + separator = rule count 4.
+  int rules = 0;
+  for (size_t pos = 0; (pos = out.find("+--", pos)) != std::string::npos;
+       ++pos) {
+    ++rules;
+  }
+  EXPECT_EQ(rules, 4);
+}
+
+TEST(TableWriterTest, CsvRendering) {
+  TableWriter table({"a", "b"});
+  table.AddRow({"1", "2"});
+  table.AddSeparator();  // Skipped in CSV.
+  table.AddRow({"3", "4"});
+  EXPECT_EQ(table.RenderCsv(), "a,b\n1,2\n3,4\n");
+}
+
+TEST(TableWriterDeathTest, WrongCellCountAborts) {
+  TableWriter table({"a", "b"});
+  EXPECT_DEATH(table.AddRow({"only one"}), "Check failed");
+}
+
+TEST(TimerTest, MeasuresElapsedTime) {
+  WallTimer timer;
+  volatile double sink = 0.0;
+  for (int i = 0; i < 2000000; ++i) sink += static_cast<double>(i);
+  EXPECT_GT(timer.ElapsedSeconds(), 0.0);
+  EXPECT_NEAR(timer.ElapsedMillis(), timer.ElapsedSeconds() * 1e3,
+              timer.ElapsedMillis() * 0.5 + 1.0);
+}
+
+TEST(TimerTest, RestartResets) {
+  WallTimer timer;
+  volatile double sink = 0.0;
+  for (int i = 0; i < 2000000; ++i) sink += static_cast<double>(i);
+  const double before = timer.ElapsedSeconds();
+  timer.Restart();
+  EXPECT_LT(timer.ElapsedSeconds(), before + 1e-3);
+}
+
+TEST(LoggingTest, LevelFiltering) {
+  const LogLevel original = GetLogLevel();
+  SetLogLevel(LogLevel::kError);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kError);
+  RDD_LOG(Info) << "should be suppressed";  // Must not crash.
+  SetLogLevel(original);
+}
+
+TEST(LoggingDeathTest, CheckMacroAborts) {
+  EXPECT_DEATH(RDD_CHECK(1 == 2) << "custom message",
+               "Check failed: 1 == 2 custom message");
+}
+
+TEST(LoggingDeathTest, CheckOpPrintsOperands) {
+  const int a = 3;
+  const int b = 5;
+  EXPECT_DEATH(RDD_CHECK_EQ(a, b), "\\(3 vs 5\\)");
+  EXPECT_DEATH(RDD_CHECK_GT(a, b), "Check failed");
+}
+
+TEST(LoggingTest, CheckPassesSilently) {
+  RDD_CHECK(true);
+  RDD_CHECK_EQ(1, 1);
+  RDD_CHECK_LE(1, 2);
+  RDD_CHECK_GE(2, 2);
+  RDD_CHECK_NE(1, 2);
+  RDD_CHECK_LT(1, 2);
+}
+
+}  // namespace
+}  // namespace rdd
