@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extension_gat.dir/extension_gat.cc.o"
+  "CMakeFiles/extension_gat.dir/extension_gat.cc.o.d"
+  "extension_gat"
+  "extension_gat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extension_gat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

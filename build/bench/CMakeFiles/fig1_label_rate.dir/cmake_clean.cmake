@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_label_rate.dir/fig1_label_rate.cc.o"
+  "CMakeFiles/fig1_label_rate.dir/fig1_label_rate.cc.o.d"
+  "fig1_label_rate"
+  "fig1_label_rate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_label_rate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

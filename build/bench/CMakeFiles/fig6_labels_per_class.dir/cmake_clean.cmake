@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_labels_per_class.dir/fig6_labels_per_class.cc.o"
+  "CMakeFiles/fig6_labels_per_class.dir/fig6_labels_per_class.cc.o.d"
+  "fig6_labels_per_class"
+  "fig6_labels_per_class.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_labels_per_class.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

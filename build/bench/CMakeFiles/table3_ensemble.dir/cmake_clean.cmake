@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_ensemble.dir/table3_ensemble.cc.o"
+  "CMakeFiles/table3_ensemble.dir/table3_ensemble.cc.o.d"
+  "table3_ensemble"
+  "table3_ensemble.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_ensemble.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_single.dir/table4_single.cc.o"
+  "CMakeFiles/table4_single.dir/table4_single.cc.o.d"
+  "table4_single"
+  "table4_single.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_single.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

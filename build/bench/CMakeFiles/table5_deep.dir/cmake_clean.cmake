@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_deep.dir/table5_deep.cc.o"
+  "CMakeFiles/table5_deep.dir/table5_deep.cc.o.d"
+  "table5_deep"
+  "table5_deep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_deep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

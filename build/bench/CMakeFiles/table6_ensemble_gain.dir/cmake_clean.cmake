@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table6_ensemble_gain.dir/table6_ensemble_gain.cc.o"
+  "CMakeFiles/table6_ensemble_gain.dir/table6_ensemble_gain.cc.o.d"
+  "table6_ensemble_gain"
+  "table6_ensemble_gain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table6_ensemble_gain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

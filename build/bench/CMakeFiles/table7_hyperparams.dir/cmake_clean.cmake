@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table7_hyperparams.dir/table7_hyperparams.cc.o"
+  "CMakeFiles/table7_hyperparams.dir/table7_hyperparams.cc.o.d"
+  "table7_hyperparams"
+  "table7_hyperparams.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table7_hyperparams.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table9_efficiency.dir/table9_efficiency.cc.o"
+  "CMakeFiles/table9_efficiency.dir/table9_efficiency.cc.o.d"
+  "table9_efficiency"
+  "table9_efficiency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table9_efficiency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/ensemble_zoo.cpp" "examples/CMakeFiles/ensemble_zoo.dir/ensemble_zoo.cpp.o" "gcc" "examples/CMakeFiles/ensemble_zoo.dir/ensemble_zoo.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/rdd_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/ensemble/CMakeFiles/rdd_ensemble.dir/DependInfo.cmake"
+  "/root/repo/build/src/train/CMakeFiles/rdd_train.dir/DependInfo.cmake"
+  "/root/repo/build/src/models/CMakeFiles/rdd_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/rdd_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/rdd_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/rdd_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/autograd/CMakeFiles/rdd_autograd.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/rdd_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/rdd_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ensemble_zoo.dir/ensemble_zoo.cpp.o"
+  "CMakeFiles/ensemble_zoo.dir/ensemble_zoo.cpp.o.d"
+  "ensemble_zoo"
+  "ensemble_zoo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ensemble_zoo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

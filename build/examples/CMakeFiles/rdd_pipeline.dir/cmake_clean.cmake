@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rdd_pipeline.dir/rdd_pipeline.cpp.o"
+  "CMakeFiles/rdd_pipeline.dir/rdd_pipeline.cpp.o.d"
+  "rdd_pipeline"
+  "rdd_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rdd_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reliability_analysis.dir/reliability_analysis.cpp.o"
+  "CMakeFiles/reliability_analysis.dir/reliability_analysis.cpp.o.d"
+  "reliability_analysis"
+  "reliability_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reliability_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

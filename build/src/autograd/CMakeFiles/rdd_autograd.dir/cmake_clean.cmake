@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rdd_autograd.dir/graph_ops.cc.o"
+  "CMakeFiles/rdd_autograd.dir/graph_ops.cc.o.d"
+  "CMakeFiles/rdd_autograd.dir/ops.cc.o"
+  "CMakeFiles/rdd_autograd.dir/ops.cc.o.d"
+  "CMakeFiles/rdd_autograd.dir/variable.cc.o"
+  "CMakeFiles/rdd_autograd.dir/variable.cc.o.d"
+  "librdd_autograd.a"
+  "librdd_autograd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rdd_autograd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

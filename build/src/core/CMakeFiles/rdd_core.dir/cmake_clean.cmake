@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rdd_core.dir/rdd_trainer.cc.o"
+  "CMakeFiles/rdd_core.dir/rdd_trainer.cc.o.d"
+  "CMakeFiles/rdd_core.dir/reliability.cc.o"
+  "CMakeFiles/rdd_core.dir/reliability.cc.o.d"
+  "CMakeFiles/rdd_core.dir/schedule.cc.o"
+  "CMakeFiles/rdd_core.dir/schedule.cc.o.d"
+  "CMakeFiles/rdd_core.dir/teacher.cc.o"
+  "CMakeFiles/rdd_core.dir/teacher.cc.o.d"
+  "librdd_core.a"
+  "librdd_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rdd_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/citation_gen.cc" "src/data/CMakeFiles/rdd_data.dir/citation_gen.cc.o" "gcc" "src/data/CMakeFiles/rdd_data.dir/citation_gen.cc.o.d"
+  "/root/repo/src/data/dataset.cc" "src/data/CMakeFiles/rdd_data.dir/dataset.cc.o" "gcc" "src/data/CMakeFiles/rdd_data.dir/dataset.cc.o.d"
+  "/root/repo/src/data/serialize.cc" "src/data/CMakeFiles/rdd_data.dir/serialize.cc.o" "gcc" "src/data/CMakeFiles/rdd_data.dir/serialize.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/rdd_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/rdd_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/rdd_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rdd_data.dir/citation_gen.cc.o"
+  "CMakeFiles/rdd_data.dir/citation_gen.cc.o.d"
+  "CMakeFiles/rdd_data.dir/dataset.cc.o"
+  "CMakeFiles/rdd_data.dir/dataset.cc.o.d"
+  "CMakeFiles/rdd_data.dir/serialize.cc.o"
+  "CMakeFiles/rdd_data.dir/serialize.cc.o.d"
+  "librdd_data.a"
+  "librdd_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rdd_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ensemble/bagging.cc" "src/ensemble/CMakeFiles/rdd_ensemble.dir/bagging.cc.o" "gcc" "src/ensemble/CMakeFiles/rdd_ensemble.dir/bagging.cc.o.d"
+  "/root/repo/src/ensemble/bans.cc" "src/ensemble/CMakeFiles/rdd_ensemble.dir/bans.cc.o" "gcc" "src/ensemble/CMakeFiles/rdd_ensemble.dir/bans.cc.o.d"
+  "/root/repo/src/ensemble/co_training.cc" "src/ensemble/CMakeFiles/rdd_ensemble.dir/co_training.cc.o" "gcc" "src/ensemble/CMakeFiles/rdd_ensemble.dir/co_training.cc.o.d"
+  "/root/repo/src/ensemble/ensemble.cc" "src/ensemble/CMakeFiles/rdd_ensemble.dir/ensemble.cc.o" "gcc" "src/ensemble/CMakeFiles/rdd_ensemble.dir/ensemble.cc.o.d"
+  "/root/repo/src/ensemble/mean_teacher.cc" "src/ensemble/CMakeFiles/rdd_ensemble.dir/mean_teacher.cc.o" "gcc" "src/ensemble/CMakeFiles/rdd_ensemble.dir/mean_teacher.cc.o.d"
+  "/root/repo/src/ensemble/self_training.cc" "src/ensemble/CMakeFiles/rdd_ensemble.dir/self_training.cc.o" "gcc" "src/ensemble/CMakeFiles/rdd_ensemble.dir/self_training.cc.o.d"
+  "/root/repo/src/ensemble/snapshot.cc" "src/ensemble/CMakeFiles/rdd_ensemble.dir/snapshot.cc.o" "gcc" "src/ensemble/CMakeFiles/rdd_ensemble.dir/snapshot.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/train/CMakeFiles/rdd_train.dir/DependInfo.cmake"
+  "/root/repo/build/src/models/CMakeFiles/rdd_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/rdd_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/rdd_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/rdd_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/autograd/CMakeFiles/rdd_autograd.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/rdd_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/rdd_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rdd_ensemble.dir/bagging.cc.o"
+  "CMakeFiles/rdd_ensemble.dir/bagging.cc.o.d"
+  "CMakeFiles/rdd_ensemble.dir/bans.cc.o"
+  "CMakeFiles/rdd_ensemble.dir/bans.cc.o.d"
+  "CMakeFiles/rdd_ensemble.dir/co_training.cc.o"
+  "CMakeFiles/rdd_ensemble.dir/co_training.cc.o.d"
+  "CMakeFiles/rdd_ensemble.dir/ensemble.cc.o"
+  "CMakeFiles/rdd_ensemble.dir/ensemble.cc.o.d"
+  "CMakeFiles/rdd_ensemble.dir/mean_teacher.cc.o"
+  "CMakeFiles/rdd_ensemble.dir/mean_teacher.cc.o.d"
+  "CMakeFiles/rdd_ensemble.dir/self_training.cc.o"
+  "CMakeFiles/rdd_ensemble.dir/self_training.cc.o.d"
+  "CMakeFiles/rdd_ensemble.dir/snapshot.cc.o"
+  "CMakeFiles/rdd_ensemble.dir/snapshot.cc.o.d"
+  "librdd_ensemble.a"
+  "librdd_ensemble.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rdd_ensemble.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

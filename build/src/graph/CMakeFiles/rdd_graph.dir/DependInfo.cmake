@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/components.cc" "src/graph/CMakeFiles/rdd_graph.dir/components.cc.o" "gcc" "src/graph/CMakeFiles/rdd_graph.dir/components.cc.o.d"
+  "/root/repo/src/graph/generators.cc" "src/graph/CMakeFiles/rdd_graph.dir/generators.cc.o" "gcc" "src/graph/CMakeFiles/rdd_graph.dir/generators.cc.o.d"
+  "/root/repo/src/graph/graph.cc" "src/graph/CMakeFiles/rdd_graph.dir/graph.cc.o" "gcc" "src/graph/CMakeFiles/rdd_graph.dir/graph.cc.o.d"
+  "/root/repo/src/graph/metrics.cc" "src/graph/CMakeFiles/rdd_graph.dir/metrics.cc.o" "gcc" "src/graph/CMakeFiles/rdd_graph.dir/metrics.cc.o.d"
+  "/root/repo/src/graph/normalize.cc" "src/graph/CMakeFiles/rdd_graph.dir/normalize.cc.o" "gcc" "src/graph/CMakeFiles/rdd_graph.dir/normalize.cc.o.d"
+  "/root/repo/src/graph/pagerank.cc" "src/graph/CMakeFiles/rdd_graph.dir/pagerank.cc.o" "gcc" "src/graph/CMakeFiles/rdd_graph.dir/pagerank.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/rdd_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/rdd_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

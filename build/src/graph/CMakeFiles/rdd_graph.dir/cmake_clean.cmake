@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rdd_graph.dir/components.cc.o"
+  "CMakeFiles/rdd_graph.dir/components.cc.o.d"
+  "CMakeFiles/rdd_graph.dir/generators.cc.o"
+  "CMakeFiles/rdd_graph.dir/generators.cc.o.d"
+  "CMakeFiles/rdd_graph.dir/graph.cc.o"
+  "CMakeFiles/rdd_graph.dir/graph.cc.o.d"
+  "CMakeFiles/rdd_graph.dir/metrics.cc.o"
+  "CMakeFiles/rdd_graph.dir/metrics.cc.o.d"
+  "CMakeFiles/rdd_graph.dir/normalize.cc.o"
+  "CMakeFiles/rdd_graph.dir/normalize.cc.o.d"
+  "CMakeFiles/rdd_graph.dir/pagerank.cc.o"
+  "CMakeFiles/rdd_graph.dir/pagerank.cc.o.d"
+  "librdd_graph.a"
+  "librdd_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rdd_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/models/appnp.cc" "src/models/CMakeFiles/rdd_models.dir/appnp.cc.o" "gcc" "src/models/CMakeFiles/rdd_models.dir/appnp.cc.o.d"
+  "/root/repo/src/models/dense_gcn.cc" "src/models/CMakeFiles/rdd_models.dir/dense_gcn.cc.o" "gcc" "src/models/CMakeFiles/rdd_models.dir/dense_gcn.cc.o.d"
+  "/root/repo/src/models/gat.cc" "src/models/CMakeFiles/rdd_models.dir/gat.cc.o" "gcc" "src/models/CMakeFiles/rdd_models.dir/gat.cc.o.d"
+  "/root/repo/src/models/gcn.cc" "src/models/CMakeFiles/rdd_models.dir/gcn.cc.o" "gcc" "src/models/CMakeFiles/rdd_models.dir/gcn.cc.o.d"
+  "/root/repo/src/models/graph_model.cc" "src/models/CMakeFiles/rdd_models.dir/graph_model.cc.o" "gcc" "src/models/CMakeFiles/rdd_models.dir/graph_model.cc.o.d"
+  "/root/repo/src/models/graphsage.cc" "src/models/CMakeFiles/rdd_models.dir/graphsage.cc.o" "gcc" "src/models/CMakeFiles/rdd_models.dir/graphsage.cc.o.d"
+  "/root/repo/src/models/jk_net.cc" "src/models/CMakeFiles/rdd_models.dir/jk_net.cc.o" "gcc" "src/models/CMakeFiles/rdd_models.dir/jk_net.cc.o.d"
+  "/root/repo/src/models/label_propagation.cc" "src/models/CMakeFiles/rdd_models.dir/label_propagation.cc.o" "gcc" "src/models/CMakeFiles/rdd_models.dir/label_propagation.cc.o.d"
+  "/root/repo/src/models/mlp.cc" "src/models/CMakeFiles/rdd_models.dir/mlp.cc.o" "gcc" "src/models/CMakeFiles/rdd_models.dir/mlp.cc.o.d"
+  "/root/repo/src/models/model_factory.cc" "src/models/CMakeFiles/rdd_models.dir/model_factory.cc.o" "gcc" "src/models/CMakeFiles/rdd_models.dir/model_factory.cc.o.d"
+  "/root/repo/src/models/res_gcn.cc" "src/models/CMakeFiles/rdd_models.dir/res_gcn.cc.o" "gcc" "src/models/CMakeFiles/rdd_models.dir/res_gcn.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nn/CMakeFiles/rdd_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/rdd_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/rdd_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/autograd/CMakeFiles/rdd_autograd.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/rdd_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/rdd_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

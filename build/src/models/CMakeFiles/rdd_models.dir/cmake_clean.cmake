@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rdd_models.dir/appnp.cc.o"
+  "CMakeFiles/rdd_models.dir/appnp.cc.o.d"
+  "CMakeFiles/rdd_models.dir/dense_gcn.cc.o"
+  "CMakeFiles/rdd_models.dir/dense_gcn.cc.o.d"
+  "CMakeFiles/rdd_models.dir/gat.cc.o"
+  "CMakeFiles/rdd_models.dir/gat.cc.o.d"
+  "CMakeFiles/rdd_models.dir/gcn.cc.o"
+  "CMakeFiles/rdd_models.dir/gcn.cc.o.d"
+  "CMakeFiles/rdd_models.dir/graph_model.cc.o"
+  "CMakeFiles/rdd_models.dir/graph_model.cc.o.d"
+  "CMakeFiles/rdd_models.dir/graphsage.cc.o"
+  "CMakeFiles/rdd_models.dir/graphsage.cc.o.d"
+  "CMakeFiles/rdd_models.dir/jk_net.cc.o"
+  "CMakeFiles/rdd_models.dir/jk_net.cc.o.d"
+  "CMakeFiles/rdd_models.dir/label_propagation.cc.o"
+  "CMakeFiles/rdd_models.dir/label_propagation.cc.o.d"
+  "CMakeFiles/rdd_models.dir/mlp.cc.o"
+  "CMakeFiles/rdd_models.dir/mlp.cc.o.d"
+  "CMakeFiles/rdd_models.dir/model_factory.cc.o"
+  "CMakeFiles/rdd_models.dir/model_factory.cc.o.d"
+  "CMakeFiles/rdd_models.dir/res_gcn.cc.o"
+  "CMakeFiles/rdd_models.dir/res_gcn.cc.o.d"
+  "librdd_models.a"
+  "librdd_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rdd_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

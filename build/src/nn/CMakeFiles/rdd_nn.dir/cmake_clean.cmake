@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rdd_nn.dir/graph_conv.cc.o"
+  "CMakeFiles/rdd_nn.dir/graph_conv.cc.o.d"
+  "CMakeFiles/rdd_nn.dir/init.cc.o"
+  "CMakeFiles/rdd_nn.dir/init.cc.o.d"
+  "CMakeFiles/rdd_nn.dir/linear.cc.o"
+  "CMakeFiles/rdd_nn.dir/linear.cc.o.d"
+  "CMakeFiles/rdd_nn.dir/metrics.cc.o"
+  "CMakeFiles/rdd_nn.dir/metrics.cc.o.d"
+  "CMakeFiles/rdd_nn.dir/module.cc.o"
+  "CMakeFiles/rdd_nn.dir/module.cc.o.d"
+  "CMakeFiles/rdd_nn.dir/optimizer.cc.o"
+  "CMakeFiles/rdd_nn.dir/optimizer.cc.o.d"
+  "librdd_nn.a"
+  "librdd_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rdd_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

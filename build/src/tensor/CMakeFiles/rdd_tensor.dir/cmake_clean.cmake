@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rdd_tensor.dir/matrix.cc.o"
+  "CMakeFiles/rdd_tensor.dir/matrix.cc.o.d"
+  "CMakeFiles/rdd_tensor.dir/ops.cc.o"
+  "CMakeFiles/rdd_tensor.dir/ops.cc.o.d"
+  "CMakeFiles/rdd_tensor.dir/sparse.cc.o"
+  "CMakeFiles/rdd_tensor.dir/sparse.cc.o.d"
+  "librdd_tensor.a"
+  "librdd_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rdd_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "librdd_tensor.a"
+)

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rdd_train.dir/experiment.cc.o"
+  "CMakeFiles/rdd_train.dir/experiment.cc.o.d"
+  "CMakeFiles/rdd_train.dir/trainer.cc.o"
+  "CMakeFiles/rdd_train.dir/trainer.cc.o.d"
+  "librdd_train.a"
+  "librdd_train.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rdd_train.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rdd_util.dir/logging.cc.o"
+  "CMakeFiles/rdd_util.dir/logging.cc.o.d"
+  "CMakeFiles/rdd_util.dir/random.cc.o"
+  "CMakeFiles/rdd_util.dir/random.cc.o.d"
+  "CMakeFiles/rdd_util.dir/status.cc.o"
+  "CMakeFiles/rdd_util.dir/status.cc.o.d"
+  "CMakeFiles/rdd_util.dir/string_util.cc.o"
+  "CMakeFiles/rdd_util.dir/string_util.cc.o.d"
+  "CMakeFiles/rdd_util.dir/table_writer.cc.o"
+  "CMakeFiles/rdd_util.dir/table_writer.cc.o.d"
+  "librdd_util.a"
+  "librdd_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rdd_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,56 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/autograd_test.cc" "tests/CMakeFiles/rdd_tests.dir/autograd_test.cc.o" "gcc" "tests/CMakeFiles/rdd_tests.dir/autograd_test.cc.o.d"
+  "/root/repo/tests/citation_gen_test.cc" "tests/CMakeFiles/rdd_tests.dir/citation_gen_test.cc.o" "gcc" "tests/CMakeFiles/rdd_tests.dir/citation_gen_test.cc.o.d"
+  "/root/repo/tests/components_test.cc" "tests/CMakeFiles/rdd_tests.dir/components_test.cc.o" "gcc" "tests/CMakeFiles/rdd_tests.dir/components_test.cc.o.d"
+  "/root/repo/tests/dataset_test.cc" "tests/CMakeFiles/rdd_tests.dir/dataset_test.cc.o" "gcc" "tests/CMakeFiles/rdd_tests.dir/dataset_test.cc.o.d"
+  "/root/repo/tests/ensemble_test.cc" "tests/CMakeFiles/rdd_tests.dir/ensemble_test.cc.o" "gcc" "tests/CMakeFiles/rdd_tests.dir/ensemble_test.cc.o.d"
+  "/root/repo/tests/gat_test.cc" "tests/CMakeFiles/rdd_tests.dir/gat_test.cc.o" "gcc" "tests/CMakeFiles/rdd_tests.dir/gat_test.cc.o.d"
+  "/root/repo/tests/generators_test.cc" "tests/CMakeFiles/rdd_tests.dir/generators_test.cc.o" "gcc" "tests/CMakeFiles/rdd_tests.dir/generators_test.cc.o.d"
+  "/root/repo/tests/graph_test.cc" "tests/CMakeFiles/rdd_tests.dir/graph_test.cc.o" "gcc" "tests/CMakeFiles/rdd_tests.dir/graph_test.cc.o.d"
+  "/root/repo/tests/graphsage_test.cc" "tests/CMakeFiles/rdd_tests.dir/graphsage_test.cc.o" "gcc" "tests/CMakeFiles/rdd_tests.dir/graphsage_test.cc.o.d"
+  "/root/repo/tests/integration_test.cc" "tests/CMakeFiles/rdd_tests.dir/integration_test.cc.o" "gcc" "tests/CMakeFiles/rdd_tests.dir/integration_test.cc.o.d"
+  "/root/repo/tests/matrix_test.cc" "tests/CMakeFiles/rdd_tests.dir/matrix_test.cc.o" "gcc" "tests/CMakeFiles/rdd_tests.dir/matrix_test.cc.o.d"
+  "/root/repo/tests/models_test.cc" "tests/CMakeFiles/rdd_tests.dir/models_test.cc.o" "gcc" "tests/CMakeFiles/rdd_tests.dir/models_test.cc.o.d"
+  "/root/repo/tests/nn_test.cc" "tests/CMakeFiles/rdd_tests.dir/nn_test.cc.o" "gcc" "tests/CMakeFiles/rdd_tests.dir/nn_test.cc.o.d"
+  "/root/repo/tests/normalize_test.cc" "tests/CMakeFiles/rdd_tests.dir/normalize_test.cc.o" "gcc" "tests/CMakeFiles/rdd_tests.dir/normalize_test.cc.o.d"
+  "/root/repo/tests/ops_test.cc" "tests/CMakeFiles/rdd_tests.dir/ops_test.cc.o" "gcc" "tests/CMakeFiles/rdd_tests.dir/ops_test.cc.o.d"
+  "/root/repo/tests/pagerank_test.cc" "tests/CMakeFiles/rdd_tests.dir/pagerank_test.cc.o" "gcc" "tests/CMakeFiles/rdd_tests.dir/pagerank_test.cc.o.d"
+  "/root/repo/tests/property_test.cc" "tests/CMakeFiles/rdd_tests.dir/property_test.cc.o" "gcc" "tests/CMakeFiles/rdd_tests.dir/property_test.cc.o.d"
+  "/root/repo/tests/random_test.cc" "tests/CMakeFiles/rdd_tests.dir/random_test.cc.o" "gcc" "tests/CMakeFiles/rdd_tests.dir/random_test.cc.o.d"
+  "/root/repo/tests/rdd_trainer_test.cc" "tests/CMakeFiles/rdd_tests.dir/rdd_trainer_test.cc.o" "gcc" "tests/CMakeFiles/rdd_tests.dir/rdd_trainer_test.cc.o.d"
+  "/root/repo/tests/reliability_test.cc" "tests/CMakeFiles/rdd_tests.dir/reliability_test.cc.o" "gcc" "tests/CMakeFiles/rdd_tests.dir/reliability_test.cc.o.d"
+  "/root/repo/tests/robustness_test.cc" "tests/CMakeFiles/rdd_tests.dir/robustness_test.cc.o" "gcc" "tests/CMakeFiles/rdd_tests.dir/robustness_test.cc.o.d"
+  "/root/repo/tests/schedule_test.cc" "tests/CMakeFiles/rdd_tests.dir/schedule_test.cc.o" "gcc" "tests/CMakeFiles/rdd_tests.dir/schedule_test.cc.o.d"
+  "/root/repo/tests/serialize_test.cc" "tests/CMakeFiles/rdd_tests.dir/serialize_test.cc.o" "gcc" "tests/CMakeFiles/rdd_tests.dir/serialize_test.cc.o.d"
+  "/root/repo/tests/sparse_test.cc" "tests/CMakeFiles/rdd_tests.dir/sparse_test.cc.o" "gcc" "tests/CMakeFiles/rdd_tests.dir/sparse_test.cc.o.d"
+  "/root/repo/tests/status_test.cc" "tests/CMakeFiles/rdd_tests.dir/status_test.cc.o" "gcc" "tests/CMakeFiles/rdd_tests.dir/status_test.cc.o.d"
+  "/root/repo/tests/teacher_test.cc" "tests/CMakeFiles/rdd_tests.dir/teacher_test.cc.o" "gcc" "tests/CMakeFiles/rdd_tests.dir/teacher_test.cc.o.d"
+  "/root/repo/tests/trainer_test.cc" "tests/CMakeFiles/rdd_tests.dir/trainer_test.cc.o" "gcc" "tests/CMakeFiles/rdd_tests.dir/trainer_test.cc.o.d"
+  "/root/repo/tests/util_test.cc" "tests/CMakeFiles/rdd_tests.dir/util_test.cc.o" "gcc" "tests/CMakeFiles/rdd_tests.dir/util_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/rdd_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/ensemble/CMakeFiles/rdd_ensemble.dir/DependInfo.cmake"
+  "/root/repo/build/src/train/CMakeFiles/rdd_train.dir/DependInfo.cmake"
+  "/root/repo/build/src/models/CMakeFiles/rdd_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/rdd_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/rdd_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/rdd_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/autograd/CMakeFiles/rdd_autograd.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/rdd_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/rdd_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
