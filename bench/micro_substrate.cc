@@ -5,7 +5,10 @@
 
 #include <benchmark/benchmark.h>
 
+#include <thread>
+
 #include "autograd/ops.h"
+#include "parallel/parallel_for.h"
 #include "core/reliability.h"
 #include "data/citation_gen.h"
 #include "graph/generators.h"
@@ -53,6 +56,73 @@ void BM_SparseSpMM(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * adj.nnz() * 16);
 }
 BENCHMARK(BM_SparseSpMM)->Arg(1000)->Arg(4000);
+
+/// Scoped thread-count override so sweep fixtures don't leak their setting
+/// into later benchmarks.
+class ThreadCountOverride {
+ public:
+  explicit ThreadCountOverride(int n) : saved_(parallel::NumThreads()) {
+    parallel::SetNumThreads(n);
+  }
+  ~ThreadCountOverride() { parallel::SetNumThreads(saved_); }
+
+ private:
+  int saved_;
+};
+
+int HardwareThreads() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+// Thread-count sweeps at the shapes the acceptance bar names: GEMM at
+// 512x512x512 and SpMM at Cora scale (2708 nodes, ~5% density adjacency,
+// 16-dim features). Arg is the thread count; compare against Arg(1) for the
+// speedup and against the pre-PR serial baseline for 1-thread overhead.
+
+void BM_DenseMatmulThreads(benchmark::State& state) {
+  ThreadCountOverride threads(static_cast<int>(state.range(0)));
+  const int64_t n = 512;
+  Rng rng(1);
+  const Matrix a = RandomMatrix(n, n, &rng);
+  const Matrix b = RandomMatrix(n, n, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Matmul(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * n);
+}
+BENCHMARK(BM_DenseMatmulThreads)
+    ->Arg(1)->Arg(2)->Arg(4)->Arg(HardwareThreads())
+    ->UseRealTime();
+
+void BM_SparseSpMMThreads(benchmark::State& state) {
+  ThreadCountOverride threads(static_cast<int>(state.range(0)));
+  const int64_t n = 2708;  // Cora node count.
+  Rng rng(2);
+  Graph graph = MakeErdosRenyiGraph(n, 10.0 / static_cast<double>(n), &rng);
+  const SparseMatrix adj = GcnNormalizedAdjacency(graph);
+  const Matrix h = RandomMatrix(n, 16, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(adj.Multiply(h));
+  }
+  state.SetItemsProcessed(state.iterations() * adj.nnz() * 16);
+}
+BENCHMARK(BM_SparseSpMMThreads)
+    ->Arg(1)->Arg(2)->Arg(4)->Arg(HardwareThreads())
+    ->UseRealTime();
+
+void BM_SoftmaxRowsThreads(benchmark::State& state) {
+  ThreadCountOverride threads(static_cast<int>(state.range(0)));
+  Rng rng(6);
+  const Matrix logits = RandomMatrix(20000, 16, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SoftmaxRows(logits));
+  }
+  state.SetItemsProcessed(state.iterations() * logits.size());
+}
+BENCHMARK(BM_SoftmaxRowsThreads)
+    ->Arg(1)->Arg(2)->Arg(4)->Arg(HardwareThreads())
+    ->UseRealTime();
 
 void BM_NormalizedAdjacency(benchmark::State& state) {
   const int64_t n = state.range(0);

@@ -134,7 +134,11 @@ Variable Dropout(const Variable& a, float rate, bool training, Rng* rng) {
   if (!training || rate == 0.0f) return a;
   RDD_CHECK(rng != nullptr);
   const float keep_scale = 1.0f / (1.0f - rate);
-  // The mask is shared (by shared_ptr) between forward and backward.
+  // The mask is shared (by shared_ptr) between forward and backward. Mask
+  // GENERATION must stay serial — it consumes the rng stream in index order
+  // and splitting it would change which elements drop at a given seed — but
+  // mask APPLICATION in the backward (g.Mul(*mask)) runs on the parallel
+  // elementwise path.
   auto mask = std::make_shared<Matrix>(a.rows(), a.cols());
   Matrix value = a.value();
   float* v = value.Data();

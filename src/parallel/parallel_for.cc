@@ -1,0 +1,102 @@
+#include "parallel/parallel_for.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <mutex>
+#include <thread>
+
+#include "parallel/thread_pool.h"
+#include "util/logging.h"
+
+namespace rdd::parallel {
+
+namespace internal {
+
+int ParseThreadCount(const char* value, int fallback) {
+  if (value == nullptr || *value == '\0') return fallback;
+  char* end = nullptr;
+  const long parsed = std::strtol(value, &end, 10);
+  if (end == value || *end != '\0' || parsed < 1) return fallback;
+  return static_cast<int>(parsed);
+}
+
+}  // namespace internal
+
+namespace {
+
+int DefaultNumThreads() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  const int fallback = hw == 0 ? 1 : static_cast<int>(hw);
+  return internal::ParseThreadCount(std::getenv("RDD_NUM_THREADS"), fallback);
+}
+
+std::atomic<int>& ConfiguredThreads() {
+  static std::atomic<int> threads{DefaultNumThreads()};
+  return threads;
+}
+
+/// Completion latch shared by the chunks of one ParallelFor call.
+struct Barrier {
+  std::mutex mu;
+  std::condition_variable done;
+  int remaining = 0;
+};
+
+}  // namespace
+
+int NumThreads() { return ConfiguredThreads().load(std::memory_order_relaxed); }
+
+void SetNumThreads(int n) {
+  RDD_CHECK_GE(n, 1);
+  ConfiguredThreads().store(n, std::memory_order_relaxed);
+}
+
+namespace internal {
+
+bool ShouldRunSerial(int64_t range, int64_t grain) {
+  RDD_CHECK_GE(grain, 1);
+  return NumThreads() <= 1 || range <= grain || ThreadPool::OnWorkerThread();
+}
+
+void ParallelForImpl(int64_t begin, int64_t end, int64_t grain,
+                     const std::function<void(int64_t, int64_t)>& fn) {
+  const int64_t range = end - begin;
+  const int threads = NumThreads();
+
+  // Static partition: split points depend only on (range, grain, threads).
+  const int64_t max_chunks = (range + grain - 1) / grain;
+  const int64_t chunks = std::min<int64_t>(threads, max_chunks);
+  const int64_t base = range / chunks;
+  const int64_t remainder = range % chunks;
+
+  ThreadPool& pool = ThreadPool::Global();
+  pool.EnsureWorkers(threads - 1);
+
+  Barrier barrier;
+  barrier.remaining = static_cast<int>(chunks) - 1;
+
+  int64_t chunk_begin = begin;
+  const int64_t first_end = chunk_begin + base + (remainder > 0 ? 1 : 0);
+  int64_t next_begin = first_end;
+  for (int64_t c = 1; c < chunks; ++c) {
+    const int64_t c_begin = next_begin;
+    const int64_t c_end = c_begin + base + (c < remainder ? 1 : 0);
+    next_begin = c_end;
+    pool.Submit([&fn, &barrier, c_begin, c_end] {
+      fn(c_begin, c_end);
+      std::lock_guard<std::mutex> lock(barrier.mu);
+      if (--barrier.remaining == 0) barrier.done.notify_one();
+    });
+  }
+  RDD_CHECK_EQ(next_begin, end);
+
+  fn(chunk_begin, first_end);  // The caller works the first chunk itself.
+
+  std::unique_lock<std::mutex> lock(barrier.mu);
+  barrier.done.wait(lock, [&barrier] { return barrier.remaining == 0; });
+}
+
+}  // namespace internal
+
+}  // namespace rdd::parallel

@@ -1,0 +1,76 @@
+#ifndef RDD_PARALLEL_PARALLEL_FOR_H_
+#define RDD_PARALLEL_PARALLEL_FOR_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+
+namespace rdd::parallel {
+
+/// Configured thread count. Initialized on first call from the
+/// RDD_NUM_THREADS environment variable (default: hardware concurrency,
+/// clamped to >= 1). `RDD_NUM_THREADS=1` forces the serial path everywhere.
+int NumThreads();
+
+/// Overrides the thread count at runtime (tests, benchmarks, embedders).
+/// Takes effect for subsequent ParallelFor calls; n must be >= 1.
+void SetNumThreads(int n);
+
+namespace internal {
+/// True when this call must run serially: one configured thread, a range no
+/// larger than one grain, or a nested call from inside a pool worker (which
+/// would deadlock waiting on the pool it occupies).
+bool ShouldRunSerial(int64_t range, int64_t grain);
+
+/// Parallel dispatch path; only reached when ShouldRunSerial is false. The
+/// std::function type erasure is confined here so the serial fast path stays
+/// a direct, inlinable call.
+void ParallelForImpl(int64_t begin, int64_t end, int64_t grain,
+                     const std::function<void(int64_t, int64_t)>& fn);
+}  // namespace internal
+
+/// Runs fn(chunk_begin, chunk_end) over a static partition of [begin, end).
+///
+/// Guarantees:
+///  - Chunks are contiguous, ordered, and cover each index exactly once.
+///  - Split points are a pure function of (range size, grain, thread count):
+///    the same call partitions the same way every run, so any kernel whose
+///    chunks write disjoint outputs is bit-reproducible run-to-run.
+///  - Serial fallback: with NumThreads() == 1, a range smaller than `grain`,
+///    or when already inside a parallel region (nested call from a pool
+///    worker), fn(begin, end) runs inline on the calling thread with zero
+///    dispatch overhead (fn is invoked directly, not through a
+///    std::function, so the serial path compiles to the plain loop).
+///
+/// The calling thread always executes the first chunk itself; remaining
+/// chunks go to the shared ThreadPool. Returns after every chunk finished.
+/// fn must not throw.
+template <typename Fn>
+void ParallelFor(int64_t begin, int64_t end, int64_t grain, const Fn& fn) {
+  const int64_t range = end - begin;
+  if (range <= 0) return;
+  if (internal::ShouldRunSerial(range, grain)) {
+    fn(begin, end);
+    return;
+  }
+  internal::ParallelForImpl(begin, end, grain, fn);
+}
+
+/// Suggested grain for a loop whose per-item cost is ~`cost_per_item` scalar
+/// operations: large enough that one chunk amortizes the dispatch overhead,
+/// never below 1.
+inline int64_t GrainForCost(int64_t cost_per_item) {
+  constexpr int64_t kMinWorkPerChunk = 1 << 15;  // ~32k scalar ops.
+  return std::max<int64_t>(
+      1, kMinWorkPerChunk / std::max<int64_t>(1, cost_per_item));
+}
+
+namespace internal {
+/// Parses an RDD_NUM_THREADS-style value: returns `fallback` when `value` is
+/// null, empty, non-numeric, or < 1. Exposed for tests.
+int ParseThreadCount(const char* value, int fallback);
+}  // namespace internal
+
+}  // namespace rdd::parallel
+
+#endif  // RDD_PARALLEL_PARALLEL_FOR_H_

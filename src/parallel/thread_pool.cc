@@ -1,0 +1,72 @@
+#include "parallel/thread_pool.h"
+
+#include <utility>
+
+#include "util/logging.h"
+
+namespace rdd::parallel {
+
+namespace {
+/// Set for the lifetime of a worker thread; lets ParallelFor detect nested
+/// parallel regions (which must run inline to avoid deadlocking the pool).
+thread_local bool t_on_worker_thread = false;
+}  // namespace
+
+ThreadPool& ThreadPool::Global() {
+  static ThreadPool* pool = new ThreadPool();
+  // Leaked deliberately: workers may still be blocked in the condvar during
+  // static destruction, and every task is awaited by its submitter before
+  // ParallelFor returns, so there is never pending work to lose at exit.
+  return *pool;
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutting_down_ = true;
+  }
+  work_available_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void ThreadPool::EnsureWorkers(int count) {
+  std::lock_guard<std::mutex> lock(mu_);
+  RDD_CHECK_GE(count, 0);
+  while (static_cast<int>(workers_.size()) < count) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    RDD_CHECK(!shutting_down_);
+    queue_.push_back(std::move(task));
+  }
+  work_available_.notify_one();
+}
+
+int ThreadPool::worker_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int>(workers_.size());
+}
+
+bool ThreadPool::OnWorkerThread() { return t_on_worker_thread; }
+
+void ThreadPool::WorkerLoop() {
+  t_on_worker_thread = true;
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_available_.wait(lock,
+                           [this] { return shutting_down_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // Only reachable when shutting down.
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+}  // namespace rdd::parallel

@@ -1,0 +1,55 @@
+#ifndef RDD_PARALLEL_THREAD_POOL_H_
+#define RDD_PARALLEL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace rdd::parallel {
+
+/// Shared worker pool behind ParallelFor. Lazily initialized on first use and
+/// grown on demand, never shrunk; workers block on a condition variable while
+/// idle so an unused pool costs nothing but memory. Not intended for direct
+/// use by kernels — go through ParallelFor, which owns chunking, the serial
+/// fallback, and the nested-region guard.
+class ThreadPool {
+ public:
+  /// The process-wide pool. Created on first call; joined at process exit.
+  static ThreadPool& Global();
+
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Spawns workers until at least `count` exist. Cheap when already large
+  /// enough.
+  void EnsureWorkers(int count);
+
+  /// Enqueues a task for any idle worker.
+  void Submit(std::function<void()> task);
+
+  /// Number of worker threads currently alive (excludes the caller thread).
+  int worker_count() const;
+
+  /// True when called from one of this pool's worker threads.
+  static bool OnWorkerThread();
+
+ private:
+  ThreadPool() = default;
+
+  void WorkerLoop();
+
+  mutable std::mutex mu_;
+  std::condition_variable work_available_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  bool shutting_down_ = false;
+};
+
+}  // namespace rdd::parallel
+
+#endif  // RDD_PARALLEL_THREAD_POOL_H_

@@ -2,10 +2,28 @@
 
 #include <cmath>
 
+#include "parallel/parallel_for.h"
 #include "util/logging.h"
 #include "util/string_util.h"
 
 namespace rdd {
+
+namespace {
+
+/// Shared shape of every in-place elementwise kernel below: parallel over
+/// disjoint index blocks, so results are bit-identical at any thread count.
+template <typename Fn>
+void ElementwiseParallel(size_t size, const Fn& fn) {
+  parallel::ParallelFor(0, static_cast<int64_t>(size),
+                        parallel::GrainForCost(1),
+                        [&](int64_t i0, int64_t i1) {
+                          for (int64_t i = i0; i < i1; ++i) {
+                            fn(static_cast<size_t>(i));
+                          }
+                        });
+}
+
+}  // namespace
 
 Matrix::Matrix(int64_t rows, int64_t cols)
     : rows_(rows), cols_(cols), data_(static_cast<size_t>(rows * cols), 0.0f) {
@@ -67,31 +85,33 @@ void Matrix::Fill(float value) {
 void Matrix::Add(const Matrix& other) {
   RDD_CHECK_EQ(rows_, other.rows_);
   RDD_CHECK_EQ(cols_, other.cols_);
-  for (size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+  ElementwiseParallel(data_.size(),
+                      [&](size_t i) { data_[i] += other.data_[i]; });
 }
 
 void Matrix::Sub(const Matrix& other) {
   RDD_CHECK_EQ(rows_, other.rows_);
   RDD_CHECK_EQ(cols_, other.cols_);
-  for (size_t i = 0; i < data_.size(); ++i) data_[i] -= other.data_[i];
+  ElementwiseParallel(data_.size(),
+                      [&](size_t i) { data_[i] -= other.data_[i]; });
 }
 
 void Matrix::Mul(const Matrix& other) {
   RDD_CHECK_EQ(rows_, other.rows_);
   RDD_CHECK_EQ(cols_, other.cols_);
-  for (size_t i = 0; i < data_.size(); ++i) data_[i] *= other.data_[i];
+  ElementwiseParallel(data_.size(),
+                      [&](size_t i) { data_[i] *= other.data_[i]; });
 }
 
 void Matrix::Scale(float factor) {
-  for (float& x : data_) x *= factor;
+  ElementwiseParallel(data_.size(), [&](size_t i) { data_[i] *= factor; });
 }
 
 void Matrix::Axpy(float factor, const Matrix& other) {
   RDD_CHECK_EQ(rows_, other.rows_);
   RDD_CHECK_EQ(cols_, other.cols_);
-  for (size_t i = 0; i < data_.size(); ++i) {
-    data_[i] += factor * other.data_[i];
-  }
+  ElementwiseParallel(data_.size(),
+                      [&](size_t i) { data_[i] += factor * other.data_[i]; });
 }
 
 Matrix Matrix::Row(int64_t r) const {

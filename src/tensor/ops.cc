@@ -3,9 +3,21 @@
 #include <algorithm>
 #include <cmath>
 
+#include "parallel/parallel_for.h"
 #include "util/logging.h"
 
 namespace rdd {
+
+// The dense GEMM paths deliberately do NOT skip zero entries of `a`: a
+// zero-times-NaN/Inf product must stay NaN per IEEE 754 so upstream
+// divergence is visible, and on dense activations the branch costs more
+// than the multiply it saves.
+//
+// All three GEMM variants use a 4-wide register-blocked micro-kernel (four
+// reduction indices per pass over the output row). The unroll pattern is a
+// fixed function of the shape — never of the thread count or chunk layout —
+// so results stay bit-identical between RDD_NUM_THREADS=1 and N; they differ
+// from a naive triple loop only in float-summation grouping.
 
 Matrix Matmul(const Matrix& a, const Matrix& b) {
   RDD_CHECK_EQ(a.cols(), b.rows());
@@ -13,16 +25,34 @@ Matrix Matmul(const Matrix& a, const Matrix& b) {
   const int64_t m = a.rows();
   const int64_t k = a.cols();
   const int64_t n = b.cols();
-  for (int64_t i = 0; i < m; ++i) {
-    const float* a_row = a.RowData(i);
-    float* out_row = out.RowData(i);
-    for (int64_t p = 0; p < k; ++p) {
-      const float av = a_row[p];
-      if (av == 0.0f) continue;
-      const float* b_row = b.RowData(p);
-      for (int64_t j = 0; j < n; ++j) out_row[j] += av * b_row[j];
-    }
-  }
+  // Parallel over output rows: each chunk writes a disjoint row range.
+  // out is freshly allocated, so out_row cannot alias a or b.
+  parallel::ParallelFor(
+      0, m, parallel::GrainForCost(k * n), [&](int64_t r0, int64_t r1) {
+        for (int64_t i = r0; i < r1; ++i) {
+          const float* a_row = a.RowData(i);
+          float* __restrict__ out_row = out.RowData(i);
+          int64_t p = 0;
+          for (; p + 4 <= k; p += 4) {
+            const float a0 = a_row[p];
+            const float a1 = a_row[p + 1];
+            const float a2 = a_row[p + 2];
+            const float a3 = a_row[p + 3];
+            const float* b0 = b.RowData(p);
+            const float* b1 = b.RowData(p + 1);
+            const float* b2 = b.RowData(p + 2);
+            const float* b3 = b.RowData(p + 3);
+            for (int64_t j = 0; j < n; ++j) {
+              out_row[j] += a0 * b0[j] + a1 * b1[j] + a2 * b2[j] + a3 * b3[j];
+            }
+          }
+          for (; p < k; ++p) {
+            const float av = a_row[p];
+            const float* b_row = b.RowData(p);
+            for (int64_t j = 0; j < n; ++j) out_row[j] += av * b_row[j];
+          }
+        }
+      });
   return out;
 }
 
@@ -32,16 +62,38 @@ Matrix MatmulTransposeA(const Matrix& a, const Matrix& b) {
   const int64_t m = a.rows();
   const int64_t k = a.cols();
   const int64_t n = b.cols();
-  for (int64_t i = 0; i < m; ++i) {
-    const float* a_row = a.RowData(i);
-    const float* b_row = b.RowData(i);
-    for (int64_t p = 0; p < k; ++p) {
-      const float av = a_row[p];
-      if (av == 0.0f) continue;
-      float* out_row = out.RowData(p);
-      for (int64_t j = 0; j < n; ++j) out_row[j] += av * b_row[j];
-    }
-  }
+  // out(p, :) += a(i, p) * b(i, :). With the reduction index i in the OUTER
+  // loop every i writes all k output rows, so row-parallelism over i would
+  // race. Instead parallelize over output rows p (a column-block split of
+  // `a`): each chunk owns a disjoint slice of `out`, and the i-blocked
+  // accumulation per element is fixed per shape, keeping results
+  // bit-identical at any thread count. Reads of a(i, p) become strided,
+  // which is the price of race-freedom without per-thread scratch buffers.
+  parallel::ParallelFor(
+      0, k, parallel::GrainForCost(m * n), [&](int64_t p0, int64_t p1) {
+        for (int64_t p = p0; p < p1; ++p) {
+          float* __restrict__ out_row = out.RowData(p);
+          int64_t i = 0;
+          for (; i + 4 <= m; i += 4) {
+            const float a0 = a.RowData(i)[p];
+            const float a1 = a.RowData(i + 1)[p];
+            const float a2 = a.RowData(i + 2)[p];
+            const float a3 = a.RowData(i + 3)[p];
+            const float* b0 = b.RowData(i);
+            const float* b1 = b.RowData(i + 1);
+            const float* b2 = b.RowData(i + 2);
+            const float* b3 = b.RowData(i + 3);
+            for (int64_t j = 0; j < n; ++j) {
+              out_row[j] += a0 * b0[j] + a1 * b1[j] + a2 * b2[j] + a3 * b3[j];
+            }
+          }
+          for (; i < m; ++i) {
+            const float av = a.RowData(i)[p];
+            const float* b_row = b.RowData(i);
+            for (int64_t j = 0; j < n; ++j) out_row[j] += av * b_row[j];
+          }
+        }
+      });
   return out;
 }
 
@@ -51,32 +103,59 @@ Matrix MatmulTransposeB(const Matrix& a, const Matrix& b) {
   const int64_t m = a.rows();
   const int64_t k = a.cols();
   const int64_t n = b.rows();
-  for (int64_t i = 0; i < m; ++i) {
-    const float* a_row = a.RowData(i);
-    float* out_row = out.RowData(i);
-    for (int64_t j = 0; j < n; ++j) {
-      const float* b_row = b.RowData(j);
-      float acc = 0.0f;
-      for (int64_t p = 0; p < k; ++p) acc += a_row[p] * b_row[p];
-      out_row[j] = acc;
-    }
-  }
+  parallel::ParallelFor(
+      0, m, parallel::GrainForCost(k * n), [&](int64_t r0, int64_t r1) {
+        for (int64_t i = r0; i < r1; ++i) {
+          const float* a_row = a.RowData(i);
+          float* __restrict__ out_row = out.RowData(i);
+          for (int64_t j = 0; j < n; ++j) {
+            const float* b_row = b.RowData(j);
+            // Four independent accumulators break the add-latency chain.
+            float acc0 = 0.0f;
+            float acc1 = 0.0f;
+            float acc2 = 0.0f;
+            float acc3 = 0.0f;
+            int64_t p = 0;
+            for (; p + 4 <= k; p += 4) {
+              acc0 += a_row[p] * b_row[p];
+              acc1 += a_row[p + 1] * b_row[p + 1];
+              acc2 += a_row[p + 2] * b_row[p + 2];
+              acc3 += a_row[p + 3] * b_row[p + 3];
+            }
+            float acc = (acc0 + acc1) + (acc2 + acc3);
+            for (; p < k; ++p) acc += a_row[p] * b_row[p];
+            out_row[j] = acc;
+          }
+        }
+      });
   return out;
 }
 
 Matrix Transpose(const Matrix& m) {
   Matrix out(m.cols(), m.rows());
-  for (int64_t r = 0; r < m.rows(); ++r) {
-    const float* row = m.RowData(r);
-    for (int64_t c = 0; c < m.cols(); ++c) out.At(c, r) = row[c];
-  }
+  const int64_t rows = m.rows();
+  const int64_t cols = m.cols();
+  // Parallel over output rows (= input columns); writes are contiguous per
+  // chunk, reads are strided.
+  parallel::ParallelFor(
+      0, cols, parallel::GrainForCost(rows), [&](int64_t c0, int64_t c1) {
+        for (int64_t c = c0; c < c1; ++c) {
+          float* out_row = out.RowData(c);
+          for (int64_t r = 0; r < rows; ++r) out_row[r] = m.RowData(r)[c];
+        }
+      });
   return out;
 }
 
 Matrix Relu(const Matrix& m) {
   Matrix out = m;
   float* data = out.Data();
-  for (int64_t i = 0; i < out.size(); ++i) data[i] = std::max(0.0f, data[i]);
+  parallel::ParallelFor(0, out.size(), parallel::GrainForCost(1),
+                        [&](int64_t i0, int64_t i1) {
+                          for (int64_t i = i0; i < i1; ++i) {
+                            data[i] = std::max(0.0f, data[i]);
+                          }
+                        });
   return out;
 }
 
@@ -86,71 +165,93 @@ Matrix ReluBackward(const Matrix& grad, const Matrix& input) {
   Matrix out = grad;
   float* g = out.Data();
   const float* x = input.Data();
-  for (int64_t i = 0; i < out.size(); ++i) {
-    if (x[i] <= 0.0f) g[i] = 0.0f;
-  }
+  parallel::ParallelFor(0, out.size(), parallel::GrainForCost(1),
+                        [&](int64_t i0, int64_t i1) {
+                          for (int64_t i = i0; i < i1; ++i) {
+                            if (x[i] <= 0.0f) g[i] = 0.0f;
+                          }
+                        });
   return out;
 }
 
 Matrix SoftmaxRows(const Matrix& logits) {
   Matrix out(logits.rows(), logits.cols());
-  for (int64_t r = 0; r < logits.rows(); ++r) {
-    const float* in = logits.RowData(r);
-    float* o = out.RowData(r);
-    float max_v = in[0];
-    for (int64_t c = 1; c < logits.cols(); ++c) max_v = std::max(max_v, in[c]);
-    double sum = 0.0;
-    for (int64_t c = 0; c < logits.cols(); ++c) {
-      o[c] = std::exp(in[c] - max_v);
-      sum += o[c];
-    }
-    const float inv = static_cast<float>(1.0 / sum);
-    for (int64_t c = 0; c < logits.cols(); ++c) o[c] *= inv;
-  }
+  const int64_t cols = logits.cols();
+  parallel::ParallelFor(
+      0, logits.rows(), parallel::GrainForCost(4 * cols),
+      [&](int64_t r0, int64_t r1) {
+        for (int64_t r = r0; r < r1; ++r) {
+          const float* in = logits.RowData(r);
+          float* o = out.RowData(r);
+          float max_v = in[0];
+          for (int64_t c = 1; c < cols; ++c) max_v = std::max(max_v, in[c]);
+          double sum = 0.0;
+          for (int64_t c = 0; c < cols; ++c) {
+            o[c] = std::exp(in[c] - max_v);
+            sum += o[c];
+          }
+          const float inv = static_cast<float>(1.0 / sum);
+          for (int64_t c = 0; c < cols; ++c) o[c] *= inv;
+        }
+      });
   return out;
 }
 
 Matrix LogSoftmaxRows(const Matrix& logits) {
   Matrix out(logits.rows(), logits.cols());
-  for (int64_t r = 0; r < logits.rows(); ++r) {
-    const float* in = logits.RowData(r);
-    float* o = out.RowData(r);
-    float max_v = in[0];
-    for (int64_t c = 1; c < logits.cols(); ++c) max_v = std::max(max_v, in[c]);
-    double sum = 0.0;
-    for (int64_t c = 0; c < logits.cols(); ++c) {
-      sum += std::exp(static_cast<double>(in[c]) - max_v);
-    }
-    const float log_sum = static_cast<float>(std::log(sum)) + max_v;
-    for (int64_t c = 0; c < logits.cols(); ++c) o[c] = in[c] - log_sum;
-  }
+  const int64_t cols = logits.cols();
+  parallel::ParallelFor(
+      0, logits.rows(), parallel::GrainForCost(4 * cols),
+      [&](int64_t r0, int64_t r1) {
+        for (int64_t r = r0; r < r1; ++r) {
+          const float* in = logits.RowData(r);
+          float* o = out.RowData(r);
+          float max_v = in[0];
+          for (int64_t c = 1; c < cols; ++c) max_v = std::max(max_v, in[c]);
+          double sum = 0.0;
+          for (int64_t c = 0; c < cols; ++c) {
+            sum += std::exp(static_cast<double>(in[c]) - max_v);
+          }
+          const float log_sum = static_cast<float>(std::log(sum)) + max_v;
+          for (int64_t c = 0; c < cols; ++c) o[c] = in[c] - log_sum;
+        }
+      });
   return out;
 }
 
 std::vector<double> RowEntropy(const Matrix& probs) {
   std::vector<double> entropy(static_cast<size_t>(probs.rows()), 0.0);
-  for (int64_t r = 0; r < probs.rows(); ++r) {
-    const float* p = probs.RowData(r);
-    double h = 0.0;
-    for (int64_t c = 0; c < probs.cols(); ++c) {
-      if (p[c] > 0.0f) h -= static_cast<double>(p[c]) * std::log(p[c]);
-    }
-    entropy[static_cast<size_t>(r)] = h;
-  }
+  const int64_t cols = probs.cols();
+  parallel::ParallelFor(
+      0, probs.rows(), parallel::GrainForCost(4 * cols),
+      [&](int64_t r0, int64_t r1) {
+        for (int64_t r = r0; r < r1; ++r) {
+          const float* p = probs.RowData(r);
+          double h = 0.0;
+          for (int64_t c = 0; c < cols; ++c) {
+            if (p[c] > 0.0f) h -= static_cast<double>(p[c]) * std::log(p[c]);
+          }
+          entropy[static_cast<size_t>(r)] = h;
+        }
+      });
   return entropy;
 }
 
 std::vector<int64_t> ArgmaxRows(const Matrix& m) {
   RDD_CHECK_GT(m.cols(), 0);
   std::vector<int64_t> idx(static_cast<size_t>(m.rows()), 0);
-  for (int64_t r = 0; r < m.rows(); ++r) {
-    const float* row = m.RowData(r);
-    int64_t best = 0;
-    for (int64_t c = 1; c < m.cols(); ++c) {
-      if (row[c] > row[best]) best = c;
-    }
-    idx[static_cast<size_t>(r)] = best;
-  }
+  const int64_t cols = m.cols();
+  parallel::ParallelFor(
+      0, m.rows(), parallel::GrainForCost(cols), [&](int64_t r0, int64_t r1) {
+        for (int64_t r = r0; r < r1; ++r) {
+          const float* row = m.RowData(r);
+          int64_t best = 0;
+          for (int64_t c = 1; c < cols; ++c) {
+            if (row[c] > row[best]) best = c;
+          }
+          idx[static_cast<size_t>(r)] = best;
+        }
+      });
   return idx;
 }
 

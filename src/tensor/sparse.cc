@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "parallel/parallel_for.h"
 #include "util/logging.h"
 
 namespace rdd {
@@ -110,20 +111,52 @@ void SparseMatrix::MultiplyAdd(const Matrix& dense, float alpha,
   RDD_CHECK_EQ(out->rows(), rows_);
   RDD_CHECK_EQ(out->cols(), dense.cols());
   const int64_t n = dense.cols();
-  for (int64_t r = 0; r < rows_; ++r) {
-    float* out_row = out->RowData(r);
-    for (int64_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
-      const float v = alpha * values_[k];
-      const float* in_row = dense.RowData(col_idx_[k]);
-      for (int64_t c = 0; c < n; ++c) out_row[c] += v * in_row[c];
-    }
-  }
+  // Parallel over CSR rows: each chunk owns a disjoint range of output rows,
+  // and the per-row pairwise-blocked accumulation is a fixed function of the
+  // row's nnz, so results are bit-identical at any thread count. Grain
+  // assumes the average row nnz; badly skewed rows only cost load balance,
+  // never correctness.
+  const int64_t avg_nnz =
+      rows_ == 0 ? 1 : std::max<int64_t>(1, nnz() / rows_);
+  parallel::ParallelFor(
+      0, rows_, parallel::GrainForCost(avg_nnz * n),
+      [&](int64_t r0, int64_t r1) {
+        for (int64_t r = r0; r < r1; ++r) {
+          float* __restrict__ out_row = out->RowData(r);
+          int64_t k = row_ptr_[r];
+          const int64_t end = row_ptr_[r + 1];
+          // Two gathered rows per pass over out_row: halves the write
+          // traffic, which dominates at the ~4-nnz rows of citation graphs.
+          for (; k + 2 <= end; k += 2) {
+            const float v0 = alpha * values_[k];
+            const float v1 = alpha * values_[k + 1];
+            const float* in0 = dense.RowData(col_idx_[k]);
+            const float* in1 = dense.RowData(col_idx_[k + 1]);
+            for (int64_t c = 0; c < n; ++c) {
+              out_row[c] += v0 * in0[c] + v1 * in1[c];
+            }
+          }
+          for (; k < end; ++k) {
+            const float v = alpha * values_[k];
+            const float* in_row = dense.RowData(col_idx_[k]);
+            for (int64_t c = 0; c < n; ++c) out_row[c] += v * in_row[c];
+          }
+        }
+      });
 }
 
 Matrix SparseMatrix::TransposeMultiply(const Matrix& dense) const {
   RDD_CHECK_EQ(rows_, dense.rows());
   Matrix out(cols_, dense.cols());
   const int64_t n = dense.cols();
+  // Deliberately serial: this kernel scatters into out.RowData(col_idx_[k]),
+  // so CSR-row chunks would race on shared output rows. The alternatives
+  // both lose at our scale: materializing Transpose() costs a full CSR
+  // rebuild per backward pass (this is the SpMM gradient path, called every
+  // epoch), and per-thread partial outputs cost O(threads x cols x n) zeroed
+  // scratch plus a merge whose reduction order would break the bit-exactness
+  // guarantee the parallel backend makes. Graph adjacencies here are
+  // symmetric anyway, so the forward MultiplyAdd dominates runtime.
   for (int64_t r = 0; r < rows_; ++r) {
     const float* in_row = dense.RowData(r);
     for (int64_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {

@@ -61,7 +61,8 @@ class SparseMatrix {
   Matrix Multiply(const Matrix& dense) const;
 
   /// Accumulates alpha * (this * dense) into *out (same shape rules as
-  /// Multiply). Used to avoid temporaries in hot loops.
+  /// Multiply). Used to avoid temporaries in hot loops. *out must not alias
+  /// `dense`; the kernel assumes the two buffers are distinct.
   void MultiplyAdd(const Matrix& dense, float alpha, Matrix* out) const;
 
   /// Returns transpose(this) * dense without materializing the transpose,

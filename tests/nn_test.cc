@@ -186,6 +186,48 @@ TEST(AdamTest, FirstStepMagnitudeIsLr) {
   EXPECT_NEAR(w.value().At(0, 0), -0.01f, 1e-4f);
 }
 
+TEST(AdamTest, BiasCorrectionMatchesDoublePrecisionReference) {
+  // Regression: the bias corrections 1 - beta^t were computed with float
+  // pow, which loses ~1e-4 relative precision for beta2 = 0.999 at the small
+  // step counts where the correction matters most. They must now match a
+  // double-precision reference (moment buffers stay float, mirroring the
+  // implementation, so the comparison isolates the correction terms).
+  const float lr = 0.01f;
+  const float beta1 = 0.9f;
+  const float beta2 = 0.999f;
+  const float eps = 1e-8f;
+  Variable w(Matrix(1, 1), true);
+  Adam opt({w}, lr);
+
+  float m = 0.0f;
+  float v = 0.0f;
+  float ref_w = 0.0f;
+  const float g = 1.0f;  // SumAll of a 1x1 always backpropagates grad 1.
+  for (int step = 1; step <= 1000; ++step) {
+    opt.ZeroGrad();
+    ag::SumAll(w).Backward();
+    opt.Step();
+
+    m = beta1 * m + (1.0f - beta1) * g;
+    v = beta2 * v + (1.0f - beta2) * g * g;
+    const float bias1 = static_cast<float>(
+        1.0 - std::pow(static_cast<double>(beta1), static_cast<double>(step)));
+    const float bias2 = static_cast<float>(
+        1.0 - std::pow(static_cast<double>(beta2), static_cast<double>(step)));
+    const float m_hat = m / bias1;
+    const float v_hat = v / bias2;
+    ref_w -= lr * m_hat / (std::sqrt(v_hat) + eps);
+
+    if (step == 1) {
+      // Analytically, m_hat = g and v_hat = g*g at step 1, so the first
+      // update is -lr / (1 + eps) to double precision.
+      EXPECT_NEAR(w.value().At(0, 0), -lr / (1.0 + 1e-8), 1e-9);
+      EXPECT_FLOAT_EQ(w.value().At(0, 0), ref_w);
+    }
+  }
+  EXPECT_FLOAT_EQ(w.value().At(0, 0), ref_w);
+}
+
 TEST(OptimizerTest, ZeroGradClears) {
   Variable w(Matrix(1, 2), true);
   Sgd opt({w}, 0.1f);

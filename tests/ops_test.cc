@@ -1,6 +1,7 @@
 #include "tensor/ops.h"
 
 #include <cmath>
+#include <limits>
 
 #include <gtest/gtest.h>
 
@@ -28,6 +29,34 @@ TEST(MatmulTest, IdentityIsNeutral) {
   const Matrix a = RandomMatrix(4, 4, &rng);
   EXPECT_TRUE(Matmul(a, Matrix::Identity(4)).ApproxEquals(a, 1e-6f));
   EXPECT_TRUE(Matmul(Matrix::Identity(4), a).ApproxEquals(a, 1e-6f));
+}
+
+TEST(MatmulTest, NanPropagatesThroughZeroWeights) {
+  // Regression: the GEMM paths used to skip a-entries equal to 0, which
+  // silently turned 0 * NaN into 0 and masked upstream divergence. IEEE
+  // semantics require the NaN to propagate.
+  const float nan = std::numeric_limits<float>::quiet_NaN();
+  const Matrix a(1, 2, {0.0f, 1.0f});
+  const Matrix b(2, 2, {nan, nan, 1.0f, 2.0f});
+  const Matrix out = Matmul(a, b);
+  EXPECT_TRUE(std::isnan(out.At(0, 0)));
+  EXPECT_TRUE(std::isnan(out.At(0, 1)));
+
+  // Same contract for the fused-transpose path: a(i, p) == 0 must not hide
+  // a NaN row of b.
+  const Matrix at(2, 2, {0.0f, 1.0f, 1.0f, 1.0f});
+  const Matrix bt(2, 2, {nan, nan, 1.0f, 2.0f});
+  const Matrix out_t = MatmulTransposeA(at, bt);
+  EXPECT_TRUE(std::isnan(out_t.At(0, 0)));
+  EXPECT_TRUE(std::isnan(out_t.At(0, 1)));
+}
+
+TEST(MatmulTest, InfinityPropagatesThroughZeroWeights) {
+  const float inf = std::numeric_limits<float>::infinity();
+  const Matrix a(1, 2, {0.0f, 1.0f});
+  const Matrix b(2, 1, {inf, 3.0f});
+  // 0 * inf = NaN per IEEE 754; it must not be silently dropped.
+  EXPECT_TRUE(std::isnan(Matmul(a, b).At(0, 0)));
 }
 
 TEST(MatmulTest, TransposeVariantsMatchExplicit) {

@@ -1,0 +1,304 @@
+// Tests for the parallel backend: ParallelFor partitioning invariants,
+// thread-count configuration, pool stress (the ThreadSanitizer target), and
+// bit-exactness of every parallelized kernel between RDD_NUM_THREADS=1 and 4
+// — including a full RddTrainer run both ways.
+
+#include <atomic>
+#include <cmath>
+#include <cstdint>
+#include <mutex>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/rdd_trainer.h"
+#include "data/citation_gen.h"
+#include "parallel/parallel_for.h"
+#include "parallel/thread_pool.h"
+#include "tensor/matrix.h"
+#include "tensor/ops.h"
+#include "tensor/sparse.h"
+#include "util/random.h"
+
+namespace rdd {
+namespace {
+
+using parallel::GrainForCost;
+using parallel::NumThreads;
+using parallel::ParallelFor;
+using parallel::SetNumThreads;
+using parallel::internal::ParseThreadCount;
+
+/// Restores the configured thread count on scope exit so tests compose.
+class ThreadCountGuard {
+ public:
+  ThreadCountGuard() : saved_(NumThreads()) {}
+  ~ThreadCountGuard() { SetNumThreads(saved_); }
+
+ private:
+  int saved_;
+};
+
+Matrix RandomMatrix(int64_t rows, int64_t cols, Rng* rng) {
+  Matrix m(rows, cols);
+  for (int64_t i = 0; i < m.size(); ++i) {
+    m.Data()[i] = static_cast<float>(rng->Gaussian());
+  }
+  return m;
+}
+
+std::vector<std::pair<int64_t, int64_t>> CollectChunks(int64_t begin,
+                                                       int64_t end,
+                                                       int64_t grain) {
+  std::mutex mu;
+  std::vector<std::pair<int64_t, int64_t>> chunks;
+  ParallelFor(begin, end, grain, [&](int64_t b, int64_t e) {
+    std::lock_guard<std::mutex> lock(mu);
+    chunks.emplace_back(b, e);
+  });
+  std::sort(chunks.begin(), chunks.end());
+  return chunks;
+}
+
+TEST(ParseThreadCountTest, ParsesValidOverrides) {
+  EXPECT_EQ(ParseThreadCount("4", 8), 4);
+  EXPECT_EQ(ParseThreadCount("1", 8), 1);
+  EXPECT_EQ(ParseThreadCount("16", 1), 16);
+}
+
+TEST(ParseThreadCountTest, FallsBackOnGarbage) {
+  EXPECT_EQ(ParseThreadCount(nullptr, 3), 3);
+  EXPECT_EQ(ParseThreadCount("", 3), 3);
+  EXPECT_EQ(ParseThreadCount("abc", 3), 3);
+  EXPECT_EQ(ParseThreadCount("4x", 3), 3);
+  EXPECT_EQ(ParseThreadCount("0", 3), 3);
+  EXPECT_EQ(ParseThreadCount("-2", 3), 3);
+}
+
+TEST(ParallelForTest, CoversEveryIndexExactlyOnce) {
+  ThreadCountGuard guard;
+  SetNumThreads(4);
+  std::vector<std::atomic<int>> hits(100);
+  for (auto& h : hits) h = 0;
+  ParallelFor(0, 100, 1, [&](int64_t b, int64_t e) {
+    for (int64_t i = b; i < e; ++i) ++hits[static_cast<size_t>(i)];
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelForTest, ChunksAreContiguousAndDeterministic) {
+  ThreadCountGuard guard;
+  SetNumThreads(4);
+  const auto first = CollectChunks(0, 103, 1);
+  ASSERT_FALSE(first.empty());
+  EXPECT_EQ(first.front().first, 0);
+  EXPECT_EQ(first.back().second, 103);
+  for (size_t i = 1; i < first.size(); ++i) {
+    EXPECT_EQ(first[i].first, first[i - 1].second);  // No gaps, no overlap.
+  }
+  // Static partitioning: identical split points on every run.
+  for (int run = 0; run < 5; ++run) {
+    EXPECT_EQ(CollectChunks(0, 103, 1), first);
+  }
+}
+
+TEST(ParallelForTest, SerialFallbackRunsInlineAsOneChunk) {
+  ThreadCountGuard guard;
+  SetNumThreads(1);
+  const auto chunks = CollectChunks(0, 1000, 1);
+  ASSERT_EQ(chunks.size(), 1u);
+  EXPECT_EQ(chunks[0], std::make_pair(int64_t{0}, int64_t{1000}));
+}
+
+TEST(ParallelForTest, SmallRangeStaysSerialRegardlessOfThreads) {
+  ThreadCountGuard guard;
+  SetNumThreads(8);
+  // range <= grain: must not split.
+  EXPECT_EQ(CollectChunks(0, 16, 16).size(), 1u);
+}
+
+TEST(ParallelForTest, EmptyRangeNeverInvokesBody) {
+  ThreadCountGuard guard;
+  SetNumThreads(4);
+  bool called = false;
+  ParallelFor(5, 5, 1, [&](int64_t, int64_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ParallelForTest, NestedCallsRunInlineWithoutDeadlock) {
+  ThreadCountGuard guard;
+  SetNumThreads(4);
+  std::atomic<int64_t> total{0};
+  ParallelFor(0, 8, 1, [&](int64_t b, int64_t e) {
+    for (int64_t i = b; i < e; ++i) {
+      // Inner region must not re-enter the pool from a worker thread.
+      ParallelFor(0, 100, 1,
+                  [&](int64_t ib, int64_t ie) { total += ie - ib; });
+    }
+  });
+  EXPECT_EQ(total.load(), 800);
+}
+
+TEST(ParallelForTest, GrainForCostIsAtLeastOne) {
+  EXPECT_GE(GrainForCost(0), 1);
+  EXPECT_GE(GrainForCost(1 << 30), 1);
+  EXPECT_GT(GrainForCost(1), 1);
+}
+
+TEST(ThreadPoolTest, StressManyParallelRegions) {
+  // TSan target: hammer the pool with back-to-back regions accumulating
+  // into disjoint slots; any pool race shows up here.
+  ThreadCountGuard guard;
+  SetNumThreads(4);
+  std::vector<int64_t> slots(256, 0);
+  for (int iter = 0; iter < 200; ++iter) {
+    ParallelFor(0, static_cast<int64_t>(slots.size()), 1,
+                [&](int64_t b, int64_t e) {
+                  for (int64_t i = b; i < e; ++i) slots[static_cast<size_t>(i)]++;
+                });
+  }
+  for (int64_t s : slots) EXPECT_EQ(s, 200);
+}
+
+// ---------------------------------------------------------------------------
+// Kernel equivalence: every row/block-partitioned kernel must be bit-exact
+// between 1 and 4 threads — chunks write disjoint outputs and per-element
+// accumulation order is unchanged, so no floating-point tolerance is needed.
+// ---------------------------------------------------------------------------
+
+/// Deterministic second operand for MatmulTransposeA (which requires
+/// a.rows() == b.rows()).
+Matrix RandomizedCopy(const Matrix& like) {
+  Rng rng(99);
+  Matrix m(like.rows(), 80);
+  for (int64_t i = 0; i < m.size(); ++i) {
+    m.Data()[i] = static_cast<float>(rng.Gaussian());
+  }
+  return m;
+}
+
+class KernelEquivalenceTest : public ::testing::Test {
+ protected:
+  template <typename Fn>
+  void ExpectBitExact(const Fn& compute) {
+    ThreadCountGuard guard;
+    SetNumThreads(1);
+    const auto serial = compute();
+    SetNumThreads(4);
+    const auto parallel = compute();
+    ExpectExactlyEqual(serial, parallel);
+  }
+
+  static void ExpectExactlyEqual(const Matrix& a, const Matrix& b) {
+    EXPECT_TRUE(a.Equals(b));
+  }
+  template <typename T>
+  static void ExpectExactlyEqual(const std::vector<T>& a,
+                                 const std::vector<T>& b) {
+    EXPECT_EQ(a, b);
+  }
+};
+
+TEST_F(KernelEquivalenceTest, DenseKernels) {
+  Rng rng(11);
+  // Sizes chosen to exceed every kernel's grain so the 4-thread run really
+  // splits.
+  const Matrix a = RandomMatrix(257, 64, &rng);
+  const Matrix b = RandomMatrix(64, 129, &rng);
+  const Matrix at = RandomMatrix(64, 257, &rng);
+  const Matrix bt = RandomMatrix(129, 64, &rng);
+  ExpectBitExact([&] { return Matmul(a, b); });
+  ExpectBitExact([&] { return MatmulTransposeA(at, RandomizedCopy(at)); });
+  ExpectBitExact([&] { return MatmulTransposeB(a, bt); });
+  ExpectBitExact([&] { return Transpose(a); });
+}
+
+TEST_F(KernelEquivalenceTest, RowwiseKernels) {
+  Rng rng(12);
+  const Matrix logits = RandomMatrix(4096, 16, &rng);
+  ExpectBitExact([&] { return SoftmaxRows(logits); });
+  ExpectBitExact([&] { return LogSoftmaxRows(logits); });
+  ExpectBitExact([&] { return RowEntropy(SoftmaxRows(logits)); });
+  ExpectBitExact([&] { return ArgmaxRows(logits); });
+}
+
+TEST_F(KernelEquivalenceTest, ElementwiseKernels) {
+  Rng rng(13);
+  const Matrix x = RandomMatrix(300, 200, &rng);
+  const Matrix y = RandomMatrix(300, 200, &rng);
+  ExpectBitExact([&] { return Relu(x); });
+  ExpectBitExact([&] { return ReluBackward(y, x); });
+  ExpectBitExact([&] { return Add(x, y); });
+  ExpectBitExact([&] { return Sub(x, y); });
+  ExpectBitExact([&] {
+    Matrix z = x;
+    z.Mul(y);
+    z.Scale(0.5f);
+    z.Axpy(2.0f, y);
+    return z;
+  });
+}
+
+TEST_F(KernelEquivalenceTest, SparseMultiply) {
+  Rng rng(14);
+  std::vector<SparseEntry> entries;
+  for (int64_t i = 0; i < 20000; ++i) {
+    entries.push_back({rng.UniformInt(2708), rng.UniformInt(2708),
+                       static_cast<float>(rng.Gaussian())});
+  }
+  const SparseMatrix s = SparseMatrix::FromCoo(2708, 2708, std::move(entries));
+  const Matrix h = RandomMatrix(2708, 16, &rng);
+  ExpectBitExact([&] { return s.Multiply(h); });
+  ExpectBitExact([&] { return s.TransposeMultiply(h); });
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end: a full RddTrainer run (every forward, backward, optimizer step,
+// and reliability refresh) must produce identical metrics and per-epoch
+// validation curves at 1 vs 4 threads.
+// ---------------------------------------------------------------------------
+
+TEST(ParallelTrainerEquivalenceTest, FullRddRunIsThreadCountInvariant) {
+  CitationGenConfig config;
+  config.num_nodes = 300;
+  config.num_features = 100;
+  config.num_edges = 900;
+  config.num_classes = 4;
+  config.labeled_per_class = 6;
+  config.val_size = 50;
+  config.test_size = 80;
+  const Dataset dataset = GenerateCitationNetwork(config, 33);
+  const GraphContext context = GraphContext::FromDataset(dataset);
+
+  RddConfig rdd_config;
+  rdd_config.num_base_models = 2;
+  rdd_config.train.max_epochs = 25;
+
+  ThreadCountGuard guard;
+  SetNumThreads(1);
+  const RddResult serial = TrainRdd(dataset, context, rdd_config, 5);
+  SetNumThreads(4);
+  const RddResult parallel = TrainRdd(dataset, context, rdd_config, 5);
+
+  EXPECT_DOUBLE_EQ(serial.single_test_accuracy, parallel.single_test_accuracy);
+  EXPECT_DOUBLE_EQ(serial.ensemble_test_accuracy,
+                   parallel.ensemble_test_accuracy);
+  ASSERT_EQ(serial.alphas.size(), parallel.alphas.size());
+  for (size_t i = 0; i < serial.alphas.size(); ++i) {
+    EXPECT_DOUBLE_EQ(serial.alphas[i], parallel.alphas[i]);
+  }
+  ASSERT_EQ(serial.reports.size(), parallel.reports.size());
+  for (size_t t = 0; t < serial.reports.size(); ++t) {
+    ASSERT_EQ(serial.reports[t].val_history.size(),
+              parallel.reports[t].val_history.size());
+    for (size_t e = 0; e < serial.reports[t].val_history.size(); ++e) {
+      EXPECT_DOUBLE_EQ(serial.reports[t].val_history[e],
+                       parallel.reports[t].val_history[e]);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace rdd
