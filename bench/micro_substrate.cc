@@ -8,6 +8,8 @@
 #include <thread>
 
 #include "autograd/ops.h"
+#include "memory/buffer_pool.h"
+#include "memory/workspace.h"
 #include "parallel/parallel_for.h"
 #include "core/reliability.h"
 #include "data/citation_gen.h"
@@ -111,6 +113,26 @@ BENCHMARK(BM_SparseSpMMThreads)
     ->Arg(1)->Arg(2)->Arg(4)->Arg(HardwareThreads())
     ->UseRealTime();
 
+void BM_SparseTransposeSpMMThreads(benchmark::State& state) {
+  // The SpMM gradient kernel (scatter into output rows), parallelized over
+  // input-row blocks with pool-backed partial outputs. Bit-identical at any
+  // thread count; compare against Arg(1) for the speedup.
+  ThreadCountOverride threads(static_cast<int>(state.range(0)));
+  const int64_t n = 2708;  // Cora node count.
+  Rng rng(2);
+  Graph graph = MakeErdosRenyiGraph(n, 10.0 / static_cast<double>(n), &rng);
+  const SparseMatrix adj = GcnNormalizedAdjacency(graph);
+  const Matrix h = RandomMatrix(n, 16, &rng);
+  memory::Workspace workspace;  // Recycle the partial buffers.
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(adj.TransposeMultiply(h));
+  }
+  state.SetItemsProcessed(state.iterations() * adj.nnz() * 16);
+}
+BENCHMARK(BM_SparseTransposeSpMMThreads)
+    ->Arg(1)->Arg(2)->Arg(4)->Arg(HardwareThreads())
+    ->UseRealTime();
+
 void BM_SoftmaxRowsThreads(benchmark::State& state) {
   ThreadCountOverride threads(static_cast<int>(state.range(0)));
   Rng rng(6);
@@ -181,6 +203,72 @@ void BM_GcnTrainingEpoch(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_GcnTrainingEpoch)->Arg(500)->Arg(2000);
+
+/// Scoped override of the buffer pool's enabled flag, for pooled-vs-unpooled
+/// comparisons in one process. Trims on entry and exit so each mode starts
+/// from empty freelists.
+class PoolModeOverride {
+ public:
+  explicit PoolModeOverride(bool enabled)
+      : saved_(memory::BufferPool::Global().enabled()) {
+    memory::BufferPool::Global().set_enabled(enabled);
+    memory::BufferPool::Global().Trim();
+  }
+  ~PoolModeOverride() {
+    memory::BufferPool::Global().set_enabled(saved_);
+    memory::BufferPool::Global().Trim();
+  }
+
+ private:
+  bool saved_;
+};
+
+void BM_GcnTrainingEpochPoolMode(benchmark::State& state) {
+  // BM_GcnTrainingEpoch with the buffer pool toggled: second arg 1 is the
+  // pooled default, 0 is the RDD_POOL_DISABLE=1 path where every tensor is
+  // a fresh heap allocation. The heap_allocs_per_epoch counter is the pool's
+  // miss count per iteration — ~0 pooled, hundreds unpooled — and
+  // peak_live_MB is the high-water mark of outstanding tensor floats (the
+  // live set), identical in both modes.
+  const int64_t n = state.range(0);
+  PoolModeOverride mode(state.range(1) == 1);
+  memory::Workspace workspace;
+  CitationGenConfig config;
+  config.num_nodes = n;
+  config.num_features = 300;
+  config.num_edges = n * 2;
+  config.num_classes = 5;
+  config.labeled_per_class = 10;
+  config.val_size = n / 10;
+  config.test_size = n / 5;
+  const Dataset dataset = GenerateCitationNetwork(config, 6);
+  const GraphContext context = GraphContext::FromDataset(dataset);
+  auto model = BuildModel(context, ModelConfig{}, 1);
+  Adam optimizer(model->Parameters(), 0.01f, 5e-4f);
+  auto run_epoch = [&] {
+    ModelOutput output = model->Forward(/*training=*/true);
+    Variable loss = ag::SoftmaxCrossEntropy(output.logits, dataset.labels,
+                                            dataset.split.train,
+                                            ag::Reduction::kMean);
+    loss.Backward();
+    optimizer.Step();
+    benchmark::DoNotOptimize(loss.value().At(0, 0));
+  };
+  run_epoch();  // Warm the pool so steady-state misses are measured.
+  memory::BufferPool::Global().ResetStats();
+  for (auto _ : state) {
+    run_epoch();
+  }
+  const memory::PoolStats stats = memory::Workspace::Stats();
+  state.counters["heap_allocs_per_epoch"] = benchmark::Counter(
+      static_cast<double>(stats.misses) /
+      static_cast<double>(state.iterations()));
+  state.counters["peak_live_MB"] = benchmark::Counter(
+      static_cast<double>(stats.peak_live_floats) * sizeof(float) / 1e6);
+}
+BENCHMARK(BM_GcnTrainingEpochPoolMode)
+    ->Args({500, 1})->Args({500, 0})
+    ->Args({2000, 1})->Args({2000, 0});
 
 void BM_NodeReliabilityUpdate(benchmark::State& state) {
   // The per-epoch reliability refresh (Algorithm 1) RDD pays for.

@@ -1,6 +1,8 @@
 #include "autograd/variable.h"
 
+#include <unordered_map>
 #include <unordered_set>
+#include <utility>
 
 #include "util/logging.h"
 
@@ -80,37 +82,72 @@ void Variable::Backward() const {
   RDD_CHECK_EQ(impl_->value.rows(), 1);
   RDD_CHECK_EQ(impl_->value.cols(), 1);
 
-  // Iterative post-order DFS to get a topological order of the tape.
-  std::vector<VariableImpl*> topo;
+  // Iterative post-order DFS to get a topological order of the tape. Holding
+  // shared_ptrs (not raw pointers) lets the release pass below compare
+  // use_count against the tape-internal reference count.
+  std::vector<std::shared_ptr<VariableImpl>> topo;
   std::unordered_set<VariableImpl*> visited;
-  std::vector<std::pair<VariableImpl*, size_t>> stack;
-  stack.emplace_back(impl_.get(), 0);
+  std::vector<std::pair<std::shared_ptr<VariableImpl>, size_t>> stack;
+  stack.emplace_back(impl_, 0);
   visited.insert(impl_.get());
   while (!stack.empty()) {
     auto& [node, next_child] = stack.back();
     if (next_child < node->parents.size()) {
-      VariableImpl* child = node->parents[next_child].get();
+      const std::shared_ptr<VariableImpl>& child =
+          node->parents[next_child];
       ++next_child;
-      if (child->requires_grad && visited.insert(child).second) {
+      if (child->requires_grad && visited.insert(child.get()).second) {
         stack.emplace_back(child, 0);
       }
     } else {
-      topo.push_back(node);
+      topo.push_back(std::move(node));
       stack.pop_back();
     }
   }
 
-  // Reset gradients of every node in this tape, then seed the root.
-  for (VariableImpl* node : topo) {
-    node->EnsureGrad();
-    node->grad.SetZero();
+  // Tape-internal references to each node: one per occurrence in a tape
+  // node's parents list, plus the copy held by `topo` itself. A node whose
+  // use_count exceeds this is also referenced from outside the tape (a
+  // parameter, a ModelOutput, a second loss, ...) and its storage must
+  // survive the walk.
+  std::unordered_map<VariableImpl*, long> internal_refs;
+  internal_refs.reserve(topo.size());
+  for (const auto& node : topo) {
+    for (const auto& parent : node->parents) {
+      if (parent->requires_grad) ++internal_refs[parent.get()];
+    }
   }
+
+  // Zero any still-allocated gradient in this tape (leaf parameters keep
+  // their grad buffers across epochs), then seed the root. Intermediate
+  // grads are NOT pre-allocated here: the first AccumulateGrad allocates
+  // them and the walk below releases them again, so gradient memory peaks
+  // at the live set rather than the tape size.
+  for (const auto& node : topo) {
+    if (node->grad_allocated) node->grad.SetZero();
+  }
+  impl_->EnsureGrad();
   impl_->grad.At(0, 0) = 1.0f;
 
-  // topo is post-order (root last); walk it backwards.
+  // topo is post-order (root last); walk it backwards. Reverse post-order
+  // guarantees every consumer of a node runs before the node itself, so
+  // once a node's own backward rule has fired, its gradient — and, when the
+  // tape holds the only references, its value — is dead. Releasing those
+  // buffers immediately caps peak memory at the live set instead of the
+  // whole tape, and returns the storage to the pool for the next epoch.
   for (auto it = topo.rbegin(); it != topo.rend(); ++it) {
-    VariableImpl* node = *it;
-    if (node->backward_fn) node->backward_fn(node);
+    VariableImpl* node = it->get();
+    if (!node->backward_fn) continue;  // Leaves keep value and grad.
+    node->EnsureGrad();  // No-op normally; guards odd re-entrant tapes.
+    node->backward_fn(node);
+    // Dropping the backward closure frees its captured parent handles and
+    // op scratch (dropout masks, cached softmax rows, index copies).
+    node->backward_fn = nullptr;
+    node->grad = Matrix();
+    node->grad_allocated = false;
+    const auto refs = internal_refs.find(node);
+    const long internal = 1 + (refs == internal_refs.end() ? 0 : refs->second);
+    if (it->use_count() == internal) node->value = Matrix();
   }
 }
 

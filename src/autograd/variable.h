@@ -39,6 +39,14 @@ struct VariableImpl {
 /// are trainable parameters; every op result records how to push gradients
 /// back to its parents. Call Backward() on a scalar (1x1) result to populate
 /// grad() on every reachable parameter.
+///
+/// Memory: node storage is pool-backed (see memory::BufferPool via Matrix).
+/// Backward() releases each intermediate node's gradient — and, when no
+/// handle outside the tape references the node, its value — as soon as its
+/// own backward rule has fired, so peak memory tracks the live set of the
+/// reverse sweep instead of the whole tape. Leaf values and gradients
+/// (parameters) always survive; so do values still referenced externally,
+/// e.g. a ModelOutput's logits.
 class Variable {
  public:
   /// Null handle; most code should use the factory below or autograd ops.

@@ -5,6 +5,7 @@
 #include "autograd/ops.h"
 #include "core/schedule.h"
 #include "graph/pagerank.h"
+#include "memory/workspace.h"
 #include "nn/metrics.h"
 #include "tensor/ops.h"
 #include "util/logging.h"
@@ -54,6 +55,10 @@ RddResult TrainRdd(const Dataset& dataset, const GraphContext& context,
                    const RddConfig& config, uint64_t seed) {
   RDD_CHECK_GT(config.num_base_models, 0);
   WallTimer timer;
+  // Run-level workspace: all T students train inside one pool scope, so the
+  // tape/gradient buffers student t releases are reused by student t+1
+  // instead of being trimmed between per-student Workspaces.
+  memory::Workspace workspace;
   Rng seeder(seed);
   RddResult result;
 

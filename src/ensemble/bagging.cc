@@ -1,5 +1,6 @@
 #include "ensemble/bagging.h"
 
+#include "memory/workspace.h"
 #include "util/logging.h"
 #include "util/random.h"
 #include "util/timer.h"
@@ -11,6 +12,7 @@ EnsembleTrainResult TrainBagging(const Dataset& dataset,
                                  const BaggingConfig& config, uint64_t seed) {
   RDD_CHECK_GT(config.num_models, 0);
   WallTimer timer;
+  memory::Workspace workspace;  // One pool scope across all members.
   Rng seeder(seed);
   EnsembleTrainResult result;
   for (int t = 0; t < config.num_models; ++t) {

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "autograd/ops.h"
+#include "memory/workspace.h"
 #include "util/logging.h"
 #include "util/random.h"
 #include "util/timer.h"
@@ -40,6 +41,7 @@ EnsembleTrainResult TrainBans(const Dataset& dataset,
                               const BansConfig& config, uint64_t seed) {
   RDD_CHECK_GT(config.num_models, 0);
   WallTimer timer;
+  memory::Workspace workspace;  // One pool scope across the student chain.
   Rng seeder(seed);
   EnsembleTrainResult result;
 

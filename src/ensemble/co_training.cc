@@ -1,6 +1,7 @@
 #include "ensemble/co_training.h"
 
 #include "ensemble/self_training.h"
+#include "memory/workspace.h"
 #include "models/label_propagation.h"
 #include "util/random.h"
 
@@ -10,6 +11,7 @@ CoTrainingResult TrainCoTraining(const Dataset& dataset,
                                  const GraphContext& context,
                                  const CoTrainingConfig& config,
                                  uint64_t seed) {
+  memory::Workspace workspace;  // One pool scope for both views.
   Rng seeder(seed);
   CoTrainingResult result;
 

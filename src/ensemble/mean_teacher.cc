@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "autograd/ops.h"
+#include "memory/workspace.h"
 #include "nn/optimizer.h"
 #include "tensor/ops.h"
 #include "util/logging.h"
@@ -18,6 +19,7 @@ MeanTeacherResult TrainMeanTeacher(const Dataset& dataset,
   RDD_CHECK_GT(config.ema_decay, 0.0f);
   RDD_CHECK_LT(config.ema_decay, 1.0f);
   WallTimer timer;
+  memory::Workspace workspace;  // One pool scope for the EMA epoch loop.
   Rng seeder(seed);
 
   // Student and teacher share the architecture; the teacher starts as an

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "memory/workspace.h"
 #include "util/logging.h"
 #include "util/random.h"
 
@@ -46,6 +47,7 @@ SelfTrainingResult TrainSelfTraining(const Dataset& dataset,
                                      const SelfTrainingConfig& config,
                                      uint64_t seed) {
   RDD_CHECK_GE(config.rounds, 0);
+  memory::Workspace workspace;  // One pool scope across pseudo-label rounds.
   Rng seeder(seed);
   SelfTrainingResult result;
 

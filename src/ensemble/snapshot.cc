@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "autograd/ops.h"
+#include "memory/workspace.h"
 #include "nn/optimizer.h"
 #include "util/logging.h"
 #include "util/random.h"
@@ -29,6 +30,7 @@ EnsembleTrainResult TrainSnapshotEnsemble(const Dataset& dataset,
   RDD_CHECK_GT(config.num_cycles, 0);
   RDD_CHECK_GT(config.epochs_per_cycle, 0);
   WallTimer timer;
+  memory::Workspace workspace;  // One pool scope across all cycles.
   Rng seeder(seed);
   EnsembleTrainResult result;
 

@@ -1,0 +1,140 @@
+#include "memory/buffer_pool.h"
+
+#include <cstdlib>
+
+namespace rdd::memory {
+
+namespace {
+
+bool PoolDisabledByEnv() {
+  const char* value = std::getenv("RDD_POOL_DISABLE");
+  return value != nullptr && value[0] == '1' && value[1] == '\0';
+}
+
+}  // namespace
+
+BufferPool::BufferPool() : enabled_(!PoolDisabledByEnv()) {}
+
+BufferPool& BufferPool::Global() {
+  // Leaked on purpose: Matrix objects with static storage duration release
+  // their buffers during static destruction, which must outlive the pool.
+  static BufferPool* pool = new BufferPool();
+  return *pool;
+}
+
+float* BufferPool::Acquire(size_t n) {
+  if (n == 0) return nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stats_.live_floats += n;
+    if (stats_.live_floats > stats_.peak_live_floats) {
+      stats_.peak_live_floats = stats_.live_floats;
+    }
+    if (enabled_) {
+      auto it = free_lists_.find(n);
+      if (it != free_lists_.end() && !it->second.empty()) {
+        float* ptr = it->second.back();
+        it->second.pop_back();
+        ++stats_.hits;
+        stats_.free_buffers -= 1;
+        stats_.free_floats -= n;
+        return ptr;
+      }
+    }
+    ++stats_.misses;
+  }
+  // Heap allocation outside the lock: a miss is already the slow path.
+  return new float[n];
+}
+
+void BufferPool::Release(float* ptr, size_t n) {
+  if (ptr == nullptr) return;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.releases;
+    stats_.live_floats -= n;
+    if (enabled_) {
+      free_lists_[n].push_back(ptr);
+      stats_.free_buffers += 1;
+      stats_.free_floats += n;
+      return;
+    }
+  }
+  delete[] ptr;
+}
+
+void BufferPool::Trim() {
+  std::unordered_map<size_t, std::vector<float*>> doomed;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    doomed.swap(free_lists_);
+    if (stats_.free_buffers > 0) ++stats_.trims;
+    stats_.free_buffers = 0;
+    stats_.free_floats = 0;
+  }
+  for (auto& [size, buffers] : doomed) {
+    (void)size;
+    for (float* ptr : buffers) delete[] ptr;
+  }
+}
+
+PoolStats BufferPool::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+void BufferPool::ResetStats() {
+  std::lock_guard<std::mutex> lock(mu_);
+  const uint64_t free_buffers = stats_.free_buffers;
+  const uint64_t free_floats = stats_.free_floats;
+  const uint64_t live_floats = stats_.live_floats;
+  stats_ = PoolStats{};
+  stats_.free_buffers = free_buffers;
+  stats_.free_floats = free_floats;
+  stats_.live_floats = live_floats;
+  stats_.peak_live_floats = live_floats;
+}
+
+bool BufferPool::enabled() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return enabled_;
+}
+
+void BufferPool::set_enabled(bool enabled) {
+  std::lock_guard<std::mutex> lock(mu_);
+  enabled_ = enabled;
+}
+
+PooledBuffer::PooledBuffer(size_t n)
+    : ptr_(BufferPool::Global().Acquire(n)), size_(n) {}
+
+PooledBuffer::~PooledBuffer() {
+  if (ptr_ != nullptr) BufferPool::Global().Release(ptr_, size_);
+}
+
+PooledBuffer::PooledBuffer(PooledBuffer&& other) noexcept
+    : ptr_(other.ptr_), size_(other.size_) {
+  other.ptr_ = nullptr;
+  other.size_ = 0;
+}
+
+PooledBuffer& PooledBuffer::operator=(PooledBuffer&& other) noexcept {
+  if (this != &other) {
+    reset();
+    ptr_ = other.ptr_;
+    size_ = other.size_;
+    other.ptr_ = nullptr;
+    other.size_ = 0;
+  }
+  return *this;
+}
+
+void PooledBuffer::reset() {
+  if (ptr_ != nullptr) {
+    BufferPool::Global().Release(ptr_, size_);
+    ptr_ = nullptr;
+    size_ = 0;
+  }
+}
+
+}  // namespace rdd::memory

@@ -1,0 +1,110 @@
+#ifndef RDD_MEMORY_BUFFER_POOL_H_
+#define RDD_MEMORY_BUFFER_POOL_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+namespace rdd::memory {
+
+/// Counters describing pool behavior since the last ResetStats(). A "miss"
+/// is an Acquire that had to touch the heap (either the size bucket was
+/// empty or the pool is disabled); steady-state training epochs are expected
+/// to run at zero misses.
+struct PoolStats {
+  uint64_t hits = 0;      ///< Acquires satisfied from a freelist bucket.
+  uint64_t misses = 0;    ///< Acquires that allocated from the heap.
+  uint64_t releases = 0;  ///< Buffers returned (cached or freed).
+  uint64_t trims = 0;     ///< Trim() calls that freed cached buffers.
+
+  uint64_t free_buffers = 0;    ///< Buffers currently cached in freelists.
+  uint64_t free_floats = 0;     ///< Total capacity of cached buffers.
+  uint64_t live_floats = 0;     ///< Capacity currently lent out.
+  uint64_t peak_live_floats = 0;  ///< High-water mark of live_floats.
+};
+
+/// Process-wide size-bucketed freelist of float buffers. Buckets are exact
+/// request sizes: training workloads allocate the same fixed set of tensor
+/// shapes every epoch, so exact bucketing gives zero waste and a 100% hit
+/// rate once the first epoch has populated the pool.
+///
+/// Thread-compatible by a single mutex: Acquire/Release are safe from any
+/// thread (the parallel SpMM-gradient kernel returns its partial buffers
+/// from pool memory), but the lock is only ever taken per-tensor, never
+/// per-element — kernels themselves do not allocate.
+///
+/// Disabled (every Acquire hits the heap, every Release frees) when the
+/// RDD_POOL_DISABLE=1 environment variable is set at first use, or via
+/// set_enabled(false) at runtime. Enabled/disabled mode changes only where
+/// bytes live, never any numeric result.
+class BufferPool {
+ public:
+  /// The process-wide pool. Created on first use and intentionally leaked so
+  /// buffers released during static destruction still have a home.
+  static BufferPool& Global();
+
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  /// Returns an uninitialized buffer of exactly `n` floats (nullptr when
+  /// n == 0). The caller owns it until Release.
+  float* Acquire(size_t n);
+
+  /// Returns a buffer previously obtained from Acquire(n). Cached for reuse
+  /// when the pool is enabled, freed otherwise. No-op for nullptr.
+  void Release(float* ptr, size_t n);
+
+  /// Frees every cached buffer. Outstanding (live) buffers are unaffected.
+  void Trim();
+
+  PoolStats stats() const;
+  void ResetStats();
+
+  bool enabled() const;
+  /// Runtime override of RDD_POOL_DISABLE; used by tests and benchmarks to
+  /// compare pooled vs unpooled runs inside one process. Buffers already
+  /// cached stay valid across a toggle.
+  void set_enabled(bool enabled);
+
+ private:
+  BufferPool();
+  ~BufferPool() = default;
+
+  mutable std::mutex mu_;
+  bool enabled_ = true;
+  std::unordered_map<size_t, std::vector<float*>> free_lists_;
+  PoolStats stats_;
+};
+
+/// Move-only RAII handle for one pool buffer; the storage backing Matrix.
+/// Empty (size 0) handles hold no memory.
+class PooledBuffer {
+ public:
+  PooledBuffer() = default;
+  /// Acquires `n` floats from the global pool. Contents are uninitialized.
+  explicit PooledBuffer(size_t n);
+  ~PooledBuffer();
+
+  PooledBuffer(PooledBuffer&& other) noexcept;
+  PooledBuffer& operator=(PooledBuffer&& other) noexcept;
+
+  PooledBuffer(const PooledBuffer&) = delete;
+  PooledBuffer& operator=(const PooledBuffer&) = delete;
+
+  float* data() { return ptr_; }
+  const float* data() const { return ptr_; }
+  size_t size() const { return size_; }
+
+  /// Returns the buffer to the pool now and becomes empty.
+  void reset();
+
+ private:
+  float* ptr_ = nullptr;
+  size_t size_ = 0;
+};
+
+}  // namespace rdd::memory
+
+#endif  // RDD_MEMORY_BUFFER_POOL_H_

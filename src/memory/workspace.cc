@@ -1,0 +1,22 @@
+#include "memory/workspace.h"
+
+#include <atomic>
+
+namespace rdd::memory {
+
+namespace {
+std::atomic<int> g_depth{0};
+}  // namespace
+
+Workspace::Workspace() { g_depth.fetch_add(1, std::memory_order_relaxed); }
+
+Workspace::~Workspace() {
+  if (g_depth.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    // Outermost scope gone: drop the run's cached high-water mark.
+    BufferPool::Global().Trim();
+  }
+}
+
+int Workspace::depth() { return g_depth.load(std::memory_order_relaxed); }
+
+}  // namespace rdd::memory

@@ -1,0 +1,36 @@
+#ifndef RDD_MEMORY_WORKSPACE_H_
+#define RDD_MEMORY_WORKSPACE_H_
+
+#include "memory/buffer_pool.h"
+
+namespace rdd::memory {
+
+/// RAII scope that marks one training run as the owner of the global
+/// BufferPool's cached memory. While any Workspace is alive, buffers
+/// released by tensors are retained for reuse across epochs (and across the
+/// T students of an RDD run, which nest their per-student Workspaces inside
+/// the run-level one). When the outermost Workspace is destroyed the pool is
+/// trimmed, so one-shot callers do not keep a training run's high-water mark
+/// cached forever.
+///
+/// Workspaces are nestable and cheap; they carry no buffers themselves.
+/// Trainer owns one per TrainWithLoss call, TrainRdd and the ensemble
+/// baselines own one per run.
+class Workspace {
+ public:
+  Workspace();
+  ~Workspace();
+
+  Workspace(const Workspace&) = delete;
+  Workspace& operator=(const Workspace&) = delete;
+
+  /// Nesting depth of live Workspaces (0 = none active).
+  static int depth();
+
+  /// Stats of the underlying global pool, for accounting tests and benches.
+  static PoolStats Stats() { return BufferPool::Global().stats(); }
+};
+
+}  // namespace rdd::memory
+
+#endif  // RDD_MEMORY_WORKSPACE_H_

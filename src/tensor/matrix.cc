@@ -1,6 +1,7 @@
 #include "tensor/matrix.h"
 
 #include <cmath>
+#include <cstring>
 
 #include "parallel/parallel_for.h"
 #include "util/logging.h"
@@ -26,16 +27,64 @@ void ElementwiseParallel(size_t size, const Fn& fn) {
 }  // namespace
 
 Matrix::Matrix(int64_t rows, int64_t cols)
-    : rows_(rows), cols_(cols), data_(static_cast<size_t>(rows * cols), 0.0f) {
+    : rows_(rows), cols_(cols), data_(static_cast<size_t>(rows * cols)) {
   RDD_CHECK_GE(rows, 0);
   RDD_CHECK_GE(cols, 0);
+  // Pool buffers arrive uninitialized (recycled); the zero fill is what
+  // keeps pooled and unpooled runs bit-identical.
+  if (data_.size() > 0) {
+    std::memset(data_.data(), 0, data_.size() * sizeof(float));
+  }
 }
 
-Matrix::Matrix(int64_t rows, int64_t cols, std::vector<float> values)
-    : rows_(rows), cols_(cols), data_(std::move(values)) {
+Matrix::Matrix(int64_t rows, int64_t cols, const std::vector<float>& values)
+    : rows_(rows), cols_(cols), data_(values.size()) {
   RDD_CHECK_GE(rows, 0);
   RDD_CHECK_GE(cols, 0);
-  RDD_CHECK_EQ(static_cast<int64_t>(data_.size()), rows * cols);
+  RDD_CHECK_EQ(static_cast<int64_t>(values.size()), rows * cols);
+  if (!values.empty()) {
+    std::memcpy(data_.data(), values.data(), values.size() * sizeof(float));
+  }
+}
+
+Matrix::Matrix(const Matrix& other)
+    : rows_(other.rows_), cols_(other.cols_), data_(other.data_.size()) {
+  if (data_.size() > 0) {
+    std::memcpy(data_.data(), other.data_.data(),
+                data_.size() * sizeof(float));
+  }
+}
+
+Matrix& Matrix::operator=(const Matrix& other) {
+  if (this == &other) return *this;
+  // Reuse this matrix's buffer when the capacity already matches; same-shape
+  // assignment (parameter restores, teacher caches) is the common case.
+  if (data_.size() != other.data_.size()) {
+    data_ = memory::PooledBuffer(other.data_.size());
+  }
+  rows_ = other.rows_;
+  cols_ = other.cols_;
+  if (data_.size() > 0) {
+    std::memcpy(data_.data(), other.data_.data(),
+                data_.size() * sizeof(float));
+  }
+  return *this;
+}
+
+Matrix::Matrix(Matrix&& other) noexcept
+    : rows_(other.rows_), cols_(other.cols_), data_(std::move(other.data_)) {
+  other.rows_ = 0;
+  other.cols_ = 0;
+}
+
+Matrix& Matrix::operator=(Matrix&& other) noexcept {
+  if (this == &other) return *this;
+  rows_ = other.rows_;
+  cols_ = other.cols_;
+  data_ = std::move(other.data_);
+  other.rows_ = 0;
+  other.cols_ = 0;
+  return *this;
 }
 
 Matrix Matrix::Identity(int64_t n) {
@@ -55,7 +104,7 @@ float& Matrix::At(int64_t r, int64_t c) {
   RDD_CHECK_LT(r, rows_);
   RDD_CHECK_GE(c, 0);
   RDD_CHECK_LT(c, cols_);
-  return data_[static_cast<size_t>(r * cols_ + c)];
+  return data_.data()[static_cast<size_t>(r * cols_ + c)];
 }
 
 float Matrix::At(int64_t r, int64_t c) const {
@@ -63,7 +112,7 @@ float Matrix::At(int64_t r, int64_t c) const {
   RDD_CHECK_LT(r, rows_);
   RDD_CHECK_GE(c, 0);
   RDD_CHECK_LT(c, cols_);
-  return data_[static_cast<size_t>(r * cols_ + c)];
+  return data_.data()[static_cast<size_t>(r * cols_ + c)];
 }
 
 float* Matrix::RowData(int64_t r) {
@@ -79,39 +128,47 @@ const float* Matrix::RowData(int64_t r) const {
 }
 
 void Matrix::Fill(float value) {
-  for (float& x : data_) x = value;
+  float* data = data_.data();
+  const size_t n = data_.size();
+  for (size_t i = 0; i < n; ++i) data[i] = value;
 }
 
 void Matrix::Add(const Matrix& other) {
   RDD_CHECK_EQ(rows_, other.rows_);
   RDD_CHECK_EQ(cols_, other.cols_);
-  ElementwiseParallel(data_.size(),
-                      [&](size_t i) { data_[i] += other.data_[i]; });
+  float* a = data_.data();
+  const float* b = other.data_.data();
+  ElementwiseParallel(data_.size(), [&](size_t i) { a[i] += b[i]; });
 }
 
 void Matrix::Sub(const Matrix& other) {
   RDD_CHECK_EQ(rows_, other.rows_);
   RDD_CHECK_EQ(cols_, other.cols_);
-  ElementwiseParallel(data_.size(),
-                      [&](size_t i) { data_[i] -= other.data_[i]; });
+  float* a = data_.data();
+  const float* b = other.data_.data();
+  ElementwiseParallel(data_.size(), [&](size_t i) { a[i] -= b[i]; });
 }
 
 void Matrix::Mul(const Matrix& other) {
   RDD_CHECK_EQ(rows_, other.rows_);
   RDD_CHECK_EQ(cols_, other.cols_);
-  ElementwiseParallel(data_.size(),
-                      [&](size_t i) { data_[i] *= other.data_[i]; });
+  float* a = data_.data();
+  const float* b = other.data_.data();
+  ElementwiseParallel(data_.size(), [&](size_t i) { a[i] *= b[i]; });
 }
 
 void Matrix::Scale(float factor) {
-  ElementwiseParallel(data_.size(), [&](size_t i) { data_[i] *= factor; });
+  float* a = data_.data();
+  ElementwiseParallel(data_.size(), [&](size_t i) { a[i] *= factor; });
 }
 
 void Matrix::Axpy(float factor, const Matrix& other) {
   RDD_CHECK_EQ(rows_, other.rows_);
   RDD_CHECK_EQ(cols_, other.cols_);
+  float* a = data_.data();
+  const float* b = other.data_.data();
   ElementwiseParallel(data_.size(),
-                      [&](size_t i) { data_[i] += factor * other.data_[i]; });
+                      [&](size_t i) { a[i] += factor * b[i]; });
 }
 
 Matrix Matrix::Row(int64_t r) const {
@@ -130,25 +187,40 @@ void Matrix::SetRow(int64_t r, const Matrix& row) {
 
 double Matrix::SquaredNorm() const {
   double acc = 0.0;
-  for (float x : data_) acc += static_cast<double>(x) * x;
+  const float* data = data_.data();
+  const size_t n = data_.size();
+  for (size_t i = 0; i < n; ++i) {
+    acc += static_cast<double>(data[i]) * data[i];
+  }
   return acc;
 }
 
 double Matrix::Sum() const {
   double acc = 0.0;
-  for (float x : data_) acc += x;
+  const float* data = data_.data();
+  const size_t n = data_.size();
+  for (size_t i = 0; i < n; ++i) acc += data[i];
   return acc;
 }
 
 bool Matrix::Equals(const Matrix& other) const {
-  return rows_ == other.rows_ && cols_ == other.cols_ &&
-         data_ == other.data_;
+  if (rows_ != other.rows_ || cols_ != other.cols_) return false;
+  const float* a = data_.data();
+  const float* b = other.data_.data();
+  const size_t n = data_.size();
+  for (size_t i = 0; i < n; ++i) {
+    if (a[i] != b[i]) return false;
+  }
+  return true;
 }
 
 bool Matrix::ApproxEquals(const Matrix& other, float tol) const {
   if (rows_ != other.rows_ || cols_ != other.cols_) return false;
-  for (size_t i = 0; i < data_.size(); ++i) {
-    if (std::fabs(data_[i] - other.data_[i]) > tol) return false;
+  const float* a = data_.data();
+  const float* b = other.data_.data();
+  const size_t n = data_.size();
+  for (size_t i = 0; i < n; ++i) {
+    if (std::fabs(a[i] - b[i]) > tol) return false;
   }
   return true;
 }

@@ -5,11 +5,19 @@
 #include <string>
 #include <vector>
 
+#include "memory/buffer_pool.h"
+
 namespace rdd {
 
 /// Dense row-major single-precision matrix. This is the value type all
 /// neural-network computation in the library runs on; vectors are represented
 /// as 1 x n or n x 1 matrices. Copyable and movable.
+///
+/// Storage comes from the process-wide memory::BufferPool: construction
+/// borrows a buffer, destruction returns it, so steady-state training epochs
+/// recycle the same allocations instead of churning the heap (see
+/// DESIGN.md "Memory ownership model"). Pooling changes only where the bytes
+/// live — every numeric result is bit-identical with RDD_POOL_DISABLE=1.
 class Matrix {
  public:
   /// Creates an empty 0 x 0 matrix.
@@ -20,12 +28,12 @@ class Matrix {
 
   /// Creates a rows x cols matrix from row-major values. `values` must have
   /// exactly rows * cols entries.
-  Matrix(int64_t rows, int64_t cols, std::vector<float> values);
+  Matrix(int64_t rows, int64_t cols, const std::vector<float>& values);
 
-  Matrix(const Matrix&) = default;
-  Matrix& operator=(const Matrix&) = default;
-  Matrix(Matrix&&) = default;
-  Matrix& operator=(Matrix&&) = default;
+  Matrix(const Matrix& other);
+  Matrix& operator=(const Matrix& other);
+  Matrix(Matrix&& other) noexcept;
+  Matrix& operator=(Matrix&& other) noexcept;
 
   /// Identity matrix of size n x n.
   static Matrix Identity(int64_t n);
@@ -47,7 +55,7 @@ class Matrix {
   float* RowData(int64_t r);
   const float* RowData(int64_t r) const;
 
-  /// Raw pointer to the full row-major buffer.
+  /// Raw pointer to the full row-major buffer (nullptr when empty).
   float* Data() { return data_.data(); }
   const float* Data() const { return data_.data(); }
 
@@ -89,7 +97,7 @@ class Matrix {
  private:
   int64_t rows_ = 0;
   int64_t cols_ = 0;
-  std::vector<float> data_;
+  memory::PooledBuffer data_;
 };
 
 }  // namespace rdd

@@ -149,22 +149,74 @@ Matrix SparseMatrix::TransposeMultiply(const Matrix& dense) const {
   RDD_CHECK_EQ(rows_, dense.rows());
   Matrix out(cols_, dense.cols());
   const int64_t n = dense.cols();
-  // Deliberately serial: this kernel scatters into out.RowData(col_idx_[k]),
-  // so CSR-row chunks would race on shared output rows. The alternatives
-  // both lose at our scale: materializing Transpose() costs a full CSR
-  // rebuild per backward pass (this is the SpMM gradient path, called every
-  // epoch), and per-thread partial outputs cost O(threads x cols x n) zeroed
-  // scratch plus a merge whose reduction order would break the bit-exactness
-  // guarantee the parallel backend makes. Graph adjacencies here are
-  // symmetric anyway, so the forward MultiplyAdd dominates runtime.
-  for (int64_t r = 0; r < rows_; ++r) {
-    const float* in_row = dense.RowData(r);
-    for (int64_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
-      const float v = values_[k];
-      float* out_row = out.RowData(col_idx_[k]);
-      for (int64_t c = 0; c < n; ++c) out_row[c] += v * in_row[c];
+  // This kernel scatters into out.RowData(col_idx_[k]), so plain CSR-row
+  // chunking would race on shared output rows. Instead the input rows are
+  // split into `num_chunks` contiguous blocks; each block accumulates into
+  // its own pool-backed partial output (chunk 0 writes `out` directly), and
+  // the partials are then reduced into `out` in fixed chunk order. The chunk
+  // count is a pure function of the SHAPE — never of the thread count — so
+  // the float-summation grouping, and therefore every bit of the result, is
+  // identical at any RDD_NUM_THREADS. The partial buffers come from the
+  // BufferPool and recycle across backward passes, so the steady-state cost
+  // is a zero-fill, not an allocation.
+  constexpr int64_t kMinChunkCost = 1 << 15;  // ~32k scalar ops per chunk.
+  constexpr int64_t kMaxChunks = 16;          // Caps partial-buffer scratch.
+  // Every chunk beyond the first costs a zero-fill and a reduce of a whole
+  // cols_ x n partial (~2 ops per element); only split while each chunk's
+  // scatter work dominates that overhead, or the parallel path loses to the
+  // serial one on sparse inputs with many output rows.
+  constexpr int64_t kPartialOverheadFactor = 4;
+  const int64_t num_chunks = std::max<int64_t>(
+      1, std::min({kMaxChunks, rows_, nnz() * n / kMinChunkCost,
+                   nnz() / (kPartialOverheadFactor * std::max<int64_t>(
+                                                         1, cols_))}));
+
+  auto scatter_rows = [&](int64_t r0, int64_t r1, Matrix* target) {
+    for (int64_t r = r0; r < r1; ++r) {
+      const float* in_row = dense.RowData(r);
+      for (int64_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
+        const float v = values_[k];
+        float* out_row = target->RowData(col_idx_[k]);
+        for (int64_t c = 0; c < n; ++c) out_row[c] += v * in_row[c];
+      }
     }
+  };
+
+  if (num_chunks == 1) {
+    scatter_rows(0, rows_, &out);
+    return out;
   }
+
+  // Partials are acquired on the calling thread; worker chunks only write.
+  std::vector<Matrix> partials;
+  partials.reserve(static_cast<size_t>(num_chunks - 1));
+  for (int64_t j = 1; j < num_chunks; ++j) partials.emplace_back(cols_, n);
+
+  const auto chunk_begin = [&](int64_t j) { return rows_ * j / num_chunks; };
+  parallel::ParallelFor(0, num_chunks, /*grain=*/1,
+                        [&](int64_t j0, int64_t j1) {
+                          for (int64_t j = j0; j < j1; ++j) {
+                            Matrix* target =
+                                j == 0 ? &out
+                                       : &partials[static_cast<size_t>(j - 1)];
+                            scatter_rows(chunk_begin(j), chunk_begin(j + 1),
+                                         target);
+                          }
+                        });
+
+  // Reduce partials into `out`, chunk order 0, 1, 2, ... per element; rows
+  // are disjoint across threads, so this is deterministic and race-free.
+  parallel::ParallelFor(
+      0, cols_, parallel::GrainForCost((num_chunks - 1) * n),
+      [&](int64_t c0, int64_t c1) {
+        for (int64_t r = c0; r < c1; ++r) {
+          float* out_row = out.RowData(r);
+          for (const Matrix& partial : partials) {
+            const float* p_row = partial.RowData(r);
+            for (int64_t c = 0; c < n; ++c) out_row[c] += p_row[c];
+          }
+        }
+      });
   return out;
 }
 

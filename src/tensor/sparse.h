@@ -67,7 +67,9 @@ class SparseMatrix {
 
   /// Returns transpose(this) * dense without materializing the transpose,
   /// a (cols x dense.cols) dense matrix. Requires rows() == dense.rows().
-  /// This is the gradient kernel for SpMM.
+  /// This is the gradient kernel for SpMM. Parallelized over row blocks via
+  /// pool-backed partial outputs reduced in fixed block order; results are
+  /// bit-identical at any thread count.
   Matrix TransposeMultiply(const Matrix& dense) const;
 
  private:

@@ -1,6 +1,7 @@
 #include "train/trainer.h"
 
 #include "autograd/ops.h"
+#include "memory/workspace.h"
 #include "nn/metrics.h"
 #include "nn/optimizer.h"
 #include "util/logging.h"
@@ -14,9 +15,15 @@ TrainReport TrainWithLoss(GraphModel* model, const Dataset& dataset,
   RDD_CHECK_GT(config.max_epochs, 0);
   RDD_CHECK_GT(config.patience, 0);
   WallTimer timer;
+  // The epoch loop runs inside one Workspace so every tape, gradient, and
+  // scratch buffer released in epoch e is recycled in epoch e+1. Nested
+  // callers (TrainRdd, the ensemble baselines) hold an outer Workspace, so
+  // the buffers also carry across students of one run.
+  memory::Workspace workspace;
   Adam optimizer(model->Parameters(), config.lr, config.weight_decay);
 
   TrainReport report;
+  report.val_history.reserve(static_cast<size_t>(config.max_epochs));
   std::vector<Matrix> best_params;
   int epochs_since_best = 0;
   for (int epoch = 0; epoch < config.max_epochs; ++epoch) {
@@ -37,15 +44,26 @@ TrainReport TrainWithLoss(GraphModel* model, const Dataset& dataset,
       report.best_val_accuracy = val_acc;
       epochs_since_best = 0;
       if (config.restore_best) {
-        best_params = SnapshotParameters(model->Parameters());
+        const std::vector<Variable> params = model->Parameters();
+        if (best_params.empty()) {
+          best_params = SnapshotParameters(params);
+        } else {
+          // Refresh in place: Matrix copy-assignment reuses the snapshot's
+          // pooled buffers, so improvements after the first allocate nothing.
+          for (size_t i = 0; i < best_params.size(); ++i) {
+            best_params[i] = params[i].value();
+          }
+        }
       }
     } else if (++epochs_since_best >= config.patience) {
       break;
     }
   }
   if (config.restore_best && !best_params.empty()) {
+    // The snapshot is dead after this, so move the weights into place
+    // instead of deep-copying them.
     std::vector<Variable> params = model->Parameters();
-    RestoreParameters(best_params, &params);
+    RestoreParameters(std::move(best_params), &params);
   }
   report.test_accuracy = EvaluateAccuracy(model, dataset, dataset.split.test);
   report.train_seconds = timer.ElapsedSeconds();
@@ -86,6 +104,19 @@ void RestoreParameters(const std::vector<Matrix>& snapshot,
     RDD_CHECK_EQ(value->cols(), snapshot[i].cols());
     *value = snapshot[i];
   }
+}
+
+void RestoreParameters(std::vector<Matrix>&& snapshot,
+                       std::vector<Variable>* params) {
+  RDD_CHECK(params != nullptr);
+  RDD_CHECK_EQ(snapshot.size(), params->size());
+  for (size_t i = 0; i < snapshot.size(); ++i) {
+    Matrix* value = (*params)[i].mutable_value();
+    RDD_CHECK_EQ(value->rows(), snapshot[i].rows());
+    RDD_CHECK_EQ(value->cols(), snapshot[i].cols());
+    *value = std::move(snapshot[i]);
+  }
+  snapshot.clear();
 }
 
 }  // namespace rdd

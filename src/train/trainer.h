@@ -60,6 +60,11 @@ std::vector<Matrix> SnapshotParameters(const std::vector<Variable>& params);
 void RestoreParameters(const std::vector<Matrix>& snapshot,
                        std::vector<Variable>* params);
 
+/// As above but consumes the snapshot, moving each weight matrix into place
+/// — the restore-best path uses this since the snapshot is dead afterwards.
+void RestoreParameters(std::vector<Matrix>&& snapshot,
+                       std::vector<Variable>* params);
+
 }  // namespace rdd
 
 #endif  // RDD_TRAIN_TRAINER_H_

@@ -1,0 +1,389 @@
+// Tests for the pooled memory subsystem: BufferPool accounting, PooledBuffer
+// RAII, Workspace scoping, Matrix buffer reuse, early release of tape
+// buffers during Backward(), the zero-allocation steady-state guarantee of
+// the training loop, and bit-exactness of pooled vs unpooled full RDD runs.
+
+#include "memory/buffer_pool.h"
+
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "autograd/ops.h"
+#include "autograd/variable.h"
+#include "core/rdd_trainer.h"
+#include "data/citation_gen.h"
+#include "memory/workspace.h"
+#include "models/model_factory.h"
+#include "tensor/matrix.h"
+#include "train/trainer.h"
+
+namespace rdd {
+namespace {
+
+using memory::BufferPool;
+using memory::PoolStats;
+using memory::PooledBuffer;
+using memory::Workspace;
+
+/// Restores the pool's enabled flag on scope exit so tests compose (the pool
+/// is process-global and other suites assume it is enabled).
+class PoolEnabledGuard {
+ public:
+  PoolEnabledGuard() : saved_(BufferPool::Global().enabled()) {}
+  ~PoolEnabledGuard() {
+    BufferPool::Global().set_enabled(saved_);
+    BufferPool::Global().Trim();
+  }
+
+ private:
+  bool saved_;
+};
+
+/// Trims and resets the global pool with the enabled flag forced on, so each
+/// test starts from empty freelists and zeroed counters.
+void ResetPool() {
+  BufferPool::Global().set_enabled(true);
+  BufferPool::Global().Trim();
+  BufferPool::Global().ResetStats();
+}
+
+TEST(BufferPoolTest, MissThenHitOnSameSize) {
+  PoolEnabledGuard guard;
+  ResetPool();
+  BufferPool& pool = BufferPool::Global();
+
+  float* a = pool.Acquire(64);
+  ASSERT_NE(a, nullptr);
+  EXPECT_EQ(pool.stats().misses, 1u);
+  EXPECT_EQ(pool.stats().hits, 0u);
+  EXPECT_EQ(pool.stats().live_floats, 64u);
+
+  pool.Release(a, 64);
+  EXPECT_EQ(pool.stats().releases, 1u);
+  EXPECT_EQ(pool.stats().free_buffers, 1u);
+  EXPECT_EQ(pool.stats().free_floats, 64u);
+  EXPECT_EQ(pool.stats().live_floats, 0u);
+
+  // The cached buffer is handed back for the same size.
+  float* b = pool.Acquire(64);
+  EXPECT_EQ(b, a);
+  EXPECT_EQ(pool.stats().hits, 1u);
+  EXPECT_EQ(pool.stats().misses, 1u);
+  EXPECT_EQ(pool.stats().free_buffers, 0u);
+  pool.Release(b, 64);
+}
+
+TEST(BufferPoolTest, BucketsAreExactSizes) {
+  PoolEnabledGuard guard;
+  ResetPool();
+  BufferPool& pool = BufferPool::Global();
+
+  float* a = pool.Acquire(64);
+  pool.Release(a, 64);
+  // A near-miss size must not steal from the 64-float bucket.
+  float* b = pool.Acquire(63);
+  EXPECT_EQ(pool.stats().misses, 2u);
+  EXPECT_EQ(pool.stats().hits, 0u);
+  EXPECT_EQ(pool.stats().free_buffers, 1u);
+  pool.Release(b, 63);
+}
+
+TEST(BufferPoolTest, ZeroSizeAcquireIsNull) {
+  PoolEnabledGuard guard;
+  ResetPool();
+  BufferPool& pool = BufferPool::Global();
+  EXPECT_EQ(pool.Acquire(0), nullptr);
+  pool.Release(nullptr, 0);  // Must be a safe no-op.
+  EXPECT_EQ(pool.stats().releases, 0u);
+}
+
+TEST(BufferPoolTest, TrimFreesCachedBuffersOnly) {
+  PoolEnabledGuard guard;
+  ResetPool();
+  BufferPool& pool = BufferPool::Global();
+
+  float* live = pool.Acquire(32);
+  float* cached = pool.Acquire(32);
+  pool.Release(cached, 32);
+  pool.Trim();
+  EXPECT_EQ(pool.stats().free_buffers, 0u);
+  EXPECT_EQ(pool.stats().free_floats, 0u);
+  EXPECT_EQ(pool.stats().trims, 1u);
+  // The live buffer is untouched and still writable.
+  live[0] = 1.0f;
+  live[31] = 2.0f;
+  EXPECT_EQ(pool.stats().live_floats, 32u);
+  pool.Release(live, 32);
+}
+
+TEST(BufferPoolTest, DisabledModeAlwaysHitsTheHeap) {
+  PoolEnabledGuard guard;
+  ResetPool();
+  BufferPool& pool = BufferPool::Global();
+  pool.set_enabled(false);
+  EXPECT_FALSE(pool.enabled());
+
+  float* a = pool.Acquire(48);
+  pool.Release(a, 48);
+  float* b = pool.Acquire(48);
+  pool.Release(b, 48);
+  const PoolStats stats = pool.stats();
+  EXPECT_EQ(stats.misses, 2u);
+  EXPECT_EQ(stats.hits, 0u);
+  EXPECT_EQ(stats.free_buffers, 0u);  // Nothing is cached when disabled.
+  EXPECT_EQ(stats.live_floats, 0u);
+}
+
+TEST(BufferPoolTest, PeakLiveFloatsTracksHighWaterMark) {
+  PoolEnabledGuard guard;
+  ResetPool();
+  BufferPool& pool = BufferPool::Global();
+  float* a = pool.Acquire(100);
+  float* b = pool.Acquire(200);
+  pool.Release(a, 100);
+  pool.Release(b, 200);
+  EXPECT_EQ(pool.stats().peak_live_floats, 300u);
+  EXPECT_EQ(pool.stats().live_floats, 0u);
+}
+
+TEST(BufferPoolTest, ConcurrentAcquireReleaseIsSafe) {
+  PoolEnabledGuard guard;
+  ResetPool();
+  BufferPool& pool = BufferPool::Global();
+  constexpr int kThreads = 8;
+  constexpr int kIterations = 500;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&pool, t] {
+      for (int i = 0; i < kIterations; ++i) {
+        const size_t n = static_cast<size_t>(8 + (t + i) % 5 * 16);
+        float* ptr = pool.Acquire(n);
+        ptr[0] = static_cast<float>(i);
+        ptr[n - 1] = static_cast<float>(t);
+        pool.Release(ptr, n);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  const PoolStats stats = pool.stats();
+  EXPECT_EQ(stats.hits + stats.misses,
+            static_cast<uint64_t>(kThreads) * kIterations);
+  EXPECT_EQ(stats.releases, static_cast<uint64_t>(kThreads) * kIterations);
+  EXPECT_EQ(stats.live_floats, 0u);
+}
+
+TEST(PooledBufferTest, RaiiReturnsBufferToPool) {
+  PoolEnabledGuard guard;
+  ResetPool();
+  { PooledBuffer buffer(128); }
+  EXPECT_EQ(BufferPool::Global().stats().free_buffers, 1u);
+  PooledBuffer reused(128);
+  EXPECT_EQ(BufferPool::Global().stats().hits, 1u);
+}
+
+TEST(PooledBufferTest, MoveTransfersOwnership) {
+  PoolEnabledGuard guard;
+  ResetPool();
+  PooledBuffer a(16);
+  float* raw = a.data();
+  PooledBuffer b(std::move(a));
+  EXPECT_EQ(b.data(), raw);
+  EXPECT_EQ(b.size(), 16u);
+  EXPECT_EQ(a.data(), nullptr);
+  EXPECT_EQ(a.size(), 0u);
+  // Only one buffer is ever released despite two handles existing.
+  b.reset();
+  EXPECT_EQ(BufferPool::Global().stats().releases, 1u);
+}
+
+TEST(WorkspaceTest, TrimsOnlyAtOutermostExit) {
+  PoolEnabledGuard guard;
+  ResetPool();
+  EXPECT_EQ(Workspace::depth(), 0);
+  {
+    Workspace outer;
+    EXPECT_EQ(Workspace::depth(), 1);
+    { Matrix scratch(5, 7); }  // Released into the pool.
+    {
+      Workspace inner;
+      EXPECT_EQ(Workspace::depth(), 2);
+    }
+    // Leaving a NESTED scope keeps the cache: a multi-student run must
+    // recycle buffers across its per-student Workspaces.
+    EXPECT_GT(Workspace::Stats().free_buffers, 0u);
+  }
+  EXPECT_EQ(Workspace::depth(), 0);
+  // Leaving the outermost scope trims, so one-shot callers do not pin a
+  // training run's high-water mark forever.
+  EXPECT_EQ(Workspace::Stats().free_buffers, 0u);
+}
+
+TEST(MatrixPoolTest, ReusesFreedBufferAndZeroFills) {
+  PoolEnabledGuard guard;
+  ResetPool();
+  float* raw = nullptr;
+  {
+    Matrix garbage(9, 11);
+    garbage.Fill(123.25f);
+    raw = garbage.Data();
+  }
+  // The recycled buffer arrives dirty and Matrix must zero it: the zero fill
+  // is what keeps pooled and unpooled runs bit-identical.
+  Matrix reused(9, 11);
+  EXPECT_EQ(reused.Data(), raw);
+  EXPECT_EQ(BufferPool::Global().stats().hits, 1u);
+  for (int64_t i = 0; i < reused.size(); ++i) {
+    ASSERT_EQ(reused.Data()[i], 0.0f) << "index " << i;
+  }
+}
+
+TEST(MatrixPoolTest, CopyAssignReusesDestinationBuffer) {
+  PoolEnabledGuard guard;
+  ResetPool();
+  Matrix dst(4, 6);
+  float* original = dst.Data();
+  Matrix src(4, 6);
+  src.Fill(2.5f);
+  dst = src;
+  EXPECT_EQ(dst.Data(), original);  // Same-size assign reuses in place.
+  EXPECT_TRUE(dst.Equals(src));
+}
+
+TEST(BackwardReleaseTest, IntermediateBuffersReturnToPoolDuringBackward) {
+  PoolEnabledGuard guard;
+  ResetPool();
+  // 17x23 is a shape no other live tensor in this test uses, so a pool hit
+  // for it below can only come from a buffer Backward() released.
+  Variable x(Matrix::Constant(17, 23, 1.0f), /*requires_grad=*/true);
+  Variable h = ag::Relu(x);
+  Variable loss = ag::SumAll(h);
+  h = Variable();  // Drop the external handle; only the tape holds h now.
+
+  BufferPool::Global().ResetStats();
+  loss.Backward();
+  const PoolStats after = BufferPool::Global().stats();
+  // h's value and gradient (and the op scratch) went back to the pool while
+  // `loss` — and therefore the tape — is still alive.
+  EXPECT_GT(after.releases, 0u);
+  EXPECT_GT(after.free_buffers, 0u);
+
+  Matrix probe(17, 23);
+  EXPECT_GT(BufferPool::Global().stats().hits, after.hits);
+
+  // The leaf keeps both its value and its gradient.
+  EXPECT_TRUE(x.value().Equals(Matrix::Constant(17, 23, 1.0f)));
+  EXPECT_TRUE(x.grad().Equals(Matrix::Constant(17, 23, 1.0f)));
+}
+
+TEST(BackwardReleaseTest, ExternallyHeldValuesSurviveBackward) {
+  PoolEnabledGuard guard;
+  ResetPool();
+  Variable x(Matrix::Constant(3, 4, 2.0f), /*requires_grad=*/true);
+  Variable h = ag::Relu(x);  // External handle kept across Backward().
+  Variable loss = ag::SumAll(h);
+  loss.Backward();
+  EXPECT_TRUE(h.value().Equals(Matrix::Constant(3, 4, 2.0f)));
+  EXPECT_EQ(loss.value().At(0, 0), 24.0f);
+  EXPECT_TRUE(x.grad().Equals(Matrix::Constant(3, 4, 1.0f)));
+}
+
+class MemoryTrainingTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    CitationGenConfig config;
+    config.num_nodes = 300;
+    config.num_features = 100;
+    config.num_edges = 900;
+    config.num_classes = 3;
+    config.homophily = 0.85;
+    config.topic_purity = 0.5;
+    config.labeled_per_class = 8;
+    config.val_size = 50;
+    config.test_size = 80;
+    dataset_ = new Dataset(GenerateCitationNetwork(config, 17));
+    context_ = new GraphContext(GraphContext::FromDataset(*dataset_));
+  }
+  static void TearDownTestSuite() {
+    delete context_;
+    delete dataset_;
+  }
+  static Dataset* dataset_;
+  static GraphContext* context_;
+};
+
+Dataset* MemoryTrainingTest::dataset_ = nullptr;
+GraphContext* MemoryTrainingTest::context_ = nullptr;
+
+// The tentpole regression test: after a two-epoch warm-up (first tape, Adam
+// state, first best-weights snapshot) a training epoch touches the heap zero
+// times — every tensor it makes comes from the pool.
+TEST_F(MemoryTrainingTest, SteadyStateEpochsHaveZeroPoolMisses) {
+  PoolEnabledGuard guard;
+  ResetPool();
+  auto model = BuildModel(*context_, ModelConfig{}, 7);
+  TrainConfig config;
+  config.max_epochs = 8;
+  config.patience = 100;  // Disable early stopping: run all epochs.
+  std::vector<uint64_t> misses_at_epoch;
+  const TrainReport report = TrainWithLoss(
+      model.get(), *dataset_, config,
+      [&](const ModelOutput& output, int /*epoch*/) {
+        misses_at_epoch.push_back(Workspace::Stats().misses);
+        return ag::SoftmaxCrossEntropy(output.logits, dataset_->labels,
+                                       dataset_->split.train,
+                                       ag::Reduction::kMean);
+      });
+  ASSERT_EQ(report.epochs_run, config.max_epochs);
+  ASSERT_EQ(misses_at_epoch.size(),
+            static_cast<size_t>(config.max_epochs));
+  for (size_t e = 3; e < misses_at_epoch.size(); ++e) {
+    EXPECT_EQ(misses_at_epoch[e], misses_at_epoch[2])
+        << "epoch " << e - 1 << " allocated from the heap";
+  }
+  // ...and so does the tail of the run: the last epoch's backward, the
+  // best-weights restore (a move), and the final test evaluation.
+  EXPECT_EQ(Workspace::Stats().misses, misses_at_epoch[2]);
+  // Sanity: the run did meaningful work through the pool.
+  EXPECT_GT(Workspace::Stats().hits, 0u);
+}
+
+// Pooling changes only where bytes live, never any numeric result: a full
+// RDD run (teacher ensembling, reliability masks, distillation losses) is
+// bit-identical with the pool on and off.
+TEST_F(MemoryTrainingTest, PooledAndUnpooledRddRunsAreBitIdentical) {
+  PoolEnabledGuard guard;
+  RddConfig config;
+  config.num_base_models = 2;
+  config.train.max_epochs = 25;
+
+  BufferPool::Global().set_enabled(true);
+  const RddResult pooled = TrainRdd(*dataset_, *context_, config, 11);
+
+  BufferPool::Global().set_enabled(false);
+  BufferPool::Global().Trim();
+  const RddResult unpooled = TrainRdd(*dataset_, *context_, config, 11);
+
+  EXPECT_TRUE(pooled.teacher.PredictProbs().Equals(
+      unpooled.teacher.PredictProbs()));
+  EXPECT_EQ(pooled.ensemble_test_accuracy, unpooled.ensemble_test_accuracy);
+  EXPECT_EQ(pooled.single_test_accuracy, unpooled.single_test_accuracy);
+  EXPECT_EQ(pooled.average_member_test_accuracy,
+            unpooled.average_member_test_accuracy);
+  ASSERT_EQ(pooled.alphas.size(), unpooled.alphas.size());
+  for (size_t t = 0; t < pooled.alphas.size(); ++t) {
+    EXPECT_EQ(pooled.alphas[t], unpooled.alphas[t]) << "member " << t;
+  }
+  ASSERT_EQ(pooled.reports.size(), unpooled.reports.size());
+  for (size_t t = 0; t < pooled.reports.size(); ++t) {
+    EXPECT_EQ(pooled.reports[t].epochs_run, unpooled.reports[t].epochs_run);
+    EXPECT_EQ(pooled.reports[t].val_history,
+              unpooled.reports[t].val_history);
+  }
+}
+
+}  // namespace
+}  // namespace rdd

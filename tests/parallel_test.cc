@@ -15,6 +15,7 @@
 
 #include "core/rdd_trainer.h"
 #include "data/citation_gen.h"
+#include "memory/buffer_pool.h"
 #include "parallel/parallel_for.h"
 #include "parallel/thread_pool.h"
 #include "tensor/matrix.h"
@@ -160,6 +161,30 @@ TEST(ThreadPoolTest, StressManyParallelRegions) {
                 });
   }
   for (int64_t s : slots) EXPECT_EQ(s, 200);
+}
+
+TEST(BufferPoolStressTest, ConcurrentAcquireReleaseAcrossWorkers) {
+  // TSan target for the memory subsystem: worker threads acquire, dirty, and
+  // release pool buffers of colliding sizes while other workers do the same.
+  // In production kernels only the calling thread allocates, but the pool
+  // promises full thread safety and this is where a mutex slip would show.
+  ThreadCountGuard guard;
+  SetNumThreads(4);
+  memory::BufferPool& pool = memory::BufferPool::Global();
+  pool.ResetStats();
+  ParallelFor(0, 2000, 1, [&](int64_t b, int64_t e) {
+    for (int64_t i = b; i < e; ++i) {
+      const size_t n = static_cast<size_t>(16 + (i % 7) * 33);
+      float* ptr = pool.Acquire(n);
+      ptr[0] = static_cast<float>(i);
+      ptr[n - 1] = 1.0f;
+      pool.Release(ptr, n);
+    }
+  });
+  const memory::PoolStats stats = pool.stats();
+  EXPECT_EQ(stats.hits + stats.misses, 2000u);
+  EXPECT_EQ(stats.releases, 2000u);
+  pool.Trim();
 }
 
 // ---------------------------------------------------------------------------

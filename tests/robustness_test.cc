@@ -21,7 +21,7 @@
 namespace rdd {
 namespace {
 
-std::string TempPath(const char* name) {
+std::string TempPath(const std::string& name) {
   return std::string(::testing::TempDir()) + "/" + name;
 }
 
@@ -46,7 +46,10 @@ class CorruptionTest : public ::testing::TestWithParam<int> {};
 
 TEST_P(CorruptionTest, ByteFlipNeverCrashesLoader) {
   const Dataset dataset = SmallDataset(9);
-  const std::string path = TempPath("corrupt_sweep.rdd");
+  // Parametrized instances run as concurrent ctest processes sharing the
+  // temp dir, so the file name must be unique per parameter.
+  const std::string path = TempPath("corrupt_sweep_" +
+                                    std::to_string(GetParam()) + ".rdd");
   ASSERT_TRUE(SaveDataset(dataset, path).ok());
 
   // Read the file, flip one byte at a position derived from the parameter,

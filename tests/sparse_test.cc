@@ -109,6 +109,29 @@ TEST(SparseMatrixTest, TransposeMultiplyMatchesExplicitTranspose) {
   EXPECT_TRUE(actual.ApproxEquals(expected, 1e-5f));
 }
 
+TEST(SparseMatrixTest, TransposeMultiplyChunkedPathMatchesReference) {
+  // Large enough that the kernel splits the input rows into several blocks
+  // with pool-backed partial outputs (nnz * cols / 2^15 > 1); the small
+  // matrices elsewhere in this suite all take the single-chunk path.
+  Rng rng(123);
+  std::vector<SparseEntry> entries;
+  for (int i = 0; i < 9000; ++i) {
+    entries.push_back({rng.UniformInt(400), rng.UniformInt(300),
+                       static_cast<float>(rng.Gaussian())});
+  }
+  const SparseMatrix m = SparseMatrix::FromCoo(400, 300, entries);
+  Matrix x(400, 16);
+  for (int64_t i = 0; i < x.size(); ++i) {
+    x.Data()[i] = static_cast<float>(rng.Gaussian());
+  }
+  const Matrix expected = m.Transpose().Multiply(x);
+  const Matrix actual = m.TransposeMultiply(x);
+  EXPECT_TRUE(actual.ApproxEquals(expected, 1e-4f));
+  // The block split depends only on the shape, so repeat calls (and, per
+  // parallel_test, any thread count) are bit-identical.
+  EXPECT_TRUE(actual.Equals(m.TransposeMultiply(x)));
+}
+
 TEST(SparseMatrixTest, EmptyRowsHandled) {
   const SparseMatrix m = SparseMatrix::FromCoo(4, 4, {{3, 3, 1.0f}});
   EXPECT_EQ(m.RowNnz(0), 0);
