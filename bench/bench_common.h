@@ -11,14 +11,17 @@
 // RDD_BENCH_FULL=1 for the paper's full protocol (10 trials etc.).
 
 #include <cstdint>
+#include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/rdd_config.h"
 #include "data/citation_gen.h"
 #include "data/dataset.h"
 #include "models/model_factory.h"
+#include "parallel/parallel_for.h"
 #include "train/trainer.h"
 
 namespace rdd::bench {
@@ -96,6 +99,89 @@ inline std::string Pct(double fraction) {
   std::snprintf(buffer, sizeof(buffer), "%.1f", 100.0 * fraction);
   return buffer;
 }
+
+/// Returns the value following a `--json <path>` argument, or "" when the
+/// flag is absent. Benches that support machine-readable output accept this
+/// flag and write a JsonReport to the given path (conventionally
+/// BENCH_<name>.json) alongside their human-readable tables.
+inline std::string JsonPathFromArgs(int argc, char** argv) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::string(argv[i]) == "--json") return argv[i + 1];
+  }
+  return "";
+}
+
+/// Minimal machine-readable bench report: named wall-clock phases plus
+/// scalar metrics, serialized as one flat JSON object. Scope is deliberately
+/// tiny (doubles and fixed keys only — no escaping, nesting, or parsing);
+/// phase/metric names must not contain quotes or backslashes.
+class JsonReport {
+ public:
+  explicit JsonReport(std::string bench_name)
+      : bench_name_(std::move(bench_name)),
+        threads_(parallel::NumThreads()) {}
+
+  /// Records one timed phase (wall-clock seconds), in insertion order.
+  void AddPhase(const std::string& name, double seconds) {
+    phases_.push_back({name, seconds});
+  }
+
+  /// Records one named scalar (speedups, accuracies, counts...).
+  void AddMetric(const std::string& name, double value) {
+    metrics_.push_back({name, value});
+  }
+
+  std::string ToJson() const {
+    std::string out = "{\n";
+    out += "  \"bench\": \"" + bench_name_ + "\",\n";
+    out += "  \"threads\": " + std::to_string(threads_) + ",\n";
+    out += "  \"phases\": [";
+    for (size_t i = 0; i < phases_.size(); ++i) {
+      if (i > 0) out += ",";
+      out += "\n    {\"name\": \"" + phases_[i].first +
+             "\", \"seconds\": " + FormatDouble(phases_[i].second) + "}";
+    }
+    out += phases_.empty() ? "],\n" : "\n  ],\n";
+    out += "  \"metrics\": {";
+    for (size_t i = 0; i < metrics_.size(); ++i) {
+      if (i > 0) out += ",";
+      out += "\n    \"" + metrics_[i].first +
+             "\": " + FormatDouble(metrics_[i].second);
+    }
+    out += metrics_.empty() ? "}\n" : "\n  }\n";
+    out += "}\n";
+    return out;
+  }
+
+  /// Writes the report to `path`; no-op when `path` is empty. Returns false
+  /// (after logging to stderr) when the file cannot be written.
+  bool WriteTo(const std::string& path) const {
+    if (path.empty()) return true;
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "warning: cannot write JSON report to %s\n",
+                   path.c_str());
+      return false;
+    }
+    const std::string json = ToJson();
+    std::fwrite(json.data(), 1, json.size(), f);
+    std::fclose(f);
+    std::printf("\nJSON report written to %s\n", path.c_str());
+    return true;
+  }
+
+ private:
+  static std::string FormatDouble(double v) {
+    char buffer[64];
+    std::snprintf(buffer, sizeof(buffer), "%.6g", v);
+    return buffer;
+  }
+
+  std::string bench_name_;
+  int threads_;
+  std::vector<std::pair<std::string, double>> phases_;
+  std::vector<std::pair<std::string, double>> metrics_;
+};
 
 }  // namespace rdd::bench
 

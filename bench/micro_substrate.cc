@@ -5,7 +5,9 @@
 
 #include <benchmark/benchmark.h>
 
+#include <string>
 #include <thread>
+#include <vector>
 
 #include "autograd/ops.h"
 #include "memory/buffer_pool.h"
@@ -298,4 +300,30 @@ BENCHMARK(BM_NodeReliabilityUpdate)->Arg(2708)->Arg(20000);
 }  // namespace
 }  // namespace rdd
 
-BENCHMARK_MAIN();
+// Custom main instead of BENCHMARK_MAIN(): accepts the repo-wide
+// `--json <path>` convention (see bench/bench_common.h) by translating it
+// into google-benchmark's --benchmark_out flags before initialization, so
+// all benches share one machine-readable output interface.
+int main(int argc, char** argv) {
+  std::vector<std::string> storage;
+  std::vector<char*> args;
+  for (int i = 0; i < argc; ++i) {
+    if (i + 1 < argc && std::string(argv[i]) == "--json") {
+      storage.push_back(std::string("--benchmark_out=") + argv[i + 1]);
+      storage.push_back("--benchmark_out_format=json");
+      ++i;  // Skip the path operand.
+    } else {
+      storage.push_back(argv[i]);
+    }
+  }
+  args.reserve(storage.size());
+  for (std::string& s : storage) args.push_back(s.data());
+  int translated_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&translated_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(translated_argc, args.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

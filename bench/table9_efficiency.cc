@@ -7,14 +7,17 @@
 // epoch) but needs the fewest base models, so total times end up similar.
 
 #include <cstdio>
+#include <cstring>
 
 #include "bench/bench_common.h"
 #include "core/rdd_trainer.h"
 #include "ensemble/bagging.h"
 #include "ensemble/bans.h"
+#include "parallel/task_group.h"
 #include "train/experiment.h"
 #include "util/string_util.h"
 #include "util/table_writer.h"
+#include "util/timer.h"
 
 namespace rdd {
 namespace {
@@ -48,7 +51,85 @@ MethodResult Analyze(const std::vector<TrainReport>& reports,
   return out;
 }
 
-void Run() {
+/// True when every member's cached predictions match bit for bit.
+bool BitIdentical(const EnsembleTrainResult& a, const EnsembleTrainResult& b) {
+  if (a.ensemble.size() != b.ensemble.size()) return false;
+  for (int64_t t = 0; t < a.ensemble.size(); ++t) {
+    const Matrix& pa = a.ensemble.member_probs(t);
+    const Matrix& pb = b.ensemble.member_probs(t);
+    if (pa.rows() != pb.rows() || pa.cols() != pb.cols()) return false;
+    if (std::memcmp(pa.Data(), pb.Data(),
+                    static_cast<size_t>(pa.size()) * sizeof(float)) != 0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+/// Scoped override of the task-parallel switch, restoring on exit.
+class TaskParallelOverride {
+ public:
+  explicit TaskParallelOverride(bool enabled)
+      : saved_(parallel::TaskParallelEnabled()) {
+    parallel::SetTaskParallelEnabled(enabled);
+  }
+  ~TaskParallelOverride() { parallel::SetTaskParallelEnabled(saved_); }
+
+ private:
+  bool saved_;
+};
+
+/// Times Bagging with sequential members vs concurrent members (same seed),
+/// checks the two runs are bit-identical, and reports the speedup. This is
+/// the acceptance measurement for the task-level parallelism work: on an
+/// 8-core box with RDD_NUM_THREADS=8 the 4-member run should come in at
+/// >= 2.5x; on fewer cores the speedup degrades gracefully toward 1x.
+void MemberParallelSpeedup(const Dataset& dataset, const GraphContext& context,
+                           const bench::BenchDataset& setup,
+                           bench::JsonReport* json) {
+  BaggingConfig config;
+  config.num_models = 4;
+  config.base_model = setup.base_model;
+  config.train = setup.train;
+  const uint64_t seed = bench::kTrialSeedBase;
+
+  double serial_seconds = 0.0;
+  double parallel_seconds = 0.0;
+  EnsembleTrainResult serial_result, parallel_result;
+  {
+    TaskParallelOverride mode(false);
+    WallTimer timer;
+    serial_result = TrainBagging(dataset, context, config, seed);
+    serial_seconds = timer.ElapsedSeconds();
+  }
+  {
+    TaskParallelOverride mode(true);
+    WallTimer timer;
+    parallel_result = TrainBagging(dataset, context, config, seed);
+    parallel_seconds = timer.ElapsedSeconds();
+  }
+  const bool identical = BitIdentical(serial_result, parallel_result);
+  const double speedup =
+      parallel_seconds > 0.0 ? serial_seconds / parallel_seconds : 0.0;
+  std::printf("\n=== Member-parallel Bagging (%d members, %d threads) ===\n",
+              config.num_models, parallel::NumThreads());
+  std::printf("sequential members: %.3f s\n", serial_seconds);
+  std::printf("concurrent members: %.3f s\n", parallel_seconds);
+  std::printf("speedup: %.2fx   bit-identical: %s\n", speedup,
+              identical ? "yes" : "NO (BUG)");
+  if (json != nullptr) {
+    json->AddPhase("bagging_members_sequential", serial_seconds);
+    json->AddPhase("bagging_members_parallel", parallel_seconds);
+    json->AddMetric("bagging_member_parallel_speedup", speedup);
+    json->AddMetric("bagging_member_parallel_bit_identical",
+                    identical ? 1.0 : 0.0);
+    json->AddMetric("bagging_num_members",
+                    static_cast<double>(config.num_models));
+  }
+}
+
+void Run(const std::string& json_path) {
+  bench::JsonReport json("table9_efficiency");
   const int trials = bench::FullMode() ? 5 : 2;
   std::printf("=== Table 9: training time to reach %.0f%% accuracy on"
               " Cora-like (%d trials) ===\n\n", 100.0 * kTargetAccuracy,
@@ -74,6 +155,11 @@ void Run() {
         TrainBans(dataset, context, bans_config, seed);
     const RddResult rdd = TrainRdd(
         dataset, context, bench::MakeRddConfig(setup, kMaxModels), seed);
+
+    const std::string suffix = "_trial" + std::to_string(trial);
+    json.AddPhase("bagging" + suffix, bag.total_seconds);
+    json.AddPhase("bans" + suffix, bans.total_seconds);
+    json.AddPhase("rdd" + suffix, rdd.total_seconds);
 
     const MethodResult results[3] = {
         Analyze(bag.reports, bag.ensemble_accuracy_after_member),
@@ -112,12 +198,15 @@ void Run() {
   paper.AddRow({"Total time (s)", "8.128", "7.956", "8.316"});
   std::printf("\nPaper (Table 9, GPU, target 84%% on real Cora):\n%s",
               paper.Render().c_str());
+
+  MemberParallelSpeedup(dataset, context, setup, &json);
+  json.WriteTo(json_path);
 }
 
 }  // namespace
 }  // namespace rdd
 
-int main() {
-  rdd::Run();
+int main(int argc, char** argv) {
+  rdd::Run(rdd::bench::JsonPathFromArgs(argc, argv));
   return 0;
 }

@@ -7,6 +7,7 @@
 #include "graph/pagerank.h"
 #include "memory/workspace.h"
 #include "nn/metrics.h"
+#include "parallel/task_group.h"
 #include "tensor/ops.h"
 #include "util/logging.h"
 #include "util/random.h"
@@ -60,6 +61,13 @@ RddResult TrainRdd(const Dataset& dataset, const GraphContext& context,
   // instead of being trimmed between per-student Workspaces.
   memory::Workspace workspace;
   Rng seeder(seed);
+  // Student seeds are drawn up front in chain order. The student chain is
+  // inherently sequential (student t distills from the ensemble of students
+  // 0..t-1), but hoisting keeps each student's initialization a pure
+  // function of (run seed, t) regardless of scheduling.
+  std::vector<uint64_t> student_seeds(
+      static_cast<size_t>(config.num_base_models));
+  for (uint64_t& s : student_seeds) s = seeder.NextU64();
   RddResult result;
 
   const std::vector<double> pagerank = PageRank(dataset.graph);
@@ -79,7 +87,8 @@ RddResult TrainRdd(const Dataset& dataset, const GraphContext& context,
 
   Matrix last_student_probs;
   for (int t = 0; t < config.num_base_models; ++t) {
-    auto student = BuildModel(context, config.base_model, seeder.NextU64());
+    auto student = BuildModel(context, config.base_model,
+                              student_seeds[static_cast<size_t>(t)]);
     StudentDiagnostics diag;
 
     if (t == 0) {
@@ -88,9 +97,20 @@ RddResult TrainRdd(const Dataset& dataset, const GraphContext& context,
       result.reports.push_back(
           TrainSupervised(student.get(), dataset, config.train));
     } else {
-      // The teacher H_{t-1} is frozen while student t trains.
-      const Matrix teacher_probs = result.teacher.PredictProbs();
-      const Matrix teacher_embeddings = result.teacher.PredictEmbeddings();
+      // The teacher H_{t-1} is frozen while student t trains. Its two
+      // weighted averages (probs and embeddings) are independent, so they
+      // build as concurrent tasks; each is written to its own slot and the
+      // matrices themselves are computed by the same fixed-order reduction
+      // either way, so the results are bit-identical to sequential.
+      Matrix teacher_probs;
+      Matrix teacher_embeddings;
+      {
+        parallel::TaskGroup group;
+        group.Run([&] { teacher_probs = result.teacher.PredictProbs(); });
+        group.Run(
+            [&] { teacher_embeddings = result.teacher.PredictEmbeddings(); });
+        group.Wait();
+      }
       GraphModel* student_ptr = student.get();
       const int anneal_horizon = config.anneal_horizon_epochs > 0
                                      ? config.anneal_horizon_epochs

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "parallel/parallel_for.h"
 #include "tensor/ops.h"
 #include "util/logging.h"
 
@@ -50,47 +51,63 @@ NodeReliability ComputeNodeReliability(const Matrix& teacher_probs,
   const double student_threshold = LowerPercentileThreshold(
       result.student_entropy, 100.0 - config.p_percent);
 
+  // Per-node classification runs data-parallel into byte flags (vector<bool>
+  // packs bits, so concurrent chunk writes would race on shared words), and
+  // a serial pass then appends the node lists in ascending order — the same
+  // order the sequential loop produced, so the output is bit-identical at
+  // any thread count.
+  std::vector<unsigned char> reliable_flags(static_cast<size_t>(n), 0);
+  std::vector<unsigned char> distill_flags(static_cast<size_t>(n), 0);
+  parallel::ParallelFor(0, n, parallel::GrainForCost(8), [&](int64_t i0,
+                                                             int64_t i1) {
+    for (int64_t i = i0; i < i1; ++i) {
+      const size_t si = static_cast<size_t>(i);
+      // Entropy-reliability, before the agreement filter.
+      bool reliable_pre;
+      if (train_mask[si]) {
+        // Line 4 / Sec. 3.1: labeled nodes are reliable when (the configured
+        // model's) prediction matches the known label.
+        const int64_t pred =
+            config.labeled_rule == LabeledReliabilityRule::kTeacherCorrect
+                ? teacher_preds[si]
+                : student_preds[si];
+        reliable_pre = pred == labels[si];
+      } else {
+        reliable_pre = result.teacher_entropy[si] <= teacher_threshold;
+      }
+      const bool agree = teacher_preds[si] == student_preds[si];
+      // Line 8: Vr drops nodes on which student and teacher disagree.
+      const bool reliable =
+          reliable_pre && (!config.require_agreement || agree);
+      reliable_flags[si] = reliable ? 1 : 0;
+
+      // Vb selection (see DistillTargetRule).
+      const bool uncertain = result.student_entropy[si] >= student_threshold;
+      switch (config.distill_rule) {
+        case DistillTargetRule::kUncertainOnly:
+          // Algorithm 1 line 9: drawn from the post-agreement Vr.
+          distill_flags[si] = (reliable && uncertain) ? 1 : 0;
+          break;
+        case DistillTargetRule::kDisagreeOrUncertain:
+          // Figures 3/5: teacher-reliable knowledge the student gets wrong
+          // (disagrees) or is unsure about.
+          distill_flags[si] = (reliable_pre && (!agree || uncertain)) ? 1 : 0;
+          break;
+        case DistillTargetRule::kAllReliable:
+          distill_flags[si] = reliable_pre ? 1 : 0;
+          break;
+      }
+    }
+  });
+
   result.reliable.assign(static_cast<size_t>(n), false);
   for (int64_t i = 0; i < n; ++i) {
     const size_t si = static_cast<size_t>(i);
-    // Entropy-reliability, before the agreement filter.
-    bool reliable_pre;
-    if (train_mask[si]) {
-      // Line 4 / Sec. 3.1: labeled nodes are reliable when (the configured
-      // model's) prediction matches the known label.
-      const int64_t pred =
-          config.labeled_rule == LabeledReliabilityRule::kTeacherCorrect
-              ? teacher_preds[si]
-              : student_preds[si];
-      reliable_pre = pred == labels[si];
-    } else {
-      reliable_pre = result.teacher_entropy[si] <= teacher_threshold;
+    if (reliable_flags[si] != 0) {
+      result.reliable[si] = true;
+      result.reliable_nodes.push_back(i);
     }
-    const bool agree = teacher_preds[si] == student_preds[si];
-    // Line 8: Vr drops nodes on which student and teacher disagree.
-    const bool reliable =
-        reliable_pre && (!config.require_agreement || agree);
-    result.reliable[si] = reliable;
-    if (reliable) result.reliable_nodes.push_back(i);
-
-    // Vb selection (see DistillTargetRule).
-    const bool uncertain = result.student_entropy[si] >= student_threshold;
-    switch (config.distill_rule) {
-      case DistillTargetRule::kUncertainOnly:
-        // Algorithm 1 line 9: drawn from the post-agreement Vr.
-        if (reliable && uncertain) result.distill_nodes.push_back(i);
-        break;
-      case DistillTargetRule::kDisagreeOrUncertain:
-        // Figures 3/5: teacher-reliable knowledge the student gets wrong
-        // (disagrees) or is unsure about.
-        if (reliable_pre && (!agree || uncertain)) {
-          result.distill_nodes.push_back(i);
-        }
-        break;
-      case DistillTargetRule::kAllReliable:
-        if (reliable_pre) result.distill_nodes.push_back(i);
-        break;
-    }
+    if (distill_flags[si] != 0) result.distill_nodes.push_back(i);
   }
   return result;
 }
@@ -101,14 +118,30 @@ std::vector<std::pair<int64_t, int64_t>> ComputeReliableEdges(
   RDD_CHECK_EQ(static_cast<int64_t>(reliable.size()), graph.num_nodes());
   RDD_CHECK_EQ(static_cast<int64_t>(student_predictions.size()),
                graph.num_nodes());
+  // Same pattern as the node pass above: data-parallel flagging, then a
+  // serial append in edge order so the result is independent of threading.
+  const std::vector<Edge>& edges = graph.edges();
+  const int64_t m = static_cast<int64_t>(edges.size());
+  std::vector<unsigned char> keep(static_cast<size_t>(m), 0);
+  parallel::ParallelFor(0, m, parallel::GrainForCost(4), [&](int64_t e0,
+                                                             int64_t e1) {
+    for (int64_t k = e0; k < e1; ++k) {
+      const Edge& e = edges[static_cast<size_t>(k)];
+      const size_t u = static_cast<size_t>(e.u);
+      const size_t v = static_cast<size_t>(e.v);
+      // w_ij = A_ij * B_ij * C_ij (Eq. 5): linked, both reliable, same class.
+      keep[static_cast<size_t>(k)] =
+          (reliable[u] && reliable[v] &&
+           student_predictions[u] == student_predictions[v])
+              ? 1
+              : 0;
+    }
+  });
   std::vector<std::pair<int64_t, int64_t>> reliable_edges;
-  for (const Edge& e : graph.edges()) {
-    const size_t u = static_cast<size_t>(e.u);
-    const size_t v = static_cast<size_t>(e.v);
-    // w_ij = A_ij * B_ij * C_ij (Eq. 5): linked, both reliable, same class.
-    if (reliable[u] && reliable[v] &&
-        student_predictions[u] == student_predictions[v]) {
-      reliable_edges.emplace_back(e.u, e.v);
+  for (int64_t k = 0; k < m; ++k) {
+    if (keep[static_cast<size_t>(k)] != 0) {
+      reliable_edges.emplace_back(edges[static_cast<size_t>(k)].u,
+                                  edges[static_cast<size_t>(k)].v);
     }
   }
   return reliable_edges;

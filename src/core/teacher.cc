@@ -1,6 +1,7 @@
 #include "core/teacher.h"
 
 #include "nn/metrics.h"
+#include "parallel/parallel_for.h"
 #include "util/logging.h"
 
 namespace rdd {
@@ -23,10 +24,30 @@ Matrix Teacher::WeightedAverage(const std::vector<Matrix>& parts) const {
   double total = 0.0;
   for (double w : weights_) total += w;
   RDD_CHECK_GT(total, 0.0);
-  Matrix combined(parts.front().rows(), parts.front().cols());
-  for (size_t t = 0; t < parts.size(); ++t) {
-    combined.Axpy(static_cast<float>(weights_[t] / total), parts[t]);
-  }
+  const int64_t rows = parts.front().rows();
+  const int64_t cols = parts.front().cols();
+  Matrix combined(rows, cols);
+  // One row-parallel pass instead of T full-matrix Axpy sweeps: each chunk
+  // accumulates all members into its own rows, touching `combined` once per
+  // member per row while it is cache-hot. Members are summed in insertion
+  // order t = 0, 1, ... per element — the same per-element order as the
+  // sequential Axpy loop — so the result is bit-identical at any thread
+  // count (chunks write disjoint rows).
+  const int64_t members = static_cast<int64_t>(parts.size());
+  parallel::ParallelFor(
+      0, rows, parallel::GrainForCost(2 * members * cols),
+      [&](int64_t r0, int64_t r1) {
+        for (int64_t t = 0; t < members; ++t) {
+          const float w =
+              static_cast<float>(weights_[static_cast<size_t>(t)] / total);
+          const Matrix& part = parts[static_cast<size_t>(t)];
+          for (int64_t r = r0; r < r1; ++r) {
+            float* out = combined.RowData(r);
+            const float* in = part.RowData(r);
+            for (int64_t c = 0; c < cols; ++c) out[c] += w * in[c];
+          }
+        }
+      });
   return combined;
 }
 

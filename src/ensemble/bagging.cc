@@ -1,11 +1,25 @@
 #include "ensemble/bagging.h"
 
+#include <utility>
+
 #include "memory/workspace.h"
+#include "parallel/task_group.h"
 #include "util/logging.h"
 #include "util/random.h"
 #include "util/timer.h"
 
 namespace rdd {
+
+namespace {
+
+/// Per-member training output, filled by concurrent tasks and consumed in
+/// member order by the sequential assembly pass below.
+struct MemberOutcome {
+  TrainReport report;
+  Matrix probs;
+};
+
+}  // namespace
 
 EnsembleTrainResult TrainBagging(const Dataset& dataset,
                                  const GraphContext& context,
@@ -15,11 +29,30 @@ EnsembleTrainResult TrainBagging(const Dataset& dataset,
   memory::Workspace workspace;  // One pool scope across all members.
   Rng seeder(seed);
   EnsembleTrainResult result;
-  for (int t = 0; t < config.num_models; ++t) {
-    auto model = BuildModel(context, config.base_model, seeder.NextU64());
-    result.reports.push_back(
-        TrainSupervised(model.get(), dataset, config.train));
-    result.ensemble.AddMember(model->PredictProbs(), /*weight=*/1.0);
+
+  // Seeds are drawn up front, in member order, so member t's initialization
+  // never depends on whether members 0..t-1 trained before or alongside it.
+  // This is what makes the parallel schedule below bit-identical to the
+  // sequential one at any thread count.
+  std::vector<uint64_t> member_seeds(static_cast<size_t>(config.num_models));
+  for (uint64_t& s : member_seeds) s = seeder.NextU64();
+
+  // Members are independent given their seeds: train them concurrently,
+  // each into its own result slot. Inner kernels split the remaining thread
+  // budget (see parallel/task_group.h).
+  std::vector<MemberOutcome> outcomes(static_cast<size_t>(config.num_models));
+  parallel::ParallelTasks(config.num_models, [&](int64_t t) {
+    const size_t st = static_cast<size_t>(t);
+    auto model = BuildModel(context, config.base_model, member_seeds[st]);
+    outcomes[st].report = TrainSupervised(model.get(), dataset, config.train);
+    outcomes[st].probs = model->PredictProbs();
+  });
+
+  // Sequential assembly in member order: ensemble growth (and the
+  // accuracy-after-member curve) is order-sensitive, so it stays serial.
+  for (MemberOutcome& outcome : outcomes) {
+    result.reports.push_back(std::move(outcome.report));
+    result.ensemble.AddMember(std::move(outcome.probs), /*weight=*/1.0);
     result.ensemble_accuracy_after_member.push_back(
         result.ensemble.Accuracy(dataset.labels, dataset.split.test));
   }

@@ -43,6 +43,13 @@ EnsembleTrainResult TrainBans(const Dataset& dataset,
   WallTimer timer;
   memory::Workspace workspace;  // One pool scope across the student chain.
   Rng seeder(seed);
+  // Student seeds are hoisted into an up-front vector (same draw order as
+  // the old in-loop NextU64 calls, so values are unchanged). The chain
+  // itself is inherently sequential — student t distills from student t-1 —
+  // but each student's initialization is now independent of when its
+  // predecessors ran.
+  std::vector<uint64_t> member_seeds(static_cast<size_t>(config.num_models));
+  for (uint64_t& s : member_seeds) s = seeder.NextU64();
   EnsembleTrainResult result;
 
   // Every node (labeled or not) is a distillation target in BANs.
@@ -53,7 +60,8 @@ EnsembleTrainResult TrainBans(const Dataset& dataset,
 
   Matrix teacher_probs;  // Softmax outputs of the previous student.
   for (int t = 0; t < config.num_models; ++t) {
-    auto model = BuildModel(context, config.base_model, seeder.NextU64());
+    auto model = BuildModel(context, config.base_model,
+                            member_seeds[static_cast<size_t>(t)]);
     if (t == 0) {
       result.reports.push_back(
           TrainSupervised(model.get(), dataset, config.train));

@@ -13,6 +13,10 @@ CoTrainingResult TrainCoTraining(const Dataset& dataset,
                                  uint64_t seed) {
   memory::Workspace workspace;  // One pool scope for both views.
   Rng seeder(seed);
+  // Seed derivation is hoisted ahead of any data-dependent work so the
+  // model's initialization is a pure function of the run seed, independent
+  // of how (or on which thread) the label-propagation view executes.
+  const uint64_t model_seed = seeder.NextU64();
   CoTrainingResult result;
 
   // Random-walk view: label propagation over the graph topology.
@@ -34,7 +38,7 @@ CoTrainingResult TrainCoTraining(const Dataset& dataset,
     }
   }
 
-  auto model = BuildModel(context, config.base_model, seeder.NextU64());
+  auto model = BuildModel(context, config.base_model, model_seed);
   result.final_report = TrainSupervised(model.get(), working, config.train);
   result.test_accuracy =
       EvaluateAccuracy(model.get(), dataset, dataset.split.test);

@@ -49,6 +49,12 @@ SelfTrainingResult TrainSelfTraining(const Dataset& dataset,
   RDD_CHECK_GE(config.rounds, 0);
   memory::Workspace workspace;  // One pool scope across pseudo-label rounds.
   Rng seeder(seed);
+  // Seeds for the initial model and every potential retraining round, drawn
+  // up front in the same order the in-loop NextU64 calls produced them. A
+  // round that breaks early simply leaves its seed unused; the seeds that
+  // ARE consumed match the old sequence exactly.
+  std::vector<uint64_t> round_seeds(static_cast<size_t>(config.rounds) + 1);
+  for (uint64_t& s : round_seeds) s = seeder.NextU64();
   SelfTrainingResult result;
 
   // Working copy whose labels / training set absorb pseudo labels. The
@@ -60,7 +66,7 @@ SelfTrainingResult TrainSelfTraining(const Dataset& dataset,
   for (int64_t i : dataset.split.val) excluded[static_cast<size_t>(i)] = true;
   for (int64_t i : dataset.split.test) excluded[static_cast<size_t>(i)] = true;
 
-  auto model = BuildModel(context, config.base_model, seeder.NextU64());
+  auto model = BuildModel(context, config.base_model, round_seeds[0]);
   result.final_report = TrainSupervised(model.get(), working, config.train);
 
   for (int round = 0; round < config.rounds; ++round) {
@@ -77,7 +83,8 @@ SelfTrainingResult TrainSelfTraining(const Dataset& dataset,
         ++result.pseudo_labels_correct;
       }
     }
-    model = BuildModel(context, config.base_model, seeder.NextU64());
+    model = BuildModel(context, config.base_model,
+                       round_seeds[static_cast<size_t>(round) + 1]);
     result.final_report = TrainSupervised(model.get(), working, config.train);
   }
 

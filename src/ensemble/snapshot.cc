@@ -32,9 +32,13 @@ EnsembleTrainResult TrainSnapshotEnsemble(const Dataset& dataset,
   WallTimer timer;
   memory::Workspace workspace;  // One pool scope across all cycles.
   Rng seeder(seed);
+  // One seed, drawn up front: snapshot cycles share a single model chain, so
+  // the cycles themselves are inherently sequential, but the seed derivation
+  // follows the same hoisted pattern as the other ensembles.
+  const uint64_t model_seed = seeder.NextU64();
   EnsembleTrainResult result;
 
-  auto model = BuildModel(context, config.base_model, seeder.NextU64());
+  auto model = BuildModel(context, config.base_model, model_seed);
   Adam optimizer(model->Parameters(), config.max_lr,
                  config.train.weight_decay);
 

@@ -22,26 +22,44 @@ BufferPool& BufferPool::Global() {
   return *pool;
 }
 
+BufferPool::Shard& BufferPool::LocalShard() {
+  // Round-robin assignment spreads concurrent trainers across shards even
+  // when thread ids would hash unevenly; the index is sticky per thread so
+  // a trainer's steady-state acquire/release loop always sees the buffers
+  // it released (single-threaded programs use exactly one shard, keeping
+  // the exact-reuse guarantees the pool tests pin down).
+  thread_local int t_shard = next_shard_.fetch_add(1, std::memory_order_relaxed) %
+                             kNumShards;
+  return shards_[t_shard];
+}
+
 float* BufferPool::Acquire(size_t n) {
   if (n == 0) return nullptr;
+  // Globally exact live/peak accounting, shard-independent: the peak is a
+  // compare-exchange high-water mark, so concurrent acquires never lose an
+  // update.
+  const uint64_t live =
+      live_floats_.fetch_add(n, std::memory_order_relaxed) + n;
+  uint64_t peak = peak_live_floats_.load(std::memory_order_relaxed);
+  while (live > peak && !peak_live_floats_.compare_exchange_weak(
+                            peak, live, std::memory_order_relaxed)) {
+  }
+
+  Shard& shard = LocalShard();
   {
-    std::lock_guard<std::mutex> lock(mu_);
-    stats_.live_floats += n;
-    if (stats_.live_floats > stats_.peak_live_floats) {
-      stats_.peak_live_floats = stats_.live_floats;
-    }
-    if (enabled_) {
-      auto it = free_lists_.find(n);
-      if (it != free_lists_.end() && !it->second.empty()) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    if (enabled_.load(std::memory_order_relaxed)) {
+      auto it = shard.free_lists.find(n);
+      if (it != shard.free_lists.end() && !it->second.empty()) {
         float* ptr = it->second.back();
         it->second.pop_back();
-        ++stats_.hits;
-        stats_.free_buffers -= 1;
-        stats_.free_floats -= n;
+        ++shard.hits;
+        shard.free_buffers -= 1;
+        shard.free_floats -= n;
         return ptr;
       }
     }
-    ++stats_.misses;
+    ++shard.misses;
   }
   // Heap allocation outside the lock: a miss is already the slow path.
   return new float[n];
@@ -49,14 +67,15 @@ float* BufferPool::Acquire(size_t n) {
 
 void BufferPool::Release(float* ptr, size_t n) {
   if (ptr == nullptr) return;
+  live_floats_.fetch_sub(n, std::memory_order_relaxed);
+  Shard& shard = LocalShard();
   {
-    std::lock_guard<std::mutex> lock(mu_);
-    ++stats_.releases;
-    stats_.live_floats -= n;
-    if (enabled_) {
-      free_lists_[n].push_back(ptr);
-      stats_.free_buffers += 1;
-      stats_.free_floats += n;
+    std::lock_guard<std::mutex> lock(shard.mu);
+    ++shard.releases;
+    if (enabled_.load(std::memory_order_relaxed)) {
+      shard.free_lists[n].push_back(ptr);
+      shard.free_buffers += 1;
+      shard.free_floats += n;
       return;
     }
   }
@@ -64,45 +83,60 @@ void BufferPool::Release(float* ptr, size_t n) {
 }
 
 void BufferPool::Trim() {
-  std::unordered_map<size_t, std::vector<float*>> doomed;
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    doomed.swap(free_lists_);
-    if (stats_.free_buffers > 0) ++stats_.trims;
-    stats_.free_buffers = 0;
-    stats_.free_floats = 0;
+  uint64_t freed = 0;
+  for (Shard& shard : shards_) {
+    std::unordered_map<size_t, std::vector<float*>> doomed;
+    {
+      std::lock_guard<std::mutex> lock(shard.mu);
+      doomed.swap(shard.free_lists);
+      freed += shard.free_buffers;
+      shard.free_buffers = 0;
+      shard.free_floats = 0;
+    }
+    for (auto& [size, buffers] : doomed) {
+      (void)size;
+      for (float* ptr : buffers) delete[] ptr;
+    }
   }
-  for (auto& [size, buffers] : doomed) {
-    (void)size;
-    for (float* ptr : buffers) delete[] ptr;
-  }
+  if (freed > 0) trims_.fetch_add(1, std::memory_order_relaxed);
 }
 
 PoolStats BufferPool::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return stats_;
+  PoolStats stats;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    stats.hits += shard.hits;
+    stats.misses += shard.misses;
+    stats.releases += shard.releases;
+    stats.free_buffers += shard.free_buffers;
+    stats.free_floats += shard.free_floats;
+  }
+  stats.trims = trims_.load(std::memory_order_relaxed);
+  stats.live_floats = live_floats_.load(std::memory_order_relaxed);
+  stats.peak_live_floats = peak_live_floats_.load(std::memory_order_relaxed);
+  return stats;
 }
 
 void BufferPool::ResetStats() {
-  std::lock_guard<std::mutex> lock(mu_);
-  const uint64_t free_buffers = stats_.free_buffers;
-  const uint64_t free_floats = stats_.free_floats;
-  const uint64_t live_floats = stats_.live_floats;
-  stats_ = PoolStats{};
-  stats_.free_buffers = free_buffers;
-  stats_.free_floats = free_floats;
-  stats_.live_floats = live_floats;
-  stats_.peak_live_floats = live_floats;
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.hits = 0;
+    shard.misses = 0;
+    shard.releases = 0;
+    // free_buffers / free_floats describe current freelist contents, not
+    // history; they survive a stats reset.
+  }
+  trims_.store(0, std::memory_order_relaxed);
+  peak_live_floats_.store(live_floats_.load(std::memory_order_relaxed),
+                          std::memory_order_relaxed);
 }
 
 bool BufferPool::enabled() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return enabled_;
+  return enabled_.load(std::memory_order_relaxed);
 }
 
 void BufferPool::set_enabled(bool enabled) {
-  std::lock_guard<std::mutex> lock(mu_);
-  enabled_ = enabled;
+  enabled_.store(enabled, std::memory_order_relaxed);
 }
 
 PooledBuffer::PooledBuffer(size_t n)

@@ -1,6 +1,7 @@
 #ifndef RDD_MEMORY_BUFFER_POOL_H_
 #define RDD_MEMORY_BUFFER_POOL_H_
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <mutex>
@@ -30,10 +31,15 @@ struct PoolStats {
 /// shapes every epoch, so exact bucketing gives zero waste and a 100% hit
 /// rate once the first epoch has populated the pool.
 ///
-/// Thread-compatible by a single mutex: Acquire/Release are safe from any
-/// thread (the parallel SpMM-gradient kernel returns its partial buffers
-/// from pool memory), but the lock is only ever taken per-tensor, never
-/// per-element — kernels themselves do not allocate.
+/// Sharded for concurrent trainers: the freelists are split across
+/// kNumShards independent mutex-protected shards and every thread is pinned
+/// to one shard (round-robin at first touch), so ensemble members training
+/// in parallel arenas recycle their tensors through disjoint locks instead
+/// of contending on one. A buffer released on a different thread than it
+/// was acquired on simply migrates shards — caching is a hint, never an
+/// ownership constraint. Live/peak accounting is kept globally exact via
+/// atomics (a compare-exchange high-water mark); hit/miss/release counters
+/// are per-shard and summed on stats().
 ///
 /// Disabled (every Acquire hits the heap, every Release frees) when the
 /// RDD_POOL_DISABLE=1 environment variable is set at first use, or via
@@ -41,6 +47,10 @@ struct PoolStats {
 /// bytes live, never any numeric result.
 class BufferPool {
  public:
+  /// Number of independent freelist shards. A small power of two well above
+  /// the ensemble sizes the benches run (4-8 concurrent members).
+  static constexpr int kNumShards = 8;
+
   /// The process-wide pool. Created on first use and intentionally leaked so
   /// buffers released during static destruction still have a home.
   static BufferPool& Global();
@@ -56,7 +66,8 @@ class BufferPool {
   /// when the pool is enabled, freed otherwise. No-op for nullptr.
   void Release(float* ptr, size_t n);
 
-  /// Frees every cached buffer. Outstanding (live) buffers are unaffected.
+  /// Frees every cached buffer in every shard. Outstanding (live) buffers
+  /// are unaffected.
   void Trim();
 
   PoolStats stats() const;
@@ -69,13 +80,29 @@ class BufferPool {
   void set_enabled(bool enabled);
 
  private:
+  /// One independent freelist with its own lock and throughput counters.
+  struct Shard {
+    mutable std::mutex mu;
+    std::unordered_map<size_t, std::vector<float*>> free_lists;
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t releases = 0;
+    uint64_t free_buffers = 0;
+    uint64_t free_floats = 0;
+  };
+
   BufferPool();
   ~BufferPool() = default;
 
-  mutable std::mutex mu_;
-  bool enabled_ = true;
-  std::unordered_map<size_t, std::vector<float*>> free_lists_;
-  PoolStats stats_;
+  /// The calling thread's shard (assigned round-robin at first touch).
+  Shard& LocalShard();
+
+  std::atomic<bool> enabled_{true};
+  std::atomic<uint64_t> live_floats_{0};
+  std::atomic<uint64_t> peak_live_floats_{0};
+  std::atomic<uint64_t> trims_{0};
+  std::atomic<int> next_shard_{0};
+  Shard shards_[kNumShards];
 };
 
 /// Move-only RAII handle for one pool buffer; the storage backing Matrix.

@@ -3,6 +3,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdlib>
+#include <memory>
 #include <mutex>
 #include <thread>
 
@@ -36,11 +37,58 @@ std::atomic<int>& ConfiguredThreads() {
   return threads;
 }
 
-/// Completion latch shared by the chunks of one ParallelFor call.
-struct Barrier {
+/// Per-thread arena budget assigned by ThreadBudgetScope. 0 = no override
+/// (EffectiveThreads() falls through to NumThreads()).
+thread_local int t_thread_budget = 0;
+
+/// True while this thread executes a ParallelFor chunk body; nested
+/// ParallelFor calls then run inline instead of re-entering the pool.
+thread_local bool t_in_parallel_region = false;
+
+/// Shared state of one in-flight ParallelFor call. Pool runners hold it via
+/// shared_ptr: a runner that is dequeued after the caller already finished
+/// every chunk must still be able to read `next` safely and exit. The
+/// user-visible guarantee that `fn` outlives all executions holds because a
+/// chunk can only be claimed while `completed < chunks`, and the caller does
+/// not return before `completed == chunks`.
+struct ForCall {
+  const std::function<void(int64_t, int64_t)>* fn = nullptr;
+  int64_t begin = 0;
+  int64_t base = 0;       ///< Chunk size floor: range / chunks.
+  int64_t remainder = 0;  ///< First `remainder` chunks get one extra index.
+  int64_t chunks = 0;
+
+  std::atomic<int64_t> next{0};       ///< Next unclaimed chunk index.
+  std::atomic<int64_t> completed{0};  ///< Chunks fully executed.
   std::mutex mu;
   std::condition_variable done;
-  int remaining = 0;
+  bool all_done = false;
+
+  /// First index of chunk c under the static partition. Pure function of
+  /// (range, chunks), so split points never depend on claiming order.
+  int64_t ChunkBegin(int64_t c) const {
+    return begin + c * base + std::min(c, remainder);
+  }
+
+  /// Claims and runs chunks until the cursor is exhausted. Used by the
+  /// calling thread and by pool runners alike; the last finisher signals.
+  void RunChunks() {
+    for (;;) {
+      const int64_t c = next.fetch_add(1, std::memory_order_relaxed);
+      if (c >= chunks) return;
+      const bool saved_region = t_in_parallel_region;
+      t_in_parallel_region = true;
+      (*fn)(ChunkBegin(c), ChunkBegin(c + 1));
+      t_in_parallel_region = saved_region;
+      if (completed.fetch_add(1, std::memory_order_acq_rel) + 1 == chunks) {
+        {
+          std::lock_guard<std::mutex> lock(mu);
+          all_done = true;
+        }
+        done.notify_all();
+      }
+    }
+  }
 };
 
 }  // namespace
@@ -52,49 +100,59 @@ void SetNumThreads(int n) {
   ConfiguredThreads().store(n, std::memory_order_relaxed);
 }
 
+int EffectiveThreads() {
+  return t_thread_budget > 0 ? t_thread_budget : NumThreads();
+}
+
+bool InParallelRegion() { return t_in_parallel_region; }
+
 namespace internal {
+
+ThreadBudgetScope::ThreadBudgetScope(int budget) : saved_(t_thread_budget) {
+  RDD_CHECK_GE(budget, 0);
+  t_thread_budget = budget;
+}
+
+ThreadBudgetScope::~ThreadBudgetScope() { t_thread_budget = saved_; }
 
 bool ShouldRunSerial(int64_t range, int64_t grain) {
   RDD_CHECK_GE(grain, 1);
-  return NumThreads() <= 1 || range <= grain || ThreadPool::OnWorkerThread();
+  return EffectiveThreads() <= 1 || range <= grain || t_in_parallel_region;
 }
 
 void ParallelForImpl(int64_t begin, int64_t end, int64_t grain,
                      const std::function<void(int64_t, int64_t)>& fn) {
   const int64_t range = end - begin;
-  const int threads = NumThreads();
+  const int threads = EffectiveThreads();
 
-  // Static partition: split points depend only on (range, grain, threads).
+  // Static partition: split points depend only on (range, grain, budget).
   const int64_t max_chunks = (range + grain - 1) / grain;
   const int64_t chunks = std::min<int64_t>(threads, max_chunks);
-  const int64_t base = range / chunks;
-  const int64_t remainder = range % chunks;
 
+  auto call = std::make_shared<ForCall>();
+  call->fn = &fn;
+  call->begin = begin;
+  call->base = range / chunks;
+  call->remainder = range % chunks;
+  call->chunks = chunks;
+  RDD_CHECK_EQ(call->ChunkBegin(chunks), end);
+
+  // Recruit helpers — but never rely on them. The pool holds at most
+  // NumThreads() - 1 workers process-wide regardless of how many overlapping
+  // regions and arenas request help, so the thread count is the
+  // oversubscription cap, and a busy pool just means the caller runs more
+  // chunks itself.
   ThreadPool& pool = ThreadPool::Global();
-  pool.EnsureWorkers(threads - 1);
-
-  Barrier barrier;
-  barrier.remaining = static_cast<int>(chunks) - 1;
-
-  int64_t chunk_begin = begin;
-  const int64_t first_end = chunk_begin + base + (remainder > 0 ? 1 : 0);
-  int64_t next_begin = first_end;
-  for (int64_t c = 1; c < chunks; ++c) {
-    const int64_t c_begin = next_begin;
-    const int64_t c_end = c_begin + base + (c < remainder ? 1 : 0);
-    next_begin = c_end;
-    pool.Submit([&fn, &barrier, c_begin, c_end] {
-      fn(c_begin, c_end);
-      std::lock_guard<std::mutex> lock(barrier.mu);
-      if (--barrier.remaining == 0) barrier.done.notify_one();
-    });
+  pool.EnsureWorkers(NumThreads() - 1);
+  const int64_t helpers = chunks - 1;
+  for (int64_t h = 0; h < helpers; ++h) {
+    pool.Submit([call] { call->RunChunks(); });
   }
-  RDD_CHECK_EQ(next_begin, end);
 
-  fn(chunk_begin, first_end);  // The caller works the first chunk itself.
+  call->RunChunks();  // The caller claims chunks too, starting with chunk 0.
 
-  std::unique_lock<std::mutex> lock(barrier.mu);
-  barrier.done.wait(lock, [&barrier] { return barrier.remaining == 0; });
+  std::unique_lock<std::mutex> lock(call->mu);
+  call->done.wait(lock, [&call] { return call->all_done; });
 }
 
 }  // namespace internal

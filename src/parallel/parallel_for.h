@@ -16,10 +16,21 @@ int NumThreads();
 /// Takes effect for subsequent ParallelFor calls; n must be >= 1.
 void SetNumThreads(int n);
 
+/// Thread budget visible to the calling thread: NumThreads() on an ordinary
+/// thread, or the arena share assigned by a TaskGroup while inside one of
+/// its tasks (see task_group.h). ParallelFor sizes its partition by this, so
+/// a kernel inside a busy arena recruits only its share of the pool instead
+/// of oversubscribing.
+int EffectiveThreads();
+
+/// True while the calling thread is executing a ParallelFor chunk body.
+/// A nested ParallelFor issued from inside a chunk always runs inline.
+bool InParallelRegion();
+
 namespace internal {
-/// True when this call must run serially: one configured thread, a range no
-/// larger than one grain, or a nested call from inside a pool worker (which
-/// would deadlock waiting on the pool it occupies).
+/// True when this call must run serially: an effective budget of one
+/// thread, a range no larger than one grain, or a nested call from inside
+/// an executing chunk (kernels never fan out from within kernels).
 bool ShouldRunSerial(int64_t range, int64_t grain);
 
 /// Parallel dispatch path; only reached when ShouldRunSerial is false. The
@@ -27,24 +38,47 @@ bool ShouldRunSerial(int64_t range, int64_t grain);
 /// a direct, inlinable call.
 void ParallelForImpl(int64_t begin, int64_t end, int64_t grain,
                      const std::function<void(int64_t, int64_t)>& fn);
+
+/// RAII override of the calling thread's budget (0 restores "no override",
+/// i.e. EffectiveThreads() == NumThreads()). Used by TaskGroup to hand each
+/// concurrently-running task its share of the pool; exposed for tests.
+class ThreadBudgetScope {
+ public:
+  explicit ThreadBudgetScope(int budget);
+  ~ThreadBudgetScope();
+
+  ThreadBudgetScope(const ThreadBudgetScope&) = delete;
+  ThreadBudgetScope& operator=(const ThreadBudgetScope&) = delete;
+
+ private:
+  int saved_;
+};
 }  // namespace internal
 
 /// Runs fn(chunk_begin, chunk_end) over a static partition of [begin, end).
 ///
 /// Guarantees:
 ///  - Chunks are contiguous, ordered, and cover each index exactly once.
-///  - Split points are a pure function of (range size, grain, thread count):
-///    the same call partitions the same way every run, so any kernel whose
-///    chunks write disjoint outputs is bit-reproducible run-to-run.
-///  - Serial fallback: with NumThreads() == 1, a range smaller than `grain`,
-///    or when already inside a parallel region (nested call from a pool
-///    worker), fn(begin, end) runs inline on the calling thread with zero
-///    dispatch overhead (fn is invoked directly, not through a
-///    std::function, so the serial path compiles to the plain loop).
+///  - Split points are a pure function of (range size, grain, effective
+///    thread budget): the same call partitions the same way every run, so
+///    any kernel whose chunks write disjoint outputs is bit-reproducible
+///    run-to-run. Kernels whose result could depend on the partition (e.g.
+///    scattered reductions) must derive their own shape-only split — see
+///    SparseMatrix::TransposeMultiply — so results stay bit-identical at
+///    any thread count or arena budget.
+///  - Serial fallback: with EffectiveThreads() == 1, a range smaller than
+///    `grain`, or when already inside an executing chunk (nested kernel),
+///    fn(begin, end) runs inline on the calling thread with zero dispatch
+///    overhead (fn is invoked directly, not through a std::function, so the
+///    serial path compiles to the plain loop).
 ///
-/// The calling thread always executes the first chunk itself; remaining
-/// chunks go to the shared ThreadPool. Returns after every chunk finished.
-/// fn must not throw.
+/// Dispatch is claim-based and deadlock-free at any nesting depth: chunks
+/// are claimed from a shared atomic cursor, the calling thread claims
+/// chunks itself (starting with the first), and pool workers only help.
+/// If every worker is busy — e.g. training other ensemble members in a
+/// TaskGroup arena — the caller simply executes all chunks itself; it never
+/// blocks on work that only an occupied worker could run. Returns after
+/// every chunk finished. fn must not throw.
 template <typename Fn>
 void ParallelFor(int64_t begin, int64_t end, int64_t grain, const Fn& fn) {
   const int64_t range = end - begin;

@@ -1,0 +1,129 @@
+#include "parallel/task_group.h"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <mutex>
+#include <utility>
+
+#include "parallel/parallel_for.h"
+#include "parallel/thread_pool.h"
+#include "util/logging.h"
+
+namespace rdd::parallel {
+
+namespace {
+
+bool TaskParallelDisabledByEnv() {
+  const char* value = std::getenv("RDD_TASK_PARALLEL");
+  return value != nullptr && value[0] == '0' && value[1] == '\0';
+}
+
+std::atomic<bool>& TaskParallelFlag() {
+  static std::atomic<bool> enabled{!TaskParallelDisabledByEnv()};
+  return enabled;
+}
+
+/// Shared state of one Wait() round; pool helpers hold it via shared_ptr so
+/// a helper dequeued after the round already finished can still exit safely
+/// (it finds the cursor exhausted without touching the tasks vector — tasks
+/// can only be claimed while the caller is still inside Wait()).
+struct GroupRound {
+  std::vector<std::function<void()>> tasks;
+  int budget = 1;  ///< ThreadBudgetScope for each task.
+
+  std::atomic<int64_t> next{0};
+  std::atomic<int64_t> completed{0};
+  std::mutex mu;
+  std::condition_variable done;
+  bool all_done = false;
+
+  void RunTasks() {
+    const int64_t n = static_cast<int64_t>(tasks.size());
+    for (;;) {
+      const int64_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) return;
+      {
+        internal::ThreadBudgetScope scope(budget);
+        tasks[static_cast<size_t>(i)]();
+      }
+      if (completed.fetch_add(1, std::memory_order_acq_rel) + 1 == n) {
+        {
+          std::lock_guard<std::mutex> lock(mu);
+          all_done = true;
+        }
+        done.notify_all();
+      }
+    }
+  }
+};
+
+}  // namespace
+
+bool TaskParallelEnabled() {
+  return TaskParallelFlag().load(std::memory_order_relaxed);
+}
+
+void SetTaskParallelEnabled(bool enabled) {
+  TaskParallelFlag().store(enabled, std::memory_order_relaxed);
+}
+
+TaskGroup::~TaskGroup() {
+  RDD_CHECK(tasks_.empty()) << "TaskGroup destroyed with unrun tasks; call "
+                               "Wait() before destruction";
+}
+
+void TaskGroup::Run(std::function<void()> task) {
+  RDD_CHECK(task != nullptr);
+  tasks_.push_back(std::move(task));
+}
+
+void TaskGroup::Wait() {
+  if (tasks_.empty()) return;
+  std::vector<std::function<void()>> tasks;
+  tasks.swap(tasks_);  // The group is reusable after Wait().
+
+  const int64_t n = static_cast<int64_t>(tasks.size());
+  const int threads = EffectiveThreads();
+  // Sequential fallback: a single task, a one-thread budget, task
+  // parallelism switched off, or a call from inside an executing kernel
+  // chunk (never fan out from within a kernel). Tasks keep the full budget
+  // and run in submission order on the calling thread.
+  if (n == 1 || threads <= 1 || !TaskParallelEnabled() ||
+      InParallelRegion()) {
+    for (auto& task : tasks) task();
+    return;
+  }
+
+  // Arena split: k concurrent tasks share the budget evenly. The division
+  // floors — with 8 threads and 3 tasks each task plans 2-wide kernels —
+  // because a too-small plan only idles workers, while a too-large one
+  // would contend for cores with the other arenas' kernels.
+  const int concurrency = static_cast<int>(std::min<int64_t>(threads, n));
+  auto round = std::make_shared<GroupRound>();
+  round->tasks = std::move(tasks);
+  round->budget = std::max(1, threads / concurrency);
+
+  ThreadPool& pool = ThreadPool::Global();
+  pool.EnsureWorkers(NumThreads() - 1);
+  for (int h = 0; h < concurrency - 1; ++h) {
+    pool.Submit([round] { round->RunTasks(); });
+  }
+
+  round->RunTasks();  // The caller claims tasks too, starting with task 0.
+
+  std::unique_lock<std::mutex> lock(round->mu);
+  round->done.wait(lock, [&round] { return round->all_done; });
+}
+
+void ParallelTasks(int64_t n, const std::function<void(int64_t)>& fn) {
+  RDD_CHECK_GE(n, 0);
+  TaskGroup group;
+  for (int64_t i = 0; i < n; ++i) {
+    group.Run([&fn, i] { fn(i); });
+  }
+  group.Wait();
+}
+
+}  // namespace rdd::parallel

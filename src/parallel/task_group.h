@@ -1,0 +1,72 @@
+#ifndef RDD_PARALLEL_TASK_GROUP_H_
+#define RDD_PARALLEL_TASK_GROUP_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+namespace rdd::parallel {
+
+/// True unless task-level parallelism is disabled: by RDD_TASK_PARALLEL=0 in
+/// the environment at first use, or by SetTaskParallelEnabled(false) at
+/// runtime. When disabled, TaskGroup::Wait runs every task inline on the
+/// calling thread in submission order with the full thread budget — the
+/// sequential baseline the benches and determinism tests compare against.
+/// Kernel-level parallelism (ParallelFor) is unaffected by this switch.
+bool TaskParallelEnabled();
+void SetTaskParallelEnabled(bool enabled);
+
+/// A group of independent coarse tasks — "train one ensemble member",
+/// "build one teacher view" — run concurrently on the shared ThreadPool.
+///
+/// Two-level model: TaskGroup is the OUTER level (arenas), ParallelFor the
+/// INNER (kernels). When k tasks run concurrently under a configured budget
+/// of N threads, each task executes inside a ThreadBudgetScope of
+/// max(1, N / min(k, N)) threads, so the inner kernels of all tasks
+/// together never recruit more than N threads: arenas split the budget,
+/// they do not multiply it. With one task, or with task parallelism
+/// disabled, tasks keep the full budget.
+///
+/// Scheduling is claim-based and deadlock-free at any nesting depth: Run()
+/// only records the task; Wait() submits helper jobs to the pool and then
+/// claims tasks itself from an atomic cursor, so a fully busy pool
+/// degrades to the caller executing every task in submission order rather
+/// than blocking. A TaskGroup created inside another group's task simply
+/// sees its arena budget as the configured thread count and subdivides it.
+///
+/// Determinism contract: tasks may complete in any order, so callers must
+/// (1) write results into per-task slots, not shared accumulators, and
+/// (2) draw any seeds BEFORE Run() — never from a shared Rng inside a task.
+/// Under those rules a parallel run is bit-identical to the sequential one
+/// (every kernel's value is partition-independent; see parallel_for.h).
+///
+/// Tasks must not throw. Wait() must be called before destruction whenever
+/// Run() was called at least once.
+class TaskGroup {
+ public:
+  TaskGroup() = default;
+  ~TaskGroup();
+
+  TaskGroup(const TaskGroup&) = delete;
+  TaskGroup& operator=(const TaskGroup&) = delete;
+
+  /// Records a task. Execution is deferred to Wait() so the arena can size
+  /// every task's thread share from the final task count.
+  void Run(std::function<void()> task);
+
+  /// Runs every recorded task and returns when all have finished. The
+  /// calling thread participates. Afterwards the group is empty and can be
+  /// reused for another round.
+  void Wait();
+
+ private:
+  std::vector<std::function<void()>> tasks_;
+};
+
+/// Convenience wrapper: runs fn(i) for i in [0, n) as one TaskGroup round.
+void ParallelTasks(int64_t n, const std::function<void(int64_t)>& fn);
+
+}  // namespace rdd::parallel
+
+#endif  // RDD_PARALLEL_TASK_GROUP_H_

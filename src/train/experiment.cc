@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "parallel/task_group.h"
 #include "util/logging.h"
 
 namespace rdd {
@@ -34,6 +35,18 @@ TrialStats RunTrials(int num_trials,
   std::vector<double> values;
   values.reserve(static_cast<size_t>(num_trials));
   for (int i = 0; i < num_trials; ++i) values.push_back(trial(i));
+  return Summarize(values);
+}
+
+TrialStats RunTrialsParallel(int num_trials,
+                             const std::function<double(int)>& trial) {
+  RDD_CHECK_GT(num_trials, 0);
+  // Each trial writes its own slot; Summarize then reads the slots in trial
+  // order, so aggregation order matches the sequential version exactly.
+  std::vector<double> values(static_cast<size_t>(num_trials), 0.0);
+  parallel::ParallelTasks(num_trials, [&](int64_t i) {
+    values[static_cast<size_t>(i)] = trial(static_cast<int>(i));
+  });
   return Summarize(values);
 }
 

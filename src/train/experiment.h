@@ -26,6 +26,15 @@ TrialStats Summarize(const std::vector<double>& values);
 TrialStats RunTrials(int num_trials,
                      const std::function<double(int trial_index)>& trial);
 
+/// Like RunTrials, but independent trials run concurrently in a task arena
+/// (parallel/task_group.h) when thread budget allows. The trial callback is
+/// invoked from multiple threads, so it must derive all randomness from its
+/// trial index and touch no unsynchronized shared state. Results are
+/// summarized in trial-index order, so the returned stats are bit-identical
+/// to RunTrials for any such callback at any thread count.
+TrialStats RunTrialsParallel(
+    int num_trials, const std::function<double(int trial_index)>& trial);
+
 }  // namespace rdd
 
 #endif  // RDD_TRAIN_EXPERIMENT_H_

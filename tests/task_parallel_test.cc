@@ -1,0 +1,325 @@
+// Tests for task-level parallelism: TaskGroup arena semantics (budget
+// split, nesting, no oversubscription, sequential fallback), bit-identity
+// of member-parallel ensemble training against the sequential schedule at
+// 1 and 4 threads, RunTrialsParallel equivalence, and a TSan stress of
+// concurrent trainers sharing the global buffer pool.
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "data/citation_gen.h"
+#include "ensemble/bagging.h"
+#include "ensemble/co_training.h"
+#include "memory/buffer_pool.h"
+#include "parallel/parallel_for.h"
+#include "parallel/task_group.h"
+#include "tensor/matrix.h"
+#include "train/experiment.h"
+
+namespace rdd {
+namespace {
+
+using parallel::EffectiveThreads;
+using parallel::NumThreads;
+using parallel::ParallelFor;
+using parallel::ParallelTasks;
+using parallel::SetNumThreads;
+using parallel::SetTaskParallelEnabled;
+using parallel::TaskGroup;
+using parallel::TaskParallelEnabled;
+
+/// Restores the configured thread count on scope exit so tests compose.
+class ThreadCountGuard {
+ public:
+  ThreadCountGuard() : saved_(NumThreads()) {}
+  ~ThreadCountGuard() { SetNumThreads(saved_); }
+
+ private:
+  int saved_;
+};
+
+/// Restores the task-parallel switch on scope exit.
+class TaskParallelGuard {
+ public:
+  TaskParallelGuard() : saved_(TaskParallelEnabled()) {}
+  ~TaskParallelGuard() { SetTaskParallelEnabled(saved_); }
+
+ private:
+  bool saved_;
+};
+
+TEST(TaskGroupTest, RunsEveryTaskExactlyOnce) {
+  ThreadCountGuard guard;
+  SetNumThreads(4);
+  std::vector<std::atomic<int>> hits(64);
+  for (auto& h : hits) h = 0;
+  ParallelTasks(64, [&](int64_t i) { ++hits[static_cast<size_t>(i)]; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(TaskGroupTest, EmptyGroupAndZeroTasksAreNoOps) {
+  ThreadCountGuard guard;
+  SetNumThreads(4);
+  TaskGroup group;
+  group.Wait();  // Wait with no tasks must be safe.
+  bool called = false;
+  ParallelTasks(0, [&](int64_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(TaskGroupTest, GroupIsReusableAcrossRounds) {
+  ThreadCountGuard guard;
+  SetNumThreads(4);
+  TaskGroup group;
+  std::atomic<int> count{0};
+  for (int round = 0; round < 3; ++round) {
+    for (int t = 0; t < 5; ++t) {
+      group.Run([&count] { ++count; });
+    }
+    group.Wait();
+  }
+  EXPECT_EQ(count.load(), 15);
+}
+
+TEST(TaskGroupTest, ArenaSplitsThreadBudgetAcrossTasks) {
+  ThreadCountGuard guard;
+  TaskParallelGuard mode;
+  SetNumThreads(4);
+  SetTaskParallelEnabled(true);
+  // k concurrent tasks under N configured threads each see a budget of
+  // max(1, N / min(k, N)).
+  for (const int k : {2, 4, 8}) {
+    std::vector<int> budgets(static_cast<size_t>(k), 0);
+    ParallelTasks(k, [&](int64_t i) {
+      budgets[static_cast<size_t>(i)] = EffectiveThreads();
+    });
+    const int expected = std::max(1, 4 / std::min(k, 4));
+    for (int b : budgets) EXPECT_EQ(b, expected) << "k=" << k;
+  }
+  // A single task keeps the full budget.
+  std::vector<int> solo(1, 0);
+  ParallelTasks(1, [&](int64_t i) {
+    solo[static_cast<size_t>(i)] = EffectiveThreads();
+  });
+  EXPECT_EQ(solo[0], 4);
+}
+
+TEST(TaskGroupTest, DisabledSwitchRunsTasksInlineInSubmissionOrder) {
+  ThreadCountGuard guard;
+  TaskParallelGuard mode;
+  SetNumThreads(4);
+  SetTaskParallelEnabled(false);
+  std::vector<int64_t> order;  // No mutex: inline execution is serial.
+  ParallelTasks(16, [&](int64_t i) {
+    order.push_back(i);
+    EXPECT_EQ(EffectiveThreads(), 4);  // Full budget when sequential.
+  });
+  ASSERT_EQ(order.size(), 16u);
+  for (int64_t i = 0; i < 16; ++i) {
+    EXPECT_EQ(order[static_cast<size_t>(i)], i);
+  }
+}
+
+TEST(TaskGroupTest, NestedParallelForDoesNotDeadlockOrOversubscribe) {
+  ThreadCountGuard guard;
+  TaskParallelGuard mode;
+  SetNumThreads(4);
+  SetTaskParallelEnabled(true);
+  // Every task fans out an inner kernel. The claim-based scheduler must
+  // finish (no deadlock even though tasks and chunks share one pool) and
+  // the peak number of threads concurrently inside kernel bodies must
+  // never exceed the configured thread count.
+  std::atomic<int> active{0};
+  std::atomic<int> peak{0};
+  std::atomic<int64_t> total{0};
+  ParallelTasks(8, [&](int64_t) {
+    ParallelFor(0, 64, 1, [&](int64_t b, int64_t e) {
+      const int now = active.fetch_add(1, std::memory_order_acq_rel) + 1;
+      int prev = peak.load(std::memory_order_relaxed);
+      while (now > prev &&
+             !peak.compare_exchange_weak(prev, now,
+                                         std::memory_order_relaxed)) {
+      }
+      total.fetch_add(e - b, std::memory_order_relaxed);
+      active.fetch_sub(1, std::memory_order_acq_rel);
+    });
+  });
+  EXPECT_EQ(total.load(), 8 * 64);
+  EXPECT_LE(peak.load(), NumThreads());
+}
+
+TEST(TaskGroupTest, GroupsNestInsideGroups) {
+  ThreadCountGuard guard;
+  TaskParallelGuard mode;
+  SetNumThreads(4);
+  SetTaskParallelEnabled(true);
+  std::atomic<int> count{0};
+  ParallelTasks(4, [&](int64_t) {
+    ParallelTasks(4, [&](int64_t) { ++count; });
+  });
+  EXPECT_EQ(count.load(), 16);
+}
+
+TEST(RunTrialsParallelTest, MatchesSequentialRunTrials) {
+  ThreadCountGuard guard;
+  TaskParallelGuard mode;
+  SetNumThreads(4);
+  SetTaskParallelEnabled(true);
+  // A trial metric that is a pure (and order-sensitive to aggregate)
+  // function of the trial index.
+  const auto trial = [](int i) { return 1.0 / (1.0 + i * 0.37); };
+  const TrialStats serial = RunTrials(17, trial);
+  const TrialStats parallel = RunTrialsParallel(17, trial);
+  EXPECT_EQ(serial.count, parallel.count);
+  EXPECT_DOUBLE_EQ(serial.mean, parallel.mean);
+  EXPECT_DOUBLE_EQ(serial.stddev, parallel.stddev);
+  EXPECT_DOUBLE_EQ(serial.min, parallel.min);
+  EXPECT_DOUBLE_EQ(serial.max, parallel.max);
+}
+
+// ---------------------------------------------------------------------------
+// Schedule invariance: member-parallel ensemble training must be bit-exact
+// against the sequential schedule at every (thread count, switch) setting.
+// ---------------------------------------------------------------------------
+
+Dataset TinyDataset() {
+  CitationGenConfig config;
+  config.num_nodes = 220;
+  config.num_features = 60;
+  config.num_edges = 650;
+  config.num_classes = 4;
+  config.labeled_per_class = 5;
+  config.val_size = 40;
+  config.test_size = 60;
+  return GenerateCitationNetwork(config, 77);
+}
+
+void ExpectSameEnsembleResult(const EnsembleTrainResult& a,
+                              const EnsembleTrainResult& b) {
+  EXPECT_DOUBLE_EQ(a.ensemble_test_accuracy, b.ensemble_test_accuracy);
+  EXPECT_DOUBLE_EQ(a.average_member_test_accuracy,
+                   b.average_member_test_accuracy);
+  ASSERT_EQ(a.ensemble.size(), b.ensemble.size());
+  for (int64_t t = 0; t < a.ensemble.size(); ++t) {
+    EXPECT_TRUE(a.ensemble.member_probs(t).Equals(b.ensemble.member_probs(t)))
+        << "member " << t;
+  }
+  ASSERT_EQ(a.reports.size(), b.reports.size());
+  for (size_t t = 0; t < a.reports.size(); ++t) {
+    ASSERT_EQ(a.reports[t].val_history.size(),
+              b.reports[t].val_history.size());
+    for (size_t e = 0; e < a.reports[t].val_history.size(); ++e) {
+      EXPECT_DOUBLE_EQ(a.reports[t].val_history[e],
+                       b.reports[t].val_history[e]);
+    }
+  }
+  ASSERT_EQ(a.ensemble_accuracy_after_member.size(),
+            b.ensemble_accuracy_after_member.size());
+  for (size_t t = 0; t < a.ensemble_accuracy_after_member.size(); ++t) {
+    EXPECT_DOUBLE_EQ(a.ensemble_accuracy_after_member[t],
+                     b.ensemble_accuracy_after_member[t]);
+  }
+}
+
+TEST(TaskParallelEquivalenceTest, BaggingIsScheduleInvariant) {
+  const Dataset dataset = TinyDataset();
+  const GraphContext context = GraphContext::FromDataset(dataset);
+  BaggingConfig config;
+  config.num_models = 4;
+  config.train.max_epochs = 12;
+
+  ThreadCountGuard guard;
+  TaskParallelGuard mode;
+  // Reference: pure sequential schedule.
+  SetNumThreads(1);
+  SetTaskParallelEnabled(false);
+  const EnsembleTrainResult reference =
+      TrainBagging(dataset, context, config, 9);
+  // Every other schedule must reproduce it bit for bit.
+  const struct {
+    int threads;
+    bool tasks;
+  } schedules[] = {{1, true}, {4, false}, {4, true}};
+  for (const auto& s : schedules) {
+    SetNumThreads(s.threads);
+    SetTaskParallelEnabled(s.tasks);
+    ExpectSameEnsembleResult(reference,
+                             TrainBagging(dataset, context, config, 9));
+  }
+}
+
+TEST(TaskParallelEquivalenceTest, CoTrainingIsScheduleInvariant) {
+  const Dataset dataset = TinyDataset();
+  const GraphContext context = GraphContext::FromDataset(dataset);
+  CoTrainingConfig config;
+  config.additions_per_class = 8;
+  config.train.max_epochs = 12;
+
+  ThreadCountGuard guard;
+  TaskParallelGuard mode;
+  SetNumThreads(1);
+  SetTaskParallelEnabled(false);
+  const CoTrainingResult reference =
+      TrainCoTraining(dataset, context, config, 9);
+  const struct {
+    int threads;
+    bool tasks;
+  } schedules[] = {{1, true}, {4, false}, {4, true}};
+  for (const auto& s : schedules) {
+    SetNumThreads(s.threads);
+    SetTaskParallelEnabled(s.tasks);
+    const CoTrainingResult run = TrainCoTraining(dataset, context, config, 9);
+    EXPECT_DOUBLE_EQ(reference.test_accuracy, run.test_accuracy);
+    EXPECT_EQ(reference.pseudo_labels_added, run.pseudo_labels_added);
+    EXPECT_EQ(reference.pseudo_labels_correct, run.pseudo_labels_correct);
+    ASSERT_EQ(reference.final_report.val_history.size(),
+              run.final_report.val_history.size());
+    for (size_t e = 0; e < reference.final_report.val_history.size(); ++e) {
+      EXPECT_DOUBLE_EQ(reference.final_report.val_history[e],
+                       run.final_report.val_history[e]);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// TSan stress: concurrent trainers hammer the shared substrate (buffer pool
+// shards, thread pool, workspace depth). Results land in per-task slots and
+// must also be identical across rounds.
+// ---------------------------------------------------------------------------
+
+TEST(TaskParallelStressTest, ConcurrentTrainersSharePoolSafely) {
+  const Dataset dataset = TinyDataset();
+  const GraphContext context = GraphContext::FromDataset(dataset);
+  ThreadCountGuard guard;
+  TaskParallelGuard mode;
+  SetNumThreads(4);
+  SetTaskParallelEnabled(true);
+  memory::BufferPool::Global().Trim();
+
+  constexpr int kTrainers = 8;
+  BaggingConfig config;
+  config.num_models = 1;
+  config.train.max_epochs = 6;
+
+  std::vector<double> first(kTrainers, 0.0), second(kTrainers, 0.0);
+  for (std::vector<double>* round : {&first, &second}) {
+    std::vector<double>& out = *round;
+    ParallelTasks(kTrainers, [&](int64_t i) {
+      const uint64_t seed = 100 + static_cast<uint64_t>(i);
+      out[static_cast<size_t>(i)] =
+          TrainBagging(dataset, context, config, seed).ensemble_test_accuracy;
+    });
+  }
+  for (int i = 0; i < kTrainers; ++i) {
+    EXPECT_DOUBLE_EQ(first[static_cast<size_t>(i)],
+                     second[static_cast<size_t>(i)]);
+  }
+  memory::BufferPool::Global().Trim();
+}
+
+}  // namespace
+}  // namespace rdd
