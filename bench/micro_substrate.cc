@@ -20,6 +20,7 @@
 #include "nn/optimizer.h"
 #include "graph/normalize.h"
 #include "graph/pagerank.h"
+#include "simd/simd.h"
 #include "tensor/matrix.h"
 #include "tensor/ops.h"
 #include "tensor/sparse.h"
@@ -271,6 +272,108 @@ void BM_GcnTrainingEpochPoolMode(benchmark::State& state) {
 BENCHMARK(BM_GcnTrainingEpochPoolMode)
     ->Args({500, 1})->Args({500, 0})
     ->Args({2000, 1})->Args({2000, 0});
+
+/// Scoped SIMD backend override for backend-sweep fixtures. Restores the
+/// previous backend on destruction so later benchmarks see the dispatched
+/// default again.
+class SimdBackendOverride {
+ public:
+  explicit SimdBackendOverride(simd::Backend b)
+      : saved_(simd::ActiveBackend()) {
+    simd::SetBackend(b);
+  }
+  ~SimdBackendOverride() { simd::SetBackend(saved_); }
+
+ private:
+  simd::Backend saved_;
+};
+
+/// Arg 0 = forced scalar emulation, arg 1 = whatever the runtime dispatcher
+/// picked at startup (AVX2 on FMA-capable x86-64, NEON on aarch64, scalar
+/// otherwise). Every override restores on exit, so outside an override the
+/// active backend IS the dispatched one.
+simd::Backend BackendForArg(int64_t arg) {
+  static const simd::Backend dispatched = simd::ActiveBackend();
+  return arg == 0 ? simd::Backend::kScalar : dispatched;
+}
+
+/// Citation-benchmark shapes for the backend sweep: {nodes, features,
+/// hidden} for Cora, Citeseer, and Pubmed. The GEMM is the layer-1 feature
+/// transform X*W, the dominant dense cost of a GCN epoch.
+struct SweepShape {
+  int64_t nodes;
+  int64_t features;
+  int64_t hidden;
+};
+constexpr SweepShape kSweepShapes[] = {
+    {2708, 1433, 16},   // Cora
+    {3327, 3703, 6},    // Citeseer
+    {19717, 500, 16},   // Pubmed
+};
+
+// Single-thread scalar-vs-dispatched sweeps; arg0 selects the backend (see
+// BackendForArg), arg1 the dataset shape. The speedup table lives in
+// EXPERIMENTS.md ("SIMD backend sweep").
+
+void BM_GemmBackend(benchmark::State& state) {
+  ThreadCountOverride threads(1);
+  SimdBackendOverride backend(BackendForArg(state.range(0)));
+  const SweepShape& s = kSweepShapes[state.range(1)];
+  Rng rng(8);
+  const Matrix x = RandomMatrix(s.nodes, s.features, &rng);
+  const Matrix w = RandomMatrix(s.features, s.hidden, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Matmul(x, w));
+  }
+  state.SetItemsProcessed(state.iterations() * s.nodes * s.features *
+                          s.hidden);
+}
+BENCHMARK(BM_GemmBackend)
+    ->ArgNames({"dispatched", "shape"})
+    ->Args({0, 0})->Args({1, 0})
+    ->Args({0, 1})->Args({1, 1})
+    ->Args({0, 2})->Args({1, 2});
+
+void BM_SpmmBackend(benchmark::State& state) {
+  ThreadCountOverride threads(1);
+  SimdBackendOverride backend(BackendForArg(state.range(0)));
+  const SweepShape& s = kSweepShapes[state.range(1)];
+  Rng rng(9);
+  Graph graph = MakeErdosRenyiGraph(
+      s.nodes, 4.0 / static_cast<double>(s.nodes), &rng);
+  const SparseMatrix adj = GcnNormalizedAdjacency(graph);
+  const Matrix h = RandomMatrix(s.nodes, s.hidden, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(adj.Multiply(h));
+  }
+  state.SetItemsProcessed(state.iterations() * adj.nnz() * s.hidden);
+}
+BENCHMARK(BM_SpmmBackend)
+    ->ArgNames({"dispatched", "shape"})
+    ->Args({0, 0})->Args({1, 0})
+    ->Args({0, 1})->Args({1, 1})
+    ->Args({0, 2})->Args({1, 2});
+
+void BM_ElementwiseBackend(benchmark::State& state) {
+  // Axpy (grad accumulate) on a nodes x features activation, the largest
+  // elementwise operand of a training step.
+  ThreadCountOverride threads(1);
+  SimdBackendOverride backend(BackendForArg(state.range(0)));
+  const SweepShape& s = kSweepShapes[state.range(1)];
+  Rng rng(10);
+  Matrix acc = RandomMatrix(s.nodes, s.features, &rng);
+  const Matrix g = RandomMatrix(s.nodes, s.features, &rng);
+  for (auto _ : state) {
+    acc.Axpy(0.5f, g);
+    benchmark::DoNotOptimize(acc.Data());
+  }
+  state.SetItemsProcessed(state.iterations() * acc.size());
+}
+BENCHMARK(BM_ElementwiseBackend)
+    ->ArgNames({"dispatched", "shape"})
+    ->Args({0, 0})->Args({1, 0})
+    ->Args({0, 1})->Args({1, 1})
+    ->Args({0, 2})->Args({1, 2});
 
 void BM_NodeReliabilityUpdate(benchmark::State& state) {
   // The per-epoch reliability refresh (Algorithm 1) RDD pays for.

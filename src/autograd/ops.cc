@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "simd/simd.h"
 #include "tensor/ops.h"
 #include "util/logging.h"
 
@@ -114,15 +115,12 @@ Variable Softmax(const Variable& logits) {
         if (!logits.requires_grad()) return;
         const Matrix& p = *probs;
         Matrix grad(p.rows(), p.cols());
+        const auto& kt = simd::K();
         for (int64_t r = 0; r < p.rows(); ++r) {
           const float* pr = p.RowData(r);
           const float* gr = node->grad.RowData(r);
-          float dot = 0.0f;
-          for (int64_t c = 0; c < p.cols(); ++c) dot += gr[c] * pr[c];
-          float* out = grad.RowData(r);
-          for (int64_t c = 0; c < p.cols(); ++c) {
-            out[c] = pr[c] * (gr[c] - dot);
-          }
+          const float dot = kt.dot(gr, pr, p.cols());
+          kt.softmax_bwd_row(pr, gr, dot, grad.RowData(r), p.cols());
         }
         logits.impl()->AccumulateGrad(grad);
       });
@@ -254,10 +252,10 @@ Variable SoftmaxCrossEntropy(const Variable& logits,
         const Matrix& z = logits.value();
         Matrix grad(z.rows(), z.cols());
         const Matrix probs = SoftmaxRows(z);
+        const auto& kt = simd::K();
         for (int64_t i : *indices_copy) {
-          const float* p = probs.RowData(i);
           float* out = grad.RowData(i);
-          for (int64_t c = 0; c < z.cols(); ++c) out[c] += g * p[c];
+          kt.axpy(g, probs.RowData(i), out, z.cols());
           out[(*labels_copy)[static_cast<size_t>(i)]] -= g;
         }
         logits.impl()->AccumulateGrad(grad);
@@ -300,13 +298,10 @@ Variable RowSquaredError(const Variable& pred, const Matrix& target,
         const float g = 2.0f * node->grad.At(0, 0) * scale;
         const Matrix& p = pred.value();
         Matrix grad(p.rows(), p.cols());
+        const auto& kt = simd::K();
         for (int64_t i : *indices_copy) {
-          const float* a = p.RowData(i);
-          const float* b = target_copy->RowData(i);
-          float* out = grad.RowData(i);
-          for (int64_t c = 0; c < p.cols(); ++c) {
-            out[c] += g * (a[c] - b[c]);
-          }
+          kt.scaled_diff_accum(g, p.RowData(i), target_copy->RowData(i),
+                               grad.RowData(i), p.cols());
         }
         pred.impl()->AccumulateGrad(grad);
       });
@@ -347,16 +342,14 @@ Variable EdgeLaplacian(const Variable& emb,
         const float g = 2.0f * node->grad.At(0, 0) * scale;
         const Matrix& f = emb.value();
         Matrix grad(f.rows(), f.cols());
+        const auto& kt = simd::K();
         for (const auto& [i, j] : *edges_copy) {
           const float* a = f.RowData(i);
           const float* b = f.RowData(j);
-          float* gi = grad.RowData(i);
-          float* gj = grad.RowData(j);
-          for (int64_t c = 0; c < f.cols(); ++c) {
-            const float d = g * (a[c] - b[c]);
-            gi[c] += d;
-            gj[c] -= d;
-          }
+          // gi += g*(a-b); gj += (-g)*(a-b). Negating g is exact, so the two
+          // updates stay exact mirrors of each other.
+          kt.scaled_diff_accum(g, a, b, grad.RowData(i), f.cols());
+          kt.scaled_diff_accum(-g, a, b, grad.RowData(j), f.cols());
         }
         emb.impl()->AccumulateGrad(grad);
       });
@@ -394,15 +387,12 @@ Variable SoftCrossEntropy(const Variable& logits, const Matrix& target_probs,
         const Matrix& z = logits.value();
         Matrix grad(z.rows(), z.cols());
         const Matrix probs = SoftmaxRows(z);
+        const auto& kt = simd::K();
         for (int64_t i : *indices_copy) {
-          const float* p = probs.RowData(i);
-          const float* t = target_copy->RowData(i);
-          float* out = grad.RowData(i);
           // d/dz of -sum_c t_c log softmax(z)_c = softmax(z) - t
           // (valid when t sums to 1).
-          for (int64_t c = 0; c < z.cols(); ++c) {
-            out[c] += g * (p[c] - t[c]);
-          }
+          kt.scaled_diff_accum(g, probs.RowData(i), target_copy->RowData(i),
+                               grad.RowData(i), z.cols());
         }
         logits.impl()->AccumulateGrad(grad);
       });

@@ -1,6 +1,7 @@
 #include "memory/buffer_pool.h"
 
 #include <cstdlib>
+#include <new>
 
 namespace rdd::memory {
 
@@ -9,6 +10,17 @@ namespace {
 bool PoolDisabledByEnv() {
   const char* value = std::getenv("RDD_POOL_DISABLE");
   return value != nullptr && value[0] == '1' && value[1] == '\0';
+}
+
+// All pool memory goes through the aligned operator new/delete pair so every
+// buffer honors kBufferAlignment (see buffer_pool.h).
+float* AllocateAligned(size_t n) {
+  return static_cast<float*>(::operator new(
+      n * sizeof(float), std::align_val_t{kBufferAlignment}));
+}
+
+void FreeAligned(float* ptr) {
+  ::operator delete(ptr, std::align_val_t{kBufferAlignment});
 }
 
 }  // namespace
@@ -62,7 +74,7 @@ float* BufferPool::Acquire(size_t n) {
     ++shard.misses;
   }
   // Heap allocation outside the lock: a miss is already the slow path.
-  return new float[n];
+  return AllocateAligned(n);
 }
 
 void BufferPool::Release(float* ptr, size_t n) {
@@ -79,7 +91,7 @@ void BufferPool::Release(float* ptr, size_t n) {
       return;
     }
   }
-  delete[] ptr;
+  FreeAligned(ptr);
 }
 
 void BufferPool::Trim() {
@@ -95,7 +107,7 @@ void BufferPool::Trim() {
     }
     for (auto& [size, buffers] : doomed) {
       (void)size;
-      for (float* ptr : buffers) delete[] ptr;
+      for (float* ptr : buffers) FreeAligned(ptr);
     }
   }
   if (freed > 0) trims_.fetch_add(1, std::memory_order_relaxed);

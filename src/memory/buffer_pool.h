@@ -10,6 +10,13 @@
 
 namespace rdd::memory {
 
+/// Every pool buffer starts on a kBufferAlignment-byte boundary (one cache
+/// line, and the natural alignment for 512-bit vector loads). The SIMD
+/// kernels use unaligned loads so alignment is a performance guarantee, not
+/// a correctness precondition — but packed GEMM panels and pooled tensors
+/// should never straddle a cache line at element 0.
+inline constexpr std::size_t kBufferAlignment = 64;
+
 /// Counters describing pool behavior since the last ResetStats(). A "miss"
 /// is an Acquire that had to touch the heap (either the size bucket was
 /// empty or the pool is disabled); steady-state training epochs are expected

@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "parallel/parallel_for.h"
+#include "simd/simd.h"
 #include "util/logging.h"
 
 namespace rdd {
@@ -25,14 +27,18 @@ Sgd::Sgd(std::vector<Variable> params, float lr, float weight_decay)
 }
 
 void Sgd::Step() {
+  const auto& kt = simd::K();
   for (Variable& p : params_) {
     Matrix* w = p.mutable_value();
     const Matrix& g = p.grad();
     float* wd = w->Data();
     const float* gd = g.Data();
-    for (int64_t i = 0; i < w->size(); ++i) {
-      wd[i] -= lr_ * (gd[i] + weight_decay_ * wd[i]);
-    }
+    // Elementwise, so the chunking never changes any element's arithmetic.
+    parallel::ParallelFor(0, w->size(), parallel::GrainForCost(4),
+                          [&](int64_t i0, int64_t i1) {
+                            kt.sgd_step(wd + i0, gd + i0, i1 - i0, lr_,
+                                        weight_decay_);
+                          });
   }
 }
 
@@ -69,6 +75,7 @@ void Adam::Step() {
   const float bias2 = static_cast<float>(
       1.0 - std::pow(static_cast<double>(beta2_),
                      static_cast<double>(step_count_)));
+  const auto& kt = simd::K();
   for (size_t k = 0; k < params_.size(); ++k) {
     Matrix* w = params_[k].mutable_value();
     const Matrix& g = params_[k].grad();
@@ -76,14 +83,13 @@ void Adam::Step() {
     const float* gd = g.Data();
     float* md = m_[k].Data();
     float* vd = v_[k].Data();
-    for (int64_t i = 0; i < w->size(); ++i) {
-      const float grad = gd[i] + weight_decay_ * wd[i];
-      md[i] = beta1_ * md[i] + (1.0f - beta1_) * grad;
-      vd[i] = beta2_ * vd[i] + (1.0f - beta2_) * grad * grad;
-      const float m_hat = md[i] / bias1;
-      const float v_hat = vd[i] / bias2;
-      wd[i] -= lr_ * m_hat / (std::sqrt(v_hat) + epsilon_);
-    }
+    // Elementwise, so the chunking never changes any element's arithmetic.
+    parallel::ParallelFor(0, w->size(), parallel::GrainForCost(8),
+                          [&](int64_t i0, int64_t i1) {
+                            kt.adam_step(wd + i0, md + i0, vd + i0, gd + i0,
+                                         i1 - i0, lr_, weight_decay_, beta1_,
+                                         beta2_, bias1, bias2, epsilon_);
+                          });
   }
 }
 

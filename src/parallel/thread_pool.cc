@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "simd/simd.h"
 #include "util/logging.h"
 
 namespace rdd::parallel {
@@ -13,6 +14,9 @@ thread_local bool t_on_worker_thread = false;
 }  // namespace
 
 ThreadPool& ThreadPool::Global() {
+  // Resolve the SIMD kernel dispatch before any worker can touch a kernel,
+  // so the one-time cpuid/env resolution never races with hot loops.
+  simd::K();
   static ThreadPool* pool = new ThreadPool();
   // Leaked deliberately: workers may still be blocked in the condvar during
   // static destruction, and every task is awaited by its submitter before

@@ -1,0 +1,25 @@
+#ifndef RDD_SIMD_BACKENDS_H_
+#define RDD_SIMD_BACKENDS_H_
+
+#include "simd/simd.h"
+
+// Per-backend kernel tables. Each lives in its own translation unit so the
+// AVX2/NEON TUs can carry their ISA compile flags without leaking them into
+// the rest of the build (the dispatcher only ever calls a table after the
+// runtime CPU check passes).
+
+namespace rdd::simd::internal {
+
+const KernelTable& ScalarTable();
+
+#if defined(RDD_SIMD_HAVE_AVX2)
+const KernelTable& Avx2Table();
+#endif
+
+#if defined(RDD_SIMD_HAVE_NEON)
+const KernelTable& NeonTable();
+#endif
+
+}  // namespace rdd::simd::internal
+
+#endif  // RDD_SIMD_BACKENDS_H_

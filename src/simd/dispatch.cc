@@ -1,0 +1,162 @@
+// One-time runtime backend selection. The table pointer is resolved on
+// first use (or eagerly by ThreadPool::Global) from CPU feature detection,
+// overridable with RDD_SIMD=avx2|neon|scalar; after that, K() is a single
+// relaxed atomic load. SetBackend lets tests and benchmarks switch backends
+// mid-process — callers own the synchronization there, exactly as with
+// parallel::SetNumThreads.
+
+#include "simd/simd.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+
+#include "simd/backends.h"
+#include "util/logging.h"
+
+namespace rdd::simd {
+namespace {
+
+std::atomic<const KernelTable*> g_table{nullptr};
+std::atomic<Backend> g_backend{Backend::kScalar};
+std::once_flag g_resolve_once;
+
+Backend BestSupported() {
+#if defined(RDD_SIMD_HAVE_AVX2)
+  if (__builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma")) {
+    return Backend::kAvx2;
+  }
+#endif
+#if defined(RDD_SIMD_HAVE_NEON)
+  return Backend::kNeon;
+#endif
+  return Backend::kScalar;
+}
+
+void Activate(Backend b) {
+  const KernelTable* table = internal::TableFor(b);
+  RDD_CHECK(table != nullptr) << "backend " << BackendName(b)
+                              << " is not compiled into this binary";
+  g_backend.store(b, std::memory_order_relaxed);
+  g_table.store(table, std::memory_order_release);
+}
+
+void ResolveOnce() {
+  Backend chosen = BestSupported();
+  if (const char* env = std::getenv("RDD_SIMD"); env != nullptr && *env) {
+    Backend forced;
+    if (!internal::ParseBackendName(env, &forced)) {
+      RDD_LOG(Warning) << "RDD_SIMD=" << env
+                       << " is not a known backend (scalar|avx2|neon); using "
+                       << BackendName(chosen);
+    } else if (!BackendSupported(forced)) {
+      RDD_LOG(Warning) << "RDD_SIMD=" << env
+                       << " is not supported on this machine/binary; using "
+                       << BackendName(chosen);
+    } else {
+      chosen = forced;
+    }
+  }
+  Activate(chosen);
+}
+
+}  // namespace
+
+const KernelTable& K() {
+  const KernelTable* table = g_table.load(std::memory_order_acquire);
+  if (table == nullptr) {
+    std::call_once(g_resolve_once, ResolveOnce);
+    table = g_table.load(std::memory_order_acquire);
+  }
+  return *table;
+}
+
+Backend ActiveBackend() {
+  K();  // ensure resolved
+  return g_backend.load(std::memory_order_relaxed);
+}
+
+bool BackendSupported(Backend b) {
+  switch (b) {
+    case Backend::kScalar:
+      return true;
+    case Backend::kAvx2:
+#if defined(RDD_SIMD_HAVE_AVX2)
+      return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+#else
+      return false;
+#endif
+    case Backend::kNeon:
+#if defined(RDD_SIMD_HAVE_NEON)
+      return true;
+#else
+      return false;
+#endif
+  }
+  return false;
+}
+
+void SetBackend(Backend b) {
+  RDD_CHECK(BackendSupported(b))
+      << "cannot activate unsupported backend " << BackendName(b);
+  // Make sure the env-based resolution has run (and lost) before we
+  // overwrite the table, so a concurrent first K() cannot clobber us later.
+  std::call_once(g_resolve_once, ResolveOnce);
+  Activate(b);
+}
+
+const char* BackendName(Backend b) {
+  switch (b) {
+    case Backend::kScalar:
+      return "scalar";
+    case Backend::kAvx2:
+      return "avx2";
+    case Backend::kNeon:
+      return "neon";
+  }
+  return "unknown";
+}
+
+namespace internal {
+
+bool ParseBackendName(const char* value, Backend* out) {
+  if (value == nullptr) return false;
+  if (std::strcmp(value, "scalar") == 0) {
+    *out = Backend::kScalar;
+    return true;
+  }
+  if (std::strcmp(value, "avx2") == 0) {
+    *out = Backend::kAvx2;
+    return true;
+  }
+  if (std::strcmp(value, "neon") == 0) {
+    *out = Backend::kNeon;
+    return true;
+  }
+  return false;
+}
+
+const KernelTable* TableFor(Backend b) {
+  switch (b) {
+    case Backend::kScalar:
+      return &ScalarTable();
+    case Backend::kAvx2:
+#if defined(RDD_SIMD_HAVE_AVX2)
+      return &Avx2Table();
+#else
+      return nullptr;
+#endif
+    case Backend::kNeon:
+#if defined(RDD_SIMD_HAVE_NEON)
+      return &NeonTable();
+#else
+      return nullptr;
+#endif
+  }
+  return nullptr;
+}
+
+}  // namespace internal
+
+}  // namespace rdd::simd

@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "parallel/parallel_for.h"
+#include "simd/simd.h"
 #include "util/logging.h"
 #include "util/string_util.h"
 
@@ -12,16 +13,14 @@ namespace rdd {
 namespace {
 
 /// Shared shape of every in-place elementwise kernel below: parallel over
-/// disjoint index blocks, so results are bit-identical at any thread count.
+/// disjoint index blocks handed to a vectorized kernel as (begin, length).
+/// Elementwise results do not depend on the chunking, so they stay
+/// bit-identical at any thread count and on any SIMD backend.
 template <typename Fn>
-void ElementwiseParallel(size_t size, const Fn& fn) {
+void ChunkedParallel(size_t size, const Fn& fn) {
   parallel::ParallelFor(0, static_cast<int64_t>(size),
                         parallel::GrainForCost(1),
-                        [&](int64_t i0, int64_t i1) {
-                          for (int64_t i = i0; i < i1; ++i) {
-                            fn(static_cast<size_t>(i));
-                          }
-                        });
+                        [&](int64_t i0, int64_t i1) { fn(i0, i1 - i0); });
 }
 
 }  // namespace
@@ -138,7 +137,9 @@ void Matrix::Add(const Matrix& other) {
   RDD_CHECK_EQ(cols_, other.cols_);
   float* a = data_.data();
   const float* b = other.data_.data();
-  ElementwiseParallel(data_.size(), [&](size_t i) { a[i] += b[i]; });
+  const auto& kt = simd::K();
+  ChunkedParallel(data_.size(),
+                  [&](int64_t i0, int64_t len) { kt.add(b + i0, a + i0, len); });
 }
 
 void Matrix::Sub(const Matrix& other) {
@@ -146,7 +147,9 @@ void Matrix::Sub(const Matrix& other) {
   RDD_CHECK_EQ(cols_, other.cols_);
   float* a = data_.data();
   const float* b = other.data_.data();
-  ElementwiseParallel(data_.size(), [&](size_t i) { a[i] -= b[i]; });
+  const auto& kt = simd::K();
+  ChunkedParallel(data_.size(),
+                  [&](int64_t i0, int64_t len) { kt.sub(b + i0, a + i0, len); });
 }
 
 void Matrix::Mul(const Matrix& other) {
@@ -154,12 +157,16 @@ void Matrix::Mul(const Matrix& other) {
   RDD_CHECK_EQ(cols_, other.cols_);
   float* a = data_.data();
   const float* b = other.data_.data();
-  ElementwiseParallel(data_.size(), [&](size_t i) { a[i] *= b[i]; });
+  const auto& kt = simd::K();
+  ChunkedParallel(data_.size(),
+                  [&](int64_t i0, int64_t len) { kt.mul(b + i0, a + i0, len); });
 }
 
 void Matrix::Scale(float factor) {
   float* a = data_.data();
-  ElementwiseParallel(data_.size(), [&](size_t i) { a[i] *= factor; });
+  const auto& kt = simd::K();
+  ChunkedParallel(data_.size(),
+                  [&](int64_t i0, int64_t len) { kt.scale(factor, a + i0, len); });
 }
 
 void Matrix::Axpy(float factor, const Matrix& other) {
@@ -167,8 +174,10 @@ void Matrix::Axpy(float factor, const Matrix& other) {
   RDD_CHECK_EQ(cols_, other.cols_);
   float* a = data_.data();
   const float* b = other.data_.data();
-  ElementwiseParallel(data_.size(),
-                      [&](size_t i) { a[i] += factor * b[i]; });
+  const auto& kt = simd::K();
+  ChunkedParallel(data_.size(), [&](int64_t i0, int64_t len) {
+    kt.axpy(factor, b + i0, a + i0, len);
+  });
 }
 
 Matrix Matrix::Row(int64_t r) const {
@@ -186,21 +195,13 @@ void Matrix::SetRow(int64_t r, const Matrix& row) {
 }
 
 double Matrix::SquaredNorm() const {
-  double acc = 0.0;
-  const float* data = data_.data();
-  const size_t n = data_.size();
-  for (size_t i = 0; i < n; ++i) {
-    acc += static_cast<double>(data[i]) * data[i];
-  }
-  return acc;
+  // Canonical 8-lane-grouped double reduction (see simd/simd.h); the
+  // float->double widening makes each squared term exact.
+  return simd::K().sumsq_f64(data_.data(), static_cast<int64_t>(data_.size()));
 }
 
 double Matrix::Sum() const {
-  double acc = 0.0;
-  const float* data = data_.data();
-  const size_t n = data_.size();
-  for (size_t i = 0; i < n; ++i) acc += data[i];
-  return acc;
+  return simd::K().sum_f64(data_.data(), static_cast<int64_t>(data_.size()));
 }
 
 bool Matrix::Equals(const Matrix& other) const {

@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <cmath>
 
+#include "memory/buffer_pool.h"
 #include "parallel/parallel_for.h"
+#include "simd/simd.h"
 #include "util/logging.h"
 
 namespace rdd {
@@ -13,88 +15,104 @@ namespace rdd {
 // divergence is visible, and on dense activations the branch costs more
 // than the multiply it saves.
 //
-// All three GEMM variants use a 4-wide register-blocked micro-kernel (four
-// reduction indices per pass over the output row). The unroll pattern is a
-// fixed function of the shape — never of the thread count or chunk layout —
-// so results stay bit-identical between RDD_NUM_THREADS=1 and N; they differ
-// from a naive triple loop only in float-summation grouping.
+// All inner loops dispatch through simd::K(). Each output element sees one
+// strictly ordered FMA chain over the reduction index — a fixed function of
+// the shape, never of the thread count, SIMD backend, or packing decision —
+// so results stay bit-identical across RDD_NUM_THREADS and RDD_SIMD settings
+// (the contract in simd/simd.h).
 
-Matrix Matmul(const Matrix& a, const Matrix& b) {
-  RDD_CHECK_EQ(a.cols(), b.rows());
-  Matrix out(a.rows(), b.cols());
-  const int64_t m = a.rows();
-  const int64_t k = a.cols();
-  const int64_t n = b.cols();
-  // Parallel over output rows: each chunk writes a disjoint row range.
-  // out is freshly allocated, so out_row cannot alias a or b.
+namespace {
+
+// Cache blocking for the broadcast-A GEMM driver below: the packed B panel
+// is walked in kGemmKc-row blocks of kGemmNr-column tiles, sized so one
+// k-block of one tile (32 KiB) plus the A sliver stays L1-resident.
+constexpr int64_t kGemmKc = 256;
+constexpr int64_t kGemmNr = 32;
+
+// Repacks b (red x n, row-major) into contiguous kb x nb tiles: tile (k0,
+// j0) starts at k0 * n + kb * j0, covering reduction rows [k0, k0 + kb) and
+// columns [j0, j0 + nb). Total size is exactly red * n, so the pool buffer
+// shape recurs across epochs and stays a steady-state hit. Packing changes
+// only WHERE bytes live, never the per-element accumulation order.
+void PackB(const float* b, int64_t red, int64_t n, float* packed) {
+  const int64_t num_k_blocks = (red + kGemmKc - 1) / kGemmKc;
   parallel::ParallelFor(
-      0, m, parallel::GrainForCost(k * n), [&](int64_t r0, int64_t r1) {
-        for (int64_t i = r0; i < r1; ++i) {
-          const float* a_row = a.RowData(i);
-          float* __restrict__ out_row = out.RowData(i);
-          int64_t p = 0;
-          for (; p + 4 <= k; p += 4) {
-            const float a0 = a_row[p];
-            const float a1 = a_row[p + 1];
-            const float a2 = a_row[p + 2];
-            const float a3 = a_row[p + 3];
-            const float* b0 = b.RowData(p);
-            const float* b1 = b.RowData(p + 1);
-            const float* b2 = b.RowData(p + 2);
-            const float* b3 = b.RowData(p + 3);
-            for (int64_t j = 0; j < n; ++j) {
-              out_row[j] += a0 * b0[j] + a1 * b1[j] + a2 * b2[j] + a3 * b3[j];
+      0, num_k_blocks, /*grain=*/1, [&](int64_t blk0, int64_t blk1) {
+        for (int64_t blk = blk0; blk < blk1; ++blk) {
+          const int64_t k0 = blk * kGemmKc;
+          const int64_t kb = std::min(kGemmKc, red - k0);
+          for (int64_t j0 = 0; j0 < n; j0 += kGemmNr) {
+            const int64_t nb = std::min(kGemmNr, n - j0);
+            float* dst = packed + k0 * n + kb * j0;
+            for (int64_t p = 0; p < kb; ++p) {
+              const float* src = b + (k0 + p) * n + j0;
+              for (int64_t c = 0; c < nb; ++c) dst[p * nb + c] = src[c];
             }
           }
-          for (; p < k; ++p) {
-            const float av = a_row[p];
-            const float* b_row = b.RowData(p);
-            for (int64_t j = 0; j < n; ++j) out_row[j] += av * b_row[j];
+        }
+      });
+}
+
+// Shared driver for Matmul and MatmulTransposeA, which differ only in how
+// the per-output-row coefficient vector strides through `a`:
+//   out(i, :) += sum_p coeff(i, p) * b(p, :),
+//   coeff(i, p) = a_base[i * a_row_step + p * a_col_step].
+// Parallel over output rows (each chunk owns a disjoint row range of the
+// freshly allocated out). Large B operands are repacked once into a
+// pool-backed 64-byte-aligned tile panel so the k-loop streams L1-resident
+// tiles instead of striding whole rows of B.
+Matrix GemmBroadcastA(const float* a_base, int64_t a_row_step,
+                      int64_t a_col_step, int64_t out_rows, int64_t red,
+                      const Matrix& b) {
+  Matrix out(out_rows, b.cols());
+  const int64_t n = b.cols();
+  if (out_rows == 0 || red == 0 || n == 0) return out;
+  const auto& kt = simd::K();
+  const float* bdata = b.Data();
+  // Pack only when tiling changes the layout (otherwise B already is the
+  // single tile) and B is large enough that the one-off copy amortizes.
+  const bool pack = (n > kGemmNr || red > kGemmKc) && red * n >= (1 << 14);
+  memory::PooledBuffer packed(pack ? static_cast<size_t>(red * n) : 0);
+  if (pack) PackB(bdata, red, n, packed.data());
+  parallel::ParallelFor(
+      0, out_rows, parallel::GrainForCost(red * n),
+      [&](int64_t r0, int64_t r1) {
+        for (int64_t i = r0; i < r1; ++i) {
+          const float* coeff = a_base + i * a_row_step;
+          float* out_row = out.RowData(i);
+          if (!pack) {
+            kt.gemm_row(coeff, a_col_step, bdata, n, red, n, out_row);
+            continue;
+          }
+          for (int64_t k0 = 0; k0 < red; k0 += kGemmKc) {
+            const int64_t kb = std::min(kGemmKc, red - k0);
+            for (int64_t j0 = 0; j0 < n; j0 += kGemmNr) {
+              const int64_t nb = std::min(kGemmNr, n - j0);
+              kt.gemm_row(coeff + k0 * a_col_step, a_col_step,
+                          packed.data() + k0 * n + kb * j0, nb, kb, nb,
+                          out_row + j0);
+            }
           }
         }
       });
   return out;
 }
 
+}  // namespace
+
+Matrix Matmul(const Matrix& a, const Matrix& b) {
+  RDD_CHECK_EQ(a.cols(), b.rows());
+  // coeff(i, p) = a(i, p): contiguous rows of a.
+  return GemmBroadcastA(a.Data(), a.cols(), 1, a.rows(), a.cols(), b);
+}
+
 Matrix MatmulTransposeA(const Matrix& a, const Matrix& b) {
   RDD_CHECK_EQ(a.rows(), b.rows());
-  Matrix out(a.cols(), b.cols());
-  const int64_t m = a.rows();
-  const int64_t k = a.cols();
-  const int64_t n = b.cols();
   // out(p, :) += a(i, p) * b(i, :). With the reduction index i in the OUTER
   // loop every i writes all k output rows, so row-parallelism over i would
-  // race. Instead parallelize over output rows p (a column-block split of
-  // `a`): each chunk owns a disjoint slice of `out`, and the i-blocked
-  // accumulation per element is fixed per shape, keeping results
-  // bit-identical at any thread count. Reads of a(i, p) become strided,
-  // which is the price of race-freedom without per-thread scratch buffers.
-  parallel::ParallelFor(
-      0, k, parallel::GrainForCost(m * n), [&](int64_t p0, int64_t p1) {
-        for (int64_t p = p0; p < p1; ++p) {
-          float* __restrict__ out_row = out.RowData(p);
-          int64_t i = 0;
-          for (; i + 4 <= m; i += 4) {
-            const float a0 = a.RowData(i)[p];
-            const float a1 = a.RowData(i + 1)[p];
-            const float a2 = a.RowData(i + 2)[p];
-            const float a3 = a.RowData(i + 3)[p];
-            const float* b0 = b.RowData(i);
-            const float* b1 = b.RowData(i + 1);
-            const float* b2 = b.RowData(i + 2);
-            const float* b3 = b.RowData(i + 3);
-            for (int64_t j = 0; j < n; ++j) {
-              out_row[j] += a0 * b0[j] + a1 * b1[j] + a2 * b2[j] + a3 * b3[j];
-            }
-          }
-          for (; i < m; ++i) {
-            const float av = a.RowData(i)[p];
-            const float* b_row = b.RowData(i);
-            for (int64_t j = 0; j < n; ++j) out_row[j] += av * b_row[j];
-          }
-        }
-      });
-  return out;
+  // race; instead output row p reads COLUMN p of a (stride a.cols()), and
+  // the driver parallelizes over those disjoint output rows.
+  return GemmBroadcastA(a.Data(), 1, a.cols(), a.cols(), a.rows(), b);
 }
 
 Matrix MatmulTransposeB(const Matrix& a, const Matrix& b) {
@@ -103,29 +121,13 @@ Matrix MatmulTransposeB(const Matrix& a, const Matrix& b) {
   const int64_t m = a.rows();
   const int64_t k = a.cols();
   const int64_t n = b.rows();
+  if (m == 0 || n == 0) return out;
+  const auto& kt = simd::K();
   parallel::ParallelFor(
       0, m, parallel::GrainForCost(k * n), [&](int64_t r0, int64_t r1) {
         for (int64_t i = r0; i < r1; ++i) {
-          const float* a_row = a.RowData(i);
-          float* __restrict__ out_row = out.RowData(i);
-          for (int64_t j = 0; j < n; ++j) {
-            const float* b_row = b.RowData(j);
-            // Four independent accumulators break the add-latency chain.
-            float acc0 = 0.0f;
-            float acc1 = 0.0f;
-            float acc2 = 0.0f;
-            float acc3 = 0.0f;
-            int64_t p = 0;
-            for (; p + 4 <= k; p += 4) {
-              acc0 += a_row[p] * b_row[p];
-              acc1 += a_row[p + 1] * b_row[p + 1];
-              acc2 += a_row[p + 2] * b_row[p + 2];
-              acc3 += a_row[p + 3] * b_row[p + 3];
-            }
-            float acc = (acc0 + acc1) + (acc2 + acc3);
-            for (; p < k; ++p) acc += a_row[p] * b_row[p];
-            out_row[j] = acc;
-          }
+          // One canonical 8-lane dot product per output element.
+          kt.gemm_row_nt(a.RowData(i), b.Data(), k, k, n, out.RowData(i));
         }
       });
   return out;
@@ -150,11 +152,10 @@ Matrix Transpose(const Matrix& m) {
 Matrix Relu(const Matrix& m) {
   Matrix out = m;
   float* data = out.Data();
+  const auto& kt = simd::K();
   parallel::ParallelFor(0, out.size(), parallel::GrainForCost(1),
                         [&](int64_t i0, int64_t i1) {
-                          for (int64_t i = i0; i < i1; ++i) {
-                            data[i] = std::max(0.0f, data[i]);
-                          }
+                          kt.relu(data + i0, data + i0, i1 - i0);
                         });
   return out;
 }
@@ -165,11 +166,10 @@ Matrix ReluBackward(const Matrix& grad, const Matrix& input) {
   Matrix out = grad;
   float* g = out.Data();
   const float* x = input.Data();
+  const auto& kt = simd::K();
   parallel::ParallelFor(0, out.size(), parallel::GrainForCost(1),
                         [&](int64_t i0, int64_t i1) {
-                          for (int64_t i = i0; i < i1; ++i) {
-                            if (x[i] <= 0.0f) g[i] = 0.0f;
-                          }
+                          kt.relu_bwd(x + i0, g + i0, i1 - i0);
                         });
   return out;
 }
@@ -177,21 +177,21 @@ Matrix ReluBackward(const Matrix& grad, const Matrix& input) {
 Matrix SoftmaxRows(const Matrix& logits) {
   Matrix out(logits.rows(), logits.cols());
   const int64_t cols = logits.cols();
+  const auto& kt = simd::K();
+  // Max and sum use the canonical lane-grouped reductions; subtracting the
+  // true row max keeps every exponent <= 0, so large-logit rows cannot
+  // overflow to inf/NaN.
   parallel::ParallelFor(
       0, logits.rows(), parallel::GrainForCost(4 * cols),
       [&](int64_t r0, int64_t r1) {
         for (int64_t r = r0; r < r1; ++r) {
           const float* in = logits.RowData(r);
           float* o = out.RowData(r);
-          float max_v = in[0];
-          for (int64_t c = 1; c < cols; ++c) max_v = std::max(max_v, in[c]);
-          double sum = 0.0;
-          for (int64_t c = 0; c < cols; ++c) {
-            o[c] = std::exp(in[c] - max_v);
-            sum += o[c];
-          }
+          const float max_v = kt.row_max(in, cols);
+          for (int64_t c = 0; c < cols; ++c) o[c] = std::exp(in[c] - max_v);
+          const double sum = kt.sum_f64(o, cols);
           const float inv = static_cast<float>(1.0 / sum);
-          for (int64_t c = 0; c < cols; ++c) o[c] *= inv;
+          kt.scale(inv, o, cols);
         }
       });
   return out;
@@ -200,14 +200,16 @@ Matrix SoftmaxRows(const Matrix& logits) {
 Matrix LogSoftmaxRows(const Matrix& logits) {
   Matrix out(logits.rows(), logits.cols());
   const int64_t cols = logits.cols();
+  const auto& kt = simd::K();
   parallel::ParallelFor(
       0, logits.rows(), parallel::GrainForCost(4 * cols),
       [&](int64_t r0, int64_t r1) {
         for (int64_t r = r0; r < r1; ++r) {
           const float* in = logits.RowData(r);
           float* o = out.RowData(r);
-          float max_v = in[0];
-          for (int64_t c = 1; c < cols; ++c) max_v = std::max(max_v, in[c]);
+          const float max_v = kt.row_max(in, cols);
+          // The exp-of-double sum stays a serial scan: the doubles never
+          // materialize in memory and the std::exp calls dominate anyway.
           double sum = 0.0;
           for (int64_t c = 0; c < cols; ++c) {
             sum += std::exp(static_cast<double>(in[c]) - max_v);
@@ -258,10 +260,9 @@ std::vector<int64_t> ArgmaxRows(const Matrix& m) {
 Matrix ColumnSums(const Matrix& m) {
   Matrix out(1, m.cols());
   float* o = out.RowData(0);
-  for (int64_t r = 0; r < m.rows(); ++r) {
-    const float* row = m.RowData(r);
-    for (int64_t c = 0; c < m.cols(); ++c) o[c] += row[c];
-  }
+  const auto& kt = simd::K();
+  // Serial over rows: each column accumulates in ascending row order.
+  for (int64_t r = 0; r < m.rows(); ++r) kt.add(m.RowData(r), o, m.cols());
   return out;
 }
 
@@ -270,9 +271,9 @@ Matrix AddRowBroadcast(const Matrix& m, const Matrix& bias_row) {
   RDD_CHECK_EQ(bias_row.cols(), m.cols());
   Matrix out = m;
   const float* bias = bias_row.RowData(0);
+  const auto& kt = simd::K();
   for (int64_t r = 0; r < out.rows(); ++r) {
-    float* row = out.RowData(r);
-    for (int64_t c = 0; c < out.cols(); ++c) row[c] += bias[c];
+    kt.add(bias, out.RowData(r), out.cols());
   }
   return out;
 }

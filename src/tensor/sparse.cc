@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "parallel/parallel_for.h"
+#include "simd/simd.h"
 #include "util/logging.h"
 
 namespace rdd {
@@ -112,35 +113,22 @@ void SparseMatrix::MultiplyAdd(const Matrix& dense, float alpha,
   RDD_CHECK_EQ(out->cols(), dense.cols());
   const int64_t n = dense.cols();
   // Parallel over CSR rows: each chunk owns a disjoint range of output rows,
-  // and the per-row pairwise-blocked accumulation is a fixed function of the
-  // row's nnz, so results are bit-identical at any thread count. Grain
-  // assumes the average row nnz; badly skewed rows only cost load balance,
-  // never correctness.
+  // and the per-row strict ascending-nnz FMA order is a fixed function of
+  // the row's entries, so results are bit-identical at any thread count and
+  // SIMD backend. Grain assumes the average row nnz; badly skewed rows only
+  // cost load balance, never correctness.
   const int64_t avg_nnz =
       rows_ == 0 ? 1 : std::max<int64_t>(1, nnz() / rows_);
+  const auto& kt = simd::K();
+  const float* dense_data = dense.Data();
   parallel::ParallelFor(
       0, rows_, parallel::GrainForCost(avg_nnz * n),
       [&](int64_t r0, int64_t r1) {
         for (int64_t r = r0; r < r1; ++r) {
-          float* __restrict__ out_row = out->RowData(r);
-          int64_t k = row_ptr_[r];
-          const int64_t end = row_ptr_[r + 1];
-          // Two gathered rows per pass over out_row: halves the write
-          // traffic, which dominates at the ~4-nnz rows of citation graphs.
-          for (; k + 2 <= end; k += 2) {
-            const float v0 = alpha * values_[k];
-            const float v1 = alpha * values_[k + 1];
-            const float* in0 = dense.RowData(col_idx_[k]);
-            const float* in1 = dense.RowData(col_idx_[k + 1]);
-            for (int64_t c = 0; c < n; ++c) {
-              out_row[c] += v0 * in0[c] + v1 * in1[c];
-            }
-          }
-          for (; k < end; ++k) {
-            const float v = alpha * values_[k];
-            const float* in_row = dense.RowData(col_idx_[k]);
-            for (int64_t c = 0; c < n; ++c) out_row[c] += v * in_row[c];
-          }
+          const int64_t begin = row_ptr_[r];
+          kt.spmm_row(values_.data() + begin, col_idx_.data() + begin,
+                      row_ptr_[r + 1] - begin, alpha, dense_data, n,
+                      out->RowData(r), n);
         }
       });
 }
@@ -171,13 +159,12 @@ Matrix SparseMatrix::TransposeMultiply(const Matrix& dense) const {
                    nnz() / (kPartialOverheadFactor * std::max<int64_t>(
                                                          1, cols_))}));
 
+  const auto& kt = simd::K();
   auto scatter_rows = [&](int64_t r0, int64_t r1, Matrix* target) {
     for (int64_t r = r0; r < r1; ++r) {
       const float* in_row = dense.RowData(r);
       for (int64_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
-        const float v = values_[k];
-        float* out_row = target->RowData(col_idx_[k]);
-        for (int64_t c = 0; c < n; ++c) out_row[c] += v * in_row[c];
+        kt.axpy(values_[k], in_row, target->RowData(col_idx_[k]), n);
       }
     }
   };
@@ -212,8 +199,7 @@ Matrix SparseMatrix::TransposeMultiply(const Matrix& dense) const {
         for (int64_t r = c0; r < c1; ++r) {
           float* out_row = out.RowData(r);
           for (const Matrix& partial : partials) {
-            const float* p_row = partial.RowData(r);
-            for (int64_t c = 0; c < n; ++c) out_row[c] += p_row[c];
+            kt.add(partial.RowData(r), out_row, n);
           }
         }
       });

@@ -7,6 +7,7 @@
 
 #include <cstdint>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -74,6 +75,43 @@ TEST(BufferPoolTest, MissThenHitOnSameSize) {
   EXPECT_EQ(pool.stats().misses, 1u);
   EXPECT_EQ(pool.stats().free_buffers, 0u);
   pool.Release(b, 64);
+}
+
+TEST(BufferPoolTest, EveryBufferIsCacheLineAligned) {
+  PoolEnabledGuard guard;
+  ResetPool();
+  BufferPool& pool = BufferPool::Global();
+
+  // Fresh heap allocations of assorted (deliberately odd) sizes.
+  std::vector<std::pair<float*, size_t>> held;
+  for (size_t n : {1u, 7u, 63u, 64u, 65u, 1000u, 4097u}) {
+    float* ptr = pool.Acquire(n);
+    ASSERT_NE(ptr, nullptr);
+    EXPECT_EQ(reinterpret_cast<uintptr_t>(ptr) % memory::kBufferAlignment, 0u)
+        << "fresh buffer of " << n << " floats";
+    held.emplace_back(ptr, n);
+  }
+  for (auto [ptr, n] : held) pool.Release(ptr, n);
+
+  // Recycled buffers keep the alignment (they are the same pointers, but
+  // this is the property the SIMD packed-GEMM panels rely on).
+  for (size_t n : {1u, 7u, 63u, 64u, 65u, 1000u, 4097u}) {
+    float* ptr = pool.Acquire(n);
+    EXPECT_EQ(reinterpret_cast<uintptr_t>(ptr) % memory::kBufferAlignment, 0u)
+        << "recycled buffer of " << n << " floats";
+    pool.Release(ptr, n);
+  }
+
+  // The RAII handle and the disabled-pool (straight heap) path too.
+  PooledBuffer handle(129);
+  EXPECT_EQ(
+      reinterpret_cast<uintptr_t>(handle.data()) % memory::kBufferAlignment,
+      0u);
+  pool.set_enabled(false);
+  float* unpooled = pool.Acquire(77);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(unpooled) % memory::kBufferAlignment,
+            0u);
+  pool.Release(unpooled, 77);
 }
 
 TEST(BufferPoolTest, BucketsAreExactSizes) {
