@@ -21,6 +21,7 @@
 #include "data/citation_gen.h"
 #include "data/dataset.h"
 #include "models/model_factory.h"
+#include "observe/metrics.h"
 #include "parallel/parallel_for.h"
 #include "train/trainer.h"
 
@@ -148,8 +149,16 @@ class JsonReport {
       out += "\n    \"" + metrics_[i].first +
              "\": " + FormatDouble(metrics_[i].second);
     }
-    out += metrics_.empty() ? "}\n" : "\n  }\n";
-    out += "}\n";
+    out += metrics_.empty() ? "}" : "\n  }";
+    // With RDD_METRICS=1 the report also carries the process-wide
+    // instrument registry (kernel call/FLOP counters, pool and scheduler
+    // gauges, epoch histograms) — see src/observe/metrics.h.
+    if (observe::MetricsEnabled()) {
+      out += ",\n  \"observability\": " +
+             observe::SnapshotToJson(
+                 observe::MetricsRegistry::Global().Snapshot());
+    }
+    out += "\n}\n";
     return out;
   }
 

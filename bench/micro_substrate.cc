@@ -18,6 +18,8 @@
 #include "graph/generators.h"
 #include "models/model_factory.h"
 #include "nn/optimizer.h"
+#include "observe/metrics.h"
+#include "observe/trace.h"
 #include "graph/normalize.h"
 #include "graph/pagerank.h"
 #include "simd/simd.h"
@@ -272,6 +274,71 @@ void BM_GcnTrainingEpochPoolMode(benchmark::State& state) {
 BENCHMARK(BM_GcnTrainingEpochPoolMode)
     ->Args({500, 1})->Args({500, 0})
     ->Args({2000, 1})->Args({2000, 0});
+
+/// Scoped metrics-enabled override so observability sweeps restore the
+/// RDD_METRICS-derived default for later benchmarks.
+class MetricsModeOverride {
+ public:
+  explicit MetricsModeOverride(bool enabled)
+      : saved_(observe::MetricsEnabled()) {
+    observe::SetMetricsEnabled(enabled);
+  }
+  ~MetricsModeOverride() { observe::SetMetricsEnabled(saved_); }
+
+ private:
+  bool saved_;
+};
+
+void BM_GcnTrainingEpochObserveMode(benchmark::State& state) {
+  // The instrumentation-overhead bench behind the "<3% on a Cora-shape
+  // epoch" acceptance bar (EXPERIMENTS.md "Observability overhead"). Arg 0
+  // selects the citation shape (see kSweepShapes above: Cora / Citeseer /
+  // Pubmed), arg 1 the observability mode: 0 = everything off (the
+  // default), 1 = RDD_METRICS counters/histograms on, 2 = metrics plus an
+  // active trace collecting a span per epoch. The three modes run the same
+  // arithmetic — observability only reads — so any timing delta IS the
+  // instrumentation cost.
+  struct ObserveShape { int64_t nodes; int64_t features; };
+  constexpr ObserveShape kShapes[] = {
+      {2708, 1433},    // Cora
+      {3327, 3703},    // Citeseer
+      {19717, 500},    // Pubmed
+  };
+  const ObserveShape& shape = kShapes[state.range(0)];
+  const int64_t mode = state.range(1);
+  MetricsModeOverride metrics(mode >= 1);
+  const bool trace = mode >= 2;
+  if (trace) observe::StartTracing("micro_substrate_trace.json");
+  memory::Workspace workspace;
+  CitationGenConfig config;
+  config.num_nodes = shape.nodes;
+  config.num_features = shape.features;
+  config.num_edges = shape.nodes * 2;
+  config.num_classes = 5;
+  config.labeled_per_class = 10;
+  config.val_size = shape.nodes / 10;
+  config.test_size = shape.nodes / 5;
+  const Dataset dataset = GenerateCitationNetwork(config, 6);
+  const GraphContext context = GraphContext::FromDataset(dataset);
+  auto model = BuildModel(context, ModelConfig{}, 1);
+  Adam optimizer(model->Parameters(), 0.01f, 5e-4f);
+  for (auto _ : state) {
+    observe::TraceSpan span("bench/epoch");
+    ModelOutput output = model->Forward(/*training=*/true);
+    Variable loss = ag::SoftmaxCrossEntropy(output.logits, dataset.labels,
+                                            dataset.split.train,
+                                            ag::Reduction::kMean);
+    loss.Backward();
+    optimizer.Step();
+    benchmark::DoNotOptimize(loss.value().At(0, 0));
+  }
+  if (trace) observe::StopTracing();
+}
+BENCHMARK(BM_GcnTrainingEpochObserveMode)
+    ->ArgNames({"shape", "observe"})
+    ->Args({0, 0})->Args({0, 1})->Args({0, 2})
+    ->Args({1, 0})->Args({1, 1})->Args({1, 2})
+    ->Args({2, 0})->Args({2, 1})->Args({2, 2});
 
 /// Scoped SIMD backend override for backend-sweep fixtures. Restores the
 /// previous backend on destruction so later benchmarks see the dispatched

@@ -7,6 +7,8 @@
 #include "graph/pagerank.h"
 #include "memory/workspace.h"
 #include "nn/metrics.h"
+#include "observe/metrics.h"
+#include "observe/trace.h"
 #include "parallel/task_group.h"
 #include "tensor/ops.h"
 #include "util/logging.h"
@@ -87,6 +89,12 @@ RddResult TrainRdd(const Dataset& dataset, const GraphContext& context,
 
   Matrix last_student_probs;
   for (int t = 0; t < config.num_base_models; ++t) {
+    // Spans name the phases of Algorithms 1-3 so a trace of one run shows,
+    // nested under each "rdd/student": the teacher view construction, every
+    // "train/epoch" with its reliability classification (Algorithm 1/2)
+    // and loss terms, and the closing ensemble update. Tracing observes
+    // only — enabled and disabled runs are bit-identical (observe_test).
+    observe::TraceSpan student_span("rdd/student", t);
     auto student = BuildModel(context, config.base_model,
                               student_seeds[static_cast<size_t>(t)]);
     StudentDiagnostics diag;
@@ -105,10 +113,16 @@ RddResult TrainRdd(const Dataset& dataset, const GraphContext& context,
       Matrix teacher_probs;
       Matrix teacher_embeddings;
       {
+        observe::TraceSpan span("rdd/teacher_views");
         parallel::TaskGroup group;
-        group.Run([&] { teacher_probs = result.teacher.PredictProbs(); });
-        group.Run(
-            [&] { teacher_embeddings = result.teacher.PredictEmbeddings(); });
+        group.Run([&] {
+          observe::TraceSpan probs_span("teacher/predict_probs");
+          teacher_probs = result.teacher.PredictProbs();
+        });
+        group.Run([&] {
+          observe::TraceSpan emb_span("teacher/predict_embeddings");
+          teacher_embeddings = result.teacher.PredictEmbeddings();
+        });
         group.Wait();
       }
       GraphModel* student_ptr = student.get();
@@ -124,6 +138,7 @@ RddResult TrainRdd(const Dataset& dataset, const GraphContext& context,
         std::vector<bool> reliable;
         std::vector<int64_t> distill_nodes;
         if (config.use_node_reliability) {
+          observe::TraceSpan span("rdd/node_reliability", epoch);
           NodeReliability rel = ComputeNodeReliability(
               teacher_probs, student_probs, dataset.labels, train_mask,
               config.reliability);
@@ -151,6 +166,7 @@ RddResult TrainRdd(const Dataset& dataset, const GraphContext& context,
                                         anneal_horizon)
                   : config.gamma_initial;
           if (gamma > 0.0f) {
+            observe::TraceSpan span("rdd/node_distill_loss");
             if (config.distill_loss == DistillLoss::kEmbeddingMse) {
               terms.push_back(ag::RowSquaredError(output.embedding,
                                                   teacher_embeddings,
@@ -173,12 +189,16 @@ RddResult TrainRdd(const Dataset& dataset, const GraphContext& context,
         }
         // beta * Lreg (Eq. 9): Laplacian smoothing over reliable edges.
         if (use_lreg) {
+          observe::TraceSpan span("rdd/edge_reg_loss");
           const std::vector<int64_t> student_preds = ArgmaxRows(student_probs);
-          const auto edges =
-              config.use_edge_reliability
-                  ? ComputeReliableEdges(dataset.graph, reliable,
-                                         student_preds)
-                  : AllEdges(dataset.graph);
+          std::vector<std::pair<int64_t, int64_t>> edges;
+          {
+            observe::TraceSpan edges_span("rdd/edge_reliability", epoch);
+            edges = config.use_edge_reliability
+                        ? ComputeReliableEdges(dataset.graph, reliable,
+                                               student_preds)
+                        : AllEdges(dataset.graph);
+          }
           diag.reliable_edges = static_cast<int64_t>(edges.size());
           if (!edges.empty()) {
             if (config.edge_reg_target == EdgeRegTarget::kEmbedding) {
@@ -201,6 +221,7 @@ RddResult TrainRdd(const Dataset& dataset, const GraphContext& context,
     }
 
     // Lines 19-21: cache the trained student and add it to the ensemble.
+    observe::TraceSpan ensemble_span("rdd/ensemble_update", t);
     const ModelOutput final_output = student->Forward(/*training=*/false);
     Matrix probs = SoftmaxRows(final_output.logits.value());
     const double alpha = config.use_entropy_pagerank_weights

@@ -44,6 +44,16 @@ struct RddResult {
 /// Runs Algorithm 3: trains `config.num_base_models` students, each under
 /// the reliability-filtered supervision of the ensemble of its
 /// predecessors, and returns the final teacher plus per-student metrics.
+///
+/// Contract: the result is a pure function of (dataset, context, config,
+/// seed) — bit-identical at any RDD_NUM_THREADS, RDD_SIMD backend, pool
+/// mode, and with metrics/tracing on or off (tests/memory_test.cc,
+/// simd_test.cc, observe_test.cc each pin one axis on a full run).
+///
+/// Observability: with RDD_TRACE set, the run emits one "rdd/student" span
+/// per Algorithm 3 iteration, nesting "rdd/teacher_views", per-epoch
+/// reliability classification and loss-term spans, and the closing
+/// "rdd/ensemble_update" — see DESIGN.md §9 for the span → algorithm map.
 RddResult TrainRdd(const Dataset& dataset, const GraphContext& context,
                    const RddConfig& config, uint64_t seed);
 

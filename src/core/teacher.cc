@@ -1,6 +1,7 @@
 #include "core/teacher.h"
 
 #include "nn/metrics.h"
+#include "observe/trace.h"
 #include "parallel/parallel_for.h"
 #include "util/logging.h"
 
@@ -21,6 +22,8 @@ void Teacher::AddMember(Matrix probs, Matrix embeddings, double alpha) {
 
 Matrix Teacher::WeightedAverage(const std::vector<Matrix>& parts) const {
   RDD_CHECK(!parts.empty());
+  observe::TraceSpan span("teacher/weighted_average",
+                          static_cast<int64_t>(parts.size()));
   double total = 0.0;
   for (double w : weights_) total += w;
   RDD_CHECK_GT(total, 0.0);

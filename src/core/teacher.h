@@ -24,9 +24,13 @@ class Teacher {
   const std::vector<double>& weights() const { return weights_; }
 
   /// Weight-normalized average softmax prediction H_t(x) (Eq. 13).
+  /// Members are summed in insertion order per element (a fixed reduction
+  /// at any thread count), so teacher views are deterministic; the
+  /// averaging pass is traced as "teacher/weighted_average".
   Matrix PredictProbs() const;
 
-  /// Weight-normalized average embedding F_t(x), the target of the L2 loss.
+  /// Weight-normalized average embedding F_t(x), the target of the L2 loss
+  /// (Eq. 7). Same determinism and tracing contract as PredictProbs().
   Matrix PredictEmbeddings() const;
 
   /// Accuracy of the combined prediction over `indices`.

@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "memory/workspace.h"
+#include "observe/trace.h"
 #include "parallel/task_group.h"
 #include "util/logging.h"
 #include "util/random.h"
@@ -42,6 +43,7 @@ EnsembleTrainResult TrainBagging(const Dataset& dataset,
   // budget (see parallel/task_group.h).
   std::vector<MemberOutcome> outcomes(static_cast<size_t>(config.num_models));
   parallel::ParallelTasks(config.num_models, [&](int64_t t) {
+    observe::TraceSpan span("bagging/member", t);
     const size_t st = static_cast<size_t>(t);
     auto model = BuildModel(context, config.base_model, member_seeds[st]);
     outcomes[st].report = TrainSupervised(model.get(), dataset, config.train);

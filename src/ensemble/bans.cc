@@ -4,6 +4,7 @@
 
 #include "autograd/ops.h"
 #include "memory/workspace.h"
+#include "observe/trace.h"
 #include "util/logging.h"
 #include "util/random.h"
 #include "util/timer.h"
@@ -60,6 +61,7 @@ EnsembleTrainResult TrainBans(const Dataset& dataset,
 
   Matrix teacher_probs;  // Softmax outputs of the previous student.
   for (int t = 0; t < config.num_models; ++t) {
+    observe::TraceSpan span("bans/generation", t);
     auto model = BuildModel(context, config.base_model,
                             member_seeds[static_cast<size_t>(t)]);
     if (t == 0) {

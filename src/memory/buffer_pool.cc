@@ -3,6 +3,8 @@
 #include <cstdlib>
 #include <new>
 
+#include "observe/metrics.h"
+
 namespace rdd::memory {
 
 namespace {
@@ -30,7 +32,33 @@ BufferPool::BufferPool() : enabled_(!PoolDisabledByEnv()) {}
 BufferPool& BufferPool::Global() {
   // Leaked on purpose: Matrix objects with static storage duration release
   // their buffers during static destruction, which must outlive the pool.
-  static BufferPool* pool = new BufferPool();
+  static BufferPool* pool = [] {
+    auto* p = new BufferPool();
+    // The pool keeps its own (shard-local, lock-protected) accounting for
+    // exactness; the metrics registry pulls it at snapshot time instead of
+    // double-counting on the hot path. Callbacks capture the leaked
+    // singleton, so they stay valid for the life of the process.
+    observe::MetricsRegistry& r = observe::MetricsRegistry::Global();
+    r.RegisterCallbackGauge("pool.hits", [p] {
+      return static_cast<int64_t>(p->stats().hits);
+    });
+    r.RegisterCallbackGauge("pool.misses", [p] {
+      return static_cast<int64_t>(p->stats().misses);
+    });
+    r.RegisterCallbackGauge("pool.releases", [p] {
+      return static_cast<int64_t>(p->stats().releases);
+    });
+    r.RegisterCallbackGauge("pool.live_floats", [p] {
+      return static_cast<int64_t>(p->stats().live_floats);
+    });
+    r.RegisterCallbackGauge("pool.peak_live_floats", [p] {
+      return static_cast<int64_t>(p->stats().peak_live_floats);
+    });
+    r.RegisterCallbackGauge("pool.free_floats", [p] {
+      return static_cast<int64_t>(p->stats().free_floats);
+    });
+    return p;
+  }();
   return *pool;
 }
 

@@ -21,6 +21,12 @@ inline constexpr std::size_t kBufferAlignment = 64;
 /// is an Acquire that had to touch the heap (either the size bucket was
 /// empty or the pool is disabled); steady-state training epochs are expected
 /// to run at zero misses.
+///
+/// The same figures are published to the process metrics registry
+/// (observe/metrics.h) as pull-style gauges — "pool.hits", "pool.misses",
+/// "pool.releases", "pool.live_floats", "pool.peak_live_floats",
+/// "pool.free_floats" — evaluated from this struct at snapshot time, so a
+/// MetricsSnapshot and stats() can never disagree.
 struct PoolStats {
   uint64_t hits = 0;      ///< Acquires satisfied from a freelist bucket.
   uint64_t misses = 0;    ///< Acquires that allocated from the heap.

@@ -2,7 +2,9 @@
 
 #include <cmath>
 
+#include "observe/metrics.h"
 #include "parallel/parallel_for.h"
+#include "simd/kernel_stats.h"
 #include "simd/simd.h"
 #include "util/logging.h"
 
@@ -28,6 +30,11 @@ Sgd::Sgd(std::vector<Variable> params, float lr, float weight_decay)
 
 void Sgd::Step() {
   const auto& kt = simd::K();
+  if (observe::MetricsEnabled()) {
+    int64_t elements = 0;
+    for (const Variable& p : params_) elements += p.value().size();
+    simd::RecordOptimizerStep(static_cast<int64_t>(params_.size()), elements);
+  }
   for (Variable& p : params_) {
     Matrix* w = p.mutable_value();
     const Matrix& g = p.grad();
@@ -76,6 +83,11 @@ void Adam::Step() {
       1.0 - std::pow(static_cast<double>(beta2_),
                      static_cast<double>(step_count_)));
   const auto& kt = simd::K();
+  if (observe::MetricsEnabled()) {
+    int64_t elements = 0;
+    for (const Variable& p : params_) elements += p.value().size();
+    simd::RecordOptimizerStep(static_cast<int64_t>(params_.size()), elements);
+  }
   for (size_t k = 0; k < params_.size(); ++k) {
     Matrix* w = params_[k].mutable_value();
     const Matrix& g = params_[k].grad();

@@ -1,0 +1,209 @@
+#include "observe/metrics.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <deque>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+
+namespace rdd::observe {
+
+namespace {
+
+bool MetricsEnabledByEnv() {
+  const char* value = std::getenv("RDD_METRICS");
+  return value != nullptr && value[0] == '1' && value[1] == '\0';
+}
+
+std::atomic<bool>& MetricsFlag() {
+  static std::atomic<bool> enabled{MetricsEnabledByEnv()};
+  return enabled;
+}
+
+std::string FormatInt(int64_t v) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%lld", static_cast<long long>(v));
+  return buffer;
+}
+
+std::string FormatUint(uint64_t v) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%llu",
+                static_cast<unsigned long long>(v));
+  return buffer;
+}
+
+}  // namespace
+
+bool MetricsEnabled() {
+  return MetricsFlag().load(std::memory_order_relaxed);
+}
+
+void SetMetricsEnabled(bool enabled) {
+  MetricsFlag().store(enabled, std::memory_order_relaxed);
+}
+
+/// Instruments live in deques so registration never moves an existing
+/// object: the references handed to call sites stay valid forever. The
+/// name maps carry insertion indices so snapshots list instruments in
+/// registration order (stable across runs, since registration order is
+/// code-path order).
+struct MetricsRegistry::Impl {
+  mutable std::mutex mu;
+  std::deque<Counter> counters;
+  std::deque<Gauge> gauges;
+  std::deque<Histogram> histograms;
+  std::vector<std::string> counter_names;
+  std::vector<std::string> gauge_names;
+  std::vector<std::string> histogram_names;
+  std::unordered_map<std::string, size_t> counter_index;
+  std::unordered_map<std::string, size_t> gauge_index;
+  std::unordered_map<std::string, size_t> histogram_index;
+  std::vector<std::pair<std::string, std::function<int64_t()>>> callbacks;
+};
+
+MetricsRegistry& MetricsRegistry::Global() {
+  // Leaked like BufferPool/ThreadPool: instruments registered from static
+  // initializers and released-at-exit subsystems must stay valid for the
+  // whole process lifetime.
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+MetricsRegistry::Impl& MetricsRegistry::impl() const {
+  static Impl* impl = new Impl();
+  return *impl;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  Impl& i = impl();
+  std::lock_guard<std::mutex> lock(i.mu);
+  auto [it, inserted] = i.counter_index.emplace(name, i.counters.size());
+  if (inserted) {
+    i.counters.emplace_back();
+    i.counter_names.push_back(name);
+  }
+  return i.counters[it->second];
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  Impl& i = impl();
+  std::lock_guard<std::mutex> lock(i.mu);
+  auto [it, inserted] = i.gauge_index.emplace(name, i.gauges.size());
+  if (inserted) {
+    i.gauges.emplace_back();
+    i.gauge_names.push_back(name);
+  }
+  return i.gauges[it->second];
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name) {
+  Impl& i = impl();
+  std::lock_guard<std::mutex> lock(i.mu);
+  auto [it, inserted] = i.histogram_index.emplace(name, i.histograms.size());
+  if (inserted) {
+    i.histograms.emplace_back();
+    i.histogram_names.push_back(name);
+  }
+  return i.histograms[it->second];
+}
+
+void MetricsRegistry::RegisterCallbackGauge(const std::string& name,
+                                            std::function<int64_t()> fn) {
+  Impl& i = impl();
+  std::lock_guard<std::mutex> lock(i.mu);
+  for (auto& [existing, callback] : i.callbacks) {
+    if (existing == name) {
+      callback = std::move(fn);
+      return;
+    }
+  }
+  i.callbacks.emplace_back(name, std::move(fn));
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  Impl& i = impl();
+  MetricsSnapshot snapshot;
+  // Callbacks are copied out and evaluated OUTSIDE the registry lock: a
+  // callback reads its subsystem's own state (e.g. the thread pool queue
+  // under the pool mutex) and must never do so while holding ours.
+  std::vector<std::pair<std::string, std::function<int64_t()>>> callbacks;
+  {
+    std::lock_guard<std::mutex> lock(i.mu);
+    for (size_t c = 0; c < i.counters.size(); ++c) {
+      snapshot.counters.push_back(
+          {i.counter_names[c], static_cast<int64_t>(i.counters[c].value()),
+           0});
+    }
+    for (size_t g = 0; g < i.gauges.size(); ++g) {
+      snapshot.gauges.push_back({i.gauge_names[g], i.gauges[g].value(),
+                                 i.gauges[g].max_value()});
+    }
+    for (size_t h = 0; h < i.histograms.size(); ++h) {
+      const Histogram& hist = i.histograms[h];
+      HistogramValue value;
+      value.name = i.histogram_names[h];
+      value.count = hist.count();
+      value.sum = hist.sum();
+      for (int b = 0; b < Histogram::kNumBuckets; ++b) {
+        const uint64_t n = hist.bucket_count(b);
+        if (n > 0) value.buckets.emplace_back(Histogram::BucketLowerBound(b), n);
+      }
+      snapshot.histograms.push_back(std::move(value));
+    }
+    callbacks = i.callbacks;
+  }
+  for (const auto& [name, fn] : callbacks) {
+    snapshot.gauges.push_back({name, fn(), 0});
+  }
+  return snapshot;
+}
+
+void MetricsRegistry::ResetAll() {
+  Impl& i = impl();
+  std::lock_guard<std::mutex> lock(i.mu);
+  for (Counter& c : i.counters) c.Reset();
+  for (Gauge& g : i.gauges) g.Reset();
+  for (Histogram& h : i.histograms) h.Reset();
+}
+
+std::string SnapshotToJson(const MetricsSnapshot& snapshot) {
+  std::string out = "{\n";
+  out += "    \"counters\": {";
+  for (size_t i = 0; i < snapshot.counters.size(); ++i) {
+    if (i > 0) out += ",";
+    out += "\n      \"" + snapshot.counters[i].name +
+           "\": " + FormatInt(snapshot.counters[i].value);
+  }
+  out += snapshot.counters.empty() ? "},\n" : "\n    },\n";
+  out += "    \"gauges\": {";
+  bool first = true;
+  for (const MetricValue& g : snapshot.gauges) {
+    if (!first) out += ",";
+    first = false;
+    out += "\n      \"" + g.name + "\": " + FormatInt(g.value);
+    if (g.max_value != 0) {
+      out += ",\n      \"" + g.name + ".max\": " + FormatInt(g.max_value);
+    }
+  }
+  out += first ? "},\n" : "\n    },\n";
+  out += "    \"histograms\": {";
+  for (size_t i = 0; i < snapshot.histograms.size(); ++i) {
+    const HistogramValue& h = snapshot.histograms[i];
+    if (i > 0) out += ",";
+    out += "\n      \"" + h.name + "\": {\"count\": " + FormatUint(h.count) +
+           ", \"sum\": " + FormatUint(h.sum) + ", \"buckets\": [";
+    for (size_t b = 0; b < h.buckets.size(); ++b) {
+      if (b > 0) out += ", ";
+      out += "[" + FormatUint(h.buckets[b].first) + ", " +
+             FormatUint(h.buckets[b].second) + "]";
+    }
+    out += "]}";
+  }
+  out += snapshot.histograms.empty() ? "}\n" : "\n    }\n";
+  out += "  }";
+  return out;
+}
+
+}  // namespace rdd::observe

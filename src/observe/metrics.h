@@ -1,0 +1,190 @@
+#ifndef RDD_OBSERVE_METRICS_H_
+#define RDD_OBSERVE_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace rdd::observe {
+
+/// True when metrics collection is on: RDD_METRICS=1 in the environment at
+/// first use, or SetMetricsEnabled(true) at runtime. When off, every
+/// Counter/Gauge/Histogram mutation is a relaxed flag load plus an untaken
+/// branch — near-zero cost — and collection produces no events at all.
+/// Observability never changes any numeric result either way: instruments
+/// only *read* the computation, so enabled and disabled runs are
+/// bit-identical (pinned by tests/observe_test.cc on a full TrainRdd run).
+bool MetricsEnabled();
+
+/// Runtime override of RDD_METRICS; used by tests and benchmarks to compare
+/// instrumented vs uninstrumented runs inside one process.
+void SetMetricsEnabled(bool enabled);
+
+/// Monotonic event counter. Mutation is one relaxed fetch_add on the fast
+/// path; reads are racy-by-design snapshots (exact once writers quiesce).
+class Counter {
+ public:
+  /// Adds `delta` when metrics are enabled; no-op otherwise.
+  void Add(uint64_t delta = 1) {
+    if (MetricsEnabled()) value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// Last-write-wins instantaneous value with an optional running maximum.
+class Gauge {
+ public:
+  /// Records `v` (and folds it into the running maximum) when enabled.
+  void Set(int64_t v) {
+    if (!MetricsEnabled()) return;
+    value_.store(v, std::memory_order_relaxed);
+    UpdateMax(v);
+  }
+
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+  int64_t max_value() const { return max_.load(std::memory_order_relaxed); }
+  void Reset() {
+    value_.store(0, std::memory_order_relaxed);
+    max_.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  void UpdateMax(int64_t v) {
+    int64_t seen = max_.load(std::memory_order_relaxed);
+    while (v > seen &&
+           !max_.compare_exchange_weak(seen, v, std::memory_order_relaxed)) {
+    }
+  }
+
+  std::atomic<int64_t> value_{0};
+  std::atomic<int64_t> max_{0};
+};
+
+/// Histogram over uint64 samples (durations in ns, sizes, depths) with
+/// FIXED log-spaced buckets: bucket i counts samples in [2^i, 2^(i+1))
+/// (sample 0 lands in bucket 0). The bucket array is a fixed member — no
+/// heap allocation ever — and Record() is a handful of relaxed atomic adds,
+/// so the histogram is safe from any thread with no locking.
+class Histogram {
+ public:
+  static constexpr int kNumBuckets = 64;
+
+  /// Records one sample when metrics are enabled; no-op otherwise.
+  void Record(uint64_t sample) {
+    if (!MetricsEnabled()) return;
+    buckets_[BucketIndex(sample)].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(sample, std::memory_order_relaxed);
+  }
+
+  /// floor(log2(sample)) clamped to [0, kNumBuckets); 0 maps to bucket 0.
+  static int BucketIndex(uint64_t sample) {
+    if (sample == 0) return 0;
+    return 63 - __builtin_clzll(sample);
+  }
+
+  /// Inclusive lower bound of bucket i (2^i; bucket 0 also holds sample 0).
+  static uint64_t BucketLowerBound(int i) { return uint64_t{1} << i; }
+
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  uint64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+  uint64_t bucket_count(int i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+  void Reset() {
+    for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+    count_.store(0, std::memory_order_relaxed);
+    sum_.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<uint64_t> buckets_[kNumBuckets] = {};
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_{0};
+};
+
+/// One instrument's value at snapshot time.
+struct MetricValue {
+  std::string name;
+  int64_t value = 0;
+  int64_t max_value = 0;  ///< Gauges only; 0 for counters/callbacks.
+};
+
+/// One histogram's state at snapshot time. Only non-empty buckets are
+/// materialized.
+struct HistogramValue {
+  std::string name;
+  uint64_t count = 0;
+  uint64_t sum = 0;
+  /// (inclusive lower bound, sample count) per non-empty bucket, ascending.
+  std::vector<std::pair<uint64_t, uint64_t>> buckets;
+};
+
+/// Point-in-time export of every registered instrument, the struct the
+/// bench binaries serialize onto their --json reports. Values are relaxed
+/// reads: exact when writers have quiesced, approximate mid-flight.
+struct MetricsSnapshot {
+  std::vector<MetricValue> counters;
+  std::vector<MetricValue> gauges;     ///< Includes callback gauges.
+  std::vector<HistogramValue> histograms;
+};
+
+/// Process-wide instrument registry. Registration (first use of a name)
+/// takes a mutex and may allocate; after that the returned reference is a
+/// plain object whose mutations are lock-free and allocation-free — the
+/// steady-state contract the training hot paths rely on. Instruments live
+/// forever (the registry is leaked like the other process singletons), so
+/// holding `static Counter& c = ...Global().counter("x")` at a call site is
+/// always safe.
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& Global();
+
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Returns the instrument registered under `name`, creating it on first
+  /// use. Names must be static-shaped strings without quotes/backslashes
+  /// (they are emitted into JSON verbatim).
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  Histogram& histogram(const std::string& name);
+
+  /// Registers a pull-style gauge evaluated at snapshot time — how
+  /// subsystems with their own internal accounting (BufferPool, ThreadPool
+  /// queue depth) surface state without double-counting. `fn` must be
+  /// callable from any thread for the life of the process. Re-registering a
+  /// name replaces the callback.
+  void RegisterCallbackGauge(const std::string& name,
+                             std::function<int64_t()> fn);
+
+  /// Reads every instrument. Safe to call while writers are active.
+  MetricsSnapshot Snapshot() const;
+
+  /// Zeroes every counter/gauge/histogram (callback gauges are unaffected —
+  /// they mirror live subsystem state). For tests and benchmark reruns.
+  void ResetAll();
+
+ private:
+  MetricsRegistry() = default;
+  ~MetricsRegistry() = default;
+
+  struct Impl;
+  Impl& impl() const;
+};
+
+/// Serializes a snapshot as one JSON object:
+///   {"counters": {...}, "gauges": {...}, "histograms": {...}}
+/// Gauges with a nonzero running max emit "<name>.max" alongside the value.
+std::string SnapshotToJson(const MetricsSnapshot& snapshot);
+
+}  // namespace rdd::observe
+
+#endif  // RDD_OBSERVE_METRICS_H_

@@ -1,0 +1,162 @@
+#include "observe/trace.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+namespace rdd::observe {
+
+namespace internal {
+std::atomic<bool> g_trace_enabled{false};
+}  // namespace internal
+
+namespace {
+
+/// One completed span. `name` must outlive the trace (string literals at
+/// every call site).
+struct Event {
+  const char* name;
+  int64_t arg;
+  uint64_t start_ns;
+  uint64_t dur_ns;
+};
+
+/// Per-thread span buffer. The owning thread appends under `mu` (always
+/// uncontended except during a flush); StopTracing reads every buffer under
+/// the same lock, which is what makes concurrent TaskGroup workers'
+/// spans safe to collect (TSan-verified in tests/observe_test.cc).
+struct ThreadLog {
+  std::mutex mu;
+  std::vector<Event> events;
+  uint64_t tid = 0;
+};
+
+struct TraceState {
+  std::mutex mu;
+  std::string path;
+  bool active = false;
+  uint64_t start_ns = 0;
+  /// All thread logs ever registered; leaked with the state so a worker
+  /// thread's buffer stays valid however late it records.
+  std::vector<ThreadLog*> logs;
+  uint64_t next_tid = 1;
+};
+
+TraceState& State() {
+  static TraceState* state = new TraceState();
+  return *state;
+}
+
+uint64_t SteadyNowNanos() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+ThreadLog& LocalLog() {
+  thread_local ThreadLog* t_log = [] {
+    auto* log = new ThreadLog();  // Leaked with the state's registry.
+    TraceState& state = State();
+    std::lock_guard<std::mutex> lock(state.mu);
+    log->tid = state.next_tid++;
+    state.logs.push_back(log);
+    return log;
+  }();
+  return *t_log;
+}
+
+void FlushAtExit() { StopTracing(); }
+
+/// Resolves RDD_TRACE=<path> once at program start, before main() can open
+/// any span, and arranges the end-of-process flush.
+struct EnvTraceInit {
+  EnvTraceInit() {
+    const char* path = std::getenv("RDD_TRACE");
+    if (path != nullptr && *path != '\0') {
+      if (StartTracing(path)) std::atexit(FlushAtExit);
+    }
+  }
+};
+EnvTraceInit g_env_trace_init;
+
+}  // namespace
+
+namespace internal {
+
+uint64_t TraceNowNanos() { return SteadyNowNanos(); }
+
+void RecordSpan(const char* name, int64_t arg, uint64_t start_ns,
+                uint64_t end_ns) {
+  ThreadLog& log = LocalLog();
+  std::lock_guard<std::mutex> lock(log.mu);
+  // Re-check under the buffer lock: a span that closes after StopTracing
+  // began collecting must not append to a buffer being (or already) read.
+  if (!g_trace_enabled.load(std::memory_order_relaxed)) return;
+  log.events.push_back({name, arg, start_ns, end_ns - start_ns});
+}
+
+}  // namespace internal
+
+bool TraceEnabled() {
+  return internal::g_trace_enabled.load(std::memory_order_relaxed);
+}
+
+bool StartTracing(const std::string& path) {
+  TraceState& state = State();
+  std::lock_guard<std::mutex> lock(state.mu);
+  if (state.active) return false;
+  for (ThreadLog* log : state.logs) {
+    std::lock_guard<std::mutex> log_lock(log->mu);
+    log->events.clear();
+  }
+  state.path = path;
+  state.start_ns = SteadyNowNanos();
+  state.active = true;
+  internal::g_trace_enabled.store(true, std::memory_order_relaxed);
+  return true;
+}
+
+bool StopTracing() {
+  TraceState& state = State();
+  std::lock_guard<std::mutex> lock(state.mu);
+  if (!state.active) return false;
+  internal::g_trace_enabled.store(false, std::memory_order_relaxed);
+  state.active = false;
+
+  std::FILE* f = std::fopen(state.path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "warning: cannot write trace to %s\n",
+                 state.path.c_str());
+    return false;
+  }
+  std::fputs("{\"displayTimeUnit\": \"ms\", \"traceEvents\": [", f);
+  bool first = true;
+  for (ThreadLog* log : state.logs) {
+    std::lock_guard<std::mutex> log_lock(log->mu);
+    for (const Event& e : log->events) {
+      // Chrome trace "complete" (ph:X) events; ts/dur in fractional
+      // microseconds relative to the trace start. Same-thread nesting is
+      // inferred by the viewer from ts/dur containment.
+      std::fprintf(
+          f, "%s\n{\"name\": \"%s\", \"cat\": \"rdd\", \"ph\": \"X\", "
+          "\"pid\": 1, \"tid\": %llu, \"ts\": %.3f, \"dur\": %.3f, "
+          "\"args\": {\"i\": %lld}}",
+          first ? "" : ",", e.name,
+          static_cast<unsigned long long>(log->tid),
+          static_cast<double>(e.start_ns - state.start_ns) / 1e3,
+          static_cast<double>(e.dur_ns) / 1e3,
+          static_cast<long long>(e.arg));
+      first = false;
+    }
+    log->events.clear();
+  }
+  std::fputs("\n]}\n", f);
+  std::fclose(f);
+  return true;
+}
+
+}  // namespace rdd::observe

@@ -7,6 +7,8 @@
 #include <mutex>
 #include <utility>
 
+#include "observe/metrics.h"
+#include "observe/trace.h"
 #include "parallel/parallel_for.h"
 #include "parallel/thread_pool.h"
 #include "util/logging.h"
@@ -14,6 +16,30 @@
 namespace rdd::parallel {
 
 namespace {
+
+/// Scheduler instruments, resolved once. The claimed_by_caller /
+/// claimed_by_helper split is the task-level analogue of a work-stealing
+/// "steal" counter: helper claims are tasks the pool lifted off the
+/// submitting thread.
+struct GroupMetrics {
+  observe::Counter& rounds;
+  observe::Counter& tasks_inline;
+  observe::Counter& claimed_by_caller;
+  observe::Counter& claimed_by_helper;
+  observe::Histogram& task_ns;
+};
+
+GroupMetrics& Metrics() {
+  static GroupMetrics* metrics = [] {
+    observe::MetricsRegistry& r = observe::MetricsRegistry::Global();
+    return new GroupMetrics{r.counter("taskgroup.rounds"),
+                            r.counter("taskgroup.tasks_inline"),
+                            r.counter("taskgroup.tasks_claimed_by_caller"),
+                            r.counter("taskgroup.tasks_claimed_by_helper"),
+                            r.histogram("taskgroup.task_ns")};
+  }();
+  return *metrics;
+}
 
 bool TaskParallelDisabledByEnv() {
   const char* value = std::getenv("RDD_TASK_PARALLEL");
@@ -39,14 +65,25 @@ struct GroupRound {
   std::condition_variable done;
   bool all_done = false;
 
-  void RunTasks() {
+  void RunTasks(bool is_caller) {
     const int64_t n = static_cast<int64_t>(tasks.size());
     for (;;) {
       const int64_t i = next.fetch_add(1, std::memory_order_relaxed);
       if (i >= n) return;
       {
         internal::ThreadBudgetScope scope(budget);
-        tasks[static_cast<size_t>(i)]();
+        const bool metrics = observe::MetricsEnabled();
+        const uint64_t start_ns =
+            metrics ? observe::internal::TraceNowNanos() : 0;
+        {
+          observe::TraceSpan span("taskgroup/task", i);
+          tasks[static_cast<size_t>(i)]();
+        }
+        if (metrics) {
+          GroupMetrics& m = Metrics();
+          (is_caller ? m.claimed_by_caller : m.claimed_by_helper).Add(1);
+          m.task_ns.Record(observe::internal::TraceNowNanos() - start_ns);
+        }
       }
       if (completed.fetch_add(1, std::memory_order_acq_rel) + 1 == n) {
         {
@@ -92,9 +129,13 @@ void TaskGroup::Wait() {
   // and run in submission order on the calling thread.
   if (n == 1 || threads <= 1 || !TaskParallelEnabled() ||
       InParallelRegion()) {
+    if (observe::MetricsEnabled()) {
+      Metrics().tasks_inline.Add(static_cast<uint64_t>(n));
+    }
     for (auto& task : tasks) task();
     return;
   }
+  if (observe::MetricsEnabled()) Metrics().rounds.Add(1);
 
   // Arena split: k concurrent tasks share the budget evenly. The division
   // floors — with 8 threads and 3 tasks each task plans 2-wide kernels —
@@ -108,10 +149,11 @@ void TaskGroup::Wait() {
   ThreadPool& pool = ThreadPool::Global();
   pool.EnsureWorkers(NumThreads() - 1);
   for (int h = 0; h < concurrency - 1; ++h) {
-    pool.Submit([round] { round->RunTasks(); });
+    pool.Submit([round] { round->RunTasks(/*is_caller=*/false); });
   }
 
-  round->RunTasks();  // The caller claims tasks too, starting with task 0.
+  // The caller claims tasks too, starting with task 0.
+  round->RunTasks(/*is_caller=*/true);
 
   std::unique_lock<std::mutex> lock(round->mu);
   round->done.wait(lock, [&round] { return round->all_done; });

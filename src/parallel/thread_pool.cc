@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "observe/metrics.h"
 #include "simd/simd.h"
 #include "util/logging.h"
 
@@ -17,7 +18,21 @@ ThreadPool& ThreadPool::Global() {
   // Resolve the SIMD kernel dispatch before any worker can touch a kernel,
   // so the one-time cpuid/env resolution never races with hot loops.
   simd::K();
-  static ThreadPool* pool = new ThreadPool();
+  static ThreadPool* pool = [] {
+    auto* p = new ThreadPool();
+    // Pull-style gauges: instantaneous queue depth and worker count are
+    // read under the pool mutex only when a snapshot asks, keeping Submit's
+    // hot path free of extra synchronization.
+    observe::MetricsRegistry& r = observe::MetricsRegistry::Global();
+    r.RegisterCallbackGauge("threadpool.queue_depth", [p] {
+      std::lock_guard<std::mutex> lock(p->mu_);
+      return static_cast<int64_t>(p->queue_.size());
+    });
+    r.RegisterCallbackGauge("threadpool.workers", [p] {
+      return static_cast<int64_t>(p->worker_count());
+    });
+    return p;
+  }();
   // Leaked deliberately: workers may still be blocked in the condvar during
   // static destruction, and every task is awaited by its submitter before
   // ParallelFor returns, so there is never pending work to lose at exit.
@@ -42,10 +57,23 @@ void ThreadPool::EnsureWorkers(int count) {
 }
 
 void ThreadPool::Submit(std::function<void()> task) {
+  size_t depth;
   {
     std::lock_guard<std::mutex> lock(mu_);
     RDD_CHECK(!shutting_down_);
     queue_.push_back(std::move(task));
+    depth = queue_.size();
+  }
+  if (observe::MetricsEnabled()) {
+    static observe::Counter& submitted =
+        observe::MetricsRegistry::Global().counter("threadpool.submitted");
+    // The gauge's running max is the peak queue depth of the run
+    // ("threadpool.submit_queue_depth.max" in snapshots).
+    static observe::Gauge& submit_depth =
+        observe::MetricsRegistry::Global().gauge(
+            "threadpool.submit_queue_depth");
+    submitted.Add(1);
+    submit_depth.Set(static_cast<int64_t>(depth));
   }
   work_available_.notify_one();
 }

@@ -1,0 +1,55 @@
+#include "simd/kernel_stats.h"
+
+#include "observe/metrics.h"
+
+namespace rdd::simd {
+
+namespace {
+
+/// Resolved once per call site; the references stay valid forever (the
+/// registry never relocates instruments).
+struct KernelCounters {
+  observe::Counter& gemm_calls;
+  observe::Counter& gemm_flops;
+  observe::Counter& spmm_calls;
+  observe::Counter& spmm_flops;
+  observe::Counter& opt_calls;
+  observe::Counter& opt_flops;
+};
+
+KernelCounters& Counters() {
+  static KernelCounters* counters = [] {
+    observe::MetricsRegistry& r = observe::MetricsRegistry::Global();
+    return new KernelCounters{
+        r.counter("simd.gemm.calls"),   r.counter("simd.gemm.flops"),
+        r.counter("simd.spmm.calls"),   r.counter("simd.spmm.flops"),
+        r.counter("simd.optimizer.calls"),
+        r.counter("simd.optimizer.flops")};
+  }();
+  return *counters;
+}
+
+}  // namespace
+
+void RecordGemm(int64_t m, int64_t k, int64_t n) {
+  if (!observe::MetricsEnabled()) return;
+  KernelCounters& c = Counters();
+  c.gemm_calls.Add(1);
+  c.gemm_flops.Add(static_cast<uint64_t>(2 * m * k * n));
+}
+
+void RecordSpmm(int64_t nnz, int64_t n) {
+  if (!observe::MetricsEnabled()) return;
+  KernelCounters& c = Counters();
+  c.spmm_calls.Add(1);
+  c.spmm_flops.Add(static_cast<uint64_t>(2 * nnz * n));
+}
+
+void RecordOptimizerStep(int64_t tensors, int64_t elements) {
+  if (!observe::MetricsEnabled()) return;
+  KernelCounters& c = Counters();
+  c.opt_calls.Add(static_cast<uint64_t>(tensors));
+  c.opt_flops.Add(static_cast<uint64_t>(10 * elements));
+}
+
+}  // namespace rdd::simd

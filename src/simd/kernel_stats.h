@@ -1,0 +1,33 @@
+#ifndef RDD_SIMD_KERNEL_STATS_H_
+#define RDD_SIMD_KERNEL_STATS_H_
+
+#include <cstdint>
+
+namespace rdd::simd {
+
+/// Per-kernel invocation and FLOP accounting for the dispatched kernel set
+/// (simd.h). The high-level drivers (tensor GEMM/SpMM, the optimizer steps)
+/// call these once per *operation* — never per row — so with RDD_METRICS
+/// off the cost is one relaxed flag load per matmul, and with it on a
+/// handful of relaxed counter adds. Counters land on the process metrics
+/// registry (observe/metrics.h) under "simd.<kernel>.calls" and
+/// "simd.<kernel>.flops".
+///
+/// FLOP estimates use the standard conventions: a fused multiply-add is 2
+/// FLOPs, GEMM(m,k,n) is 2mkn, SpMM over nnz entries into n columns is
+/// 2*nnz*n, one Adam element is ~10 FLOPs.
+
+/// One dense GEMM of shape (m x k) * (k x n) — any transpose variant.
+void RecordGemm(int64_t m, int64_t k, int64_t n);
+
+/// One CSR SpMM with `nnz` nonzeros into `n` dense output columns (the
+/// transpose/scatter variant counts the same work).
+void RecordSpmm(int64_t nnz, int64_t n);
+
+/// One optimizer step (Adam or SGD) over `elements` parameters across
+/// `tensors` parameter tensors.
+void RecordOptimizerStep(int64_t tensors, int64_t elements);
+
+}  // namespace rdd::simd
+
+#endif  // RDD_SIMD_KERNEL_STATS_H_

@@ -5,6 +5,7 @@
 
 #include "memory/buffer_pool.h"
 #include "parallel/parallel_for.h"
+#include "simd/kernel_stats.h"
 #include "simd/simd.h"
 #include "util/logging.h"
 
@@ -67,6 +68,7 @@ Matrix GemmBroadcastA(const float* a_base, int64_t a_row_step,
   Matrix out(out_rows, b.cols());
   const int64_t n = b.cols();
   if (out_rows == 0 || red == 0 || n == 0) return out;
+  simd::RecordGemm(out_rows, red, n);
   const auto& kt = simd::K();
   const float* bdata = b.Data();
   // Pack only when tiling changes the layout (otherwise B already is the
@@ -122,6 +124,7 @@ Matrix MatmulTransposeB(const Matrix& a, const Matrix& b) {
   const int64_t k = a.cols();
   const int64_t n = b.rows();
   if (m == 0 || n == 0) return out;
+  simd::RecordGemm(m, k, n);
   const auto& kt = simd::K();
   parallel::ParallelFor(
       0, m, parallel::GrainForCost(k * n), [&](int64_t r0, int64_t r1) {

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "parallel/parallel_for.h"
+#include "simd/kernel_stats.h"
 #include "simd/simd.h"
 #include "util/logging.h"
 
@@ -119,6 +120,7 @@ void SparseMatrix::MultiplyAdd(const Matrix& dense, float alpha,
   // cost load balance, never correctness.
   const int64_t avg_nnz =
       rows_ == 0 ? 1 : std::max<int64_t>(1, nnz() / rows_);
+  simd::RecordSpmm(nnz(), n);
   const auto& kt = simd::K();
   const float* dense_data = dense.Data();
   parallel::ParallelFor(
@@ -137,6 +139,7 @@ Matrix SparseMatrix::TransposeMultiply(const Matrix& dense) const {
   RDD_CHECK_EQ(rows_, dense.rows());
   Matrix out(cols_, dense.cols());
   const int64_t n = dense.cols();
+  simd::RecordSpmm(nnz(), n);
   // This kernel scatters into out.RowData(col_idx_[k]), so plain CSR-row
   // chunking would race on shared output rows. Instead the input rows are
   // split into `num_chunks` contiguous blocks; each block accumulates into

@@ -8,8 +8,8 @@
 namespace rdd {
 
 /// Mean / standard deviation / extrema of a set of trial results. The
-/// paper reports the mean test accuracy over 10 runs; the bench harnesses
-/// use this type for the same aggregation.
+/// paper reports the mean test accuracy over 10 runs (Tables 3-5); the
+/// bench harnesses use this type for the same aggregation.
 struct TrialStats {
   double mean = 0.0;
   double stddev = 0.0;
@@ -31,7 +31,9 @@ TrialStats RunTrials(int num_trials,
 /// invoked from multiple threads, so it must derive all randomness from its
 /// trial index and touch no unsynchronized shared state. Results are
 /// summarized in trial-index order, so the returned stats are bit-identical
-/// to RunTrials for any such callback at any thread count.
+/// to RunTrials for any such callback at any thread count. Observability
+/// instruments (src/observe) are safe to touch from trial callbacks —
+/// counters and spans are designed for exactly this concurrency.
 TrialStats RunTrialsParallel(
     int num_trials, const std::function<double(int trial_index)>& trial);
 

@@ -12,8 +12,8 @@
 namespace rdd {
 
 /// Optimization settings shared by every trainer in the library. Defaults
-/// follow the paper's setup: Adam, lr 0.01, weight decay 5e-4, early
-/// stopping when validation accuracy fails to improve for 20 epochs.
+/// follow the paper's setup (Sec. 5.1): Adam, lr 0.01, weight decay 5e-4,
+/// early stopping when validation accuracy fails to improve for 20 epochs.
 struct TrainConfig {
   int max_epochs = 300;
   int patience = 20;
@@ -41,6 +41,14 @@ using LossFn = std::function<Variable(const ModelOutput&, int epoch)>;
 /// Trains `model` with Adam + early stopping on validation accuracy using a
 /// caller-supplied loss. Restores the best-validation parameters before
 /// returning when config.restore_best is set.
+///
+/// Contract: for a fixed (model seed, dataset, config, loss_fn) the epoch
+/// sequence — losses, parameter updates, val_history, stopping epoch — is
+/// deterministic and bit-identical across thread counts and kernel
+/// backends. Observability: each epoch increments the "train.epochs"
+/// counter and, when tracing, emits a "train/epoch" span (arg = epoch
+/// index) nesting "train/backward_step" and "train/validate" — the
+/// per-epoch cost breakdown behind the paper's Table 9 timing analysis.
 TrainReport TrainWithLoss(GraphModel* model, const Dataset& dataset,
                           const TrainConfig& config, const LossFn& loss_fn);
 

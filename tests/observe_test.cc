@@ -1,0 +1,509 @@
+// Tests for the observability layer (src/observe): metrics registry
+// correctness, histogram bucketing, concurrent instrument mutation and span
+// recording under the task scheduler (run under TSan in CI), trace JSON
+// well-formedness, and the core contract that observability never changes a
+// numeric result — a full TrainRdd run is bit-identical with metrics and
+// tracing on vs off.
+
+#include <atomic>
+#include <cctype>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/rdd_trainer.h"
+#include "data/citation_gen.h"
+#include "models/model_factory.h"
+#include "observe/metrics.h"
+#include "observe/trace.h"
+#include "parallel/parallel_for.h"
+#include "parallel/task_group.h"
+
+namespace rdd {
+namespace {
+
+using observe::Counter;
+using observe::Gauge;
+using observe::Histogram;
+using observe::MetricsRegistry;
+using observe::MetricsSnapshot;
+
+/// Scoped metrics-enabled override; restores the prior (env-derived or
+/// test-set) state so tests compose in any order.
+class MetricsGuard {
+ public:
+  explicit MetricsGuard(bool enabled) : saved_(observe::MetricsEnabled()) {
+    observe::SetMetricsEnabled(enabled);
+  }
+  ~MetricsGuard() { observe::SetMetricsEnabled(saved_); }
+
+ private:
+  bool saved_;
+};
+
+// ---------------------------------------------------------------------------
+// Minimal JSON validator (syntax only). The repo deliberately has no JSON
+// parsing dependency; this is enough to pin that every byte the observability
+// layer emits is loadable by a real parser (chrome://tracing, python json).
+// ---------------------------------------------------------------------------
+
+class JsonValidator {
+ public:
+  explicit JsonValidator(const std::string& text) : s_(text) {}
+
+  bool Valid() {
+    SkipWs();
+    if (!Value()) return false;
+    SkipWs();
+    return pos_ == s_.size();
+  }
+
+ private:
+  bool Value() {
+    if (pos_ >= s_.size()) return false;
+    switch (s_[pos_]) {
+      case '{': return Object();
+      case '[': return Array();
+      case '"': return String();
+      case 't': return Literal("true");
+      case 'f': return Literal("false");
+      case 'n': return Literal("null");
+      default: return Number();
+    }
+  }
+
+  bool Object() {
+    ++pos_;  // '{'
+    SkipWs();
+    if (Peek('}')) { ++pos_; return true; }
+    while (true) {
+      SkipWs();
+      if (!String()) return false;
+      SkipWs();
+      if (!Peek(':')) return false;
+      ++pos_;
+      SkipWs();
+      if (!Value()) return false;
+      SkipWs();
+      if (Peek(',')) { ++pos_; continue; }
+      if (Peek('}')) { ++pos_; return true; }
+      return false;
+    }
+  }
+
+  bool Array() {
+    ++pos_;  // '['
+    SkipWs();
+    if (Peek(']')) { ++pos_; return true; }
+    while (true) {
+      SkipWs();
+      if (!Value()) return false;
+      SkipWs();
+      if (Peek(',')) { ++pos_; continue; }
+      if (Peek(']')) { ++pos_; return true; }
+      return false;
+    }
+  }
+
+  bool String() {
+    if (!Peek('"')) return false;
+    ++pos_;
+    while (pos_ < s_.size() && s_[pos_] != '"') {
+      if (s_[pos_] == '\\') ++pos_;
+      ++pos_;
+    }
+    if (pos_ >= s_.size()) return false;
+    ++pos_;  // closing '"'
+    return true;
+  }
+
+  bool Number() {
+    const size_t start = pos_;
+    if (Peek('-')) ++pos_;
+    while (pos_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[pos_])) ||
+            s_[pos_] == '.' || s_[pos_] == 'e' || s_[pos_] == 'E' ||
+            s_[pos_] == '+' || s_[pos_] == '-')) {
+      ++pos_;
+    }
+    return pos_ > start;
+  }
+
+  bool Literal(const char* word) {
+    const size_t len = std::string(word).size();
+    if (s_.compare(pos_, len, word) != 0) return false;
+    pos_ += len;
+    return true;
+  }
+
+  bool Peek(char c) const { return pos_ < s_.size() && s_[pos_] == c; }
+  void SkipWs() {
+    while (pos_ < s_.size() &&
+           (s_[pos_] == ' ' || s_[pos_] == '\n' || s_[pos_] == '\t' ||
+            s_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  const std::string& s_;
+  size_t pos_ = 0;
+};
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream in(path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+// ---------------------------------------------------------------------------
+// Instruments.
+// ---------------------------------------------------------------------------
+
+TEST(CounterTest, AddsWhenEnabledAndIgnoresWhenDisabled) {
+  Counter& c = MetricsRegistry::Global().counter("test.counter.gating");
+  c.Reset();
+  {
+    MetricsGuard guard(false);
+    c.Add(5);
+    EXPECT_EQ(c.value(), 0u) << "disabled counter must be a no-op";
+  }
+  {
+    MetricsGuard guard(true);
+    c.Add();
+    c.Add(41);
+    EXPECT_EQ(c.value(), 42u);
+  }
+}
+
+TEST(GaugeTest, TracksLastValueAndRunningMax) {
+  MetricsGuard guard(true);
+  Gauge& g = MetricsRegistry::Global().gauge("test.gauge.max");
+  g.Reset();
+  g.Set(7);
+  g.Set(100);
+  g.Set(3);
+  EXPECT_EQ(g.value(), 3);
+  EXPECT_EQ(g.max_value(), 100);
+}
+
+TEST(HistogramTest, BucketIndexIsFloorLog2) {
+  EXPECT_EQ(Histogram::BucketIndex(0), 0);
+  EXPECT_EQ(Histogram::BucketIndex(1), 0);
+  EXPECT_EQ(Histogram::BucketIndex(2), 1);
+  EXPECT_EQ(Histogram::BucketIndex(3), 1);
+  EXPECT_EQ(Histogram::BucketIndex(4), 2);
+  EXPECT_EQ(Histogram::BucketIndex(1023), 9);
+  EXPECT_EQ(Histogram::BucketIndex(1024), 10);
+  EXPECT_EQ(Histogram::BucketIndex(uint64_t{1} << 63), 63);
+  for (int i = 0; i < Histogram::kNumBuckets; ++i) {
+    EXPECT_EQ(Histogram::BucketIndex(Histogram::BucketLowerBound(i)), i);
+  }
+}
+
+TEST(HistogramTest, RecordsCountSumAndBuckets) {
+  MetricsGuard guard(true);
+  Histogram& h = MetricsRegistry::Global().histogram("test.hist.basic");
+  h.Reset();
+  h.Record(0);    // bucket 0
+  h.Record(1);    // bucket 0
+  h.Record(5);    // bucket 2
+  h.Record(6);    // bucket 2
+  h.Record(900);  // bucket 9
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_EQ(h.sum(), 912u);
+  EXPECT_EQ(h.bucket_count(0), 2u);
+  EXPECT_EQ(h.bucket_count(2), 2u);
+  EXPECT_EQ(h.bucket_count(9), 1u);
+  EXPECT_EQ(h.bucket_count(1), 0u);
+}
+
+TEST(MetricsRegistryTest, SameNameReturnsSameInstrument) {
+  MetricsGuard guard(true);
+  Counter& a = MetricsRegistry::Global().counter("test.registry.same");
+  Counter& b = MetricsRegistry::Global().counter("test.registry.same");
+  EXPECT_EQ(&a, &b);
+  a.Reset();
+  a.Add(3);
+  EXPECT_EQ(b.value(), 3u);
+}
+
+TEST(MetricsRegistryTest, SnapshotReportsRegisteredInstruments) {
+  MetricsGuard guard(true);
+  Counter& c = MetricsRegistry::Global().counter("test.snapshot.counter");
+  Histogram& h = MetricsRegistry::Global().histogram("test.snapshot.hist");
+  c.Reset();
+  h.Reset();
+  c.Add(9);
+  h.Record(16);
+  const MetricsSnapshot snapshot = MetricsRegistry::Global().Snapshot();
+  bool saw_counter = false;
+  for (const auto& entry : snapshot.counters) {
+    if (entry.name == "test.snapshot.counter") {
+      saw_counter = true;
+      EXPECT_EQ(entry.value, 9);
+    }
+  }
+  EXPECT_TRUE(saw_counter);
+  bool saw_hist = false;
+  for (const auto& entry : snapshot.histograms) {
+    if (entry.name == "test.snapshot.hist") {
+      saw_hist = true;
+      EXPECT_EQ(entry.count, 1u);
+      EXPECT_EQ(entry.sum, 16u);
+      // Only the one non-empty bucket materializes: [16, 1).
+      ASSERT_EQ(entry.buckets.size(), 1u);
+      EXPECT_EQ(entry.buckets[0].first, 16u);
+      EXPECT_EQ(entry.buckets[0].second, 1u);
+    }
+  }
+  EXPECT_TRUE(saw_hist);
+}
+
+TEST(MetricsRegistryTest, CallbackGaugeEvaluatesAtSnapshotTime) {
+  MetricsGuard guard(true);
+  std::atomic<int64_t> live{17};
+  MetricsRegistry::Global().RegisterCallbackGauge(
+      "test.callback.live", [&live] { return live.load(); });
+  auto find = [](const MetricsSnapshot& s, const std::string& name) {
+    for (const auto& g : s.gauges) {
+      if (g.name == name) return g.value;
+    }
+    return int64_t{-1};
+  };
+  EXPECT_EQ(find(MetricsRegistry::Global().Snapshot(), "test.callback.live"),
+            17);
+  live.store(23);
+  EXPECT_EQ(find(MetricsRegistry::Global().Snapshot(), "test.callback.live"),
+            23);
+  // Re-registering under a "dead" closure keeps later tests (and the suite's
+  // final snapshots) from reading the stack-local atomic above.
+  MetricsRegistry::Global().RegisterCallbackGauge("test.callback.live",
+                                                  [] { return int64_t{0}; });
+}
+
+TEST(MetricsRegistryTest, SnapshotJsonIsWellFormed) {
+  MetricsGuard guard(true);
+  MetricsRegistry::Global().counter("test.json.counter").Add(1);
+  MetricsRegistry::Global().histogram("test.json.hist").Record(100);
+  const std::string json =
+      observe::SnapshotToJson(MetricsRegistry::Global().Snapshot());
+  JsonValidator validator(json);
+  EXPECT_TRUE(validator.Valid()) << json;
+  EXPECT_NE(json.find("\"test.json.counter\""), std::string::npos);
+  EXPECT_NE(json.find("\"test.json.hist\""), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Concurrency (this suite runs under TSan in CI).
+// ---------------------------------------------------------------------------
+
+TEST(ObserveConcurrencyTest, CountersAndHistogramsAreRaceFreeUnderScheduler) {
+  MetricsGuard guard(true);
+  Counter& c = MetricsRegistry::Global().counter("test.concurrent.counter");
+  Histogram& h = MetricsRegistry::Global().histogram("test.concurrent.hist");
+  c.Reset();
+  h.Reset();
+  constexpr int64_t kTasks = 16;
+  constexpr int64_t kAddsPerTask = 1000;
+  parallel::ParallelTasks(kTasks, [&](int64_t t) {
+    for (int64_t i = 0; i < kAddsPerTask; ++i) {
+      c.Add(1);
+      h.Record(static_cast<uint64_t>(t + 1));
+    }
+  });
+  EXPECT_EQ(c.value(), static_cast<uint64_t>(kTasks * kAddsPerTask));
+  EXPECT_EQ(h.count(), static_cast<uint64_t>(kTasks * kAddsPerTask));
+}
+
+TEST(ObserveConcurrencyTest, SpansOnConcurrentWorkersAreRaceFree) {
+  const std::string path = ::testing::TempDir() + "observe_concurrent.json";
+  ASSERT_TRUE(observe::StartTracing(path));
+  parallel::TaskGroup group;
+  for (int t = 0; t < 8; ++t) {
+    group.Run([t] {
+      observe::TraceSpan outer("test/worker", t);
+      for (int i = 0; i < 50; ++i) {
+        observe::TraceSpan inner("test/worker_iter", i);
+      }
+    });
+  }
+  group.Wait();
+  ASSERT_TRUE(observe::StopTracing());
+  const std::string json = ReadFile(path);
+  JsonValidator validator(json);
+  EXPECT_TRUE(validator.Valid());
+  EXPECT_NE(json.find("\"test/worker\""), std::string::npos);
+  EXPECT_NE(json.find("\"test/worker_iter\""), std::string::npos);
+  std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// Trace output shape.
+// ---------------------------------------------------------------------------
+
+/// One parsed trace event: just the fields the tests assert on.
+struct ParsedEvent {
+  std::string name;
+  double ts = 0.0;
+  double dur = 0.0;
+  int64_t tid = -1;
+};
+
+/// Pulls every {"name": ...} event object out of a trace written by
+/// StopTracing (one event per line, a shape this test pins on purpose).
+std::vector<ParsedEvent> ParseEvents(const std::string& json) {
+  std::vector<ParsedEvent> events;
+  std::istringstream lines(json);
+  std::string line;
+  auto number_after = [](const std::string& s, const std::string& key) {
+    const size_t at = s.find(key);
+    if (at == std::string::npos) return -1.0;
+    return std::atof(s.c_str() + at + key.size());
+  };
+  while (std::getline(lines, line)) {
+    const size_t name_at = line.find("{\"name\": \"");
+    if (name_at == std::string::npos) continue;
+    ParsedEvent e;
+    const size_t name_begin = name_at + 10;
+    e.name = line.substr(name_begin, line.find('"', name_begin) - name_begin);
+    e.ts = number_after(line, "\"ts\": ");
+    e.dur = number_after(line, "\"dur\": ");
+    e.tid = static_cast<int64_t>(number_after(line, "\"tid\": "));
+    events.push_back(std::move(e));
+  }
+  return events;
+}
+
+TEST(TraceTest, DisabledByDefaultAndStartStopToggles) {
+  EXPECT_FALSE(observe::TraceEnabled());
+  EXPECT_FALSE(observe::StopTracing()) << "stop without start must be a no-op";
+  const std::string path = ::testing::TempDir() + "observe_toggle.json";
+  ASSERT_TRUE(observe::StartTracing(path));
+  EXPECT_TRUE(observe::TraceEnabled());
+  EXPECT_FALSE(observe::StartTracing(path)) << "no nested traces";
+  ASSERT_TRUE(observe::StopTracing());
+  EXPECT_FALSE(observe::TraceEnabled());
+  std::remove(path.c_str());
+}
+
+TEST(TraceTest, NestedSpansEmitWellFormedContainedEvents) {
+  const std::string path = ::testing::TempDir() + "observe_nested.json";
+  ASSERT_TRUE(observe::StartTracing(path));
+  {
+    observe::TraceSpan outer("test/outer");
+    {
+      observe::TraceSpan inner("test/inner", 42);
+    }
+  }
+  ASSERT_TRUE(observe::StopTracing());
+  const std::string json = ReadFile(path);
+  ASSERT_FALSE(json.empty());
+  JsonValidator validator(json);
+  EXPECT_TRUE(validator.Valid()) << json;
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+
+  const std::vector<ParsedEvent> events = ParseEvents(json);
+  const ParsedEvent* outer = nullptr;
+  const ParsedEvent* inner = nullptr;
+  for (const ParsedEvent& e : events) {
+    if (e.name == "test/outer") outer = &e;
+    if (e.name == "test/inner") inner = &e;
+  }
+  ASSERT_NE(outer, nullptr);
+  ASSERT_NE(inner, nullptr);
+  // Same thread, and the inner interval is contained in the outer one —
+  // what makes the spans render nested in chrome://tracing.
+  EXPECT_EQ(outer->tid, inner->tid);
+  EXPECT_GE(inner->ts, outer->ts);
+  EXPECT_LE(inner->ts + inner->dur, outer->ts + outer->dur);
+  // The arg payload survives serialization.
+  EXPECT_NE(json.find("\"i\": 42"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// The determinism contract on a full training run.
+// ---------------------------------------------------------------------------
+
+TEST(ObserveDeterminismTest, TrainRddIsBitIdenticalWithObservabilityOn) {
+  CitationGenConfig gen;
+  gen.num_nodes = 300;
+  gen.num_features = 100;
+  gen.num_edges = 900;
+  gen.num_classes = 3;
+  gen.homophily = 0.85;
+  gen.topic_purity = 0.5;
+  gen.labeled_per_class = 8;
+  gen.val_size = 50;
+  gen.test_size = 80;
+  const Dataset dataset = GenerateCitationNetwork(gen, 17);
+  const GraphContext context = GraphContext::FromDataset(dataset);
+  RddConfig config;
+  config.num_base_models = 2;
+  config.train.max_epochs = 25;
+
+  RddResult plain;
+  {
+    MetricsGuard guard(false);
+    plain = TrainRdd(dataset, context, config, 11);
+  }
+
+  const std::string path = ::testing::TempDir() + "observe_rdd_trace.json";
+  RddResult observed;
+  {
+    MetricsGuard guard(true);
+    ASSERT_TRUE(observe::StartTracing(path));
+    observed = TrainRdd(dataset, context, config, 11);
+    ASSERT_TRUE(observe::StopTracing());
+  }
+
+  EXPECT_TRUE(plain.teacher.PredictProbs().Equals(
+      observed.teacher.PredictProbs()));
+  EXPECT_EQ(plain.ensemble_test_accuracy, observed.ensemble_test_accuracy);
+  EXPECT_EQ(plain.single_test_accuracy, observed.single_test_accuracy);
+  EXPECT_EQ(plain.average_member_test_accuracy,
+            observed.average_member_test_accuracy);
+  ASSERT_EQ(plain.alphas.size(), observed.alphas.size());
+  for (size_t t = 0; t < plain.alphas.size(); ++t) {
+    EXPECT_EQ(plain.alphas[t], observed.alphas[t]) << "member " << t;
+  }
+  ASSERT_EQ(plain.reports.size(), observed.reports.size());
+  for (size_t t = 0; t < plain.reports.size(); ++t) {
+    EXPECT_EQ(plain.reports[t].epochs_run, observed.reports[t].epochs_run);
+    EXPECT_EQ(plain.reports[t].val_history,
+              observed.reports[t].val_history);
+  }
+
+  // While we have it: the training trace is valid JSON and names the
+  // Algorithm 1-3 phases the docs promise.
+  const std::string json = ReadFile(path);
+  JsonValidator validator(json);
+  EXPECT_TRUE(validator.Valid());
+  for (const char* phase :
+       {"rdd/student", "rdd/teacher_views", "rdd/node_reliability",
+        "train/epoch", "train/backward_step", "teacher/weighted_average",
+        "rdd/ensemble_update"}) {
+    EXPECT_NE(json.find(std::string("\"") + phase + "\""), std::string::npos)
+        << "missing phase " << phase;
+  }
+  std::remove(path.c_str());
+
+  // And the metrics side saw the work: epochs were counted.
+  bool saw_epochs = false;
+  for (const auto& c : MetricsRegistry::Global().Snapshot().counters) {
+    if (c.name == "train.epochs") {
+      saw_epochs = c.value > 0;
+    }
+  }
+  EXPECT_TRUE(saw_epochs);
+}
+
+}  // namespace
+}  // namespace rdd
