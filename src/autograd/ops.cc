@@ -398,4 +398,68 @@ Variable SoftCrossEntropy(const Variable& logits, const Matrix& target_probs,
       });
 }
 
+Variable WeightedSoftCrossEntropy(const Variable& logits,
+                                  const Matrix& target_probs,
+                                  const std::vector<int64_t>& indices,
+                                  const std::vector<float>& weights,
+                                  Reduction reduction) {
+  const Matrix& z = logits.value();
+  RDD_CHECK_EQ(z.rows(), target_probs.rows());
+  RDD_CHECK_EQ(z.cols(), target_probs.cols());
+  RDD_CHECK_EQ(static_cast<int64_t>(weights.size()), z.rows());
+
+  double weight_sum = 0.0;
+  for (int64_t i : indices) {
+    RDD_CHECK_GE(i, 0);
+    RDD_CHECK_LT(i, z.rows());
+    RDD_CHECK_GE(weights[static_cast<size_t>(i)], 0.0f);
+    weight_sum += weights[static_cast<size_t>(i)];
+  }
+  const float scale =
+      reduction == Reduction::kMean
+          ? (weight_sum > 0.0 ? static_cast<float>(1.0 / weight_sum) : 0.0f)
+          : 1.0f;
+
+  const Matrix log_probs = LogSoftmaxRows(z);
+  double loss = 0.0;
+  for (int64_t i : indices) {
+    const float w = weights[static_cast<size_t>(i)];
+    if (w == 0.0f) continue;
+    const float* t = target_probs.RowData(i);
+    const float* lp = log_probs.RowData(i);
+    double row = 0.0;
+    for (int64_t c = 0; c < z.cols(); ++c) {
+      row -= static_cast<double>(t[c]) * lp[c];
+    }
+    loss += w * row;
+  }
+  Matrix value(1, 1);
+  value.At(0, 0) = static_cast<float>(loss) * scale;
+
+  auto indices_copy = std::make_shared<std::vector<int64_t>>(indices);
+  auto weights_copy = std::make_shared<std::vector<float>>(weights);
+  auto target_copy = std::make_shared<Matrix>(target_probs);
+  return MakeOpNode(
+      std::move(value), "weighted_soft_xent", {logits},
+      [logits, indices_copy, weights_copy, target_copy,
+       scale](VariableImpl* node) {
+        if (!logits.requires_grad()) return;
+        const float g = node->grad.At(0, 0) * scale;
+        const Matrix& z = logits.value();
+        Matrix grad(z.rows(), z.cols());
+        const Matrix probs = SoftmaxRows(z);
+        const auto& kt = simd::K();
+        for (int64_t i : *indices_copy) {
+          const float w = (*weights_copy)[static_cast<size_t>(i)];
+          if (w == 0.0f) continue;
+          // Same softmax-minus-target gradient as SoftCrossEntropy, scaled
+          // by the per-node reliability weight.
+          kt.scaled_diff_accum(g * w, probs.RowData(i),
+                               target_copy->RowData(i), grad.RowData(i),
+                               z.cols());
+        }
+        logits.impl()->AccumulateGrad(grad);
+      });
+}
+
 }  // namespace rdd::ag

@@ -95,6 +95,19 @@ Variable SoftCrossEntropy(const Variable& logits, const Matrix& target_probs,
                           const std::vector<int64_t>& indices,
                           Reduction reduction);
 
+/// Reliability-weighted mimic loss for GNN-to-MLP distillation: sum over
+/// `indices` of weights[i] * CE(target_probs_i, softmax(logits)_i), where
+/// `weights` is indexed by node id (size = logits rows, entries >= 0).
+/// kMean divides by the sum of the selected weights (0 loss when that sum
+/// is 0), so the loss scale is invariant to how confident the teacher is
+/// overall. With all selected weights equal to 1 this reduces exactly to
+/// SoftCrossEntropy.
+Variable WeightedSoftCrossEntropy(const Variable& logits,
+                                  const Matrix& target_probs,
+                                  const std::vector<int64_t>& indices,
+                                  const std::vector<float>& weights,
+                                  Reduction reduction);
+
 }  // namespace rdd::ag
 
 #endif  // RDD_AUTOGRAD_OPS_H_

@@ -1,0 +1,108 @@
+#include "core/distill.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "autograd/ops.h"
+#include "memory/workspace.h"
+#include "nn/metrics.h"
+#include "observe/trace.h"
+#include "tensor/ops.h"
+#include "util/logging.h"
+
+namespace rdd {
+
+namespace {
+
+/// Knowledge-reliability weights w_i = 1 - H(p_i) / log K, clamped to
+/// [0, 1]. A uniform teacher row carries no knowledge (w = 0); a one-hot
+/// row carries full weight.
+std::vector<float> ReliabilityWeights(const Matrix& teacher_probs) {
+  const std::vector<double> entropy = RowEntropy(teacher_probs);
+  const double log_k =
+      std::log(static_cast<double>(std::max<int64_t>(teacher_probs.cols(), 2)));
+  std::vector<float> weights(entropy.size());
+  for (size_t i = 0; i < entropy.size(); ++i) {
+    weights[i] = static_cast<float>(
+        std::clamp(1.0 - entropy[i] / log_k, 0.0, 1.0));
+  }
+  return weights;
+}
+
+}  // namespace
+
+DistillResult DistillToMlp(const Dataset& dataset, const GraphContext& context,
+                           const Teacher& teacher, const DistillConfig& config,
+                           uint64_t seed) {
+  RDD_CHECK_GT(teacher.size(), 0);
+  memory::Workspace workspace;
+  observe::TraceSpan distill_span("distill/train");
+
+  // The teacher is frozen: its soft labels and reliability weights are
+  // computed once, outside the epoch loop.
+  const Matrix teacher_probs = teacher.PredictProbs();
+  std::vector<float> weights =
+      config.use_reliability_weights
+          ? ReliabilityWeights(teacher_probs)
+          : std::vector<float>(static_cast<size_t>(teacher_probs.rows()),
+                               1.0f);
+
+  const std::vector<bool> train_mask = dataset.TrainMask();
+  std::vector<int64_t> all_nodes(static_cast<size_t>(dataset.NumNodes()));
+  std::iota(all_nodes.begin(), all_nodes.end(), 0);
+
+  DistillResult result;
+  result.student = std::make_shared<MlpStudent>(
+      context, config.num_layers, config.hidden_dim, config.dropout, seed);
+
+  const LossFn loss_fn = [&](const ModelOutput& output, int epoch) {
+    (void)epoch;
+    // Algorithm 1 against the current student: which reliable knowledge
+    // should this epoch distill?
+    const Matrix student_probs = SoftmaxRows(output.logits.value());
+    const NodeReliability rel =
+        ComputeNodeReliability(teacher_probs, student_probs, dataset.labels,
+                               train_mask, config.reliability);
+    const std::vector<int64_t>& distill_nodes =
+        rel.distill_nodes.empty() ? all_nodes : rel.distill_nodes;
+
+    std::vector<Variable> terms;
+    std::vector<float> coeffs;
+    terms.push_back(ag::SoftmaxCrossEntropy(output.logits, dataset.labels,
+                                            dataset.split.train,
+                                            ag::Reduction::kMean));
+    coeffs.push_back(1.0f);
+    if (config.lambda != 0.0f) {
+      terms.push_back(ag::WeightedSoftCrossEntropy(
+          output.logits, teacher_probs, distill_nodes, weights,
+          ag::Reduction::kMean));
+      coeffs.push_back(config.lambda);
+    }
+    return ag::WeightedSum(terms, coeffs);
+  };
+  result.report =
+      TrainWithLoss(result.student.get(), dataset, config.train, loss_fn);
+
+  const Matrix student_probs = result.student->PredictProbs();
+  const std::vector<int64_t> student_preds = ArgmaxRows(student_probs);
+  const std::vector<int64_t> teacher_preds = ArgmaxRows(teacher_probs);
+  result.student_test_accuracy =
+      Accuracy(student_probs, dataset.labels, dataset.split.test);
+  result.teacher_test_accuracy =
+      teacher.Accuracy(dataset.labels, dataset.split.test);
+  int64_t agree = 0;
+  for (int64_t i : dataset.split.test) {
+    agree += student_preds[static_cast<size_t>(i)] ==
+             teacher_preds[static_cast<size_t>(i)];
+  }
+  result.test_agreement =
+      dataset.split.test.empty()
+          ? 0.0
+          : static_cast<double>(agree) /
+                static_cast<double>(dataset.split.test.size());
+  return result;
+}
+
+}  // namespace rdd

@@ -232,6 +232,7 @@ RddResult TrainRdd(const Dataset& dataset, const GraphContext& context,
     result.teacher.AddMember(std::move(probs),
                              final_output.embedding.value(), alpha);
     result.diagnostics.push_back(diag);
+    result.students.push_back(std::move(student));
     result.ensemble_accuracy_after_member.push_back(
         result.teacher.Accuracy(dataset.labels, dataset.split.test));
   }

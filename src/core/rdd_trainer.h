@@ -2,6 +2,7 @@
 #define RDD_CORE_RDD_TRAINER_H_
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "core/rdd_config.h"
@@ -27,6 +28,10 @@ struct RddResult {
   /// Per-student training reports, in training order. The LAST student is
   /// the paper's "RDD(Single)" model.
   std::vector<TrainReport> reports;
+  /// The trained student models themselves, in training order (same order
+  /// as `reports`/`alphas`). Kept alive for checkpointing and distillation;
+  /// shared_ptr keeps RddResult copyable.
+  std::vector<std::shared_ptr<GraphModel>> students;
   /// Raw ensemble weights alpha_t (Eq. 12).
   std::vector<double> alphas;
   std::vector<StudentDiagnostics> diagnostics;

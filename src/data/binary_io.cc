@@ -1,0 +1,178 @@
+#include "data/binary_io.h"
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstring>
+
+#include "util/string_util.h"
+
+namespace rdd::io {
+
+namespace {
+
+uint64_t ByteSwap64(uint64_t v) {
+  return __builtin_bswap64(v);
+}
+
+}  // namespace
+
+uint8_t HostEndianMarker() {
+  const uint32_t probe = 1;
+  uint8_t first_byte;
+  std::memcpy(&first_byte, &probe, 1);
+  return first_byte == 1 ? kLittleEndianMarker : kBigEndianMarker;
+}
+
+void Writer::WriteBytes(const void* data, size_t size) {
+  if (!ok_ || size == 0) return;
+  ok_ = std::fwrite(data, 1, size, file_) == size;
+}
+
+void Writer::WriteString(const std::string& s) {
+  WritePod<uint64_t>(s.size());
+  WriteBytes(s.data(), s.size());
+}
+
+void Writer::WriteMatrix(const Matrix& m) {
+  WritePod<int64_t>(m.rows());
+  WritePod<int64_t>(m.cols());
+  WriteBytes(m.Data(), static_cast<size_t>(m.size()) * sizeof(float));
+}
+
+void Writer::WriteHeader(uint64_t magic, uint32_t version) {
+  WritePod(magic);
+  WritePod(HostEndianMarker());
+  WritePod(version);
+}
+
+void Reader::ReadBytes(void* data, size_t size) {
+  if (!ok_) return;
+  if (size > remaining_) {
+    ok_ = false;
+    return;
+  }
+  ok_ = std::fread(data, 1, size, file_) == size;
+  if (ok_) remaining_ -= size;
+}
+
+std::string Reader::ReadString() {
+  const uint64_t size = ReadPod<uint64_t>();
+  if (!ok_ || size > remaining_) {
+    ok_ = false;
+    return {};
+  }
+  std::string s(size, '\0');
+  if (size > 0) ReadBytes(s.data(), size);
+  return s;
+}
+
+Matrix Reader::ReadMatrix() {
+  const int64_t rows = ReadPod<int64_t>();
+  const int64_t cols = ReadPod<int64_t>();
+  if (!ok_ || rows < 0 || cols < 0) {
+    ok_ = false;
+    return Matrix();
+  }
+  const uint64_t count = static_cast<uint64_t>(rows) *
+                         static_cast<uint64_t>(cols);
+  // Reject overflowed products and sizes the file cannot possibly hold
+  // before allocating anything.
+  if ((rows != 0 && count / static_cast<uint64_t>(rows) !=
+                        static_cast<uint64_t>(cols)) ||
+      count > remaining_ / sizeof(float)) {
+    ok_ = false;
+    return Matrix();
+  }
+  Matrix m(rows, cols);
+  if (count > 0) ReadBytes(m.Data(), count * sizeof(float));
+  if (!ok_) return Matrix();
+  return m;
+}
+
+Status Reader::CheckHeader(uint64_t magic, uint32_t version, const char* what,
+                           const std::string& path) {
+  const uint64_t file_magic = ReadPod<uint64_t>();
+  if (!ok_ || (file_magic != magic && file_magic != ByteSwap64(magic))) {
+    return Status::InvalidArgument(
+        StrFormat("%s is not an RDD %s file", path.c_str(), what));
+  }
+  const uint8_t endian = ReadPod<uint8_t>();
+  if (!ok_ ||
+      file_magic != magic ||  // Magic only matched after a byte swap.
+      endian != HostEndianMarker()) {
+    return Status::InvalidArgument(StrFormat(
+        "%s was written on a machine with different endianness; "
+        "re-export it on a matching host", path.c_str()));
+  }
+  const uint32_t file_version = ReadPod<uint32_t>();
+  if (!ok_ || file_version != version) {
+    return Status::InvalidArgument(
+        StrFormat("%s has unsupported %s version %u (this build reads %u)",
+                  path.c_str(), what, file_version, version));
+  }
+  return Status::Ok();
+}
+
+Status SaveAtomic(const std::string& path,
+                  const std::function<Status(Writer*)>& write_fn) {
+  // Stage next to the target (rename must not cross filesystems); the pid
+  // suffix keeps concurrent savers from clobbering each other's staging.
+  const std::string tmp_path =
+      StrFormat("%s.tmp.%d", path.c_str(), static_cast<int>(getpid()));
+  {
+    FilePtr file(std::fopen(tmp_path.c_str(), "wb"));
+    if (file == nullptr) {
+      return Status::IoError(
+          StrFormat("cannot open %s for writing", tmp_path.c_str()));
+    }
+    Writer writer(file.get());
+    Status status = write_fn(&writer);
+    if (status.ok() && !writer.ok()) {
+      status = Status::IoError(
+          StrFormat("write failed for %s", tmp_path.c_str()));
+    }
+    // Force buffered bytes to the OS and check BOTH the flush and the
+    // close: either can be the first to report a full disk.
+    if (status.ok() && std::fflush(file.get()) != 0) {
+      status = Status::IoError(
+          StrFormat("flush failed for %s", tmp_path.c_str()));
+    }
+    std::FILE* raw = file.release();
+    if (std::fclose(raw) != 0 && status.ok()) {
+      status = Status::IoError(
+          StrFormat("close failed for %s", tmp_path.c_str()));
+    }
+    if (!status.ok()) {
+      std::remove(tmp_path.c_str());
+      return status;
+    }
+  }
+  if (std::rename(tmp_path.c_str(), path.c_str()) != 0) {
+    std::remove(tmp_path.c_str());
+    return Status::IoError(StrFormat("cannot rename %s to %s",
+                                     tmp_path.c_str(), path.c_str()));
+  }
+  return Status::Ok();
+}
+
+Status OpenForRead(const std::string& path, FilePtr* file,
+                   uint64_t* file_size) {
+  file->reset(std::fopen(path.c_str(), "rb"));
+  if (*file == nullptr) {
+    return Status::IoError(
+        StrFormat("cannot open %s for reading", path.c_str()));
+  }
+  if (std::fseek(file->get(), 0, SEEK_END) != 0) {
+    return Status::IoError(StrFormat("cannot seek in %s", path.c_str()));
+  }
+  const long size = std::ftell(file->get());
+  if (size < 0 || std::fseek(file->get(), 0, SEEK_SET) != 0) {
+    return Status::IoError(
+        StrFormat("cannot measure size of %s", path.c_str()));
+  }
+  *file_size = static_cast<uint64_t>(size);
+  return Status::Ok();
+}
+
+}  // namespace rdd::io

@@ -1,0 +1,150 @@
+#ifndef RDD_DATA_BINARY_IO_H_
+#define RDD_DATA_BINARY_IO_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <functional>
+#include <memory>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "tensor/matrix.h"
+#include "util/status.h"
+
+namespace rdd::io {
+
+/// Shared substrate of the library's binary file formats (datasets,
+/// checkpoints). Every format is: 8-byte magic, 1 endianness byte, 4-byte
+/// version, then format-specific PODs/strings/arrays written host-endian.
+/// Readers are hardened against hostile or truncated input: every length
+/// field is validated against the bytes actually remaining in the file
+/// before anything is allocated, so a corrupt file produces a clean error
+/// instead of a crash or a multi-gigabyte allocation. Writers never touch
+/// the target path directly — SaveAtomic stages into a sibling temp file
+/// and renames only after a verified flush, so a crash or full disk cannot
+/// leave a truncated file at the final path.
+
+/// Endianness marker written after the magic. Only the host's own marker is
+/// accepted on load; foreign-endian files are rejected with a clear error
+/// rather than silently misparsed.
+inline constexpr uint8_t kLittleEndianMarker = 1;
+inline constexpr uint8_t kBigEndianMarker = 2;
+
+/// The marker matching this machine's byte order.
+uint8_t HostEndianMarker();
+
+/// Buffered forward-only writer over an open FILE*. Errors latch: after the
+/// first failed write, every subsequent call is a no-op and ok() is false.
+class Writer {
+ public:
+  explicit Writer(std::FILE* file) : file_(file) {}
+
+  bool ok() const { return ok_; }
+
+  void WriteBytes(const void* data, size_t size);
+
+  template <typename T>
+  void WritePod(T value) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    WriteBytes(&value, sizeof(T));
+  }
+
+  /// Length-prefixed (uint64) string.
+  void WriteString(const std::string& s);
+
+  /// Length-prefixed (uint64 element count) POD array.
+  template <typename T>
+  void WriteVector(const std::vector<T>& v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    WritePod<uint64_t>(v.size());
+    WriteBytes(v.data(), v.size() * sizeof(T));
+  }
+
+  /// Dense matrix: int64 rows, int64 cols, then rows*cols row-major floats.
+  void WriteMatrix(const Matrix& m);
+
+  /// Format header: magic, endianness marker, version.
+  void WriteHeader(uint64_t magic, uint32_t version);
+
+ private:
+  std::FILE* file_;
+  bool ok_ = true;
+};
+
+/// Bounded forward-only reader. Constructed with the file's total size;
+/// every read is checked against the bytes remaining, so a hostile length
+/// field can never trigger an allocation larger than the file itself.
+/// Errors latch like Writer's.
+class Reader {
+ public:
+  Reader(std::FILE* file, uint64_t file_size)
+      : file_(file), remaining_(file_size) {}
+
+  bool ok() const { return ok_; }
+  uint64_t remaining() const { return remaining_; }
+
+  void ReadBytes(void* data, size_t size);
+
+  template <typename T>
+  T ReadPod() {
+    static_assert(std::is_trivially_copyable_v<T>);
+    T value{};
+    ReadBytes(&value, sizeof(T));
+    return value;
+  }
+
+  std::string ReadString();
+
+  template <typename T>
+  std::vector<T> ReadVector() {
+    static_assert(std::is_trivially_copyable_v<T>);
+    const uint64_t size = ReadPod<uint64_t>();
+    if (!ok_ || size > remaining_ / sizeof(T)) {
+      ok_ = false;
+      return {};
+    }
+    std::vector<T> v(size);
+    if (size > 0) ReadBytes(v.data(), size * sizeof(T));
+    return v;
+  }
+
+  Matrix ReadMatrix();
+
+  /// Validates the header written by Writer::WriteHeader. Returns OK when
+  /// magic, endianness, and version all match; otherwise a distinct
+  /// InvalidArgument for "not a <what> file", foreign endianness, and
+  /// unsupported version. `what` and `path` flavor the error messages.
+  Status CheckHeader(uint64_t magic, uint32_t version, const char* what,
+                     const std::string& path);
+
+ private:
+  std::FILE* file_;
+  uint64_t remaining_;
+  bool ok_ = true;
+};
+
+/// Closes the FILE* on scope exit (shared by the dataset and checkpoint
+/// serializers and their tests).
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f != nullptr) std::fclose(f);
+  }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+/// Runs `write_fn` against a Writer over a temp file next to `path`, then
+/// fflush-checks, fclose-checks, and atomically renames onto `path`. On any
+/// failure the temp file is removed and `path` is untouched. `write_fn`
+/// returns OK to commit; any error aborts the save and is returned.
+Status SaveAtomic(const std::string& path,
+                  const std::function<Status(Writer*)>& write_fn);
+
+/// Opens `path` for reading and measures its size. Returns IoError when the
+/// file cannot be opened or its size cannot be determined.
+Status OpenForRead(const std::string& path, FilePtr* file,
+                   uint64_t* file_size);
+
+}  // namespace rdd::io
+
+#endif  // RDD_DATA_BINARY_IO_H_

@@ -1,0 +1,149 @@
+#include "data/checkpoint.h"
+
+#include <cstdint>
+
+#include "data/binary_io.h"
+#include "util/string_util.h"
+
+namespace rdd {
+
+namespace {
+
+constexpr uint64_t kMagic = 0x5244445f434b5031ULL;  // "RDD_CKP1"
+constexpr uint32_t kVersion = 1;
+
+/// Upper bound on every count field in the format. Far above anything the
+/// library produces, but small enough that a corrupt count fails fast
+/// instead of looping over billions of (bounded, but slow) reads.
+constexpr uint64_t kMaxListLength = 1 << 20;
+
+void WriteRecord(io::Writer* w, const ModelRecord& record) {
+  w->WriteString(record.arch);
+  w->WritePod<double>(record.weight);
+  w->WritePod<uint64_t>(record.ints.size());
+  for (const auto& [key, value] : record.ints) {
+    w->WriteString(key);
+    w->WritePod<int64_t>(value);
+  }
+  w->WritePod<uint64_t>(record.doubles.size());
+  for (const auto& [key, value] : record.doubles) {
+    w->WriteString(key);
+    w->WritePod<double>(value);
+  }
+  w->WritePod<uint64_t>(record.tensors.size());
+  for (const NamedTensor& tensor : record.tensors) {
+    w->WriteString(tensor.name);
+    w->WriteMatrix(tensor.value);
+  }
+}
+
+bool ReadCount(io::Reader* r, uint64_t* count) {
+  *count = r->ReadPod<uint64_t>();
+  return r->ok() && *count <= kMaxListLength;
+}
+
+bool ReadRecord(io::Reader* r, ModelRecord* record) {
+  record->arch = r->ReadString();
+  record->weight = r->ReadPod<double>();
+  uint64_t count = 0;
+  if (!ReadCount(r, &count)) return false;
+  record->ints.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    std::string key = r->ReadString();
+    const int64_t value = r->ReadPod<int64_t>();
+    if (!r->ok()) return false;
+    record->ints.emplace_back(std::move(key), value);
+  }
+  if (!ReadCount(r, &count)) return false;
+  record->doubles.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    std::string key = r->ReadString();
+    const double value = r->ReadPod<double>();
+    if (!r->ok()) return false;
+    record->doubles.emplace_back(std::move(key), value);
+  }
+  if (!ReadCount(r, &count)) return false;
+  record->tensors.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    NamedTensor tensor;
+    tensor.name = r->ReadString();
+    tensor.value = r->ReadMatrix();
+    if (!r->ok()) return false;
+    record->tensors.push_back(std::move(tensor));
+  }
+  return r->ok();
+}
+
+}  // namespace
+
+void ModelRecord::SetInt(const std::string& key, int64_t value) {
+  ints.emplace_back(key, value);
+}
+
+void ModelRecord::SetDouble(const std::string& key, double value) {
+  doubles.emplace_back(key, value);
+}
+
+bool ModelRecord::GetInt(const std::string& key, int64_t* out) const {
+  for (const auto& [k, v] : ints) {
+    if (k == key) {
+      *out = v;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool ModelRecord::GetDouble(const std::string& key, double* out) const {
+  for (const auto& [k, v] : doubles) {
+    if (k == key) {
+      *out = v;
+      return true;
+    }
+  }
+  return false;
+}
+
+Status SaveCheckpoint(const Checkpoint& checkpoint, const std::string& path) {
+  return io::SaveAtomic(path, [&checkpoint](io::Writer* w) {
+    w->WriteHeader(kMagic, kVersion);
+    w->WriteString(checkpoint.tag);
+    w->WritePod<uint64_t>(checkpoint.models.size());
+    for (const ModelRecord& record : checkpoint.models) {
+      WriteRecord(w, record);
+    }
+    return Status::Ok();
+  });
+}
+
+StatusOr<Checkpoint> LoadCheckpoint(const std::string& path) {
+  io::FilePtr file;
+  uint64_t file_size = 0;
+  RDD_RETURN_IF_ERROR(io::OpenForRead(path, &file, &file_size));
+  io::Reader r(file.get(), file_size);
+  RDD_RETURN_IF_ERROR(r.CheckHeader(kMagic, kVersion, "checkpoint", path));
+  Checkpoint checkpoint;
+  checkpoint.tag = r.ReadString();
+  uint64_t num_models = 0;
+  if (!ReadCount(&r, &num_models)) {
+    return Status::InvalidArgument(
+        StrFormat("%s has a corrupt model count", path.c_str()));
+  }
+  checkpoint.models.resize(num_models);
+  for (uint64_t i = 0; i < num_models; ++i) {
+    if (!ReadRecord(&r, &checkpoint.models[i])) {
+      return Status::InvalidArgument(StrFormat(
+          "%s has a corrupt or truncated model record %llu", path.c_str(),
+          static_cast<unsigned long long>(i)));
+    }
+  }
+  if (r.remaining() != 0) {
+    return Status::InvalidArgument(
+        StrFormat("%s has %llu trailing bytes after the last model record",
+                  path.c_str(),
+                  static_cast<unsigned long long>(r.remaining())));
+  }
+  return checkpoint;
+}
+
+}  // namespace rdd

@@ -1,0 +1,63 @@
+#ifndef RDD_DATA_CHECKPOINT_H_
+#define RDD_DATA_CHECKPOINT_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "tensor/matrix.h"
+#include "util/status.h"
+
+namespace rdd {
+
+/// One named dense tensor inside a model record (a parameter matrix).
+struct NamedTensor {
+  std::string name;
+  Matrix value;
+};
+
+/// The serialized form of one trained model: an architecture tag, scalar
+/// metadata (dimensions and hyper-parameters as ordered key/value lists),
+/// an ensemble weight, and the parameter tensors in registration order.
+/// This layer is deliberately model-agnostic — the data library knows how
+/// to move records to and from disk byte-identically; the mapping between
+/// records and live GraphModel objects lives in src/models/model_io.
+struct ModelRecord {
+  std::string arch;    ///< ModelKindToString name, e.g. "GCN".
+  double weight = 1.0; ///< Ensemble weight alpha (1.0 for single models).
+  std::vector<std::pair<std::string, int64_t>> ints;
+  std::vector<std::pair<std::string, double>> doubles;
+  std::vector<NamedTensor> tensors;
+
+  /// Appends a metadata entry (ordered, so round-trips are byte-identical).
+  void SetInt(const std::string& key, int64_t value);
+  void SetDouble(const std::string& key, double value);
+
+  /// Looks up a metadata entry; returns false when the key is absent.
+  bool GetInt(const std::string& key, int64_t* out) const;
+  bool GetDouble(const std::string& key, double* out) const;
+};
+
+/// A versioned model checkpoint: a tag (conventionally the dataset name)
+/// plus one record per model. A distilled MLP is a 1-record checkpoint; an
+/// RDD ensemble stores T records with their alpha weights.
+struct Checkpoint {
+  std::string tag;
+  std::vector<ModelRecord> models;
+};
+
+/// Writes `checkpoint` to `path`. Atomic (temp file + verified flush +
+/// rename) like SaveDataset; save -> load -> save round-trips are
+/// byte-identical. Returns IoError on filesystem failure.
+Status SaveCheckpoint(const Checkpoint& checkpoint, const std::string& path);
+
+/// Reads a checkpoint previously written by SaveCheckpoint. Returns IoError
+/// for unreadable files and InvalidArgument for corrupt, truncated,
+/// foreign-endian, or version-mismatched content. Length fields are bounded
+/// by the file size, so hostile values cannot trigger huge allocations.
+StatusOr<Checkpoint> LoadCheckpoint(const std::string& path);
+
+}  // namespace rdd
+
+#endif  // RDD_DATA_CHECKPOINT_H_

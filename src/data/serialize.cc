@@ -2,9 +2,9 @@
 
 #include <cstdint>
 #include <cstdio>
-#include <memory>
 #include <vector>
 
+#include "data/binary_io.h"
 #include "util/string_util.h"
 
 namespace rdd {
@@ -12,94 +12,11 @@ namespace rdd {
 namespace {
 
 constexpr uint64_t kMagic = 0x5244445f44415431ULL;  // "RDD_DAT1"
-constexpr uint32_t kVersion = 1;
+// Version 2 added the endianness marker between magic and version and moved
+// saves onto the atomic temp-file + rename path.
+constexpr uint32_t kVersion = 2;
 
-struct FileCloser {
-  void operator()(std::FILE* f) const {
-    if (f != nullptr) std::fclose(f);
-  }
-};
-using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
-
-class Writer {
- public:
-  explicit Writer(std::FILE* file) : file_(file) {}
-
-  bool ok() const { return ok_; }
-
-  void WriteBytes(const void* data, size_t size) {
-    if (!ok_) return;
-    ok_ = std::fwrite(data, 1, size, file_) == size;
-  }
-
-  template <typename T>
-  void WritePod(T value) {
-    WriteBytes(&value, sizeof(T));
-  }
-
-  void WriteString(const std::string& s) {
-    WritePod<uint64_t>(s.size());
-    WriteBytes(s.data(), s.size());
-  }
-
-  template <typename T>
-  void WriteVector(const std::vector<T>& v) {
-    WritePod<uint64_t>(v.size());
-    WriteBytes(v.data(), v.size() * sizeof(T));
-  }
-
- private:
-  std::FILE* file_;
-  bool ok_ = true;
-};
-
-class Reader {
- public:
-  explicit Reader(std::FILE* file) : file_(file) {}
-
-  bool ok() const { return ok_; }
-
-  void ReadBytes(void* data, size_t size) {
-    if (!ok_) return;
-    ok_ = std::fread(data, 1, size, file_) == size;
-  }
-
-  template <typename T>
-  T ReadPod() {
-    T value{};
-    ReadBytes(&value, sizeof(T));
-    return value;
-  }
-
-  std::string ReadString() {
-    const uint64_t size = ReadPod<uint64_t>();
-    if (!ok_ || size > (1ULL << 32)) {
-      ok_ = false;
-      return {};
-    }
-    std::string s(size, '\0');
-    ReadBytes(s.data(), size);
-    return s;
-  }
-
-  template <typename T>
-  std::vector<T> ReadVector() {
-    const uint64_t size = ReadPod<uint64_t>();
-    if (!ok_ || size > (1ULL << 34) / sizeof(T)) {
-      ok_ = false;
-      return {};
-    }
-    std::vector<T> v(size);
-    ReadBytes(v.data(), size * sizeof(T));
-    return v;
-  }
-
- private:
-  std::FILE* file_;
-  bool ok_ = true;
-};
-
-void WriteSparse(Writer* w, const SparseMatrix& m) {
+void WriteSparse(io::Writer* w, const SparseMatrix& m) {
   w->WritePod<int64_t>(m.rows());
   w->WritePod<int64_t>(m.cols());
   w->WriteVector(m.row_ptr());
@@ -107,7 +24,7 @@ void WriteSparse(Writer* w, const SparseMatrix& m) {
   w->WriteVector(m.values());
 }
 
-SparseMatrix ReadSparse(Reader* r) {
+SparseMatrix ReadSparse(io::Reader* r) {
   const int64_t rows = r->ReadPod<int64_t>();
   const int64_t cols = r->ReadPod<int64_t>();
   const std::vector<int64_t> row_ptr = r->ReadVector<int64_t>();
@@ -139,50 +56,33 @@ SparseMatrix ReadSparse(Reader* r) {
 }  // namespace
 
 Status SaveDataset(const Dataset& dataset, const std::string& path) {
-  FilePtr file(std::fopen(path.c_str(), "wb"));
-  if (file == nullptr) {
-    return Status::IoError(StrFormat("cannot open %s for writing",
-                                     path.c_str()));
-  }
-  Writer w(file.get());
-  w.WritePod(kMagic);
-  w.WritePod(kVersion);
-  w.WriteString(dataset.name);
-  w.WritePod<int64_t>(dataset.graph.num_nodes());
-  std::vector<int64_t> flat_edges;
-  flat_edges.reserve(static_cast<size_t>(dataset.graph.num_edges()) * 2);
-  for (const Edge& e : dataset.graph.edges()) {
-    flat_edges.push_back(e.u);
-    flat_edges.push_back(e.v);
-  }
-  w.WriteVector(flat_edges);
-  WriteSparse(&w, dataset.features);
-  w.WriteVector(dataset.labels);
-  w.WritePod<int64_t>(dataset.num_classes);
-  w.WriteVector(dataset.split.train);
-  w.WriteVector(dataset.split.val);
-  w.WriteVector(dataset.split.test);
-  if (!w.ok()) {
-    return Status::IoError(StrFormat("write failed for %s", path.c_str()));
-  }
-  return Status::Ok();
+  return io::SaveAtomic(path, [&dataset](io::Writer* w) {
+    w->WriteHeader(kMagic, kVersion);
+    w->WriteString(dataset.name);
+    w->WritePod<int64_t>(dataset.graph.num_nodes());
+    std::vector<int64_t> flat_edges;
+    flat_edges.reserve(static_cast<size_t>(dataset.graph.num_edges()) * 2);
+    for (const Edge& e : dataset.graph.edges()) {
+      flat_edges.push_back(e.u);
+      flat_edges.push_back(e.v);
+    }
+    w->WriteVector(flat_edges);
+    WriteSparse(w, dataset.features);
+    w->WriteVector(dataset.labels);
+    w->WritePod<int64_t>(dataset.num_classes);
+    w->WriteVector(dataset.split.train);
+    w->WriteVector(dataset.split.val);
+    w->WriteVector(dataset.split.test);
+    return Status::Ok();
+  });
 }
 
 StatusOr<Dataset> LoadDataset(const std::string& path) {
-  FilePtr file(std::fopen(path.c_str(), "rb"));
-  if (file == nullptr) {
-    return Status::IoError(StrFormat("cannot open %s for reading",
-                                     path.c_str()));
-  }
-  Reader r(file.get());
-  if (r.ReadPod<uint64_t>() != kMagic) {
-    return Status::InvalidArgument(
-        StrFormat("%s is not an RDD dataset file", path.c_str()));
-  }
-  if (r.ReadPod<uint32_t>() != kVersion) {
-    return Status::InvalidArgument(
-        StrFormat("%s has an unsupported version", path.c_str()));
-  }
+  io::FilePtr file;
+  uint64_t file_size = 0;
+  RDD_RETURN_IF_ERROR(io::OpenForRead(path, &file, &file_size));
+  io::Reader r(file.get(), file_size);
+  RDD_RETURN_IF_ERROR(r.CheckHeader(kMagic, kVersion, "dataset", path));
   Dataset dataset;
   dataset.name = r.ReadString();
   const int64_t num_nodes = r.ReadPod<int64_t>();

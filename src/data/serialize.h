@@ -9,12 +9,17 @@
 namespace rdd {
 
 /// Writes `dataset` to `path` in the library's binary format (magic +
-/// version header, then graph, features, labels, split). Returns IoError on
-/// filesystem failure.
+/// endianness + version header, then graph, features, labels, split).
+/// The write is atomic: bytes are staged into a temp file and renamed onto
+/// `path` only after a verified flush, so a crash or full disk never leaves
+/// a truncated file at the final path. Returns IoError on filesystem
+/// failure.
 Status SaveDataset(const Dataset& dataset, const std::string& path);
 
 /// Reads a dataset previously written by SaveDataset. Returns IoError for
-/// unreadable files and InvalidArgument for corrupt or incompatible content.
+/// unreadable files and InvalidArgument for corrupt, truncated,
+/// foreign-endian, or incompatible content (length fields are bounded by
+/// the file size, so hostile values cannot trigger huge allocations).
 /// The loaded dataset is re-validated before being returned.
 StatusOr<Dataset> LoadDataset(const std::string& path);
 

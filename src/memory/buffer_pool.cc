@@ -4,15 +4,13 @@
 #include <new>
 
 #include "observe/metrics.h"
+#include "util/env.h"
 
 namespace rdd::memory {
 
 namespace {
 
-bool PoolDisabledByEnv() {
-  const char* value = std::getenv("RDD_POOL_DISABLE");
-  return value != nullptr && value[0] == '1' && value[1] == '\0';
-}
+bool PoolDisabledByEnv() { return env::BoolEnv("RDD_POOL_DISABLE", false); }
 
 // All pool memory goes through the aligned operator new/delete pair so every
 // buffer honors kBufferAlignment (see buffer_pool.h).

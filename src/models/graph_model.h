@@ -56,6 +56,9 @@ class GraphModel : public Module {
   /// Convenience: evaluation-mode argmax predictions for all nodes.
   std::vector<int64_t> PredictLabels();
 
+  /// The graph context the model is bound to.
+  const GraphContext& context() const { return context_; }
+
  protected:
   GraphModel(GraphContext context, uint64_t seed)
       : context_(std::move(context)), rng_(seed) {}

@@ -1,0 +1,83 @@
+#include "models/mlp_student.h"
+
+#include "autograd/ops.h"
+#include "parallel/parallel_for.h"
+#include "tensor/ops.h"
+#include "util/logging.h"
+
+namespace rdd {
+
+MlpStudent::MlpStudent(GraphContext context, int64_t num_layers,
+                       int64_t hidden_dim, float dropout, uint64_t seed)
+    : GraphModel(std::move(context), seed),
+      hidden_dim_(hidden_dim),
+      dropout_(dropout) {
+  RDD_CHECK_GE(num_layers, 1);
+  RDD_CHECK_GT(hidden_dim, 0);
+  int64_t in_dim = context_.feature_dim;
+  for (int64_t l = 0; l < num_layers; ++l) {
+    const int64_t out_dim =
+        l + 1 == num_layers ? context_.num_classes : hidden_dim;
+    layers_.push_back(std::make_unique<Linear>(in_dim, out_dim, &rng_));
+    RegisterChild(*layers_.back());
+    in_dim = out_dim;
+  }
+}
+
+ModelOutput MlpStudent::Forward(bool training) {
+  Variable h = layers_[0]->ForwardSparse(context_.features.get());
+  for (size_t l = 1; l < layers_.size(); ++l) {
+    h = ag::Relu(h);
+    h = ag::Dropout(h, dropout_, training, &rng_);
+    h = layers_[l]->Forward(h);
+  }
+  return ModelOutput{h, h};
+}
+
+Matrix MlpStudent::PredictLogitsRows(const std::vector<int64_t>& nodes) const {
+  const SparseMatrix& x = *context_.features;
+  const int64_t batch = static_cast<int64_t>(nodes.size());
+  const Linear& first = *layers_[0];
+  const Matrix& w0 = first.weight().value();
+  const int64_t width = w0.cols();
+
+  // First layer: gather each queried node's sparse feature row and expand
+  // it against W0 directly — the only layer whose input is feature_dim
+  // wide, and the reason serving never materializes a dense feature matrix.
+  Matrix h(batch, width);
+  const std::vector<int64_t>& row_ptr = x.row_ptr();
+  const std::vector<int64_t>& col_idx = x.col_idx();
+  const std::vector<float>& values = x.values();
+  const int64_t avg_nnz = x.rows() > 0 ? x.nnz() / x.rows() : 0;
+  const int64_t grain = parallel::GrainForCost((avg_nnz + 1) * width);
+  parallel::ParallelFor(0, batch, grain, [&](int64_t begin, int64_t end) {
+    for (int64_t b = begin; b < end; ++b) {
+      const int64_t r = nodes[static_cast<size_t>(b)];
+      RDD_CHECK_GE(r, 0);
+      RDD_CHECK_LT(r, x.rows());
+      float* out = h.RowData(b);
+      for (int64_t k = row_ptr[static_cast<size_t>(r)];
+           k < row_ptr[static_cast<size_t>(r) + 1]; ++k) {
+        const float v = values[static_cast<size_t>(k)];
+        const float* w_row = w0.RowData(col_idx[static_cast<size_t>(k)]);
+        for (int64_t c = 0; c < width; ++c) out[c] += v * w_row[c];
+      }
+    }
+  });
+  if (first.bias().defined()) h = AddRowBroadcast(h, first.bias().value());
+
+  // Remaining layers are small dense GEMMs over the batch.
+  for (size_t l = 1; l < layers_.size(); ++l) {
+    h = Relu(h);
+    const Linear& layer = *layers_[l];
+    h = Matmul(h, layer.weight().value());
+    if (layer.bias().defined()) h = AddRowBroadcast(h, layer.bias().value());
+  }
+  return h;
+}
+
+Matrix MlpStudent::PredictProbsRows(const std::vector<int64_t>& nodes) const {
+  return SoftmaxRows(PredictLogitsRows(nodes));
+}
+
+}  // namespace rdd

@@ -1,0 +1,57 @@
+#ifndef RDD_MODELS_MLP_STUDENT_H_
+#define RDD_MODELS_MLP_STUDENT_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "models/graph_model.h"
+#include "nn/linear.h"
+#include "tensor/sparse.h"
+
+namespace rdd {
+
+/// The serving-side student of GNN-to-MLP reliable distillation (ROADMAP
+/// item 2, after "Quantifying the Knowledge in GNNs for Reliable
+/// Distillation into MLPs"): a graph-blind MLP over node features, trained
+/// by src/core/distill against the RDD ensemble's soft labels. Unlike the
+/// 2-layer test-control Mlp, the student has a configurable depth/width
+/// (distillation needs capacity headroom over the teacher) and a tape-free
+/// batched inference path that touches only the queried feature rows — no
+/// SpMM, no full-graph pass — which is what makes microsecond-latency
+/// serving possible.
+class MlpStudent : public GraphModel {
+ public:
+  /// Builds a `num_layers`-deep MLP (feature_dim -> hidden_dim x
+  /// (num_layers - 1) -> num_classes). num_layers >= 1; with one layer the
+  /// model is a linear classifier.
+  MlpStudent(GraphContext context, int64_t num_layers, int64_t hidden_dim,
+             float dropout, uint64_t seed);
+
+  /// Full-graph training/evaluation forward over context.features (the
+  /// transductive path the distillation trainer drives).
+  ModelOutput Forward(bool training) override;
+
+  /// Serving path: evaluation-mode logits for exactly the listed nodes,
+  /// computed from their sparse feature rows with no autograd tape and no
+  /// full-graph work. Cost is O(batch * (nnz_per_row + hidden) * hidden).
+  /// Deterministic and batch-invariant: a node's row is bit-identical
+  /// whatever batch it is computed in.
+  Matrix PredictLogitsRows(const std::vector<int64_t>& nodes) const;
+
+  /// Softmax of PredictLogitsRows.
+  Matrix PredictProbsRows(const std::vector<int64_t>& nodes) const;
+
+  int64_t num_layers() const { return static_cast<int64_t>(layers_.size()); }
+  int64_t hidden_dim() const { return hidden_dim_; }
+  float dropout() const { return dropout_; }
+
+ private:
+  std::vector<std::unique_ptr<Linear>> layers_;
+  int64_t hidden_dim_;
+  float dropout_;
+};
+
+}  // namespace rdd
+
+#endif  // RDD_MODELS_MLP_STUDENT_H_

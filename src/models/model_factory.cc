@@ -7,6 +7,7 @@
 #include "models/graphsage.h"
 #include "models/jk_net.h"
 #include "models/mlp.h"
+#include "models/mlp_student.h"
 #include "models/res_gcn.h"
 #include "util/logging.h"
 
@@ -30,6 +31,8 @@ const char* ModelKindToString(ModelKind kind) {
       return "GAT";
     case ModelKind::kGraphSage:
       return "GraphSAGE";
+    case ModelKind::kMlpStudent:
+      return "MLP-Student";
   }
   return "Unknown";
 }
@@ -66,6 +69,10 @@ std::unique_ptr<GraphModel> BuildModel(const GraphContext& context,
       return std::make_unique<GraphSage>(context, config.num_layers,
                                          config.hidden_dim, config.dropout,
                                          seed);
+    case ModelKind::kMlpStudent:
+      return std::make_unique<MlpStudent>(context, config.num_layers,
+                                          config.hidden_dim, config.dropout,
+                                          seed);
   }
   RDD_CHECK(false) << "unknown model kind";
   return nullptr;

@@ -19,6 +19,7 @@ enum class ModelKind {
   kMlp,
   kGat,
   kGraphSage,
+  kMlpStudent,
 };
 
 /// Human-readable name for an architecture ("GCN", "ResGCN", ...).

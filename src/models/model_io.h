@@ -1,0 +1,37 @@
+#ifndef RDD_MODELS_MODEL_IO_H_
+#define RDD_MODELS_MODEL_IO_H_
+
+#include <memory>
+#include <string>
+
+#include "data/checkpoint.h"
+#include "models/graph_model.h"
+#include "models/model_factory.h"
+#include "util/status.h"
+
+namespace rdd {
+
+/// Inverse of ModelKindToString. Returns false when `name` names no known
+/// architecture.
+bool ParseModelKind(const std::string& name, ModelKind* kind);
+
+/// Snapshots a trained model into a checkpoint record: the architecture
+/// name, every ModelConfig hyperparameter needed to rebuild it, the graph
+/// dimensions it was trained against (for load-time validation), and each
+/// trainable parameter as a named tensor ("param.0", "param.1", ... in
+/// Parameters() order). `weight` is the caller's ensemble weight for this
+/// member (1.0 for standalone models).
+ModelRecord RecordFromModel(const GraphModel& model, const ModelConfig& config,
+                            double weight);
+
+/// Rebuilds a model from a record over `context`: validates the recorded
+/// graph dimensions against the context, constructs the architecture via
+/// BuildModel, and overwrites its parameters with the recorded tensors.
+/// Any mismatch (unknown arch, missing hyperparameter, wrong tensor count
+/// or shape) is an InvalidArgument — never a crash.
+StatusOr<std::unique_ptr<GraphModel>> ModelFromRecord(
+    const ModelRecord& record, const GraphContext& context);
+
+}  // namespace rdd
+
+#endif  // RDD_MODELS_MODEL_IO_H_

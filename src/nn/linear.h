@@ -31,6 +31,10 @@ class Linear : public Module {
 
   const Variable& weight() const { return weight_; }
 
+  /// The 1 x out_dim bias row; undefined (`!defined()`) when the layer was
+  /// built with use_bias = false. Exposed for tape-free inference paths.
+  const Variable& bias() const { return bias_; }
+
  private:
   Variable weight_;
   Variable bias_;  ///< Undefined when use_bias is false.

@@ -7,14 +7,13 @@
 #include <unordered_map>
 #include <utility>
 
+#include "util/env.h"
+
 namespace rdd::observe {
 
 namespace {
 
-bool MetricsEnabledByEnv() {
-  const char* value = std::getenv("RDD_METRICS");
-  return value != nullptr && value[0] == '1' && value[1] == '\0';
-}
+bool MetricsEnabledByEnv() { return env::BoolEnv("RDD_METRICS", false); }
 
 std::atomic<bool>& MetricsFlag() {
   static std::atomic<bool> enabled{MetricsEnabledByEnv()};

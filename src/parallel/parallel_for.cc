@@ -1,6 +1,7 @@
 #include "parallel/parallel_for.h"
 
 #include <atomic>
+#include <cerrno>
 #include <condition_variable>
 #include <cstdlib>
 #include <memory>
@@ -17,8 +18,27 @@ namespace internal {
 int ParseThreadCount(const char* value, int fallback) {
   if (value == nullptr || *value == '\0') return fallback;
   char* end = nullptr;
-  const long parsed = std::strtol(value, &end, 10);
-  if (end == value || *end != '\0' || parsed < 1) return fallback;
+  errno = 0;
+  long long parsed = std::strtoll(value, &end, 10);
+  if (end == value || *end != '\0') {
+    RDD_LOG(Warning) << "RDD_NUM_THREADS=" << value
+                     << " is not an integer; using " << fallback
+                     << " thread(s)";
+    return fallback;
+  }
+  // Saturate overflowed values instead of trusting the ERANGE result; a
+  // value like 2^32+1 must clamp to the maximum, not truncate to 1.
+  if (errno == ERANGE) parsed = parsed > 0 ? kMaxThreadCount + 1 : 0;
+  if (parsed < 1) {
+    RDD_LOG(Warning) << "RDD_NUM_THREADS=" << value
+                     << " is below 1; using " << fallback << " thread(s)";
+    return fallback;
+  }
+  if (parsed > kMaxThreadCount) {
+    RDD_LOG(Warning) << "RDD_NUM_THREADS=" << value << " exceeds the cap of "
+                     << kMaxThreadCount << "; clamping";
+    return kMaxThreadCount;
+  }
   return static_cast<int>(parsed);
 }
 

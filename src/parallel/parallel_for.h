@@ -100,8 +100,13 @@ inline int64_t GrainForCost(int64_t cost_per_item) {
 }
 
 namespace internal {
+/// Upper bound on a configured thread count; values above it clamp (with a
+/// warning) instead of silently truncating through a narrowing cast.
+inline constexpr int kMaxThreadCount = 1024;
+
 /// Parses an RDD_NUM_THREADS-style value: returns `fallback` when `value` is
-/// null, empty, non-numeric, or < 1. Exposed for tests.
+/// null, empty, non-numeric, or < 1 (warning on everything but null/empty),
+/// and clamps values above kMaxThreadCount. Exposed for tests.
 int ParseThreadCount(const char* value, int fallback);
 }  // namespace internal
 

@@ -11,6 +11,7 @@
 #include "observe/trace.h"
 #include "parallel/parallel_for.h"
 #include "parallel/thread_pool.h"
+#include "util/env.h"
 #include "util/logging.h"
 
 namespace rdd::parallel {
@@ -41,13 +42,8 @@ GroupMetrics& Metrics() {
   return *metrics;
 }
 
-bool TaskParallelDisabledByEnv() {
-  const char* value = std::getenv("RDD_TASK_PARALLEL");
-  return value != nullptr && value[0] == '0' && value[1] == '\0';
-}
-
 std::atomic<bool>& TaskParallelFlag() {
-  static std::atomic<bool> enabled{!TaskParallelDisabledByEnv()};
+  static std::atomic<bool> enabled{env::BoolEnv("RDD_TASK_PARALLEL", true)};
   return enabled;
 }
 

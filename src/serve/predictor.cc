@@ -1,0 +1,180 @@
+#include "serve/predictor.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <utility>
+
+#include "models/model_io.h"
+#include "observe/metrics.h"
+#include "observe/trace.h"
+#include "tensor/ops.h"
+#include "util/logging.h"
+#include "util/string_util.h"
+#include "util/timer.h"
+
+namespace rdd {
+
+Checkpoint CheckpointFromRdd(const RddResult& result,
+                             const ModelConfig& base_model,
+                             const std::string& tag) {
+  RDD_CHECK_EQ(result.students.size(), result.alphas.size());
+  Checkpoint checkpoint;
+  checkpoint.tag = tag;
+  checkpoint.models.reserve(result.students.size());
+  for (size_t t = 0; t < result.students.size(); ++t) {
+    checkpoint.models.push_back(RecordFromModel(
+        *result.students[t], base_model, result.alphas[t]));
+  }
+  return checkpoint;
+}
+
+Checkpoint CheckpointFromDistilled(const MlpStudent& student,
+                                   const std::string& tag) {
+  ModelConfig config;
+  config.kind = ModelKind::kMlpStudent;
+  config.num_layers = student.num_layers();
+  config.hidden_dim = student.hidden_dim();
+  config.dropout = student.dropout();
+  Checkpoint checkpoint;
+  checkpoint.tag = tag;
+  checkpoint.models.push_back(RecordFromModel(student, config, 1.0));
+  return checkpoint;
+}
+
+StatusOr<Predictor> Predictor::FromCheckpoint(const std::string& path,
+                                              const GraphContext& context) {
+  return FromCheckpoint(path, context, Options());
+}
+
+StatusOr<Predictor> Predictor::FromCheckpoint(const std::string& path,
+                                              const GraphContext& context,
+                                              const Options& options) {
+  if (options.batch_size < 1) {
+    return Status::InvalidArgument(
+        StrFormat("batch_size must be >= 1, got %lld",
+                  static_cast<long long>(options.batch_size)));
+  }
+  StatusOr<Checkpoint> loaded = LoadCheckpoint(path);
+  if (!loaded.ok()) return loaded.status();
+  const Checkpoint& checkpoint = *loaded;
+  if (checkpoint.models.empty()) {
+    return Status::InvalidArgument(
+        StrFormat("checkpoint %s holds no models", path.c_str()));
+  }
+
+  Predictor predictor;
+  predictor.tag_ = checkpoint.tag;
+  predictor.options_ = options;
+  predictor.num_nodes_ = context.num_nodes;
+  predictor.pure_mlp_ = true;
+  for (const ModelRecord& record : checkpoint.models) {
+    StatusOr<std::unique_ptr<GraphModel>> model =
+        ModelFromRecord(record, context);
+    if (!model.ok()) return model.status();
+    if (record.weight <= 0.0) {
+      return Status::InvalidArgument(StrFormat(
+          "checkpoint %s: model \"%s\" has non-positive weight", path.c_str(),
+          record.arch.c_str()));
+    }
+    std::shared_ptr<GraphModel> shared = std::move(model.value());
+    const MlpStudent* mlp = dynamic_cast<const MlpStudent*>(shared.get());
+    if (mlp == nullptr) predictor.pure_mlp_ = false;
+    predictor.mlps_.push_back(mlp);
+    predictor.models_.push_back(std::move(shared));
+    predictor.weights_.push_back(record.weight);
+  }
+  return predictor;
+}
+
+StatusOr<Matrix> Predictor::PredictProbs(const std::vector<int64_t>& nodes) {
+  if (models_.empty()) {
+    return Status::FailedPrecondition("predictor holds no models");
+  }
+  for (int64_t node : nodes) {
+    if (node < 0 || node >= num_nodes_) {
+      return Status::InvalidArgument(
+          StrFormat("query node %lld is outside [0, %lld)",
+                    static_cast<long long>(node),
+                    static_cast<long long>(num_nodes_)));
+    }
+  }
+  observe::TraceSpan predict_span("serve/predict",
+                                  static_cast<int64_t>(nodes.size()));
+  auto& registry = observe::MetricsRegistry::Global();
+  static observe::Counter& query_counter = registry.counter("serve.queries");
+  static observe::Counter& batch_counter = registry.counter("serve.batches");
+  static observe::Histogram& batch_ns = registry.histogram("serve.batch_ns");
+  query_counter.Add(nodes.size());
+
+  double weight_sum = 0.0;
+  for (double w : weights_) weight_sum += w;
+
+  const int64_t total = static_cast<int64_t>(nodes.size());
+  Matrix out;
+  for (int64_t begin = 0; begin < total; begin += options_.batch_size) {
+    const int64_t end = std::min(total, begin + options_.batch_size);
+    observe::TraceSpan batch_span("serve/batch", end - begin);
+    WallTimer batch_timer;
+    batch_counter.Add(1);
+    const std::vector<int64_t> batch(nodes.begin() + begin,
+                                     nodes.begin() + end);
+
+    // Weighted member average, summed in insertion order (deterministic at
+    // any thread count, like Teacher::PredictProbs).
+    Matrix batch_probs;
+    for (size_t m = 0; m < models_.size(); ++m) {
+      Matrix member;  // (end - begin) x num_classes
+      if (mlps_[m] != nullptr) {
+        member = mlps_[m]->PredictProbsRows(batch);
+      } else {
+        // Honest transductive serving: the member recomputes its
+        // full-graph forward for the batch, then the queried rows are
+        // gathered. This is the latency the MLP path removes.
+        const Matrix full =
+            SoftmaxRows(models_[m]->Forward(/*training=*/false).logits.value());
+        member = Matrix(static_cast<int64_t>(batch.size()), full.cols());
+        for (size_t b = 0; b < batch.size(); ++b) {
+          const float* src = full.RowData(batch[b]);
+          float* dst = member.RowData(static_cast<int64_t>(b));
+          for (int64_t c = 0; c < full.cols(); ++c) dst[c] = src[c];
+        }
+      }
+      const float scale = static_cast<float>(weights_[m] / weight_sum);
+      if (m == 0) {
+        batch_probs = std::move(member);
+        float* data = batch_probs.Data();
+        for (int64_t i = 0; i < batch_probs.size(); ++i) data[i] *= scale;
+      } else {
+        RDD_CHECK_EQ(member.cols(), batch_probs.cols());
+        float* acc = batch_probs.Data();
+        const float* add = member.Data();
+        for (int64_t i = 0; i < batch_probs.size(); ++i) {
+          acc[i] += scale * add[i];
+        }
+      }
+    }
+
+    if (begin == 0 && end == total) {
+      out = std::move(batch_probs);
+    } else {
+      if (out.empty()) out = Matrix(total, batch_probs.cols());
+      for (int64_t b = begin; b < end; ++b) {
+        const float* src = batch_probs.RowData(b - begin);
+        float* dst = out.RowData(b);
+        for (int64_t c = 0; c < out.cols(); ++c) dst[c] = src[c];
+      }
+    }
+    batch_ns.Record(
+        static_cast<uint64_t>(batch_timer.ElapsedSeconds() * 1e9));
+  }
+  return out;
+}
+
+StatusOr<std::vector<int64_t>> Predictor::PredictLabels(
+    const std::vector<int64_t>& nodes) {
+  StatusOr<Matrix> probs = PredictProbs(nodes);
+  if (!probs.ok()) return probs.status();
+  return ArgmaxRows(*probs);
+}
+
+}  // namespace rdd

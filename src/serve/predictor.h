@@ -1,0 +1,92 @@
+#ifndef RDD_SERVE_PREDICTOR_H_
+#define RDD_SERVE_PREDICTOR_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/rdd_trainer.h"
+#include "data/checkpoint.h"
+#include "models/graph_model.h"
+#include "models/mlp_student.h"
+#include "models/model_factory.h"
+#include "util/status.h"
+
+namespace rdd {
+
+/// Snapshots a finished RDD run as a checkpoint: one record per ensemble
+/// member, each carrying its alpha weight, built from `base_model` (the
+/// architecture config the run trained with).
+Checkpoint CheckpointFromRdd(const RddResult& result,
+                             const ModelConfig& base_model,
+                             const std::string& tag);
+
+/// Snapshots a distilled MlpStudent as a single-record checkpoint.
+Checkpoint CheckpointFromDistilled(const MlpStudent& student,
+                                   const std::string& tag);
+
+/// Batched node-classification server over a loaded checkpoint. A Predictor
+/// owns the rebuilt models and answers queries in fixed-size batches; every
+/// batch is traced ("serve/batch" under "serve/predict") and counted
+/// (serve.queries, serve.batches, serve.batch_ns) via src/observe.
+///
+/// Two serving paths, chosen by what the checkpoint holds:
+///  - MLP-Student records answer from the queried nodes' feature rows only
+///    (MlpStudent::PredictProbsRows) — no full-graph work per query.
+///  - Any other architecture runs a full-graph forward per member per batch
+///    (the honest transductive-GNN serving cost) and gathers the queried
+///    rows. Multi-member checkpoints are weight-averaged like the Teacher.
+///
+/// Both paths are batch-invariant: a node's prediction row is bit-identical
+/// whatever batch — or batch size — it is served in.
+class Predictor {
+ public:
+  struct Options {
+    int64_t batch_size = 256;  ///< Queries per batch; must be >= 1.
+  };
+
+  /// An empty predictor that serves nothing; exists for StatusOr. Use
+  /// FromCheckpoint.
+  Predictor() = default;
+
+  /// Loads `path` and rebuilds every model in it over `context`. Fails with
+  /// InvalidArgument when the checkpoint is corrupt, names an unknown
+  /// architecture, or was trained on a graph whose dimensions disagree with
+  /// `context`.
+  static StatusOr<Predictor> FromCheckpoint(const std::string& path,
+                                            const GraphContext& context,
+                                            const Options& options);
+  static StatusOr<Predictor> FromCheckpoint(const std::string& path,
+                                            const GraphContext& context);
+
+  /// Weight-averaged class probabilities for `nodes` (one row per query, in
+  /// query order). InvalidArgument on any out-of-range node id. Non-const
+  /// because GraphModel::Forward is non-const; evaluation-mode forwards are
+  /// still deterministic.
+  StatusOr<Matrix> PredictProbs(const std::vector<int64_t>& nodes);
+
+  /// Argmax labels for `nodes`.
+  StatusOr<std::vector<int64_t>> PredictLabels(
+      const std::vector<int64_t>& nodes);
+
+  const std::string& tag() const { return tag_; }
+  int64_t num_models() const { return static_cast<int64_t>(models_.size()); }
+  /// True when every loaded record is an MLP-Student (row-wise fast path).
+  bool pure_mlp() const { return pure_mlp_; }
+  int64_t batch_size() const { return options_.batch_size; }
+
+ private:
+  std::string tag_;
+  Options options_;
+  int64_t num_nodes_ = 0;
+  std::vector<std::shared_ptr<GraphModel>> models_;
+  std::vector<double> weights_;
+  /// Parallel to models_: the member as an MlpStudent, or nullptr.
+  std::vector<const MlpStudent*> mlps_;
+  bool pure_mlp_ = false;
+};
+
+}  // namespace rdd
+
+#endif  // RDD_SERVE_PREDICTOR_H_

@@ -1,0 +1,83 @@
+#include "util/env.h"
+
+#include <cctype>
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "util/logging.h"
+
+namespace rdd::env {
+
+namespace {
+
+std::string AsciiLower(const char* value) {
+  std::string lowered(value);
+  for (char& c : lowered) {
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  return lowered;
+}
+
+}  // namespace
+
+bool ParseBool(const char* value, bool fallback, bool* recognized) {
+  if (recognized != nullptr) *recognized = true;
+  if (value == nullptr || *value == '\0') return fallback;
+  const std::string v = AsciiLower(value);
+  if (v == "1" || v == "true" || v == "on" || v == "yes") return true;
+  if (v == "0" || v == "false" || v == "off" || v == "no") return false;
+  if (recognized != nullptr) *recognized = false;
+  return fallback;
+}
+
+bool BoolEnv(const char* name, bool fallback) {
+  const char* value = std::getenv(name);
+  bool recognized = true;
+  const bool parsed = ParseBool(value, fallback, &recognized);
+  if (!recognized) {
+    RDD_LOG(Warning) << name << "=" << value
+                     << " is not a boolean (1|0|true|false|on|off|yes|no); "
+                     << "using default " << (fallback ? "1" : "0");
+  }
+  return parsed;
+}
+
+int ParseInt(const char* value, int fallback, int min_value, int max_value,
+             const char* name) {
+  if (value == nullptr || *value == '\0') return fallback;
+  char* end = nullptr;
+  errno = 0;
+  const long long parsed = std::strtoll(value, &end, 10);
+  if (end == value || *end != '\0') {
+    if (name != nullptr) {
+      RDD_LOG(Warning) << name << "=" << value
+                       << " is not an integer; using default " << fallback;
+    }
+    return fallback;
+  }
+  // ERANGE means the value overflowed long long; treat it like any other
+  // out-of-range number and clamp toward the side it overflowed to.
+  long long effective = parsed;
+  if (errno == ERANGE) {
+    effective = parsed > 0 ? static_cast<long long>(max_value) + 1
+                           : static_cast<long long>(min_value) - 1;
+  }
+  if (effective < min_value || effective > max_value) {
+    const int clamped = effective < min_value ? min_value : max_value;
+    if (name != nullptr) {
+      RDD_LOG(Warning) << name << "=" << value << " is outside ["
+                       << min_value << ", " << max_value << "]; clamping to "
+                       << clamped;
+    }
+    return clamped;
+  }
+  return static_cast<int>(effective);
+}
+
+int IntEnv(const char* name, int fallback, int min_value, int max_value) {
+  return ParseInt(std::getenv(name), fallback, min_value, max_value, name);
+}
+
+}  // namespace rdd::env

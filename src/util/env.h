@@ -1,0 +1,34 @@
+#ifndef RDD_UTIL_ENV_H_
+#define RDD_UTIL_ENV_H_
+
+namespace rdd::env {
+
+/// Shared parsing for the library's boolean environment switches
+/// (RDD_METRICS, RDD_TASK_PARALLEL, RDD_POOL_DISABLE, ...). Accepted
+/// spellings, case-insensitive: "1"/"true"/"on"/"yes" -> true,
+/// "0"/"false"/"off"/"no" -> false. Unset or empty returns `fallback`
+/// silently; any other value warns (naming the variable) and returns
+/// `fallback`, so a typo like RDD_METRICS=ture cannot silently flip a
+/// switch.
+bool BoolEnv(const char* name, bool fallback);
+
+/// Parsing core of BoolEnv, exposed for tests. `*recognized` (optional)
+/// reports whether `value` was a recognized spelling; unset/empty counts as
+/// recognized (the documented "use the default" state).
+bool ParseBool(const char* value, bool fallback, bool* recognized = nullptr);
+
+/// Shared parsing for integer environment knobs. Unset, empty, or
+/// non-numeric values return `fallback` (non-numeric warns); numeric values
+/// are clamped into [min_value, max_value] with a warning when out of
+/// range. Parsing is 64-bit first, so a value like 4294967297 clamps
+/// instead of silently truncating on LP64.
+int IntEnv(const char* name, int fallback, int min_value, int max_value);
+
+/// Parsing core of IntEnv, exposed for tests. `name` is used only in
+/// warning messages and may be null (suppresses the variable name).
+int ParseInt(const char* value, int fallback, int min_value, int max_value,
+             const char* name = nullptr);
+
+}  // namespace rdd::env
+
+#endif  // RDD_UTIL_ENV_H_

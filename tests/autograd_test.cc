@@ -260,6 +260,48 @@ TEST(AutogradGradcheck, SoftCrossEntropy) {
       RandomMatrix(3, 4, &rng));
 }
 
+TEST(AutogradGradcheck, WeightedSoftCrossEntropy) {
+  Rng rng(22);
+  Matrix target = SoftmaxRows(RandomMatrix(4, 3, &rng));
+  const std::vector<int64_t> indices = {0, 1, 3};
+  const std::vector<float> weights = {0.9f, 0.3f, 0.0f, 0.6f};
+  for (ag::Reduction reduction :
+       {ag::Reduction::kMean, ag::Reduction::kSum}) {
+    CheckGradient(
+        [&](const Variable& logits) {
+          return ag::WeightedSoftCrossEntropy(logits, target, indices,
+                                              weights, reduction);
+        },
+        RandomMatrix(4, 3, &rng));
+  }
+}
+
+TEST(WeightedSoftCrossEntropyTest, UnitWeightsMatchSoftCrossEntropy) {
+  Rng rng(23);
+  const Matrix target = SoftmaxRows(RandomMatrix(5, 4, &rng));
+  const Matrix logits = RandomMatrix(5, 4, &rng);
+  const std::vector<int64_t> indices = {0, 2, 4};
+  const std::vector<float> unit(5, 1.0f);
+  for (ag::Reduction reduction :
+       {ag::Reduction::kMean, ag::Reduction::kSum}) {
+    const Variable plain = ag::SoftCrossEntropy(Variable(logits, false),
+                                                target, indices, reduction);
+    const Variable weighted = ag::WeightedSoftCrossEntropy(
+        Variable(logits, false), target, indices, unit, reduction);
+    EXPECT_NEAR(plain.value().At(0, 0), weighted.value().At(0, 0), 1e-6f);
+  }
+}
+
+TEST(WeightedSoftCrossEntropyTest, ZeroWeightSumIsZeroLoss) {
+  Rng rng(24);
+  const Matrix target = SoftmaxRows(RandomMatrix(3, 4, &rng));
+  const std::vector<float> zeros(3, 0.0f);
+  const Variable loss = ag::WeightedSoftCrossEntropy(
+      Variable(RandomMatrix(3, 4, &rng), false), target, {0, 1, 2}, zeros,
+      ag::Reduction::kMean);
+  EXPECT_EQ(loss.value().At(0, 0), 0.0f);
+}
+
 TEST(AutogradGradcheck, WeightedSum) {
   Rng rng(21);
   const Matrix b0 = RandomMatrix(2, 2, &rng);

@@ -78,6 +78,22 @@ TEST(ParseThreadCountTest, FallsBackOnGarbage) {
   EXPECT_EQ(ParseThreadCount("-2", 3), 3);
 }
 
+TEST(ParseThreadCountTest, ClampsOversizedValuesInsteadOfTruncating) {
+  // 2^32 + 1 used to truncate to 1 thread through a long -> int narrowing;
+  // it must clamp to the cap instead.
+  EXPECT_EQ(ParseThreadCount("4294967297", 3),
+            parallel::internal::kMaxThreadCount);
+  EXPECT_EQ(ParseThreadCount("2000000000", 3),
+            parallel::internal::kMaxThreadCount);
+  // Values past the long long range (ERANGE) saturate the same way.
+  EXPECT_EQ(ParseThreadCount("99999999999999999999999999", 3),
+            parallel::internal::kMaxThreadCount);
+  EXPECT_EQ(ParseThreadCount("-99999999999999999999999999", 3), 3);
+  // The cap itself is accepted verbatim; one past it clamps.
+  EXPECT_EQ(ParseThreadCount("1024", 3), 1024);
+  EXPECT_EQ(ParseThreadCount("1025", 3), 1024);
+}
+
 TEST(ParallelForTest, CoversEveryIndexExactlyOnce) {
   ThreadCountGuard guard;
   SetNumThreads(4);

@@ -1,7 +1,10 @@
 #include "data/serialize.h"
 
+#include <unistd.h>
+
 #include <cstdio>
 #include <string>
+#include <vector>
 
 #include <gtest/gtest.h>
 
@@ -91,6 +94,110 @@ TEST(SerializeTest, UnwritablePathIsIoError) {
       SaveDataset(SmallDataset(3), "/nonexistent_dir/x.rdd");
   EXPECT_FALSE(status.ok());
   EXPECT_EQ(status.code(), StatusCode::kIoError);
+}
+
+TEST(SerializeTest, FailedSaveLeavesNoFileBehind) {
+  // The atomic save stages into "<path>.tmp.<pid>"; on failure neither the
+  // target nor the staging file may exist.
+  const std::string dir = std::string(::testing::TempDir()) + "/no_such_dir";
+  const std::string path = dir + "/x.rdd";
+  ASSERT_FALSE(SaveDataset(SmallDataset(5), path).ok());
+  EXPECT_EQ(std::fopen(path.c_str(), "rb"), nullptr);
+}
+
+TEST(SerializeTest, SuccessfulSaveLeavesNoTempFile) {
+  const Dataset dataset = SmallDataset(6);
+  const std::string path = TempPath("atomic.rdd");
+  ASSERT_TRUE(SaveDataset(dataset, path).ok());
+  const std::string tmp_prefix = path + ".tmp.";
+  // The staging file is "<path>.tmp.<pid>" for this process.
+  char tmp_name[512];
+  std::snprintf(tmp_name, sizeof(tmp_name), "%s%d", tmp_prefix.c_str(),
+                static_cast<int>(getpid()));
+  EXPECT_EQ(std::fopen(tmp_name, "rb"), nullptr);
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, EveryPrefixTruncationFailsCleanly) {
+  CitationGenConfig config;
+  config.num_nodes = 40;
+  config.num_features = 12;
+  config.num_edges = 90;
+  config.num_classes = 3;
+  config.labeled_per_class = 3;
+  config.val_size = 8;
+  config.test_size = 10;
+  const Dataset tiny = GenerateCitationNetwork(config, 7);
+  const std::string full_path = TempPath("prefix_full.rdd");
+  ASSERT_TRUE(SaveDataset(tiny, full_path).ok());
+
+  FILE* f = std::fopen(full_path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  std::vector<unsigned char> bytes;
+  unsigned char buffer[4096];
+  size_t n = 0;
+  while ((n = std::fread(buffer, 1, sizeof(buffer), f)) > 0) {
+    bytes.insert(bytes.end(), buffer, buffer + n);
+  }
+  std::fclose(f);
+  ASSERT_GT(bytes.size(), 0u);
+
+  const std::string prefix_path = TempPath("prefix_cut.rdd");
+  for (size_t len = 0; len < bytes.size(); ++len) {
+    FILE* out = std::fopen(prefix_path.c_str(), "wb");
+    ASSERT_NE(out, nullptr);
+    if (len > 0) {
+      ASSERT_EQ(std::fwrite(bytes.data(), 1, len, out), len);
+    }
+    ASSERT_EQ(std::fclose(out), 0);
+    StatusOr<Dataset> result = LoadDataset(prefix_path);
+    ASSERT_FALSE(result.ok()) << "prefix of " << len << " bytes parsed";
+    ASSERT_EQ(result.status().code(), StatusCode::kInvalidArgument)
+        << "prefix of " << len << " bytes: " << result.status().ToString();
+  }
+  std::remove(full_path.c_str());
+  std::remove(prefix_path.c_str());
+}
+
+TEST(SerializeTest, HostileLengthFieldIsInvalidArgument) {
+  const Dataset original = SmallDataset(8);
+  const std::string path = TempPath("hostile.rdd");
+  ASSERT_TRUE(SaveDataset(original, path).ok());
+  // The first field after the 13-byte header (magic + endian + version) is
+  // the dataset name's uint64 length; claim ~16 exabytes.
+  FILE* f = std::fopen(path.c_str(), "rb+");
+  ASSERT_NE(f, nullptr);
+  ASSERT_EQ(std::fseek(f, 13, SEEK_SET), 0);
+  const unsigned char huge[8] = {0xFF, 0xFF, 0xFF, 0xFF,
+                                 0xFF, 0xFF, 0xFF, 0xFF};
+  ASSERT_EQ(std::fwrite(huge, 1, sizeof(huge), f), sizeof(huge));
+  ASSERT_EQ(std::fclose(f), 0);
+
+  StatusOr<Dataset> result = LoadDataset(path);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, ForeignEndiannessIsInvalidArgument) {
+  const Dataset original = SmallDataset(9);
+  const std::string path = TempPath("endian.rdd");
+  ASSERT_TRUE(SaveDataset(original, path).ok());
+  FILE* f = std::fopen(path.c_str(), "rb+");
+  ASSERT_NE(f, nullptr);
+  ASSERT_EQ(std::fseek(f, 8, SEEK_SET), 0);
+  int marker = std::fgetc(f);
+  ASSERT_NE(marker, EOF);
+  ASSERT_EQ(std::fseek(f, 8, SEEK_SET), 0);
+  ASSERT_NE(std::fputc(marker == 1 ? 2 : 1, f), EOF);
+  ASSERT_EQ(std::fclose(f), 0);
+
+  StatusOr<Dataset> result = LoadDataset(path);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(result.status().message().find("endian"), std::string::npos)
+      << result.status().message();
+  std::remove(path.c_str());
 }
 
 TEST(SerializeTest, RoundTripOneHotDataset) {

@@ -1,5 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+
+#include "util/env.h"
 #include "util/logging.h"
 #include "util/string_util.h"
 #include "util/table_writer.h"
@@ -130,6 +133,62 @@ TEST(LoggingTest, CheckPassesSilently) {
   RDD_CHECK_GE(2, 2);
   RDD_CHECK_NE(1, 2);
   RDD_CHECK_LT(1, 2);
+}
+
+TEST(EnvTest, ParseBoolAcceptsDocumentedSpellings) {
+  for (const char* truthy : {"1", "true", "TRUE", "True", "on", "yes", "YES"}) {
+    EXPECT_TRUE(env::ParseBool(truthy, false)) << truthy;
+  }
+  for (const char* falsy : {"0", "false", "FALSE", "off", "no", "Off"}) {
+    EXPECT_FALSE(env::ParseBool(falsy, true)) << falsy;
+  }
+}
+
+TEST(EnvTest, ParseBoolFallsBackOnUnsetEmptyOrGarbage) {
+  EXPECT_TRUE(env::ParseBool(nullptr, true));
+  EXPECT_FALSE(env::ParseBool(nullptr, false));
+  EXPECT_TRUE(env::ParseBool("", true));
+  EXPECT_TRUE(env::ParseBool("ture", true));
+  EXPECT_FALSE(env::ParseBool("2", false));
+  EXPECT_FALSE(env::ParseBool("enabled", false));
+}
+
+TEST(EnvTest, ParseBoolReportsRecognition) {
+  bool recognized = false;
+  env::ParseBool("yes", false, &recognized);
+  EXPECT_TRUE(recognized);
+  env::ParseBool(nullptr, false, &recognized);
+  EXPECT_TRUE(recognized);  // Unset is the documented default state.
+  env::ParseBool("ture", false, &recognized);
+  EXPECT_FALSE(recognized);
+}
+
+TEST(EnvTest, BoolEnvReadsTheEnvironment) {
+  ASSERT_EQ(setenv("RDD_ENV_TEST_FLAG", "yes", 1), 0);
+  EXPECT_TRUE(env::BoolEnv("RDD_ENV_TEST_FLAG", false));
+  ASSERT_EQ(setenv("RDD_ENV_TEST_FLAG", "0", 1), 0);
+  EXPECT_FALSE(env::BoolEnv("RDD_ENV_TEST_FLAG", true));
+  ASSERT_EQ(unsetenv("RDD_ENV_TEST_FLAG"), 0);
+  EXPECT_TRUE(env::BoolEnv("RDD_ENV_TEST_FLAG", true));
+}
+
+TEST(EnvTest, ParseIntParsesAndClamps) {
+  EXPECT_EQ(env::ParseInt("7", 3, 1, 100), 7);
+  EXPECT_EQ(env::ParseInt(nullptr, 3, 1, 100), 3);
+  EXPECT_EQ(env::ParseInt("", 3, 1, 100), 3);
+  EXPECT_EQ(env::ParseInt("abc", 3, 1, 100), 3);
+  EXPECT_EQ(env::ParseInt("7x", 3, 1, 100), 3);
+  EXPECT_EQ(env::ParseInt("0", 3, 1, 100), 1);
+  EXPECT_EQ(env::ParseInt("-5", 3, 1, 100), 1);
+  EXPECT_EQ(env::ParseInt("101", 3, 1, 100), 100);
+}
+
+TEST(EnvTest, ParseIntClampsWideValuesInsteadOfTruncating) {
+  // 2^32 + 1 truncates to 1 through a 32-bit narrowing; the 64-bit parse
+  // must clamp it to max instead.
+  EXPECT_EQ(env::ParseInt("4294967297", 3, 1, 1024), 1024);
+  EXPECT_EQ(env::ParseInt("99999999999999999999999999", 3, 1, 1024), 1024);
+  EXPECT_EQ(env::ParseInt("-99999999999999999999999999", 3, 1, 1024), 1);
 }
 
 }  // namespace
