@@ -187,6 +187,34 @@ Variable ConcatCols(const Variable& a, const Variable& b) {
       });
 }
 
+Variable GatherRows(const Variable& a, const std::vector<int64_t>& indices) {
+  const int64_t cols = a.cols();
+  Matrix value(static_cast<int64_t>(indices.size()), cols);
+  for (size_t i = 0; i < indices.size(); ++i) {
+    const int64_t r = indices[i];
+    RDD_CHECK_GE(r, 0);
+    RDD_CHECK_LT(r, a.rows());
+    const float* src = a.value().RowData(r);
+    float* dst = value.RowData(static_cast<int64_t>(i));
+    for (int64_t c = 0; c < cols; ++c) dst[c] = src[c];
+  }
+  return MakeOpNode(
+      std::move(value), "gather_rows", {a},
+      [a, indices](VariableImpl* node) {
+        if (!a.requires_grad()) return;
+        const int64_t cols = a.cols();
+        Matrix ga(a.rows(), cols);
+        // Sequential scatter-add: repeated indices accumulate in list
+        // order, keeping the gradient bit-identical at any thread count.
+        for (size_t i = 0; i < indices.size(); ++i) {
+          const float* src = node->grad.RowData(static_cast<int64_t>(i));
+          float* dst = ga.RowData(indices[i]);
+          for (int64_t c = 0; c < cols; ++c) dst[c] += src[c];
+        }
+        a.impl()->AccumulateGrad(ga);
+      });
+}
+
 Variable SumAll(const Variable& a) {
   Matrix value(1, 1);
   value.At(0, 0) = static_cast<float>(a.value().Sum());

@@ -57,6 +57,13 @@ Variable Dropout(const Variable& a, float rate, bool training, Rng* rng);
 /// Horizontal concatenation [a | b]; gradients are split back.
 Variable ConcatCols(const Variable& a, const Variable& b);
 
+/// Row gather: out row i = a row indices[i]. Indices may repeat; backward
+/// scatter-adds each output-row gradient into its source row (sequential,
+/// so repeated indices accumulate deterministically). This is how view-local
+/// tensors (e.g. a mini-batch's target rows) are cut out of a larger
+/// activation inside the tape.
+Variable GatherRows(const Variable& a, const std::vector<int64_t>& indices);
+
 /// Sum of all entries as a 1x1 scalar.
 Variable SumAll(const Variable& a);
 

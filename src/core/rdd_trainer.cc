@@ -52,6 +52,18 @@ std::vector<std::pair<int64_t, int64_t>> AllEdges(const Graph& graph) {
   return edges;
 }
 
+/// Rows of `m` in view-local order (shares nothing; a plain copy slice).
+Matrix GatherMatrixRows(const Matrix& m, const GraphView& view) {
+  if (view.full()) return m;
+  Matrix out(view.num_nodes, m.cols());
+  for (int64_t i = 0; i < view.num_nodes; ++i) {
+    const float* src = m.RowData(view.GlobalId(i));
+    float* dst = out.RowData(i);
+    for (int64_t c = 0; c < m.cols(); ++c) dst[c] = src[c];
+  }
+  return out;
+}
+
 }  // namespace
 
 RddResult TrainRdd(const Dataset& dataset, const GraphContext& context,
@@ -241,6 +253,210 @@ RddResult TrainRdd(const Dataset& dataset, const GraphContext& context,
       result.teacher.Accuracy(dataset.labels, dataset.split.test);
   result.single_test_accuracy = Accuracy(
       last_student_probs, dataset.labels, dataset.split.test);
+  result.average_member_test_accuracy =
+      result.teacher.AverageMemberAccuracy(dataset.labels,
+                                           dataset.split.test);
+  result.total_seconds = timer.ElapsedSeconds();
+  return result;
+}
+
+RddResult TrainRddMiniBatch(const Dataset& dataset,
+                            const GraphContext& context,
+                            const RddConfig& config,
+                            const MiniBatchConfig& mb_config, uint64_t seed) {
+  RDD_CHECK_GT(config.num_base_models, 0);
+  WallTimer timer;
+  memory::Workspace workspace;
+  Rng seeder(seed);
+  std::vector<uint64_t> student_seeds(
+      static_cast<size_t>(config.num_base_models));
+  for (uint64_t& s : student_seeds) s = seeder.NextU64();
+  RddResult result;
+
+  const std::vector<double> pagerank = PageRank(dataset.graph);
+  const std::vector<bool> train_mask = dataset.TrainMask();
+  const bool use_l2 = config.gamma_initial != 0.0f;
+  const bool use_lreg = config.beta != 0.0f;
+  const float k = static_cast<float>(context.num_classes);
+
+  // Distillation and the edge regularizer act mostly on UNLABELED nodes, so
+  // RDD batches sweep every node; the target count feeds the per-batch loss
+  // rescaling below.
+  MiniBatchConfig mb = mb_config;
+  mb.batch_over_all_nodes = true;
+  const float total_targets = static_cast<float>(dataset.NumNodes());
+
+  Matrix last_student_probs;
+  for (int t = 0; t < config.num_base_models; ++t) {
+    observe::TraceSpan student_span("rdd/student_mb", t);
+    auto student = BuildModel(context, config.base_model,
+                              student_seeds[static_cast<size_t>(t)]);
+    StudentDiagnostics diag;
+
+    if (t == 0) {
+      // First student: plain supervised mini-batch training (sweeping only
+      // the labeled nodes — there is nothing to distill yet).
+      result.reports.push_back(TrainMiniBatchSupervised(
+          student.get(), dataset, config.train, mb_config));
+    } else {
+      Matrix teacher_probs;
+      Matrix teacher_embeddings;
+      {
+        observe::TraceSpan span("rdd/teacher_views");
+        parallel::TaskGroup group;
+        group.Run([&] { teacher_probs = result.teacher.PredictProbs(); });
+        group.Run(
+            [&] { teacher_embeddings = result.teacher.PredictEmbeddings(); });
+        group.Wait();
+      }
+      GraphModel* student_ptr = student.get();
+      const int anneal_horizon = config.anneal_horizon_epochs > 0
+                                     ? config.anneal_horizon_epochs
+                                     : config.train.max_epochs;
+
+      auto loss_fn = [&, student_ptr](const GraphView& view,
+                                      const ModelOutput& output, int epoch) {
+        // Per-batch Algorithm 1: classify the view's rows from the CURRENT
+        // student's eval-mode predictions over this same view; the
+        // p-percent entropy thresholds are per-view quantiles.
+        const Matrix student_probs = SoftmaxRows(
+            student_ptr->Forward(view, /*training=*/false).logits.value());
+        const Matrix teacher_probs_v = GatherMatrixRows(teacher_probs, view);
+        const std::vector<int64_t> labels_v = view.GatherInt64(dataset.labels);
+        const std::vector<bool> train_mask_v = view.GatherMask(train_mask);
+
+        std::vector<bool> reliable;
+        std::vector<int64_t> distill_nodes;
+        if (config.use_node_reliability) {
+          observe::TraceSpan span("rdd/node_reliability", epoch);
+          NodeReliability rel = ComputeNodeReliability(
+              teacher_probs_v, student_probs, labels_v, train_mask_v,
+              config.reliability);
+          reliable = std::move(rel.reliable);
+          distill_nodes = std::move(rel.distill_nodes);
+        } else {
+          reliable = AllReliable(view.num_nodes);
+          distill_nodes = AllNodes(view.num_nodes);
+        }
+        // Only target rows distill: frontier rows recur in other batches
+        // (as targets), so dropping them here keeps one epoch's L2 sweep at
+        // exactly one visit per node.
+        {
+          std::vector<int64_t> targets_only;
+          targets_only.reserve(distill_nodes.size());
+          for (int64_t i : distill_nodes) {
+            if (i < view.num_targets) targets_only.push_back(i);
+          }
+          distill_nodes = std::move(targets_only);
+        }
+
+        std::vector<int64_t> labeled_targets;
+        for (int64_t i = 0; i < view.num_targets; ++i) {
+          if (train_mask_v[static_cast<size_t>(i)]) labeled_targets.push_back(i);
+        }
+
+        // Sum-reduced terms cover ~batch/total of their full-batch index
+        // sets while L1's mean is batch-size invariant, so sums are scaled
+        // back up by total/batch to keep the per-step L1 : L2 : Lreg
+        // balance at its full-batch value.
+        const float upscale =
+            total_targets / static_cast<float>(view.num_targets);
+
+        std::vector<Variable> terms;
+        std::vector<float> coeffs;
+        terms.push_back(ag::SoftmaxCrossEntropy(output.logits, labels_v,
+                                                labeled_targets,
+                                                ag::Reduction::kMean));
+        coeffs.push_back(1.0f);
+        if (use_l2 && !distill_nodes.empty()) {
+          const float gamma =
+              config.anneal_gamma
+                  ? CosineAnnealedGamma(config.gamma_initial,
+                                        std::min(epoch, anneal_horizon - 1),
+                                        anneal_horizon)
+                  : config.gamma_initial;
+          if (gamma > 0.0f) {
+            observe::TraceSpan span("rdd/node_distill_loss");
+            if (config.distill_loss == DistillLoss::kEmbeddingMse) {
+              terms.push_back(ag::RowSquaredError(
+                  output.embedding, GatherMatrixRows(teacher_embeddings, view),
+                  distill_nodes, ag::Reduction::kSum));
+              coeffs.push_back(
+                  gamma * upscale /
+                  (static_cast<float>(dataset.split.train.size()) * k));
+            } else {
+              constexpr float kDistillScale = 16.0f;
+              terms.push_back(ag::SoftCrossEntropy(output.logits,
+                                                   teacher_probs_v,
+                                                   distill_nodes,
+                                                   ag::Reduction::kSum));
+              coeffs.push_back(gamma * kDistillScale * upscale /
+                               static_cast<float>(dataset.split.train.size()));
+            }
+          }
+        }
+        if (use_lreg) {
+          observe::TraceSpan span("rdd/edge_reg_loss");
+          const std::vector<int64_t> student_preds = ArgmaxRows(student_probs);
+          const std::vector<std::pair<int64_t, int64_t>> view_edges =
+              ViewEdges(view);
+          std::vector<std::pair<int64_t, int64_t>> edges;
+          {
+            observe::TraceSpan edges_span("rdd/edge_reliability", epoch);
+            edges = config.use_edge_reliability
+                        ? ComputeReliableEdges(view_edges, reliable,
+                                               student_preds)
+                        : view_edges;
+          }
+          diag.reliable_edges = static_cast<int64_t>(edges.size());
+          if (!edges.empty()) {
+            // Normalizing by the VIEW's own edge volume keeps the term's
+            // scale equal to full-batch (|Er_b| / E_b tracks |Er| / E).
+            const float lreg_normalizer =
+                static_cast<float>(
+                    std::max<size_t>(view_edges.size(), size_t{1})) *
+                k;
+            if (config.edge_reg_target == EdgeRegTarget::kEmbedding) {
+              terms.push_back(ag::EdgeLaplacian(output.embedding, edges,
+                                                ag::Reduction::kSum));
+            } else {
+              terms.push_back(ag::EdgeLaplacian(ag::Softmax(output.logits),
+                                                edges, ag::Reduction::kSum));
+            }
+            coeffs.push_back(config.beta / lreg_normalizer);
+          }
+        }
+        diag.reliable_nodes = static_cast<int64_t>(
+            std::count(reliable.begin(), reliable.end(), true));
+        diag.distill_nodes = static_cast<int64_t>(distill_nodes.size());
+        return ag::WeightedSum(terms, coeffs);
+      };
+      result.reports.push_back(TrainMiniBatchWithLoss(
+          student.get(), dataset, config.train, mb, loss_fn));
+    }
+
+    // Ensemble update is unchanged from TrainRdd: one full-graph forward
+    // caches the frozen student's probs/embeddings.
+    observe::TraceSpan ensemble_span("rdd/ensemble_update", t);
+    const ModelOutput final_output = student->Forward(/*training=*/false);
+    Matrix probs = SoftmaxRows(final_output.logits.value());
+    const double alpha = config.use_entropy_pagerank_weights
+                             ? ComputeEnsembleWeight(probs, pagerank)
+                             : 1.0;
+    result.alphas.push_back(alpha);
+    last_student_probs = probs;
+    result.teacher.AddMember(std::move(probs),
+                             final_output.embedding.value(), alpha);
+    result.diagnostics.push_back(diag);
+    result.students.push_back(std::move(student));
+    result.ensemble_accuracy_after_member.push_back(
+        result.teacher.Accuracy(dataset.labels, dataset.split.test));
+  }
+
+  result.ensemble_test_accuracy =
+      result.teacher.Accuracy(dataset.labels, dataset.split.test);
+  result.single_test_accuracy =
+      Accuracy(last_student_probs, dataset.labels, dataset.split.test);
   result.average_member_test_accuracy =
       result.teacher.AverageMemberAccuracy(dataset.labels,
                                            dataset.split.test);

@@ -9,6 +9,7 @@
 #include "core/teacher.h"
 #include "data/dataset.h"
 #include "models/graph_model.h"
+#include "train/minibatch.h"
 #include "train/trainer.h"
 
 namespace rdd {
@@ -61,6 +62,30 @@ struct RddResult {
 /// "rdd/ensemble_update" — see DESIGN.md §9 for the span → algorithm map.
 RddResult TrainRdd(const Dataset& dataset, const GraphContext& context,
                    const RddConfig& config, uint64_t seed);
+
+/// Mini-batch Algorithm 3: the same student chain, but every student trains
+/// over sampled (or sharded) GraphViews, and the reliability machinery runs
+/// PER BATCH — node reliability (Algorithm 1) classifies the view's rows
+/// with p-percent thresholds over the view, edge reliability (Algorithm 2)
+/// filters the view's induced edge list, and the distillation set is
+/// restricted to the batch's target rows so one epoch distills each node
+/// once. Batches cover ALL nodes (not just labeled ones), since L2/Lreg act
+/// mostly on unlabeled nodes. Loss terms are rescaled per batch so the
+/// per-step L1 : L2 : Lreg balance matches full-batch training, keeping the
+/// paper's beta/gamma grids meaningful.
+///
+/// Teacher views (the frozen ensemble's averaged probs/embeddings) and the
+/// end-of-student ensemble update still run one full-graph forward per
+/// student — O(num_nodes * num_classes) memory, the scale anchor being the
+/// per-BATCH training activations this path eliminates.
+///
+/// Determinism contract matches TrainRdd, with the sampler's split streams
+/// making batch composition a pure function of (mb_config.sampler_seed,
+/// epoch) at any thread count.
+RddResult TrainRddMiniBatch(const Dataset& dataset,
+                            const GraphContext& context,
+                            const RddConfig& config,
+                            const MiniBatchConfig& mb_config, uint64_t seed);
 
 /// Computes the ensemble weight alpha_t = 1 / sum_i I_t(x_i) Pr(x_i)
 /// (Eq. 12) from a member's prediction entropy and the graph's PageRank.

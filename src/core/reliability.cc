@@ -147,4 +147,22 @@ std::vector<std::pair<int64_t, int64_t>> ComputeReliableEdges(
   return reliable_edges;
 }
 
+std::vector<std::pair<int64_t, int64_t>> ComputeReliableEdges(
+    const std::vector<std::pair<int64_t, int64_t>>& edges,
+    const std::vector<bool>& reliable,
+    const std::vector<int64_t>& student_predictions) {
+  std::vector<std::pair<int64_t, int64_t>> reliable_edges;
+  for (const auto& [u, v] : edges) {
+    const size_t su = static_cast<size_t>(u);
+    const size_t sv = static_cast<size_t>(v);
+    RDD_CHECK_LT(su, reliable.size());
+    RDD_CHECK_LT(sv, reliable.size());
+    if (reliable[su] && reliable[sv] &&
+        student_predictions[su] == student_predictions[sv]) {
+      reliable_edges.emplace_back(u, v);
+    }
+  }
+  return reliable_edges;
+}
+
 }  // namespace rdd

@@ -84,6 +84,14 @@ std::vector<std::pair<int64_t, int64_t>> ComputeReliableEdges(
     const Graph& graph, const std::vector<bool>& reliable,
     const std::vector<int64_t>& student_predictions);
 
+/// Edge-list form of Algorithm 2, for graph views: filters an explicit
+/// (u, v) edge list (e.g. ViewEdges of a mini-batch view, with view-local
+/// ids) by the same both-endpoints-reliable + same-predicted-class rule.
+std::vector<std::pair<int64_t, int64_t>> ComputeReliableEdges(
+    const std::vector<std::pair<int64_t, int64_t>>& edges,
+    const std::vector<bool>& reliable,
+    const std::vector<int64_t>& student_predictions);
+
 /// Returns the value below which `percent` percent of `values` fall (the
 /// inclusive lower-tail threshold used by the p% rules above). `percent`
 /// must be in [0, 100]; empty inputs abort.

@@ -218,4 +218,30 @@ CitationGenConfig NellLikeConfig(double scale) {
   return config;
 }
 
+CitationGenConfig WebScaleConfig(int64_t num_nodes) {
+  RDD_CHECK_GE(num_nodes, 1000);
+  CitationGenConfig config;
+  config.name = "web-scale-" + std::to_string(num_nodes);
+  config.num_nodes = num_nodes;
+  // Mean degree ~16 (8 undirected edges per node), in the range of web-scale
+  // benchmarks like ogbn-products; int64 throughout, so 10M nodes -> 80M
+  // edges stays far from any 32-bit boundary.
+  config.num_edges = num_nodes * 8;
+  config.num_classes = 16;
+  // Compact vocabulary + short documents keep feature nnz at ~8 * num_nodes:
+  // feature memory scales with E, not with num_nodes * num_features.
+  config.num_features = 128;
+  config.words_per_doc = 8;
+  config.topic_purity = 0.35;
+  config.homophily = 0.74;
+  config.degree_skew = 0.85;
+  // Absolute split sizes that grow with the graph: 0.2% labeled (spread over
+  // the classes via labeled_fraction), 0.5% validation, 1% test.
+  config.labeled_fraction = 0.002;
+  config.labeled_per_class = 0;
+  config.val_size = std::max<int64_t>(500, num_nodes / 200);
+  config.test_size = std::max<int64_t>(1000, num_nodes / 100);
+  return config;
+}
+
 }  // namespace rdd

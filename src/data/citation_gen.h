@@ -70,6 +70,14 @@ CitationGenConfig PubmedLikeConfig();
 /// CPU budget; scale = 1 reproduces the full Table 2 row.
 CitationGenConfig NellLikeConfig(double scale = 0.12);
 
+/// Web-scale preset for the mini-batch/partition path: `num_nodes` nodes
+/// (1M-10M intended), ~8x as many edges, a compact vocabulary, and sparse
+/// documents so feature nnz stays O(num_nodes). Splits are sized in
+/// absolute node counts (not Planetoid's fixed 500/1000) so evaluation
+/// stays meaningful at any scale. Generation is O(E) memory; every count is
+/// 64-bit so 10M-node configs cannot overflow 32-bit intermediates.
+CitationGenConfig WebScaleConfig(int64_t num_nodes);
+
 }  // namespace rdd
 
 #endif  // RDD_DATA_CITATION_GEN_H_

@@ -104,6 +104,8 @@ Graph MakeLabeledSbmGraph(const std::vector<int64_t>& labels,
   RDD_CHECK_GE(params.degree_skew, 0.0);
   const int64_t n = static_cast<int64_t>(labels.size());
   RDD_CHECK_GE(n, 2);
+  // edge_key below packs (u, v) into one uint64 as u << 32 | v.
+  RDD_CHECK_LE(n, int64_t{1} << 32);
 
   int64_t num_classes = 0;
   for (int64_t y : labels) {

@@ -1,0 +1,146 @@
+#include "graph/graph_view.h"
+
+#include <cmath>
+#include <unordered_map>
+
+#include "util/logging.h"
+
+namespace rdd {
+
+std::vector<int64_t> GraphView::GatherInt64(
+    const std::vector<int64_t>& global) const {
+  if (full()) return global;
+  std::vector<int64_t> local(nodes.size());
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    RDD_CHECK_LT(static_cast<size_t>(nodes[i]), global.size());
+    local[i] = global[static_cast<size_t>(nodes[i])];
+  }
+  return local;
+}
+
+std::vector<bool> GraphView::GatherMask(
+    const std::vector<bool>& global) const {
+  if (full()) return global;
+  std::vector<bool> local(nodes.size());
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    RDD_CHECK_LT(static_cast<size_t>(nodes[i]), global.size());
+    local[i] = global[static_cast<size_t>(nodes[i])];
+  }
+  return local;
+}
+
+std::vector<int64_t> GraphView::TargetIndices() const {
+  std::vector<int64_t> idx(static_cast<size_t>(num_targets));
+  for (int64_t i = 0; i < num_targets; ++i) idx[static_cast<size_t>(i)] = i;
+  return idx;
+}
+
+GraphView MakeInducedView(const Graph& graph, const SparseMatrix& features,
+                          int64_t num_classes, std::vector<int64_t> nodes,
+                          int64_t num_targets) {
+  RDD_CHECK(!nodes.empty());
+  RDD_CHECK_GT(num_targets, 0);
+  RDD_CHECK_LE(num_targets, static_cast<int64_t>(nodes.size()));
+  RDD_CHECK_EQ(features.rows(), graph.num_nodes());
+
+  const int64_t n = static_cast<int64_t>(nodes.size());
+  std::unordered_map<int64_t, int64_t> local_of;
+  local_of.reserve(static_cast<size_t>(n) * 2);
+  for (int64_t i = 0; i < n; ++i) {
+    const int64_t g = nodes[static_cast<size_t>(i)];
+    RDD_CHECK_GE(g, 0);
+    RDD_CHECK_LT(g, graph.num_nodes());
+    const bool inserted = local_of.emplace(g, i).second;
+    RDD_CHECK(inserted);  // duplicate node in view
+  }
+
+  // Induced adjacency: for each view node, keep only neighbors that are also
+  // in the view. Degrees (and therefore both normalizations) are recomputed
+  // on the induced subgraph so every view is a well-formed small graph.
+  std::vector<std::vector<int64_t>> local_nbrs(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) {
+    const int64_t g = nodes[static_cast<size_t>(i)];
+    for (int64_t nbr : graph.Neighbors(g)) {
+      auto it = local_of.find(nbr);
+      if (it != local_of.end()) local_nbrs[static_cast<size_t>(i)].push_back(it->second);
+    }
+  }
+
+  // Degree with self-loop, matching the full-graph normalization convention
+  // (D^-1/2 (A+I) D^-1/2 and D^-1 (A+I) with D counting the self edge).
+  // Kept in double until the final cast, like graph/normalize.cc, so a view
+  // over the whole node set is bit-identical to the full-graph matrices.
+  std::vector<double> inv_sqrt_deg(static_cast<size_t>(n));
+  std::vector<float> inv_deg(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) {
+    const double deg =
+        static_cast<double>(local_nbrs[static_cast<size_t>(i)].size()) + 1.0;
+    inv_sqrt_deg[static_cast<size_t>(i)] = 1.0 / std::sqrt(deg);
+    inv_deg[static_cast<size_t>(i)] = static_cast<float>(1.0 / deg);
+  }
+
+  int64_t nnz = n;  // self-loops
+  for (const auto& nbrs : local_nbrs) nnz += static_cast<int64_t>(nbrs.size());
+
+  std::vector<SparseEntry> sym_entries;
+  std::vector<SparseEntry> row_entries;
+  sym_entries.reserve(static_cast<size_t>(nnz));
+  row_entries.reserve(static_cast<size_t>(nnz));
+  for (int64_t i = 0; i < n; ++i) {
+    const double di = inv_sqrt_deg[static_cast<size_t>(i)];
+    sym_entries.push_back({i, i, static_cast<float>(di * di)});
+    row_entries.push_back({i, i, inv_deg[static_cast<size_t>(i)]});
+    for (int64_t j : local_nbrs[static_cast<size_t>(i)]) {
+      sym_entries.push_back(
+          {i, j,
+           static_cast<float>(di * inv_sqrt_deg[static_cast<size_t>(j)])});
+      row_entries.push_back({i, j, inv_deg[static_cast<size_t>(i)]});
+    }
+  }
+
+  // Row-slice the feature matrix into view-local order.
+  const auto& frp = features.row_ptr();
+  const auto& fci = features.col_idx();
+  const auto& fva = features.values();
+  std::vector<SparseEntry> feat_entries;
+  for (int64_t i = 0; i < n; ++i) {
+    const int64_t g = nodes[static_cast<size_t>(i)];
+    for (int64_t p = frp[static_cast<size_t>(g)];
+         p < frp[static_cast<size_t>(g) + 1]; ++p) {
+      feat_entries.push_back(
+          {i, fci[static_cast<size_t>(p)], fva[static_cast<size_t>(p)]});
+    }
+  }
+
+  GraphView view;
+  view.features = std::make_shared<const SparseMatrix>(
+      SparseMatrix::FromCoo(n, features.cols(), std::move(feat_entries)));
+  view.adj_norm = std::make_shared<const SparseMatrix>(
+      SparseMatrix::FromCoo(n, n, std::move(sym_entries)));
+  view.adj_row = std::make_shared<const SparseMatrix>(
+      SparseMatrix::FromCoo(n, n, std::move(row_entries)));
+  view.nodes = std::move(nodes);
+  view.num_nodes = n;
+  view.num_targets = num_targets;
+  view.feature_dim = features.cols();
+  view.num_classes = num_classes;
+  return view;
+}
+
+std::vector<std::pair<int64_t, int64_t>> ViewEdges(const GraphView& view) {
+  std::vector<std::pair<int64_t, int64_t>> edges;
+  RDD_CHECK(view.adj_norm != nullptr);
+  const SparseMatrix& adj = *view.adj_norm;
+  const auto& rp = adj.row_ptr();
+  const auto& ci = adj.col_idx();
+  for (int64_t u = 0; u < adj.rows(); ++u) {
+    for (int64_t p = rp[static_cast<size_t>(u)];
+         p < rp[static_cast<size_t>(u) + 1]; ++p) {
+      const int64_t v = ci[static_cast<size_t>(p)];
+      if (u < v) edges.emplace_back(u, v);
+    }
+  }
+  return edges;
+}
+
+}  // namespace rdd

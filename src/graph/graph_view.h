@@ -1,0 +1,81 @@
+#ifndef RDD_GRAPH_GRAPH_VIEW_H_
+#define RDD_GRAPH_GRAPH_VIEW_H_
+
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "graph/graph.h"
+#include "tensor/sparse.h"
+
+namespace rdd {
+
+/// A (sub)graph a model runs one forward pass over: feature rows, normalized
+/// adjacency slices, and the node index map back to the owning graph. The
+/// full graph is just the identity view — its matrices are shared (not
+/// copied) from the owning context, so the transductive full-batch path is
+/// bit-identical to running without views. Sub-views (mini-batches, shards)
+/// own freshly normalized slices over their induced subgraph.
+///
+/// Row ordering contract: rows [0, num_targets) are the TARGET nodes — the
+/// nodes whose outputs the caller asked for (a mini-batch's seeds, or every
+/// node of a shard) — in the order the caller supplied them. Rows
+/// [num_targets, num_nodes) are frontier nodes pulled in to support
+/// propagation, in deterministic discovery order. Losses and predictions
+/// read target rows; frontier rows exist so targets see (sampled) neighbors.
+struct GraphView {
+  /// View-local feature matrix: num_nodes x feature_dim, CSR.
+  std::shared_ptr<const SparseMatrix> features;
+  /// Symmetric GCN normalization D^-1/2 (A+I) D^-1/2 of the view's induced
+  /// subgraph (recomputed on induced degrees for sub-views; the global
+  /// matrix, shared, for the full view).
+  std::shared_ptr<const SparseMatrix> adj_norm;
+  /// Row-stochastic D^-1 (A+I) of the induced subgraph.
+  std::shared_ptr<const SparseMatrix> adj_row;
+
+  /// View-local index -> global node id. Empty for the identity (full) view,
+  /// where local and global ids coincide.
+  std::vector<int64_t> nodes;
+  int64_t num_nodes = 0;
+  int64_t num_targets = 0;
+  int64_t feature_dim = 0;
+  int64_t num_classes = 0;
+
+  /// True for the identity view over the full graph.
+  bool full() const { return nodes.empty(); }
+
+  /// Global id of view-local row `local`.
+  int64_t GlobalId(int64_t local) const {
+    return full() ? local : nodes[static_cast<size_t>(local)];
+  }
+
+  /// Gathers a node-indexed global vector into view-local order (length
+  /// num_nodes). Used to remap labels and split masks onto view rows.
+  std::vector<int64_t> GatherInt64(const std::vector<int64_t>& global) const;
+  std::vector<bool> GatherMask(const std::vector<bool>& global) const;
+
+  /// View-local target indices [0, num_targets) — the index list loss
+  /// functions consume.
+  std::vector<int64_t> TargetIndices() const;
+};
+
+/// Builds the induced-subgraph view over `nodes` (given as global ids;
+/// duplicates abort). The first `num_targets` entries are the view's target
+/// rows. Features are row-sliced from `features`; both propagation matrices
+/// are renormalized on the induced subgraph's degrees, so every view row is
+/// a proper (sub)graph convolution — a shard trains exactly like a small
+/// full graph. Deterministic: output depends only on (graph, features,
+/// nodes).
+GraphView MakeInducedView(const Graph& graph, const SparseMatrix& features,
+                          int64_t num_classes, std::vector<int64_t> nodes,
+                          int64_t num_targets);
+
+/// The view's induced undirected edge list as view-local (u, v) pairs with
+/// u < v, self-loops excluded. This is the edge set per-batch edge
+/// reliability (Algorithm 2 on the induced frontier) filters.
+std::vector<std::pair<int64_t, int64_t>> ViewEdges(const GraphView& view);
+
+}  // namespace rdd
+
+#endif  // RDD_GRAPH_GRAPH_VIEW_H_

@@ -1,0 +1,229 @@
+#include "graph/partition.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "graph/normalize.h"
+#include "parallel/parallel_for.h"
+#include "tensor/matrix.h"
+#include "util/logging.h"
+
+namespace rdd {
+
+namespace {
+
+uint64_t Mix64(uint64_t x) {
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return x;
+}
+
+// Sign-hash random projection: Z = X R with R[f][d] = +-1 read off bit d of
+// a per-feature hash. R is never materialized, so projecting costs
+// O(nnz(X) * dim) with O(n * dim) output — the only dense object the
+// partitioner ever holds.
+Matrix ProjectFeatures(const SparseMatrix& features, int64_t dim,
+                       uint64_t seed) {
+  RDD_CHECK_LE(dim, 64);  // signs come from one 64-bit hash per feature
+  const int64_t n = features.rows();
+  Matrix z(n, dim);
+  const std::vector<int64_t>& row_ptr = features.row_ptr();
+  const std::vector<int64_t>& col_idx = features.col_idx();
+  const std::vector<float>& values = features.values();
+  const int64_t avg_nnz = n > 0 ? features.nnz() / std::max<int64_t>(n, 1) : 0;
+  parallel::ParallelFor(
+      0, n, parallel::GrainForCost((avg_nnz + 1) * dim),
+      [&](int64_t begin, int64_t end) {
+        for (int64_t i = begin; i < end; ++i) {
+          float* out = z.RowData(i);
+          for (int64_t p = row_ptr[static_cast<size_t>(i)];
+               p < row_ptr[static_cast<size_t>(i) + 1]; ++p) {
+            const float v = values[static_cast<size_t>(p)];
+            const uint64_t h =
+                Mix64(seed ^ Mix64(static_cast<uint64_t>(
+                          col_idx[static_cast<size_t>(p)])));
+            for (int64_t d = 0; d < dim; ++d) {
+              out[d] += ((h >> d) & 1u) ? v : -v;
+            }
+          }
+        }
+      });
+  return z;
+}
+
+float SquaredDistance(const float* a, const float* b, int64_t dim) {
+  float acc = 0.0f;
+  for (int64_t d = 0; d < dim; ++d) {
+    const float diff = a[d] - b[d];
+    acc += diff * diff;
+  }
+  return acc;
+}
+
+// Nearest-center assignment; ties break toward the lowest center id.
+int64_t NearestCenter(const float* row, const Matrix& centers) {
+  int64_t best = 0;
+  float best_dist = std::numeric_limits<float>::max();
+  for (int64_t c = 0; c < centers.rows(); ++c) {
+    const float dist = SquaredDistance(row, centers.RowData(c), centers.cols());
+    if (dist < best_dist) {
+      best_dist = dist;
+      best = c;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+GraphPartition PartitionByPropagatedFeatures(const Graph& graph,
+                                             const SparseMatrix& features,
+                                             const PartitionConfig& config) {
+  const int64_t n = graph.num_nodes();
+  const int64_t k = config.num_parts;
+  RDD_CHECK_GT(k, 0);
+  RDD_CHECK_GT(n, 0);
+  RDD_CHECK_LE(k, n);
+  RDD_CHECK_EQ(features.rows(), n);
+  RDD_CHECK_GT(config.projection_dim, 0);
+  RDD_CHECK_GE(config.balance_slack, 1.0);
+  const int64_t dim = config.projection_dim;
+
+  Matrix z = ProjectFeatures(features, dim, config.seed);
+  if (config.propagation_steps > 0) {
+    const SparseMatrix propagation = RowNormalizedAdjacency(graph);
+    for (int64_t step = 0; step < config.propagation_steps; ++step) {
+      z = propagation.Multiply(z);
+    }
+  }
+
+  // Deterministic spread initialization: centers sit at evenly spaced
+  // quantiles of the first projected coordinate (ties by node id).
+  std::vector<int64_t> order(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) order[static_cast<size_t>(i)] = i;
+  std::sort(order.begin(), order.end(), [&](int64_t a, int64_t b) {
+    const float za = z.At(a, 0), zb = z.At(b, 0);
+    if (za != zb) return za < zb;
+    return a < b;
+  });
+  Matrix centers(k, dim);
+  for (int64_t c = 0; c < k; ++c) {
+    const int64_t pos = ((2 * c + 1) * n) / (2 * k);
+    const float* src = z.RowData(order[static_cast<size_t>(pos)]);
+    float* dst = centers.RowData(c);
+    for (int64_t d = 0; d < dim; ++d) dst[d] = src[d];
+  }
+
+  // Lloyd iterations. The center update reduces over a FIXED block split of
+  // the node range (shape-only, independent of thread count), with block
+  // partials combined in block order — bit-identical at any parallelism.
+  std::vector<int64_t> assign(static_cast<size_t>(n), 0);
+  constexpr int64_t kReduceBlocks = 64;
+  const int64_t block = (n + kReduceBlocks - 1) / kReduceBlocks;
+  for (int64_t iter = 0; iter < config.kmeans_iters; ++iter) {
+    parallel::ParallelFor(0, n, parallel::GrainForCost(k * dim),
+                          [&](int64_t begin, int64_t end) {
+                            for (int64_t i = begin; i < end; ++i) {
+                              assign[static_cast<size_t>(i)] =
+                                  NearestCenter(z.RowData(i), centers);
+                            }
+                          });
+    std::vector<Matrix> partial_sum(static_cast<size_t>(kReduceBlocks));
+    std::vector<std::vector<int64_t>> partial_count(
+        static_cast<size_t>(kReduceBlocks));
+    parallel::ParallelFor(
+        0, kReduceBlocks, 1, [&](int64_t bbegin, int64_t bend) {
+          for (int64_t b = bbegin; b < bend; ++b) {
+            Matrix sum(k, dim);
+            std::vector<int64_t> count(static_cast<size_t>(k), 0);
+            const int64_t lo = b * block;
+            const int64_t hi = std::min(n, lo + block);
+            for (int64_t i = lo; i < hi; ++i) {
+              const int64_t c = assign[static_cast<size_t>(i)];
+              ++count[static_cast<size_t>(c)];
+              const float* src = z.RowData(i);
+              float* dst = sum.RowData(c);
+              for (int64_t d = 0; d < dim; ++d) dst[d] += src[d];
+            }
+            partial_sum[static_cast<size_t>(b)] = std::move(sum);
+            partial_count[static_cast<size_t>(b)] = std::move(count);
+          }
+        });
+    Matrix total(k, dim);
+    std::vector<int64_t> counts(static_cast<size_t>(k), 0);
+    for (int64_t b = 0; b < kReduceBlocks; ++b) {
+      total.Add(partial_sum[static_cast<size_t>(b)]);
+      for (int64_t c = 0; c < k; ++c) {
+        counts[static_cast<size_t>(c)] +=
+            partial_count[static_cast<size_t>(b)][static_cast<size_t>(c)];
+      }
+    }
+    for (int64_t c = 0; c < k; ++c) {
+      if (counts[static_cast<size_t>(c)] == 0) continue;  // keep old center
+      const float inv = 1.0f / static_cast<float>(counts[static_cast<size_t>(c)]);
+      const float* src = total.RowData(c);
+      float* dst = centers.RowData(c);
+      for (int64_t d = 0; d < dim; ++d) dst[d] = src[d] * inv;
+    }
+  }
+
+  // Capacity-balanced final assignment: nodes in id order go to the nearest
+  // centroid with room. Total capacity >= n by construction, so every node
+  // lands somewhere; slack trades cut quality against balance.
+  const int64_t base_cap = (n + k - 1) / k;
+  const int64_t cap = std::max<int64_t>(
+      base_cap,
+      static_cast<int64_t>(std::ceil(static_cast<double>(base_cap) *
+                                     config.balance_slack)));
+  GraphPartition partition;
+  partition.part_of.assign(static_cast<size_t>(n), -1);
+  partition.parts.assign(static_cast<size_t>(k), {});
+  std::vector<int64_t> load(static_cast<size_t>(k), 0);
+  std::vector<std::pair<float, int64_t>> ranked(static_cast<size_t>(k));
+  for (int64_t i = 0; i < n; ++i) {
+    const float* row = z.RowData(i);
+    for (int64_t c = 0; c < k; ++c) {
+      ranked[static_cast<size_t>(c)] = {
+          SquaredDistance(row, centers.RowData(c), dim), c};
+    }
+    std::sort(ranked.begin(), ranked.end());
+    for (const auto& [dist, c] : ranked) {
+      (void)dist;
+      if (load[static_cast<size_t>(c)] >= cap) continue;
+      partition.part_of[static_cast<size_t>(i)] = c;
+      partition.parts[static_cast<size_t>(c)].push_back(i);
+      ++load[static_cast<size_t>(c)];
+      break;
+    }
+    RDD_CHECK_GE(partition.part_of[static_cast<size_t>(i)], 0);
+  }
+
+  partition.total_edges = graph.num_edges();
+  for (const Edge& e : graph.edges()) {
+    if (partition.part_of[static_cast<size_t>(e.u)] !=
+        partition.part_of[static_cast<size_t>(e.v)]) {
+      ++partition.cut_edges;
+    }
+  }
+  return partition;
+}
+
+std::vector<GraphView> MakeShardViews(const Graph& graph,
+                                      const SparseMatrix& features,
+                                      int64_t num_classes,
+                                      const GraphPartition& partition) {
+  std::vector<GraphView> views;
+  views.reserve(partition.parts.size());
+  for (const std::vector<int64_t>& part : partition.parts) {
+    if (part.empty()) continue;
+    views.push_back(MakeInducedView(graph, features, num_classes, part,
+                                    static_cast<int64_t>(part.size())));
+  }
+  return views;
+}
+
+}  // namespace rdd

@@ -1,0 +1,139 @@
+#include "graph/sampler.h"
+
+#include <algorithm>
+
+#include "parallel/parallel_for.h"
+#include "util/logging.h"
+
+namespace rdd {
+
+namespace {
+
+// Tag offsets keep the epoch/hop/node levels of the split tree from
+// colliding when their numeric values coincide.
+constexpr uint64_t kEpochTag = 0x45504f43ULL;  // "EPOC"
+constexpr uint64_t kHopTag = 0x484f5000ULL;    // "HOP"
+constexpr uint64_t kPlanTag = 0x504c414eULL;   // "PLAN"
+
+}  // namespace
+
+NeighborSampler::NeighborSampler(const Graph* graph,
+                                 const SparseMatrix* features,
+                                 int64_t num_classes, SamplerConfig config)
+    : graph_(graph),
+      features_(features),
+      num_classes_(num_classes),
+      config_(std::move(config)),
+      base_(config_.seed) {
+  RDD_CHECK(graph != nullptr);
+  RDD_CHECK(features != nullptr);
+  RDD_CHECK_EQ(features->rows(), graph->num_nodes());
+  RDD_CHECK_GT(num_classes, 0);
+  RDD_CHECK(!config_.fanouts.empty());
+}
+
+std::vector<std::vector<int64_t>> NeighborSampler::PlanBatches(
+    const std::vector<int64_t>& targets, int64_t batch_size,
+    int64_t epoch) const {
+  RDD_CHECK_GT(batch_size, 0);
+  std::vector<int64_t> order = targets;
+  Rng rng = base_.Split(kPlanTag).Split(static_cast<uint64_t>(epoch));
+  rng.Shuffle(&order);
+  std::vector<std::vector<int64_t>> batches;
+  const int64_t n = static_cast<int64_t>(order.size());
+  for (int64_t begin = 0; begin < n; begin += batch_size) {
+    const int64_t end = std::min(n, begin + batch_size);
+    batches.emplace_back(order.begin() + begin, order.begin() + end);
+  }
+  return batches;
+}
+
+std::vector<int64_t> NeighborSampler::ExpandHop(
+    const std::vector<int64_t>& frontier, int64_t fanout, int64_t epoch,
+    int64_t hop, std::vector<int64_t>* nodes,
+    std::vector<uint8_t>* seen) const {
+  const int64_t f = static_cast<int64_t>(frontier.size());
+  // Per-node samples land in private slots; the merge below walks slots in
+  // frontier order, so the discovered-node ordering is a pure function of
+  // the frontier, never of the parallel schedule.
+  std::vector<std::vector<int64_t>> sampled(static_cast<size_t>(f));
+  const Rng hop_rng =
+      base_.Split(kEpochTag).Split(static_cast<uint64_t>(epoch))
+          .Split(kHopTag).Split(static_cast<uint64_t>(hop));
+  const int64_t cost = fanout > 0 ? fanout : graph_->MaxDegree() + 1;
+  parallel::ParallelFor(
+      0, f, parallel::GrainForCost(cost * 8),
+      [&](int64_t begin, int64_t end) {
+        for (int64_t i = begin; i < end; ++i) {
+          const int64_t node = frontier[static_cast<size_t>(i)];
+          const std::vector<int64_t>& nbrs = graph_->Neighbors(node);
+          const int64_t deg = static_cast<int64_t>(nbrs.size());
+          std::vector<int64_t>& out = sampled[static_cast<size_t>(i)];
+          if (fanout <= 0 || deg <= fanout) {
+            out = nbrs;
+            continue;
+          }
+          Rng rng = hop_rng.Split(static_cast<uint64_t>(node));
+          const std::vector<int64_t> picks =
+              rng.SampleWithoutReplacement(deg, fanout);
+          out.reserve(static_cast<size_t>(fanout));
+          for (int64_t p : picks) out.push_back(nbrs[static_cast<size_t>(p)]);
+        }
+      });
+
+  std::vector<int64_t> discovered;
+  for (const std::vector<int64_t>& out : sampled) {
+    for (int64_t nbr : out) {
+      uint8_t& flag = (*seen)[static_cast<size_t>(nbr)];
+      if (flag) continue;
+      flag = 1;
+      nodes->push_back(nbr);
+      discovered.push_back(nbr);
+    }
+  }
+  return discovered;
+}
+
+GraphView NeighborSampler::SampleView(const std::vector<int64_t>& targets,
+                                      int64_t epoch) const {
+  RDD_CHECK(!targets.empty());
+  std::vector<int64_t> nodes;
+  nodes.reserve(targets.size() * 8);
+  std::vector<uint8_t> seen(static_cast<size_t>(graph_->num_nodes()), 0);
+  for (int64_t t : targets) {
+    RDD_CHECK(!seen[static_cast<size_t>(t)]);  // duplicate target
+    seen[static_cast<size_t>(t)] = 1;
+    nodes.push_back(t);
+  }
+  std::vector<int64_t> frontier = targets;
+  for (size_t hop = 0; hop < config_.fanouts.size(); ++hop) {
+    frontier = ExpandHop(frontier, config_.fanouts[hop], epoch,
+                         static_cast<int64_t>(hop), &nodes, &seen);
+    if (frontier.empty()) break;
+  }
+  return MakeInducedView(*graph_, *features_, num_classes_, std::move(nodes),
+                         static_cast<int64_t>(targets.size()));
+}
+
+GraphView NeighborSampler::InferenceView(const std::vector<int64_t>& targets,
+                                         int64_t hops) const {
+  RDD_CHECK(!targets.empty());
+  RDD_CHECK_GE(hops, 0);
+  std::vector<int64_t> nodes;
+  std::vector<uint8_t> seen(static_cast<size_t>(graph_->num_nodes()), 0);
+  for (int64_t t : targets) {
+    RDD_CHECK(!seen[static_cast<size_t>(t)]);
+    seen[static_cast<size_t>(t)] = 1;
+    nodes.push_back(t);
+  }
+  std::vector<int64_t> frontier = targets;
+  for (int64_t hop = 0; hop < hops; ++hop) {
+    frontier = ExpandHop(frontier, /*fanout=*/0, /*epoch=*/0, hop, &nodes,
+                         &seen);
+    if (frontier.empty()) break;
+  }
+  return MakeInducedView(*graph_, *features_, num_classes_, std::move(nodes),
+                         static_cast<int64_t>(targets.size()));
+}
+
+}  // namespace rdd

@@ -1,0 +1,80 @@
+#ifndef RDD_GRAPH_SAMPLER_H_
+#define RDD_GRAPH_SAMPLER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/graph_view.h"
+#include "tensor/sparse.h"
+#include "util/random.h"
+
+namespace rdd {
+
+/// Fan-out schedule for neighbor sampling. fanouts[h] bounds how many
+/// neighbors each hop-h frontier node contributes; a non-positive fan-out
+/// keeps the full neighborhood at that hop.
+struct SamplerConfig {
+  std::vector<int64_t> fanouts = {10, 10};
+  uint64_t seed = 0x5eedULL;  ///< Base of the sampling stream tree.
+};
+
+/// GraphSAGE-style fan-out neighbor sampler producing induced GraphViews.
+///
+/// Every draw comes from a Split-derived stream keyed by (epoch, hop,
+/// node): `base.Split(epoch).Split(hop).Split(node)`. A node's sample is
+/// therefore a pure function of (seed, epoch, hop, node id) — independent
+/// of batch composition order, thread count, and SIMD backend — so sampled
+/// training is bit-identical under any parallel configuration. Per-node
+/// draws run under ParallelFor into per-node slots and are merged in fixed
+/// frontier order.
+///
+/// The returned views are Cluster-GCN-style induced subgraphs: the node set
+/// is targets + sampled frontier, and ALL edges among those nodes are kept
+/// and renormalized, so a view is a well-formed small graph rather than a
+/// directed sampling tree.
+class NeighborSampler {
+ public:
+  /// The graph and feature matrix must outlive the sampler and every view
+  /// it produces (views slice features by row).
+  NeighborSampler(const Graph* graph, const SparseMatrix* features,
+                  int64_t num_classes, SamplerConfig config);
+
+  /// Deterministically shuffles `targets` with the epoch-split stream and
+  /// cuts the result into ceil(n / batch_size) contiguous batches. The plan
+  /// depends only on (seed, targets, batch_size, epoch).
+  std::vector<std::vector<int64_t>> PlanBatches(
+      const std::vector<int64_t>& targets, int64_t batch_size,
+      int64_t epoch) const;
+
+  /// Samples the multi-hop frontier of `targets` for `epoch` and builds the
+  /// induced view (targets are rows [0, targets.size())).
+  GraphView SampleView(const std::vector<int64_t>& targets,
+                       int64_t epoch) const;
+
+  /// Deterministic full-neighborhood view: targets plus every node within
+  /// `hops` hops, no sampling. Used for sampled-graph inference where the
+  /// receptive field must not depend on the epoch.
+  GraphView InferenceView(const std::vector<int64_t>& targets,
+                          int64_t hops) const;
+
+  const SamplerConfig& config() const { return config_; }
+
+ private:
+  /// Expands `frontier` by one hop with fan-out `fanout`, appending newly
+  /// discovered nodes to *nodes / *seen and returning them.
+  std::vector<int64_t> ExpandHop(const std::vector<int64_t>& frontier,
+                                 int64_t fanout, int64_t epoch, int64_t hop,
+                                 std::vector<int64_t>* nodes,
+                                 std::vector<uint8_t>* seen) const;
+
+  const Graph* graph_;
+  const SparseMatrix* features_;
+  int64_t num_classes_;
+  SamplerConfig config_;
+  Rng base_;  ///< Never advanced; only Split from.
+};
+
+}  // namespace rdd
+
+#endif  // RDD_GRAPH_SAMPLER_H_

@@ -23,16 +23,16 @@ Appnp::Appnp(GraphContext context, int64_t hidden_dim, float dropout,
   RegisterChild(*output_layer_);
 }
 
-ModelOutput Appnp::Forward(bool training) {
+ModelOutput Appnp::Forward(const GraphView& view, bool training) {
   // Prediction: a feature-only MLP.
-  Variable h = ag::Relu(input_layer_->ForwardSparse(context_.features.get()));
+  Variable h = ag::Relu(input_layer_->ForwardSparse(view.features.get()));
   h = ag::Dropout(h, dropout_, training, &rng_);
   Variable local = output_layer_->Forward(h);
   // Propagation: approximate personalized PageRank power iteration.
   Variable z = local;
   for (int64_t step = 0; step < num_power_steps_; ++step) {
     z = ag::Add(
-        ag::Scale(ag::SpmmConst(context_.adj_norm.get(), z),
+        ag::Scale(ag::SpmmConst(view.adj_norm.get(), z),
                   1.0f - teleport_alpha_),
         ag::Scale(local, teleport_alpha_));
   }

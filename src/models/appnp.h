@@ -19,7 +19,8 @@ class Appnp : public GraphModel {
   Appnp(GraphContext context, int64_t hidden_dim, float dropout,
         int64_t num_power_steps, float teleport_alpha, uint64_t seed);
 
-  ModelOutput Forward(bool training) override;
+  using GraphModel::Forward;
+  ModelOutput Forward(const GraphView& view, bool training) override;
 
  private:
   std::unique_ptr<Linear> input_layer_;

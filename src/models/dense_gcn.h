@@ -19,7 +19,8 @@ class DenseGcn : public GraphModel {
   DenseGcn(GraphContext context, int64_t num_layers, int64_t hidden_dim,
            float dropout, uint64_t seed);
 
-  ModelOutput Forward(bool training) override;
+  using GraphModel::Forward;
+  ModelOutput Forward(const GraphView& view, bool training) override;
 
  private:
   std::vector<std::unique_ptr<GraphConvolution>> layers_;

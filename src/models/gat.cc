@@ -31,32 +31,33 @@ Gat::Head Gat::MakeHead(int64_t in_dim, int64_t out_dim) {
   return head;
 }
 
-Variable Gat::RunHead(const Head& head, const Variable* dense_input,
-                      bool sparse_input) const {
+Variable Gat::RunHead(const GraphView& view, const Head& head,
+                      const Variable* dense_input, bool sparse_input) const {
   Variable projected =
-      sparse_input ? head.projection->ForwardSparse(context_.features.get())
+      sparse_input ? head.projection->ForwardSparse(view.features.get())
                    : head.projection->Forward(*dense_input);
   Variable score_self = head.attn_self->Forward(projected);
   Variable score_neighbor = head.attn_neighbor->Forward(projected);
   // The normalized adjacency's sparsity pattern is N(i) u {i}, exactly the
   // attention neighborhood GAT uses.
-  return ag::NeighborAttention(context_.adj_norm.get(), projected,
+  return ag::NeighborAttention(view.adj_norm.get(), projected,
                                score_self, score_neighbor);
 }
 
-ModelOutput Gat::Forward(bool training) {
+ModelOutput Gat::Forward(const GraphView& view, bool training) {
   // First layer: multi-head attention over the sparse features, heads
   // concatenated, ELU-style nonlinearity approximated with ReLU (consistent
   // with the rest of the zoo).
   Variable hidden;
   for (const Head& head : input_heads_) {
-    Variable out = RunHead(head, nullptr, /*sparse_input=*/true);
+    Variable out = RunHead(view, head, nullptr, /*sparse_input=*/true);
     hidden = hidden.defined() ? ag::ConcatCols(hidden, out) : out;
   }
   hidden = ag::Relu(hidden);
   hidden = ag::Dropout(hidden, dropout_, training, &rng_);
   // Output layer: a single attention head to class scores.
-  Variable logits = RunHead(output_head_, &hidden, /*sparse_input=*/false);
+  Variable logits =
+      RunHead(view, output_head_, &hidden, /*sparse_input=*/false);
   return ModelOutput{logits, logits};
 }
 

@@ -22,7 +22,8 @@ class Gat : public GraphModel {
   Gat(GraphContext context, int64_t hidden_dim, int64_t num_heads,
       float dropout, uint64_t seed);
 
-  ModelOutput Forward(bool training) override;
+  using GraphModel::Forward;
+  ModelOutput Forward(const GraphView& view, bool training) override;
 
  private:
   /// One attention head: a projection plus the two attention score vectors.
@@ -33,8 +34,8 @@ class Gat : public GraphModel {
   };
 
   Head MakeHead(int64_t in_dim, int64_t out_dim);
-  Variable RunHead(const Head& head, const Variable* dense_input,
-                   bool sparse_input) const;
+  Variable RunHead(const GraphView& view, const Head& head,
+                   const Variable* dense_input, bool sparse_input) const;
 
   std::vector<Head> input_heads_;
   Head output_head_;

@@ -20,12 +20,13 @@ Gcn::Gcn(GraphContext context, int64_t num_layers, int64_t hidden_dim,
   }
 }
 
-ModelOutput Gcn::Forward(bool training) {
-  Variable h = layers_[0]->ForwardSparse(context_.features.get());
+ModelOutput Gcn::Forward(const GraphView& view, bool training) {
+  const SparseMatrix* adj = view.adj_norm.get();
+  Variable h = layers_[0]->ForwardSparse(adj, view.features.get());
   for (size_t l = 1; l < layers_.size(); ++l) {
     h = ag::Relu(h);
     h = ag::Dropout(h, dropout_, training, &rng_);
-    h = layers_[l]->Forward(h);
+    h = layers_[l]->Forward(adj, h);
   }
   return ModelOutput{h, h};
 }

@@ -22,7 +22,8 @@ class Gcn : public GraphModel {
   Gcn(GraphContext context, int64_t num_layers, int64_t hidden_dim,
       float dropout, uint64_t seed);
 
-  ModelOutput Forward(bool training) override;
+  using GraphModel::Forward;
+  ModelOutput Forward(const GraphView& view, bool training) override;
 
   int64_t num_layers() const {
     return static_cast<int64_t>(layers_.size());

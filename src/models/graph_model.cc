@@ -18,12 +18,28 @@ GraphContext GraphContext::FromDataset(const Dataset& dataset) {
   return context;
 }
 
+GraphView GraphContext::FullView() const {
+  GraphView view;
+  view.features = features;
+  view.adj_norm = adj_norm;
+  view.adj_row = adj_row;
+  view.num_nodes = num_nodes;
+  view.num_targets = num_nodes;
+  view.feature_dim = feature_dim;
+  view.num_classes = num_classes;
+  return view;
+}
+
 Matrix GraphModel::PredictProbs() {
   return SoftmaxRows(Forward(/*training=*/false).logits.value());
 }
 
 std::vector<int64_t> GraphModel::PredictLabels() {
   return ArgmaxRows(Forward(/*training=*/false).logits.value());
+}
+
+std::vector<int64_t> GraphModel::PredictLabels(const GraphView& view) {
+  return ArgmaxRows(Forward(view, /*training=*/false).logits.value());
 }
 
 }  // namespace rdd

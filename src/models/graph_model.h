@@ -6,6 +6,7 @@
 
 #include "autograd/variable.h"
 #include "data/dataset.h"
+#include "graph/graph_view.h"
 #include "nn/module.h"
 #include "tensor/matrix.h"
 #include "tensor/sparse.h"
@@ -16,7 +17,9 @@ namespace rdd {
 /// Immutable per-dataset state shared by every model trained on it: the
 /// sparse feature matrix and the precomputed propagation matrices. Copies
 /// are cheap (shared ownership), so ensembles of many base models reuse one
-/// set of matrices.
+/// set of matrices. The context is a view factory: FullView() exposes the
+/// whole graph as the identity GraphView, and sub-views over the same
+/// matrices come from graph/sampler and graph/partition.
 struct GraphContext {
   std::shared_ptr<const SparseMatrix> features;
   /// Symmetric GCN normalization D^-1/2 (A+I) D^-1/2.
@@ -29,11 +32,16 @@ struct GraphContext {
 
   /// Builds the context (normalizations included) from a dataset.
   static GraphContext FromDataset(const Dataset& dataset);
+
+  /// The identity view over the full graph. Shares (does not copy) the
+  /// context's matrices, so forwarding through it is bit-identical to the
+  /// pre-view full-batch path.
+  GraphView FullView() const;
 };
 
-/// The output of one forward pass over the whole graph.
+/// The output of one forward pass over a graph view.
 struct ModelOutput {
-  /// Pre-softmax class scores, num_nodes x num_classes.
+  /// Pre-softmax class scores, view.num_nodes x num_classes.
   Variable logits;
   /// The last graph-convolution layer's output — the node embedding f_t(x)
   /// that RDD's L2 and Lreg losses act on (Fig. 4 of the paper). For plain
@@ -42,13 +50,24 @@ struct ModelOutput {
 };
 
 /// Interface of every trainable node-classification model in the zoo. A
-/// model is bound to one GraphContext at construction; Forward always runs
-/// over the full graph (transductive setting).
+/// model is bound to one GraphContext at construction. The primitive
+/// operation is a forward pass over a GraphView — the full graph for the
+/// classic transductive setting, or an induced sub-view (mini-batch, shard)
+/// whose rows the caller maps back through view.GlobalId(). Parameters are
+/// view-independent, so one model trains on sampled views and serves on the
+/// full view.
 class GraphModel : public Module {
  public:
-  /// Runs a forward pass. When `training` is true, dropout is active and
-  /// draws from the model's internal generator (so repeated calls differ).
-  virtual ModelOutput Forward(bool training) = 0;
+  /// Runs a forward pass over `view`. When `training` is true, dropout is
+  /// active and draws from the model's internal generator (so repeated
+  /// calls differ).
+  virtual ModelOutput Forward(const GraphView& view, bool training) = 0;
+
+  /// Full-graph forward — the pre-refactor API; every existing call site
+  /// compiles through this unchanged. Non-virtual so derived classes only
+  /// implement the view overload (they re-export this one with
+  /// `using GraphModel::Forward;`).
+  ModelOutput Forward(bool training) { return Forward(full_view_, training); }
 
   /// Convenience: evaluation-mode softmax probabilities for all nodes.
   Matrix PredictProbs();
@@ -56,14 +75,24 @@ class GraphModel : public Module {
   /// Convenience: evaluation-mode argmax predictions for all nodes.
   std::vector<int64_t> PredictLabels();
 
+  /// Evaluation-mode argmax predictions for a view's rows (view-local
+  /// order).
+  std::vector<int64_t> PredictLabels(const GraphView& view);
+
   /// The graph context the model is bound to.
   const GraphContext& context() const { return context_; }
 
+  /// The identity view Forward(bool) runs over.
+  const GraphView& full_view() const { return full_view_; }
+
  protected:
   GraphModel(GraphContext context, uint64_t seed)
-      : context_(std::move(context)), rng_(seed) {}
+      : context_(std::move(context)),
+        full_view_(context_.FullView()),
+        rng_(seed) {}
 
   GraphContext context_;
+  GraphView full_view_;
   Rng rng_;  ///< Drives dropout masks.
 };
 

@@ -24,9 +24,9 @@ GraphSage::GraphSage(GraphContext context, int64_t num_layers,
   }
 }
 
-ModelOutput GraphSage::Forward(bool training) {
-  const SparseMatrix* features = context_.features.get();
-  const SparseMatrix* propagation = context_.adj_row.get();
+ModelOutput GraphSage::Forward(const GraphView& view, bool training) {
+  const SparseMatrix* features = view.features.get();
+  const SparseMatrix* propagation = view.adj_row.get();
 
   // First layer over the sparse features: X W_self + (P X) W_neigh is
   // evaluated as SpMM chains to avoid densifying X.

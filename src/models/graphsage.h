@@ -23,7 +23,8 @@ class GraphSage : public GraphModel {
   GraphSage(GraphContext context, int64_t num_layers, int64_t hidden_dim,
             float dropout, uint64_t seed);
 
-  ModelOutput Forward(bool training) override;
+  using GraphModel::Forward;
+  ModelOutput Forward(const GraphView& view, bool training) override;
 
  private:
   struct SageLayer {

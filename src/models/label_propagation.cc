@@ -7,21 +7,27 @@
 
 namespace rdd {
 
-Matrix PropagateLabels(const Dataset& dataset,
-                       const LabelPropagationOptions& options) {
+namespace {
+
+// Shared diffusion core: labels/train flags are already in row order of
+// `propagation`. Clamping is per-row idempotent, so mask-order clamping is
+// bit-identical to the historical split-list order.
+Matrix PropagateCore(const SparseMatrix& propagation,
+                     const std::vector<int64_t>& labels,
+                     const std::vector<bool>& train_mask, int64_t k,
+                     const LabelPropagationOptions& options) {
   RDD_CHECK_GE(options.alpha, 0.0);
   RDD_CHECK_LT(options.alpha, 1.0);
-  const int64_t n = dataset.NumNodes();
-  const int64_t k = dataset.num_classes;
-  const SparseMatrix propagation = RowNormalizedAdjacency(dataset.graph);
+  const int64_t n = propagation.rows();
+  RDD_CHECK_EQ(static_cast<int64_t>(labels.size()), n);
+  RDD_CHECK_EQ(static_cast<int64_t>(train_mask.size()), n);
 
   // Seed: one-hot rows for labeled nodes, uniform elsewhere.
   Matrix seed(n, k);
-  const std::vector<bool> train_mask = dataset.TrainMask();
   const float uniform = 1.0f / static_cast<float>(k);
   for (int64_t i = 0; i < n; ++i) {
     if (train_mask[static_cast<size_t>(i)]) {
-      seed.At(i, dataset.labels[static_cast<size_t>(i)]) = 1.0f;
+      seed.At(i, labels[static_cast<size_t>(i)]) = 1.0f;
     } else {
       for (int64_t c = 0; c < k; ++c) seed.At(i, c) = uniform;
     }
@@ -35,9 +41,10 @@ Matrix PropagateLabels(const Dataset& dataset,
       next.Axpy(static_cast<float>(options.alpha), seed);
     }
     // Clamp labeled rows back to their known labels.
-    for (int64_t i : dataset.split.train) {
+    for (int64_t i = 0; i < n; ++i) {
+      if (!train_mask[static_cast<size_t>(i)]) continue;
       for (int64_t c = 0; c < k; ++c) next.At(i, c) = 0.0f;
-      next.At(i, dataset.labels[static_cast<size_t>(i)]) = 1.0f;
+      next.At(i, labels[static_cast<size_t>(i)]) = 1.0f;
     }
     // Row-renormalize to keep distributions stochastic.
     for (int64_t i = 0; i < n; ++i) {
@@ -61,6 +68,25 @@ Matrix PropagateLabels(const Dataset& dataset,
     if (delta < options.tolerance) break;
   }
   return current;
+}
+
+}  // namespace
+
+Matrix PropagateLabels(const Dataset& dataset,
+                       const LabelPropagationOptions& options) {
+  const SparseMatrix propagation = RowNormalizedAdjacency(dataset.graph);
+  return PropagateCore(propagation, dataset.labels, dataset.TrainMask(),
+                       dataset.num_classes, options);
+}
+
+Matrix PropagateLabelsOnView(const GraphView& view,
+                             const std::vector<int64_t>& labels,
+                             const std::vector<bool>& train_mask,
+                             const LabelPropagationOptions& options) {
+  RDD_CHECK(view.adj_row != nullptr);
+  return PropagateCore(*view.adj_row, view.GatherInt64(labels),
+                       view.GatherMask(train_mask), view.num_classes,
+                       options);
 }
 
 }  // namespace rdd

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "data/dataset.h"
+#include "graph/graph_view.h"
 #include "tensor/matrix.h"
 
 namespace rdd {
@@ -25,6 +26,17 @@ struct LabelPropagationOptions {
 /// row-stochastic per-node class distributions. No features are used.
 Matrix PropagateLabels(const Dataset& dataset,
                        const LabelPropagationOptions& options = {});
+
+/// Label propagation restricted to a graph view: diffusion runs over the
+/// view's row-normalized induced adjacency, with the view-local rows whose
+/// global node is in the training set clamped. `labels` and `train_mask`
+/// are global (full-graph) node-indexed vectors; the result has one
+/// row-stochastic distribution per view row. On the identity view this is
+/// exactly PropagateLabels.
+Matrix PropagateLabelsOnView(const GraphView& view,
+                             const std::vector<int64_t>& labels,
+                             const std::vector<bool>& train_mask,
+                             const LabelPropagationOptions& options = {});
 
 }  // namespace rdd
 

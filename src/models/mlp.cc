@@ -17,8 +17,8 @@ Mlp::Mlp(GraphContext context, int64_t hidden_dim, float dropout,
   RegisterChild(*output_layer_);
 }
 
-ModelOutput Mlp::Forward(bool training) {
-  Variable h = ag::Relu(input_layer_->ForwardSparse(context_.features.get()));
+ModelOutput Mlp::Forward(const GraphView& view, bool training) {
+  Variable h = ag::Relu(input_layer_->ForwardSparse(view.features.get()));
   h = ag::Dropout(h, dropout_, training, &rng_);
   Variable logits = output_layer_->Forward(h);
   return ModelOutput{logits, logits};

@@ -18,7 +18,8 @@ class Mlp : public GraphModel {
  public:
   Mlp(GraphContext context, int64_t hidden_dim, float dropout, uint64_t seed);
 
-  ModelOutput Forward(bool training) override;
+  using GraphModel::Forward;
+  ModelOutput Forward(const GraphView& view, bool training) override;
 
  private:
   std::unique_ptr<Linear> input_layer_;

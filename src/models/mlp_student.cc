@@ -24,8 +24,8 @@ MlpStudent::MlpStudent(GraphContext context, int64_t num_layers,
   }
 }
 
-ModelOutput MlpStudent::Forward(bool training) {
-  Variable h = layers_[0]->ForwardSparse(context_.features.get());
+ModelOutput MlpStudent::Forward(const GraphView& view, bool training) {
+  Variable h = layers_[0]->ForwardSparse(view.features.get());
   for (size_t l = 1; l < layers_.size(); ++l) {
     h = ag::Relu(h);
     h = ag::Dropout(h, dropout_, training, &rng_);

@@ -28,9 +28,11 @@ class MlpStudent : public GraphModel {
   MlpStudent(GraphContext context, int64_t num_layers, int64_t hidden_dim,
              float dropout, uint64_t seed);
 
-  /// Full-graph training/evaluation forward over context.features (the
-  /// transductive path the distillation trainer drives).
-  ModelOutput Forward(bool training) override;
+  /// Training/evaluation forward over the view's feature rows (the
+  /// transductive path the distillation trainer drives; graph-blind, so the
+  /// view's adjacency is ignored).
+  using GraphModel::Forward;
+  ModelOutput Forward(const GraphView& view, bool training) override;
 
   /// Serving path: evaluation-mode logits for exactly the listed nodes,
   /// computed from their sparse feature rows with no autograd tape and no

@@ -20,18 +20,19 @@ ResGcn::ResGcn(GraphContext context, int64_t num_layers, int64_t hidden_dim,
   }
 }
 
-ModelOutput ResGcn::Forward(bool training) {
+ModelOutput ResGcn::Forward(const GraphView& view, bool training) {
+  const SparseMatrix* adj = view.adj_norm.get();
   // Input layer: project into the hidden width (no residual possible since
   // dimensions change).
-  Variable h = ag::Relu(layers_[0]->ForwardSparse(context_.features.get()));
+  Variable h = ag::Relu(layers_[0]->ForwardSparse(adj, view.features.get()));
   h = ag::Dropout(h, dropout_, training, &rng_);
   // Hidden layers: residual connections.
   for (size_t l = 1; l + 1 < layers_.size(); ++l) {
-    Variable next = ag::Relu(layers_[l]->Forward(h));
+    Variable next = ag::Relu(layers_[l]->Forward(adj, h));
     next = ag::Dropout(next, dropout_, training, &rng_);
     h = ag::Add(next, h);
   }
-  Variable logits = layers_.back()->Forward(h);
+  Variable logits = layers_.back()->Forward(adj, h);
   return ModelOutput{logits, logits};
 }
 

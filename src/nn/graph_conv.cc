@@ -15,13 +15,25 @@ GraphConvolution::GraphConvolution(const SparseMatrix* adj, int64_t in_dim,
 }
 
 Variable GraphConvolution::Forward(const Variable& h) const {
-  Variable out = ag::SpmmConst(adj_, ag::Matmul(h, weight_));
+  return Forward(adj_, h);
+}
+
+Variable GraphConvolution::ForwardSparse(const SparseMatrix* x) const {
+  return ForwardSparse(adj_, x);
+}
+
+Variable GraphConvolution::Forward(const SparseMatrix* adj,
+                                   const Variable& h) const {
+  RDD_CHECK(adj != nullptr);
+  Variable out = ag::SpmmConst(adj, ag::Matmul(h, weight_));
   if (bias_.defined()) out = ag::AddBias(out, bias_);
   return out;
 }
 
-Variable GraphConvolution::ForwardSparse(const SparseMatrix* x) const {
-  Variable out = ag::SpmmConst(adj_, ag::SpmmConst(x, weight_));
+Variable GraphConvolution::ForwardSparse(const SparseMatrix* adj,
+                                         const SparseMatrix* x) const {
+  RDD_CHECK(adj != nullptr);
+  Variable out = ag::SpmmConst(adj, ag::SpmmConst(x, weight_));
   if (bias_.defined()) out = ag::AddBias(out, bias_);
   return out;
 }

@@ -30,6 +30,13 @@ class GraphConvolution : public Module {
   /// sparse feature matrix.
   Variable ForwardSparse(const SparseMatrix* x) const;
 
+  /// View-aware forwards: same layer weights, propagation over a caller
+  /// supplied adjacency (a GraphView's normalized slice). The adjacency must
+  /// outlive the backward pass. The stored-adjacency overloads above
+  /// delegate here, so full-batch behavior is unchanged.
+  Variable Forward(const SparseMatrix* adj, const Variable& h) const;
+  Variable ForwardSparse(const SparseMatrix* adj, const SparseMatrix* x) const;
+
   int64_t in_dim() const { return weight_.rows(); }
   int64_t out_dim() const { return weight_.cols(); }
 

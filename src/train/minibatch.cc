@@ -1,0 +1,251 @@
+#include "train/minibatch.h"
+
+#include <cstdlib>
+#include <string>
+
+#include "autograd/ops.h"
+#include "memory/workspace.h"
+#include "nn/metrics.h"
+#include "nn/optimizer.h"
+#include "observe/metrics.h"
+#include "observe/trace.h"
+#include "util/env.h"
+#include "util/logging.h"
+#include "util/timer.h"
+
+namespace rdd {
+
+namespace {
+
+std::vector<int64_t> ParseFanouts(const char* value,
+                                  std::vector<int64_t> fallback) {
+  if (value == nullptr || *value == '\0') return fallback;
+  std::vector<int64_t> fanouts;
+  std::string token;
+  for (const char* p = value;; ++p) {
+    if (*p == ',' || *p == '\0') {
+      if (!token.empty()) {
+        char* end = nullptr;
+        const long parsed = std::strtol(token.c_str(), &end, 10);
+        if (end == nullptr || *end != '\0') {
+          RDD_LOG(Warning) << "RDD_MB_FANOUT: unparsable entry '" << token
+                           << "', using default fan-outs";
+          return fallback;
+        }
+        fanouts.push_back(static_cast<int64_t>(parsed));
+        token.clear();
+      }
+      if (*p == '\0') break;
+    } else {
+      token.push_back(*p);
+    }
+  }
+  return fanouts.empty() ? fallback : fanouts;
+}
+
+/// View-local labeled target rows of `view` plus the gathered label vector:
+/// everything the masked cross-entropy needs, computed once per batch.
+struct ViewSupervision {
+  std::vector<int64_t> labels;   ///< View-local, one per view row.
+  std::vector<int64_t> indices;  ///< Labeled target rows (view-local ids).
+};
+
+ViewSupervision GatherSupervision(const GraphView& view,
+                                  const Dataset& dataset,
+                                  const std::vector<bool>& train_mask) {
+  ViewSupervision sup;
+  sup.labels = view.GatherInt64(dataset.labels);
+  sup.indices.reserve(static_cast<size_t>(view.num_targets));
+  for (int64_t i = 0; i < view.num_targets; ++i) {
+    if (train_mask[static_cast<size_t>(view.GlobalId(i))]) {
+      sup.indices.push_back(i);
+    }
+  }
+  return sup;
+}
+
+}  // namespace
+
+MiniBatchConfig MiniBatchConfig::FromEnv() {
+  MiniBatchConfig config;
+  config.batch_size = env::IntEnv("RDD_MB_BATCH",
+                                  static_cast<int>(config.batch_size), 1,
+                                  1 << 24);
+  config.fanouts =
+      ParseFanouts(std::getenv("RDD_MB_FANOUT"), config.fanouts);
+  config.num_shards = env::IntEnv(
+      "RDD_MB_SHARDS", static_cast<int>(config.num_shards), 0, 1 << 20);
+  config.sampled_eval =
+      env::BoolEnv("RDD_MB_SAMPLED_EVAL", config.sampled_eval);
+  return config;
+}
+
+TrainReport TrainMiniBatchWithLoss(GraphModel* model, const Dataset& dataset,
+                                   const TrainConfig& config,
+                                   const MiniBatchConfig& mb_config,
+                                   const BatchLossFn& loss_fn) {
+  RDD_CHECK(model != nullptr);
+  RDD_CHECK_GT(config.max_epochs, 0);
+  RDD_CHECK_GT(config.patience, 0);
+  RDD_CHECK(!mb_config.fanouts.empty());
+  WallTimer timer;
+  // The run-level Workspace keeps optimizer state and parameter snapshots
+  // pooled; each batch below opens a nested Workspace so tape/gradient
+  // buffers recycle batch-to-batch and the pool's high-water mark tracks the
+  // largest VIEW, not the full graph.
+  memory::Workspace run_workspace;
+  Adam optimizer(model->Parameters(), config.lr, config.weight_decay);
+
+  const NeighborSampler sampler(
+      &dataset.graph, &dataset.features, dataset.num_classes,
+      SamplerConfig{mb_config.fanouts, mb_config.sampler_seed});
+  std::vector<int64_t> all_nodes;
+  if (mb_config.batch_over_all_nodes) {
+    all_nodes.resize(static_cast<size_t>(dataset.NumNodes()));
+    for (int64_t i = 0; i < dataset.NumNodes(); ++i) {
+      all_nodes[static_cast<size_t>(i)] = i;
+    }
+  }
+
+  // Shard mode builds its fixed epoch sequence once; sampled mode re-plans
+  // every epoch from the epoch-split stream.
+  std::vector<GraphView> shards;
+  if (mb_config.num_shards > 0) {
+    PartitionConfig pconfig;
+    pconfig.num_parts = mb_config.num_shards;
+    pconfig.seed = mb_config.sampler_seed;
+    const GraphPartition partition =
+        PartitionByPropagatedFeatures(dataset.graph, dataset.features, pconfig);
+    shards = MakeShardViews(dataset.graph, dataset.features,
+                            dataset.num_classes, partition);
+  }
+
+  TrainReport report;
+  report.val_history.reserve(static_cast<size_t>(config.max_epochs));
+  std::vector<Matrix> best_params;
+  int epochs_since_best = 0;
+  static observe::Counter& epoch_counter =
+      observe::MetricsRegistry::Global().counter("train.minibatch.epochs");
+  static observe::Counter& batch_counter =
+      observe::MetricsRegistry::Global().counter("train.minibatch.batches");
+  for (int epoch = 0; epoch < config.max_epochs; ++epoch) {
+    observe::TraceSpan epoch_span("train/mb_epoch", epoch);
+    epoch_counter.Add(1);
+    double loss_value = 0.0;
+    if (!shards.empty()) {
+      for (const GraphView& view : shards) {
+        observe::TraceSpan span("train/mb_batch");
+        batch_counter.Add(1);
+        memory::Workspace batch_workspace;
+        ModelOutput output = model->Forward(view, /*training=*/true);
+        Variable loss = loss_fn(view, output, epoch);
+        loss_value = loss.value().At(0, 0);
+        loss.Backward();
+        optimizer.Step();
+      }
+    } else {
+      const std::vector<std::vector<int64_t>> batches = sampler.PlanBatches(
+          mb_config.batch_over_all_nodes ? all_nodes : dataset.split.train,
+          mb_config.batch_size, epoch);
+      for (const std::vector<int64_t>& batch : batches) {
+        observe::TraceSpan span("train/mb_batch");
+        batch_counter.Add(1);
+        memory::Workspace batch_workspace;
+        const GraphView view = sampler.SampleView(batch, epoch);
+        ModelOutput output = model->Forward(view, /*training=*/true);
+        Variable loss = loss_fn(view, output, epoch);
+        loss_value = loss.value().At(0, 0);
+        loss.Backward();
+        optimizer.Step();
+      }
+    }
+
+    double val_acc;
+    {
+      observe::TraceSpan span("train/mb_validate");
+      val_acc = mb_config.sampled_eval
+                    ? EvaluateAccuracySampled(model, dataset,
+                                              dataset.split.val, mb_config)
+                    : EvaluateAccuracy(model, dataset, dataset.split.val);
+    }
+    report.val_history.push_back(val_acc);
+    report.epochs_run = epoch + 1;
+    if (config.verbose) {
+      RDD_LOG(Info) << "mb epoch " << epoch << " last_loss " << loss_value
+                    << " val_acc " << val_acc;
+    }
+    if (val_acc > report.best_val_accuracy) {
+      report.best_val_accuracy = val_acc;
+      epochs_since_best = 0;
+      if (config.restore_best) {
+        const std::vector<Variable> params = model->Parameters();
+        if (best_params.empty()) {
+          best_params = SnapshotParameters(params);
+        } else {
+          for (size_t i = 0; i < best_params.size(); ++i) {
+            best_params[i] = params[i].value();
+          }
+        }
+      }
+    } else if (++epochs_since_best >= config.patience) {
+      break;
+    }
+  }
+  if (config.restore_best && !best_params.empty()) {
+    std::vector<Variable> params = model->Parameters();
+    RestoreParameters(std::move(best_params), &params);
+  }
+  report.test_accuracy =
+      mb_config.sampled_eval
+          ? EvaluateAccuracySampled(model, dataset, dataset.split.test,
+                                    mb_config)
+          : EvaluateAccuracy(model, dataset, dataset.split.test);
+  report.train_seconds = timer.ElapsedSeconds();
+  return report;
+}
+
+TrainReport TrainMiniBatchSupervised(GraphModel* model, const Dataset& dataset,
+                                     const TrainConfig& config,
+                                     const MiniBatchConfig& mb_config) {
+  const std::vector<bool> train_mask = dataset.TrainMask();
+  return TrainMiniBatchWithLoss(
+      model, dataset, config, mb_config,
+      [&dataset, &train_mask](const GraphView& view, const ModelOutput& output,
+                              int /*epoch*/) {
+        const ViewSupervision sup =
+            GatherSupervision(view, dataset, train_mask);
+        return ag::SoftmaxCrossEntropy(output.logits, sup.labels, sup.indices,
+                                       ag::Reduction::kMean);
+      });
+}
+
+double EvaluateAccuracySampled(GraphModel* model, const Dataset& dataset,
+                               const std::vector<int64_t>& indices,
+                               const MiniBatchConfig& mb_config) {
+  if (indices.empty()) return 0.0;
+  RDD_CHECK(model != nullptr);
+  RDD_CHECK_GT(mb_config.eval_batch_size, 0);
+  const NeighborSampler sampler(
+      &dataset.graph, &dataset.features, dataset.num_classes,
+      SamplerConfig{mb_config.fanouts, mb_config.sampler_seed});
+  const int64_t hops = static_cast<int64_t>(mb_config.fanouts.size());
+  const int64_t n = static_cast<int64_t>(indices.size());
+  int64_t correct = 0;
+  for (int64_t begin = 0; begin < n; begin += mb_config.eval_batch_size) {
+    const int64_t end = std::min(n, begin + mb_config.eval_batch_size);
+    const std::vector<int64_t> targets(indices.begin() + begin,
+                                       indices.begin() + end);
+    memory::Workspace batch_workspace;
+    const GraphView view = sampler.InferenceView(targets, hops);
+    const std::vector<int64_t> predicted = model->PredictLabels(view);
+    for (int64_t i = 0; i < view.num_targets; ++i) {
+      if (predicted[static_cast<size_t>(i)] ==
+          dataset.labels[static_cast<size_t>(view.GlobalId(i))]) {
+        ++correct;
+      }
+    }
+  }
+  return static_cast<double>(correct) / static_cast<double>(n);
+}
+
+}  // namespace rdd

@@ -1,0 +1,84 @@
+#ifndef RDD_TRAIN_MINIBATCH_H_
+#define RDD_TRAIN_MINIBATCH_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "data/dataset.h"
+#include "graph/graph_view.h"
+#include "graph/partition.h"
+#include "graph/sampler.h"
+#include "models/graph_model.h"
+#include "train/trainer.h"
+
+namespace rdd {
+
+/// How mini-batch training slices the graph.
+struct MiniBatchConfig {
+  /// Target nodes per sampled batch.
+  int64_t batch_size = 256;
+  /// Per-hop neighbor fan-outs (see SamplerConfig); length = receptive
+  /// depth. Ignored in shard mode.
+  std::vector<int64_t> fanouts = {10, 10};
+  /// > 0 switches from per-batch neighbor sampling to shard-by-shard
+  /// training over a propagated-feature partition with this many parts.
+  int64_t num_shards = 0;
+  /// Evaluate through fixed inference views instead of one full-graph
+  /// forward. Required at web scale, where a full forward would defeat the
+  /// bounded-memory point of mini-batching; off by default so small-graph
+  /// runs early-stop on exactly the classic full-batch metric.
+  bool sampled_eval = false;
+  int64_t eval_batch_size = 1024;
+  /// Base seed of the sampling/partition stream tree (split, never shared,
+  /// with the model's own rng).
+  uint64_t sampler_seed = 0x5eedULL;
+  /// Draw batch targets from every node instead of just the labeled
+  /// training set. Losses that act on unlabeled nodes (RDD's distillation
+  /// and edge terms) need their targets to actually appear as batch target
+  /// rows; plain supervised training leaves this off so an epoch is one
+  /// sweep over the labeled nodes.
+  bool batch_over_all_nodes = false;
+
+  /// Applies RDD_MB_BATCH / RDD_MB_FANOUT (comma list, e.g. "10,10") /
+  /// RDD_MB_SHARDS / RDD_MB_SAMPLED_EVAL on top of the defaults.
+  static MiniBatchConfig FromEnv();
+};
+
+/// Builds the loss for one batch: receives the batch view, the
+/// training-mode forward output over that view, and the epoch index.
+/// Row indices in the output are VIEW-LOCAL; map back with view.GlobalId().
+using BatchLossFn = std::function<Variable(
+    const GraphView& view, const ModelOutput& output, int epoch)>;
+
+/// Mini-batch analogue of TrainWithLoss: per epoch, the training targets
+/// are deterministically re-batched (or the shard sequence replayed), and
+/// each batch runs forward/loss/backward/step over its own induced view
+/// inside one Workspace, so peak memory is bounded by the largest batch
+/// view, never the full graph's activations. Early stopping, best-weight
+/// restore, and reporting follow TrainWithLoss.
+///
+/// Contract: for fixed (model seed, dataset, configs, loss_fn) the whole
+/// run — batch composition, sampled frontiers, losses, parameter updates —
+/// is bit-identical at any thread count, SIMD backend, and pool mode.
+TrainReport TrainMiniBatchWithLoss(GraphModel* model, const Dataset& dataset,
+                                   const TrainConfig& config,
+                                   const MiniBatchConfig& mb_config,
+                                   const BatchLossFn& loss_fn);
+
+/// Supervised mini-batch training: per-batch masked softmax cross-entropy
+/// over each view's labeled target rows.
+TrainReport TrainMiniBatchSupervised(GraphModel* model, const Dataset& dataset,
+                                     const TrainConfig& config,
+                                     const MiniBatchConfig& mb_config);
+
+/// Accuracy over `indices` computed through fixed full-neighborhood
+/// inference views of depth mb_config.fanouts.size(), eval_batch_size
+/// targets at a time — never materializes a full-graph activation.
+double EvaluateAccuracySampled(GraphModel* model, const Dataset& dataset,
+                               const std::vector<int64_t>& indices,
+                               const MiniBatchConfig& mb_config);
+
+}  // namespace rdd
+
+#endif  // RDD_TRAIN_MINIBATCH_H_

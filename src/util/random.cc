@@ -120,4 +120,18 @@ std::vector<int64_t> Rng::SampleWithoutReplacement(int64_t n, int64_t k) {
 
 Rng Rng::Fork() { return Rng(NextU64()); }
 
+Rng Rng::Split(uint64_t tag) const {
+  // Absorb the four state words and the tag into a splitmix64 chain. Each
+  // absorption advances the chain by the golden-ratio increment and mixes,
+  // so (state, tag) pairs that differ in any word land in unrelated seeds.
+  // The parent is left untouched: Split is const and consumes no stream.
+  uint64_t acc = 0xa0761d6478bd642fULL;
+  for (uint64_t word : state_) {
+    acc ^= word;
+    (void)SplitMix64(&acc);
+  }
+  acc ^= tag;
+  return Rng(SplitMix64(&acc));
+}
+
 }  // namespace rdd

@@ -58,6 +58,15 @@ class Rng {
   /// per-model / per-trial generators without correlated streams.
   Rng Fork();
 
+  /// Derives an independent child stream keyed by `tag` WITHOUT advancing
+  /// this generator: the same (parent state, tag) pair always yields the
+  /// same child, and distinct tags yield decorrelated streams. This is the
+  /// stream-split API the mini-batch machinery builds on — per-batch and
+  /// per-shard draws become pure functions of (run seed, epoch, node), so
+  /// sampled training is bit-identical at any thread count without hoisting
+  /// seed arrays up front. Splits chain: `rng.Split(epoch).Split(node)`.
+  Rng Split(uint64_t tag) const;
+
  private:
   uint64_t state_[4];
   bool has_cached_gaussian_ = false;

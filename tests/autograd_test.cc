@@ -139,6 +139,30 @@ TEST(AutogradGradcheck, AddAndSub) {
       RandomMatrix(2, 3, &rng));
 }
 
+TEST(GatherRowsTest, ForwardCopiesRowsInIndexOrder) {
+  Variable v(Matrix(3, 2, {1, 2, 3, 4, 5, 6}), true);
+  const Variable g = ag::GatherRows(v, {2, 0});
+  EXPECT_TRUE(g.value().Equals(Matrix(2, 2, {5, 6, 1, 2})));
+}
+
+TEST(GatherRowsTest, BackwardScatterAddsDuplicateIndices) {
+  Variable v(Matrix(3, 2, {1, 2, 3, 4, 5, 6}), true);
+  ag::SumAll(ag::GatherRows(v, {1, 1, 0})).Backward();
+  // Row 1 was gathered twice, row 0 once, row 2 never.
+  EXPECT_TRUE(v.grad().Equals(Matrix(3, 2, {1, 1, 2, 2, 0, 0})));
+}
+
+TEST(AutogradGradcheck, GatherRows) {
+  Rng rng(15);
+  CheckGradient(
+      [](const Variable& a) {
+        return ag::SumAll(
+            ag::Matmul(ag::GatherRows(a, {3, 0, 3, 1}),
+                       Variable(Matrix(3, 1, {1, -2, 3}), false)));
+      },
+      RandomMatrix(4, 3, &rng));
+}
+
 TEST(AutogradGradcheck, AddBias) {
   Rng rng(13);
   const Matrix x0 = RandomMatrix(4, 3, &rng);

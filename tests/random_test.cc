@@ -146,6 +146,49 @@ TEST(RngTest, SampleWithoutReplacementEmpty) {
   EXPECT_TRUE(rng.SampleWithoutReplacement(10, 0).empty());
 }
 
+TEST(RngTest, SplitIsDeterministicPerTag) {
+  const Rng parent(61);
+  Rng a = parent.Split(7);
+  Rng b = parent.Split(7);
+  for (int i = 0; i < 32; ++i) {
+    EXPECT_EQ(a.NextU64(), b.NextU64());
+  }
+}
+
+TEST(RngTest, SplitTagsYieldDistinctStreams) {
+  const Rng parent(61);
+  Rng a = parent.Split(1);
+  Rng b = parent.Split(2);
+  int differences = 0;
+  for (int i = 0; i < 16; ++i) {
+    if (a.NextU64() != b.NextU64()) ++differences;
+  }
+  EXPECT_GT(differences, 0);
+}
+
+TEST(RngTest, SplitDoesNotAdvanceParent) {
+  Rng split_parent(67);
+  split_parent.Split(3);
+  split_parent.Split(4);
+  Rng fresh(67);
+  for (int i = 0; i < 16; ++i) {
+    EXPECT_EQ(split_parent.NextU64(), fresh.NextU64());
+  }
+}
+
+TEST(RngTest, SplitTreeIsPathDependent) {
+  // Split(a).Split(b) and Split(b).Split(a) must be distinct streams, so
+  // the sampler's (epoch, hop, node) tree has no cross-level collisions.
+  const Rng root(71);
+  Rng ab = root.Split(1).Split(2);
+  Rng ba = root.Split(2).Split(1);
+  int differences = 0;
+  for (int i = 0; i < 16; ++i) {
+    if (ab.NextU64() != ba.NextU64()) ++differences;
+  }
+  EXPECT_GT(differences, 0);
+}
+
 TEST(RngTest, ForkProducesIndependentStream) {
   Rng parent(59);
   Rng child = parent.Fork();

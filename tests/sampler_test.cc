@@ -1,0 +1,233 @@
+// Determinism suite for the neighbor sampler and the mini-batch training
+// path. Batch plans and sampled views must be pure functions of
+// (sampler_seed, epoch), bit-identical at any thread count, and mini-batch
+// training must produce the same run whichever backend executes it. CI's
+// determinism matrix builds this executable and runs it under
+// RDD_NUM_THREADS / RDD_SIMD overrides, so keep every test independent of
+// both.
+
+#include "graph/sampler.h"
+
+#include <algorithm>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/rdd_trainer.h"
+#include "data/citation_gen.h"
+#include "graph/graph_view.h"
+#include "models/model_factory.h"
+#include "parallel/parallel_for.h"
+#include "train/minibatch.h"
+
+namespace rdd {
+namespace {
+
+/// Restores the configured thread count on scope exit so tests compose.
+class ThreadCountGuard {
+ public:
+  ThreadCountGuard() : saved_(parallel::NumThreads()) {}
+  ~ThreadCountGuard() { parallel::SetNumThreads(saved_); }
+
+ private:
+  int saved_;
+};
+
+/// Bit-exact CSR equality.
+void ExpectSparseEq(const SparseMatrix& a, const SparseMatrix& b) {
+  ASSERT_EQ(a.rows(), b.rows());
+  ASSERT_EQ(a.cols(), b.cols());
+  ASSERT_EQ(a.row_ptr(), b.row_ptr());
+  ASSERT_EQ(a.col_idx(), b.col_idx());
+  ASSERT_EQ(a.values(), b.values());
+}
+
+class SamplerTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    CitationGenConfig config;
+    config.num_nodes = 600;
+    config.num_features = 150;
+    config.num_edges = 2000;
+    config.num_classes = 5;
+    config.homophily = 0.72;
+    config.topic_purity = 0.35;
+    config.labeled_per_class = 10;
+    config.val_size = 80;
+    config.test_size = 150;
+    dataset_ = new Dataset(GenerateCitationNetwork(config, 77));
+    context_ = new GraphContext(GraphContext::FromDataset(*dataset_));
+  }
+  static void TearDownTestSuite() {
+    delete context_;
+    delete dataset_;
+  }
+
+  static NeighborSampler MakeSampler(std::vector<int64_t> fanouts = {4, 4}) {
+    SamplerConfig config;
+    config.fanouts = std::move(fanouts);
+    config.seed = 99;
+    return NeighborSampler(&dataset_->graph, &dataset_->features,
+                           dataset_->num_classes, config);
+  }
+
+  static Dataset* dataset_;
+  static GraphContext* context_;
+};
+
+Dataset* SamplerTest::dataset_ = nullptr;
+GraphContext* SamplerTest::context_ = nullptr;
+
+TEST_F(SamplerTest, PlanBatchesPartitionsTargets) {
+  const NeighborSampler sampler = MakeSampler();
+  const std::vector<int64_t>& targets = dataset_->split.train;
+  const auto batches = sampler.PlanBatches(targets, 16, /*epoch=*/0);
+  std::multiset<int64_t> seen;
+  for (const auto& batch : batches) {
+    EXPECT_LE(batch.size(), 16u);
+    EXPECT_FALSE(batch.empty());
+    seen.insert(batch.begin(), batch.end());
+  }
+  EXPECT_EQ(seen, std::multiset<int64_t>(targets.begin(), targets.end()));
+}
+
+TEST_F(SamplerTest, PlanBatchesDeterministicPerEpochAndReshuffled) {
+  const NeighborSampler sampler = MakeSampler();
+  const std::vector<int64_t>& targets = dataset_->split.train;
+  EXPECT_EQ(sampler.PlanBatches(targets, 16, 3),
+            sampler.PlanBatches(targets, 16, 3));
+  EXPECT_NE(sampler.PlanBatches(targets, 16, 3),
+            sampler.PlanBatches(targets, 16, 4));
+}
+
+TEST_F(SamplerTest, SampleViewKeepsTargetsFirstInCallerOrder) {
+  const NeighborSampler sampler = MakeSampler();
+  const std::vector<int64_t> targets = {5, 3, 100, 42};
+  const GraphView view = sampler.SampleView(targets, /*epoch=*/1);
+  ASSERT_EQ(view.num_targets, static_cast<int64_t>(targets.size()));
+  for (size_t i = 0; i < targets.size(); ++i) {
+    EXPECT_EQ(view.GlobalId(static_cast<int64_t>(i)), targets[i]);
+  }
+  EXPECT_GE(view.num_nodes, view.num_targets);
+  EXPECT_EQ(view.feature_dim, dataset_->features.cols());
+}
+
+TEST_F(SamplerTest, SampleViewRespectsFanoutBound) {
+  const NeighborSampler sampler = MakeSampler({3, 2});
+  const std::vector<int64_t> targets = {0, 1, 2, 3, 4, 5, 6, 7};
+  const GraphView view = sampler.SampleView(targets, /*epoch=*/0);
+  // Frontier growth is bounded by the fan-out products:
+  // |targets| * (1 + 3 + 3*2).
+  EXPECT_LE(view.num_nodes, static_cast<int64_t>(targets.size()) * 10);
+}
+
+TEST_F(SamplerTest, InferenceViewKeepsEveryNeighbor) {
+  const NeighborSampler sampler = MakeSampler();
+  const std::vector<int64_t> targets = {10, 20};
+  const GraphView view = sampler.InferenceView(targets, /*hops=*/1);
+  std::set<int64_t> in_view;
+  for (int64_t i = 0; i < view.num_nodes; ++i) in_view.insert(view.GlobalId(i));
+  for (int64_t t : targets) {
+    for (int64_t neighbor : dataset_->graph.Neighbors(t)) {
+      EXPECT_TRUE(in_view.count(neighbor))
+          << "neighbor " << neighbor << " of " << t << " missing";
+    }
+  }
+}
+
+TEST_F(SamplerTest, SampledViewBitIdenticalAcrossThreadCounts) {
+  ThreadCountGuard guard;
+  const NeighborSampler sampler = MakeSampler();
+  std::vector<int64_t> targets;
+  for (int64_t i = 0; i < 64; ++i) targets.push_back(i * 7 % 600);
+  std::sort(targets.begin(), targets.end());
+  targets.erase(std::unique(targets.begin(), targets.end()), targets.end());
+
+  parallel::SetNumThreads(1);
+  const GraphView serial = sampler.SampleView(targets, /*epoch=*/2);
+  parallel::SetNumThreads(4);
+  const GraphView threaded = sampler.SampleView(targets, /*epoch=*/2);
+
+  EXPECT_EQ(serial.nodes, threaded.nodes);
+  ExpectSparseEq(*serial.adj_norm, *threaded.adj_norm);
+  ExpectSparseEq(*serial.adj_row, *threaded.adj_row);
+  ExpectSparseEq(*serial.features, *threaded.features);
+}
+
+TEST_F(SamplerTest, SampleViewDeterministicPerEpoch) {
+  const NeighborSampler sampler = MakeSampler();
+  const std::vector<int64_t> targets = {1, 2, 3, 4, 5, 6, 7, 8};
+  const GraphView a = sampler.SampleView(targets, 5);
+  const GraphView b = sampler.SampleView(targets, 5);
+  EXPECT_EQ(a.nodes, b.nodes);
+  // Different epochs draw different frontiers (with these fan-outs the
+  // chance of a coincidental full match is negligible).
+  const GraphView c = sampler.SampleView(targets, 6);
+  EXPECT_NE(a.nodes, c.nodes);
+}
+
+TEST_F(SamplerTest, MiniBatchTrainingBitIdenticalAcrossThreadCounts) {
+  ThreadCountGuard guard;
+  TrainConfig train;
+  train.max_epochs = 20;
+  MiniBatchConfig mb;
+  mb.batch_size = 32;
+  mb.fanouts = {4, 4};
+
+  parallel::SetNumThreads(1);
+  auto model_a = BuildModel(*context_, ModelConfig{}, /*seed=*/7);
+  const TrainReport a =
+      TrainMiniBatchSupervised(model_a.get(), *dataset_, train, mb);
+  parallel::SetNumThreads(4);
+  auto model_b = BuildModel(*context_, ModelConfig{}, /*seed=*/7);
+  const TrainReport b =
+      TrainMiniBatchSupervised(model_b.get(), *dataset_, train, mb);
+
+  EXPECT_DOUBLE_EQ(a.test_accuracy, b.test_accuracy);
+  ASSERT_EQ(a.val_history.size(), b.val_history.size());
+  for (size_t i = 0; i < a.val_history.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.val_history[i], b.val_history[i]);
+  }
+  const std::vector<Variable> params_a = model_a->Parameters();
+  const std::vector<Variable> params_b = model_b->Parameters();
+  ASSERT_EQ(params_a.size(), params_b.size());
+  for (size_t i = 0; i < params_a.size(); ++i) {
+    EXPECT_TRUE(params_a[i].value().Equals(params_b[i].value()))
+        << "parameter " << i << " diverged between thread counts";
+  }
+}
+
+TEST_F(SamplerTest, MiniBatchTrainingLearns) {
+  TrainConfig train;
+  train.max_epochs = 60;
+  MiniBatchConfig mb;
+  mb.batch_size = 32;
+  mb.fanouts = {8, 8};
+  auto model = BuildModel(*context_, ModelConfig{}, /*seed=*/3);
+  const TrainReport report =
+      TrainMiniBatchSupervised(model.get(), *dataset_, train, mb);
+  // Chance level is 20%.
+  EXPECT_GT(report.test_accuracy, 0.5);
+}
+
+TEST_F(SamplerTest, SampledEvalAgreesWithFullEvalApproximately) {
+  TrainConfig train;
+  train.max_epochs = 40;
+  MiniBatchConfig mb;
+  mb.batch_size = 32;
+  mb.fanouts = {8, 8};
+  auto model = BuildModel(*context_, ModelConfig{}, /*seed=*/11);
+  TrainMiniBatchSupervised(model.get(), *dataset_, train, mb);
+  const double full =
+      EvaluateAccuracy(model.get(), *dataset_, dataset_->split.test);
+  const double sampled = EvaluateAccuracySampled(
+      model.get(), *dataset_, dataset_->split.test, mb);
+  // Sampled eval renormalizes on truncated frontiers, so it is an
+  // approximation of the full forward — but a close one.
+  EXPECT_NEAR(sampled, full, 0.1);
+}
+
+}  // namespace
+}  // namespace rdd
