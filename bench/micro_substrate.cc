@@ -23,10 +23,12 @@
 #include "graph/normalize.h"
 #include "graph/pagerank.h"
 #include "simd/simd.h"
+#include "tensor/bf16.h"
 #include "tensor/matrix.h"
 #include "tensor/ops.h"
 #include "tensor/sparse.h"
 #include "util/random.h"
+#include "util/runtime_flags.h"
 
 namespace rdd {
 namespace {
@@ -441,6 +443,128 @@ BENCHMARK(BM_ElementwiseBackend)
     ->Args({0, 0})->Args({1, 0})
     ->Args({0, 1})->Args({1, 1})
     ->Args({0, 2})->Args({1, 2});
+
+// ---------------------------------------------------------------------------
+// Fused-chain sweeps (EXPERIMENTS.md "Operator fusion"): arg0 = 0 unfused
+// composition / 1 fused driver, arg1 = shape. Fused and unfused compute the
+// same bits (fusion_test pins that); the delta here is pure memory traffic.
+// ---------------------------------------------------------------------------
+
+/// Chain shapes {m, k, n}: the hidden -> classes classifier GEMM of each
+/// citation dataset (the every-epoch chain), plus Cora's features -> hidden
+/// layer-1 transform (the big-k regime where the epilogue is amortized).
+struct ChainShape {
+  int64_t m;
+  int64_t k;
+  int64_t n;
+};
+constexpr ChainShape kChainShapes[] = {
+    {2708, 16, 7},      // Cora classifier
+    {3327, 16, 6},      // Citeseer classifier
+    {19717, 16, 3},     // Pubmed classifier
+    {2708, 1433, 16},   // Cora layer-1
+};
+
+void BM_GemmBiasReluChain(benchmark::State& state) {
+  ThreadCountOverride threads(1);
+  const ChainShape& s = kChainShapes[state.range(1)];
+  const bool fused = state.range(0) == 1;
+  Rng rng(11);
+  const Matrix x = RandomMatrix(s.m, s.k, &rng);
+  const Matrix w = RandomMatrix(s.k, s.n, &rng);
+  const Matrix bias = RandomMatrix(1, s.n, &rng);
+  for (auto _ : state) {
+    if (fused) {
+      benchmark::DoNotOptimize(MatmulBiasRelu(x, w, bias));
+    } else {
+      benchmark::DoNotOptimize(Relu(AddRowBroadcast(Matmul(x, w), bias)));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * s.m * s.k * s.n);
+}
+BENCHMARK(BM_GemmBiasReluChain)
+    ->ArgNames({"fused", "shape"})
+    ->Args({0, 0})->Args({1, 0})
+    ->Args({0, 1})->Args({1, 1})
+    ->Args({0, 2})->Args({1, 2})
+    ->Args({0, 3})->Args({1, 3});
+
+void BM_SpmmBiasReluChain(benchmark::State& state) {
+  ThreadCountOverride threads(1);
+  const ChainShape& s = kChainShapes[state.range(1)];
+  const bool fused = state.range(0) == 1;
+  Rng rng(12);
+  Graph graph = MakeErdosRenyiGraph(
+      s.m, 4.0 / static_cast<double>(s.m), &rng);
+  const SparseMatrix adj = GcnNormalizedAdjacency(graph);
+  const Matrix h = RandomMatrix(s.m, s.n, &rng);
+  const Matrix bias = RandomMatrix(1, s.n, &rng);
+  for (auto _ : state) {
+    if (fused) {
+      benchmark::DoNotOptimize(adj.MultiplyBiasRelu(h, bias));
+    } else {
+      benchmark::DoNotOptimize(Relu(AddRowBroadcast(adj.Multiply(h), bias)));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * adj.nnz() * s.n);
+}
+BENCHMARK(BM_SpmmBiasReluChain)
+    ->ArgNames({"fused", "shape"})
+    ->Args({0, 0})->Args({1, 0})
+    ->Args({0, 1})->Args({1, 1})
+    ->Args({0, 2})->Args({1, 2});
+
+void BM_SoftmaxXentChain(benchmark::State& state) {
+  // The supervised loss at Cora scale: 2708 x 7 logits, 140 labeled rows.
+  // Unfused materializes log-softmax of ALL rows; fused touches only the
+  // masked ones, forward and backward.
+  ThreadCountOverride threads(1);
+  flags::FuseGuard fuse(state.range(0) == 1);
+  Rng rng(13);
+  const Matrix z0 = RandomMatrix(2708, 7, &rng);
+  std::vector<int64_t> labels(2708);
+  for (int64_t& y : labels) y = rng.UniformInt(7);
+  std::vector<int64_t> indices;
+  for (int64_t i = 0; i < 140; ++i) indices.push_back(i * 19);
+  for (auto _ : state) {
+    Variable z(z0, /*requires_grad=*/true);
+    Variable loss =
+        ag::SoftmaxCrossEntropy(z, labels, indices, ag::Reduction::kMean);
+    loss.Backward();
+    benchmark::DoNotOptimize(loss.value().At(0, 0));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(indices.size()) * 7);
+}
+BENCHMARK(BM_SoftmaxXentChain)->ArgNames({"fused"})->Arg(0)->Arg(1);
+
+// ---------------------------------------------------------------------------
+// bf16 serving-tier GEMM (EXPERIMENTS.md "bf16 serving tier"): arg0 = 0
+// fp32 weights / 1 bf16-packed weights, arg1 = shape. Same strict-order
+// fp32 accumulation; the bf16 win is the halved weight-panel traffic.
+// ---------------------------------------------------------------------------
+
+void BM_GemmWeightPrecision(benchmark::State& state) {
+  ThreadCountOverride threads(1);
+  const ChainShape& s = kChainShapes[state.range(1)];
+  const bool bf16 = state.range(0) == 1;
+  Rng rng(14);
+  const Matrix x = RandomMatrix(s.m, s.k, &rng);
+  const Matrix w = RandomMatrix(s.k, s.n, &rng);
+  const Bf16Matrix w16 = Bf16Matrix::Pack(w);
+  for (auto _ : state) {
+    if (bf16) {
+      benchmark::DoNotOptimize(MatmulBf16(x, w16));
+    } else {
+      benchmark::DoNotOptimize(Matmul(x, w));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * s.m * s.k * s.n);
+}
+BENCHMARK(BM_GemmWeightPrecision)
+    ->ArgNames({"bf16", "shape"})
+    ->Args({0, 0})->Args({1, 0})
+    ->Args({0, 3})->Args({1, 3});
 
 void BM_NodeReliabilityUpdate(benchmark::State& state) {
   // The per-epoch reliability refresh (Algorithm 1) RDD pays for.

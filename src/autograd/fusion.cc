@@ -1,0 +1,70 @@
+#include "autograd/fusion.h"
+
+#include <utility>
+
+#include "autograd/ops.h"
+#include "simd/kernel_stats.h"
+#include "tensor/ops.h"
+#include "util/logging.h"
+#include "util/runtime_flags.h"
+
+namespace rdd::ag {
+
+using autograd_internal::MakeOpNode;
+using autograd_internal::VariableImpl;
+
+Variable FusedLinearRelu(const Variable& x, const Variable& w,
+                         const Variable& bias) {
+  RDD_CHECK_EQ(x.cols(), w.rows());
+  if (!flags::FuseEnabled() || !bias.defined()) {
+    simd::RecordFusionMiss();
+    Variable z = Matmul(x, w);
+    if (bias.defined()) z = AddBias(z, bias);
+    return Relu(z);
+  }
+  simd::RecordFusionHit();
+  Matrix value = MatmulBiasRelu(x.value(), w.value(), bias.value());
+  return MakeOpNode(
+      std::move(value), "linear_relu_fused", {x, w, bias},
+      [x, w, bias](VariableImpl* node) {
+        // The ReLU mask comes from the node's own output (still alive while
+        // its backward rule runs): out > 0 iff the pre-activation was > 0.
+        Matrix gz = ReluBackward(node->grad, node->value);
+        if (bias.requires_grad()) {
+          bias.impl()->AccumulateGrad(ColumnSums(gz));
+        }
+        if (x.requires_grad()) {
+          x.impl()->AccumulateGrad(MatmulTransposeB(gz, w.value()));
+        }
+        if (w.requires_grad()) {
+          w.impl()->AccumulateGrad(MatmulTransposeA(x.value(), gz));
+        }
+      });
+}
+
+Variable FusedSpmmBiasRelu(const SparseMatrix* s, const Variable& m,
+                           const Variable& bias) {
+  RDD_CHECK(s != nullptr);
+  RDD_CHECK_EQ(s->cols(), m.rows());
+  if (!flags::FuseEnabled() || !bias.defined()) {
+    simd::RecordFusionMiss();
+    Variable z = SpmmConst(s, m);
+    if (bias.defined()) z = AddBias(z, bias);
+    return Relu(z);
+  }
+  simd::RecordFusionHit();
+  Matrix value = s->MultiplyBiasRelu(m.value(), bias.value());
+  return MakeOpNode(
+      std::move(value), "spmm_bias_relu_fused", {m, bias},
+      [s, m, bias](VariableImpl* node) {
+        Matrix gz = ReluBackward(node->grad, node->value);
+        if (bias.requires_grad()) {
+          bias.impl()->AccumulateGrad(ColumnSums(gz));
+        }
+        if (m.requires_grad()) {
+          m.impl()->AccumulateGrad(s->TransposeMultiply(gz));
+        }
+      });
+}
+
+}  // namespace rdd::ag

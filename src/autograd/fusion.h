@@ -1,0 +1,49 @@
+#ifndef RDD_AUTOGRAD_FUSION_H_
+#define RDD_AUTOGRAD_FUSION_H_
+
+#include "autograd/variable.h"
+#include "tensor/sparse.h"
+
+namespace rdd::ag {
+
+/// Construction-time operator fusion (DESIGN.md §12). Each entry point
+/// recognizes one dominant chain of the training/serving graphs and, when
+/// the RDD_FUSE flag is on (util/runtime_flags.h), emits a single tape node
+/// whose forward runs the fused driver (bias + ReLU epilogue inside the
+/// GEMM/SpMM row loop) and whose backward applies the chain's composite
+/// gradient in one pass. When fusion is off — or the pattern does not apply
+/// (e.g. a bias-less layer) — the entry point emits the *literal* unfused
+/// op sequence, so RDD_FUSE=0 reproduces the seed tape node for node.
+///
+/// Contract: fused and unfused paths are bit-identical on every backend and
+/// thread count. Forward holds because the fused kernels replicate the
+/// unfused per-element arithmetic exactly (simd.h). Backward holds because
+/// (a) the ReLU mask taken from the fused node's own output is equivalent to
+/// the mask from the pre-activation (out > 0 iff z > 0, and a NaN z zeroes
+/// the lane under either mask), (b) the composite gradients are the same
+/// kernel calls the unfused node sequence issues, in the same per-tensor
+/// accumulation order (bias, then the chain inputs), and (c) collapsing a
+/// chain into one node whose parent list visits the same external tensors
+/// in the same order leaves the tape's DFS topological order — and with it
+/// every shared-tensor gradient accumulation order — unchanged.
+///
+/// Every call records a fusion hit (fused node emitted) or miss (fallback)
+/// with simd/kernel_stats; the derived "simd.fusion.hit_rate_pct" gauge
+/// reports the ratio.
+
+/// relu(x * w + bias), the Linear + ReLU chain. `bias` may be undefined
+/// (bias-less Linear), which falls back to relu(x * w) unfused.
+Variable FusedLinearRelu(const Variable& x, const Variable& w,
+                         const Variable& bias);
+
+/// relu(s * m + bias) for a constant sparse `s` (adjacency or feature
+/// matrix), the SpMM + bias + ReLU chain. `m` is any tape node — the dense
+/// weight for a sparse input layer, or an inner Matmul/SpMM product for a
+/// graph convolution. `s` must outlive Backward(), like SpmmConst. `bias`
+/// may be undefined (falls back to relu(s * m) unfused).
+Variable FusedSpmmBiasRelu(const SparseMatrix* s, const Variable& m,
+                           const Variable& bias);
+
+}  // namespace rdd::ag
+
+#endif  // RDD_AUTOGRAD_FUSION_H_

@@ -2,9 +2,12 @@
 
 #include <cmath>
 
+#include "memory/buffer_pool.h"
+#include "simd/kernel_stats.h"
 #include "simd/simd.h"
 #include "tensor/ops.h"
 #include "util/logging.h"
+#include "util/runtime_flags.h"
 
 namespace rdd::ag {
 
@@ -257,15 +260,40 @@ Variable SoftmaxCrossEntropy(const Variable& logits,
   RDD_CHECK_EQ(static_cast<int64_t>(labels.size()), z.rows());
   const float scale = ReductionScale(reduction, indices.size());
 
-  const Matrix log_probs = LogSoftmaxRows(z);
+  // Fused path: softmax -> masked cross-entropy without materializing the
+  // full log-softmax / softmax matrices — only the |indices| selected rows
+  // are ever touched (the training mask is typically a small fraction of
+  // the graph). Bit-identical to the unfused path: softmax_xent_fwd_row and
+  // softmax_row replicate the LogSoftmaxRows / SoftmaxRows row arithmetic
+  // exactly (simd.h). The choice is latched at construction so the tape
+  // stays consistent if the flag flips mid-graph.
+  const bool fused = flags::FuseEnabled();
   double loss = 0.0;
-  for (int64_t i : indices) {
-    RDD_CHECK_GE(i, 0);
-    RDD_CHECK_LT(i, z.rows());
-    const int64_t y = labels[static_cast<size_t>(i)];
-    RDD_CHECK_GE(y, 0);
-    RDD_CHECK_LT(y, z.cols());
-    loss -= log_probs.At(i, y);
+  if (fused) {
+    simd::RecordFusionHit();
+    simd::RecordFusedSoftmaxXent(static_cast<int64_t>(indices.size()),
+                                 z.cols());
+    const auto& kt = simd::K();
+    for (int64_t i : indices) {
+      RDD_CHECK_GE(i, 0);
+      RDD_CHECK_LT(i, z.rows());
+      const int64_t y = labels[static_cast<size_t>(i)];
+      RDD_CHECK_GE(y, 0);
+      RDD_CHECK_LT(y, z.cols());
+      loss -= static_cast<double>(
+          kt.softmax_xent_fwd_row(z.RowData(i), z.cols(), y));
+    }
+  } else {
+    simd::RecordFusionMiss();
+    const Matrix log_probs = LogSoftmaxRows(z);
+    for (int64_t i : indices) {
+      RDD_CHECK_GE(i, 0);
+      RDD_CHECK_LT(i, z.rows());
+      const int64_t y = labels[static_cast<size_t>(i)];
+      RDD_CHECK_GE(y, 0);
+      RDD_CHECK_LT(y, z.cols());
+      loss -= log_probs.At(i, y);
+    }
   }
   Matrix value(1, 1);
   value.At(0, 0) = static_cast<float>(loss) * scale;
@@ -274,17 +302,29 @@ Variable SoftmaxCrossEntropy(const Variable& logits,
   auto labels_copy = std::make_shared<std::vector<int64_t>>(labels);
   return MakeOpNode(
       std::move(value), "softmax_xent", {logits},
-      [logits, indices_copy, labels_copy, scale](VariableImpl* node) {
+      [logits, indices_copy, labels_copy, scale, fused](VariableImpl* node) {
         if (!logits.requires_grad()) return;
         const float g = node->grad.At(0, 0) * scale;
         const Matrix& z = logits.value();
         Matrix grad(z.rows(), z.cols());
-        const Matrix probs = SoftmaxRows(z);
         const auto& kt = simd::K();
-        for (int64_t i : *indices_copy) {
-          float* out = grad.RowData(i);
-          kt.axpy(g, probs.RowData(i), out, z.cols());
-          out[(*labels_copy)[static_cast<size_t>(i)]] -= g;
+        if (fused) {
+          // Per-selected-row softmax into pooled scratch; unselected rows
+          // stay zero, exactly as in the unfused axpy loop below.
+          memory::PooledBuffer scratch(static_cast<size_t>(z.cols()));
+          for (int64_t i : *indices_copy) {
+            kt.softmax_row(z.RowData(i), scratch.data(), z.cols());
+            float* out = grad.RowData(i);
+            kt.axpy(g, scratch.data(), out, z.cols());
+            out[(*labels_copy)[static_cast<size_t>(i)]] -= g;
+          }
+        } else {
+          const Matrix probs = SoftmaxRows(z);
+          for (int64_t i : *indices_copy) {
+            float* out = grad.RowData(i);
+            kt.axpy(g, probs.RowData(i), out, z.cols());
+            out[(*labels_copy)[static_cast<size_t>(i)]] -= g;
+          }
         }
         logits.impl()->AccumulateGrad(grad);
       });

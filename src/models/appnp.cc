@@ -25,7 +25,7 @@ Appnp::Appnp(GraphContext context, int64_t hidden_dim, float dropout,
 
 ModelOutput Appnp::Forward(const GraphView& view, bool training) {
   // Prediction: a feature-only MLP.
-  Variable h = ag::Relu(input_layer_->ForwardSparse(view.features.get()));
+  Variable h = input_layer_->ForwardSparseRelu(view.features.get());
   h = ag::Dropout(h, dropout_, training, &rng_);
   Variable local = output_layer_->Forward(h);
   // Propagation: approximate personalized PageRank power iteration.

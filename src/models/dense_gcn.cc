@@ -24,11 +24,11 @@ DenseGcn::DenseGcn(GraphContext context, int64_t num_layers,
 
 ModelOutput DenseGcn::Forward(const GraphView& view, bool training) {
   const SparseMatrix* adj = view.adj_norm.get();
-  Variable h = ag::Relu(layers_[0]->ForwardSparse(adj, view.features.get()));
+  Variable h = layers_[0]->ForwardSparseRelu(adj, view.features.get());
   h = ag::Dropout(h, dropout_, training, &rng_);
   Variable stacked = h;  // Concatenation of all hidden outputs so far.
   for (size_t l = 1; l + 1 < layers_.size(); ++l) {
-    Variable next = ag::Relu(layers_[l]->Forward(adj, stacked));
+    Variable next = layers_[l]->ForwardRelu(adj, stacked);
     next = ag::Dropout(next, dropout_, training, &rng_);
     stacked = ag::ConcatCols(stacked, next);
   }

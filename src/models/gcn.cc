@@ -22,11 +22,17 @@ Gcn::Gcn(GraphContext context, int64_t num_layers, int64_t hidden_dim,
 
 ModelOutput Gcn::Forward(const GraphView& view, bool training) {
   const SparseMatrix* adj = view.adj_norm.get();
-  Variable h = layers_[0]->ForwardSparse(adj, view.features.get());
+  // Every hidden layer's output goes through ReLU (before dropout), so the
+  // activation rides the layer forward as a fusible tail; the last layer
+  // stays linear.
+  const size_t last = layers_.size() - 1;
+  Variable h = last == 0
+                   ? layers_[0]->ForwardSparse(adj, view.features.get())
+                   : layers_[0]->ForwardSparseRelu(adj, view.features.get());
   for (size_t l = 1; l < layers_.size(); ++l) {
-    h = ag::Relu(h);
     h = ag::Dropout(h, dropout_, training, &rng_);
-    h = layers_[l]->Forward(adj, h);
+    h = l == last ? layers_[l]->Forward(adj, h)
+                  : layers_[l]->ForwardRelu(adj, h);
   }
   return ModelOutput{h, h};
 }

@@ -23,11 +23,11 @@ JkNet::JkNet(GraphContext context, int64_t num_layers, int64_t hidden_dim,
 
 ModelOutput JkNet::Forward(const GraphView& view, bool training) {
   const SparseMatrix* adj = view.adj_norm.get();
-  Variable h = ag::Relu(layers_[0]->ForwardSparse(adj, view.features.get()));
+  Variable h = layers_[0]->ForwardSparseRelu(adj, view.features.get());
   h = ag::Dropout(h, dropout_, training, &rng_);
   Variable jumped = h;  // Concatenation of every layer's output.
   for (size_t l = 1; l < layers_.size(); ++l) {
-    h = ag::Relu(layers_[l]->Forward(adj, h));
+    h = layers_[l]->ForwardRelu(adj, h);
     h = ag::Dropout(h, dropout_, training, &rng_);
     jumped = ag::ConcatCols(jumped, h);
   }

@@ -18,7 +18,7 @@ Mlp::Mlp(GraphContext context, int64_t hidden_dim, float dropout,
 }
 
 ModelOutput Mlp::Forward(const GraphView& view, bool training) {
-  Variable h = ag::Relu(input_layer_->ForwardSparse(view.features.get()));
+  Variable h = input_layer_->ForwardSparseRelu(view.features.get());
   h = ag::Dropout(h, dropout_, training, &rng_);
   Variable logits = output_layer_->Forward(h);
   return ModelOutput{logits, logits};

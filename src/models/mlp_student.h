@@ -7,6 +7,7 @@
 
 #include "models/graph_model.h"
 #include "nn/linear.h"
+#include "tensor/bf16.h"
 #include "tensor/sparse.h"
 
 namespace rdd {
@@ -44,12 +45,24 @@ class MlpStudent : public GraphModel {
   /// Softmax of PredictLogitsRows.
   Matrix PredictProbsRows(const std::vector<int64_t>& nodes) const;
 
+  /// Snapshots every layer's weight matrix into bf16 storage (biases stay
+  /// fp32) and switches PredictLogitsRows to the bf16 fast path: half the
+  /// weight bytes per query, fp32 accumulation, results tolerance-equal to
+  /// the fp32 path (see DESIGN.md "Kernel fusion and the bf16 serving
+  /// tier"). Serving-only: training forwards keep reading the fp32
+  /// parameters, so call this after the weights are final — model_io does,
+  /// at checkpoint load, when RDD_BF16=1.
+  void EnableBf16Serving();
+  bool bf16_serving() const { return !bf16_weights_.empty(); }
+
   int64_t num_layers() const { return static_cast<int64_t>(layers_.size()); }
   int64_t hidden_dim() const { return hidden_dim_; }
   float dropout() const { return dropout_; }
 
  private:
   std::vector<std::unique_ptr<Linear>> layers_;
+  /// Non-empty iff EnableBf16Serving ran: one packed weight per layer.
+  std::vector<Bf16Matrix> bf16_weights_;
   int64_t hidden_dim_;
   float dropout_;
 };

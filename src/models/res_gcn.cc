@@ -24,11 +24,11 @@ ModelOutput ResGcn::Forward(const GraphView& view, bool training) {
   const SparseMatrix* adj = view.adj_norm.get();
   // Input layer: project into the hidden width (no residual possible since
   // dimensions change).
-  Variable h = ag::Relu(layers_[0]->ForwardSparse(adj, view.features.get()));
+  Variable h = layers_[0]->ForwardSparseRelu(adj, view.features.get());
   h = ag::Dropout(h, dropout_, training, &rng_);
   // Hidden layers: residual connections.
   for (size_t l = 1; l + 1 < layers_.size(); ++l) {
-    Variable next = ag::Relu(layers_[l]->Forward(adj, h));
+    Variable next = layers_[l]->ForwardRelu(adj, h);
     next = ag::Dropout(next, dropout_, training, &rng_);
     h = ag::Add(next, h);
   }

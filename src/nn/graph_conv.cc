@@ -1,5 +1,6 @@
 #include "nn/graph_conv.h"
 
+#include "autograd/fusion.h"
 #include "nn/init.h"
 #include "util/logging.h"
 
@@ -36,6 +37,26 @@ Variable GraphConvolution::ForwardSparse(const SparseMatrix* adj,
   Variable out = ag::SpmmConst(adj, ag::SpmmConst(x, weight_));
   if (bias_.defined()) out = ag::AddBias(out, bias_);
   return out;
+}
+
+Variable GraphConvolution::ForwardRelu(const Variable& h) const {
+  return ForwardRelu(adj_, h);
+}
+
+Variable GraphConvolution::ForwardSparseRelu(const SparseMatrix* x) const {
+  return ForwardSparseRelu(adj_, x);
+}
+
+Variable GraphConvolution::ForwardRelu(const SparseMatrix* adj,
+                                       const Variable& h) const {
+  RDD_CHECK(adj != nullptr);
+  return ag::FusedSpmmBiasRelu(adj, ag::Matmul(h, weight_), bias_);
+}
+
+Variable GraphConvolution::ForwardSparseRelu(const SparseMatrix* adj,
+                                             const SparseMatrix* x) const {
+  RDD_CHECK(adj != nullptr);
+  return ag::FusedSpmmBiasRelu(adj, ag::SpmmConst(x, weight_), bias_);
 }
 
 }  // namespace rdd

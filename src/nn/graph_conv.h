@@ -37,6 +37,17 @@ class GraphConvolution : public Module {
   Variable Forward(const SparseMatrix* adj, const Variable& h) const;
   Variable ForwardSparse(const SparseMatrix* adj, const SparseMatrix* x) const;
 
+  /// relu(Forward(...)) through the fusion pass (autograd/fusion.h): the
+  /// propagation + bias + ReLU tail collapses into one fused tape node when
+  /// RDD_FUSE is on (the inner H W product stays its own node), and into
+  /// the literal unfused sequence otherwise — bit-identical either way.
+  /// For hidden layers only; the last layer stays linear via Forward.
+  Variable ForwardRelu(const Variable& h) const;
+  Variable ForwardSparseRelu(const SparseMatrix* x) const;
+  Variable ForwardRelu(const SparseMatrix* adj, const Variable& h) const;
+  Variable ForwardSparseRelu(const SparseMatrix* adj,
+                             const SparseMatrix* x) const;
+
   int64_t in_dim() const { return weight_.rows(); }
   int64_t out_dim() const { return weight_.cols(); }
 

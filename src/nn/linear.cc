@@ -1,5 +1,6 @@
 #include "nn/linear.h"
 
+#include "autograd/fusion.h"
 #include "nn/init.h"
 
 namespace rdd {
@@ -19,6 +20,14 @@ Variable Linear::ForwardSparse(const SparseMatrix* x) const {
   Variable out = ag::SpmmConst(x, weight_);
   if (bias_.defined()) out = ag::AddBias(out, bias_);
   return out;
+}
+
+Variable Linear::ForwardRelu(const Variable& x) const {
+  return ag::FusedLinearRelu(x, weight_, bias_);
+}
+
+Variable Linear::ForwardSparseRelu(const SparseMatrix* x) const {
+  return ag::FusedSpmmBiasRelu(x, weight_, bias_);
 }
 
 }  // namespace rdd

@@ -26,6 +26,14 @@ class Linear : public Module {
   /// outlive the backward pass.
   Variable ForwardSparse(const SparseMatrix* x) const;
 
+  /// relu(Forward(x)) through the fusion pass (autograd/fusion.h): one
+  /// fused tape node when RDD_FUSE is on, the literal Matmul + AddBias +
+  /// Relu sequence otherwise — bit-identical either way.
+  Variable ForwardRelu(const Variable& x) const;
+
+  /// relu(ForwardSparse(x)) through the fusion pass.
+  Variable ForwardSparseRelu(const SparseMatrix* x) const;
+
   int64_t in_dim() const { return weight_.rows(); }
   int64_t out_dim() const { return weight_.cols(); }
 

@@ -86,6 +86,14 @@ StatusOr<Predictor> Predictor::FromCheckpoint(const std::string& path,
   return predictor;
 }
 
+bool Predictor::bf16_serving() const {
+  if (!pure_mlp_ || mlps_.empty()) return false;
+  for (const MlpStudent* mlp : mlps_) {
+    if (!mlp->bf16_serving()) return false;
+  }
+  return true;
+}
+
 StatusOr<Matrix> Predictor::PredictProbs(const std::vector<int64_t>& nodes) {
   if (models_.empty()) {
     return Status::FailedPrecondition("predictor holds no models");

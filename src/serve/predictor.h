@@ -74,6 +74,9 @@ class Predictor {
   int64_t num_models() const { return static_cast<int64_t>(models_.size()); }
   /// True when every loaded record is an MLP-Student (row-wise fast path).
   bool pure_mlp() const { return pure_mlp_; }
+  /// True when every loaded record is an MLP-Student serving from packed
+  /// bf16 weights (RDD_BF16=1 at load time).
+  bool bf16_serving() const;
   int64_t batch_size() const { return options_.batch_size; }
 
  private:

@@ -1,0 +1,45 @@
+#ifndef RDD_SIMD_BF16_H_
+#define RDD_SIMD_BF16_H_
+
+#include <cstdint>
+#include <cstring>
+
+namespace rdd::simd {
+
+/// bfloat16 scalar conversions, shared by every backend and by the tests'
+/// golden references. Storage format: the upper 16 bits of an IEEE-754
+/// binary32 (1 sign, 8 exponent, 7 mantissa bits).
+///
+/// Numerics policy (DESIGN.md §12): bf16 is a *storage* format only — every
+/// arithmetic op unpacks to fp32 first, and unpacking is exact (zero-fill of
+/// the 16 dropped mantissa bits), so kernels consuming bf16 operands keep
+/// the backend/thread bit-identity contract of simd.h. Only the pack step
+/// loses information; it rounds to nearest-even so the representable-value
+/// round trip f32 -> bf16 -> f32 is exact and the worst relative error is
+/// 2^-8 for normal values.
+
+/// Round-to-nearest-even narrowing. NaN payloads are quieted (bit 6 of the
+/// stored mantissa forced on) so rounding can never turn a NaN into
+/// infinity; infinities and the sign of zero are preserved; values above
+/// bf16's finite range round to infinity like any IEEE narrowing.
+inline uint16_t Bf16FromF32(float x) {
+  uint32_t bits;
+  std::memcpy(&bits, &x, sizeof(bits));
+  if ((bits & 0x7FFFFFFFu) > 0x7F800000u) {
+    return static_cast<uint16_t>((bits >> 16) | 0x0040u);
+  }
+  const uint32_t rounded = bits + 0x7FFFu + ((bits >> 16) & 1u);
+  return static_cast<uint16_t>(rounded >> 16);
+}
+
+/// Exact widening: the stored bits become the upper half of the float.
+inline float F32FromBf16(uint16_t x) {
+  const uint32_t bits = static_cast<uint32_t>(x) << 16;
+  float f;
+  std::memcpy(&f, &bits, sizeof(f));
+  return f;
+}
+
+}  // namespace rdd::simd
+
+#endif  // RDD_SIMD_BF16_H_

@@ -28,6 +28,39 @@ void RecordSpmm(int64_t nnz, int64_t n);
 /// `tensors` parameter tensors.
 void RecordOptimizerStep(int64_t tensors, int64_t elements);
 
+// --- fused-chain accounting ---
+// A fused driver calls exactly one of these *instead of* RecordGemm /
+// RecordSpmm, so a fused chain is never double-counted as its constituent
+// ops; the epilogue work is folded into the same record (bias add + ReLU
+// compare ≈ 2 FLOPs per output element, softmax ≈ 5 per element).
+
+/// One fused GEMM -> bias -> ReLU of shape (m x k) * (k x n):
+/// 2mkn + 2mn FLOPs under "simd.fused_gemm_bias_relu.*".
+void RecordFusedGemmBiasRelu(int64_t m, int64_t k, int64_t n);
+
+/// One fused SpMM -> bias -> ReLU (`nnz` nonzeros, `rows` output rows, `n`
+/// columns): 2*nnz*n + 2*rows*n FLOPs under "simd.fused_spmm_bias_relu.*".
+void RecordFusedSpmmBiasRelu(int64_t nnz, int64_t rows, int64_t n);
+
+/// One fused softmax -> masked-cross-entropy over `rows` *selected* rows of
+/// `n` logits: ~5*rows*n FLOPs under "simd.fused_softmax_xent.*". `rows` is
+/// the mask size, not the logits height — the fusion's point is that the
+/// unselected rows are never touched.
+void RecordFusedSoftmaxXent(int64_t rows, int64_t n);
+
+/// One GEMM with a bf16-stored B operand (serving tier): 2mkn FLOPs under
+/// "simd.bf16_gemm.*".
+void RecordBf16Gemm(int64_t m, int64_t k, int64_t n);
+
+/// Fusion-pass outcome at Variable-graph construction: a hit emitted one
+/// fused node, a miss fell back to the unfused composition (fusion disabled
+/// or the pattern did not apply, e.g. a bias-less layer). The derived gauge
+/// "simd.fusion.hit_rate_pct" = 100 * hits / (hits + misses) is registered
+/// with the metrics registry on first use. Like every counter here, only
+/// metered runs (RDD_METRICS=1) are counted.
+void RecordFusionHit();
+void RecordFusionMiss();
+
 }  // namespace rdd::simd
 
 #endif  // RDD_SIMD_KERNEL_STATS_H_

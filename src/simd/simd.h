@@ -74,6 +74,42 @@ struct KernelTable {
                    float alpha, const float* dense, int64_t ldd, float* out,
                    int64_t n);
 
+  // --- fused epilogues / fused row kernels ---
+  // Each fused kernel is the exact per-element composition of the unfused
+  // kernels it replaces (same lane ops, same order), so fused and unfused
+  // paths are bit-identical on every backend — the fusion win is purely the
+  // removed memory round trip, never a different rounding.
+
+  /// Fused bias + ReLU epilogue applied in place to a finished GEMM/SpMM
+  /// output row: y[i] = relu(y[i] + bias[i]). Element-for-element identical
+  /// to add(bias, y) followed by relu(y, y).
+  void (*bias_relu)(const float* bias, float* y, int64_t n);
+
+  /// One softmax row: p[i] = exp(x[i] - max(x)) / sum(exp(x - max(x))),
+  /// with max via row_max, float exp per element, the normalizer summed by
+  /// sum_f64, and the reciprocal applied via scale — the exact arithmetic
+  /// of the row-parallel SoftmaxRows loop in tensor/ops.cc.
+  void (*softmax_row)(const float* x, float* p, int64_t n);
+
+  /// Fused softmax -> cross-entropy forward for one selected row: returns
+  /// log softmax(x)[label] without materializing the row. Replicates the
+  /// LogSoftmaxRows arithmetic bit for bit: row_max shift, serial
+  /// double-precision exp sum, log_sum = float(log(sum)) + max.
+  float (*softmax_xent_fwd_row)(const float* x, int64_t n, int64_t label);
+
+  // --- bf16 storage tier (see simd/bf16.h for the numerics policy) ---
+
+  /// y[i] = bf16(x[i]) with round-to-nearest-even (Bf16FromF32).
+  void (*bf16_pack)(const float* x, uint16_t* y, int64_t n);
+  /// y[i] = float(x[i]) — exact widening (F32FromBf16).
+  void (*bf16_unpack)(const uint16_t* x, float* y, int64_t n);
+  /// gemm_row with a bf16-stored B panel: operands widen exactly to fp32
+  /// before the same strict-order FMA chain, so the kernel keeps rule 1.
+  void (*gemm_row_bf16)(const float* a, int64_t sa, const uint16_t* b,
+                        int64_t ldb, int64_t k, int64_t n, float* out);
+  /// y = fma(a, unpack(x), y) — axpy with a bf16-stored x row.
+  void (*axpy_bf16)(float a, const uint16_t* x, float* y, int64_t n);
+
   // --- elementwise / row-wise family (rule 1) ---
 
   void (*axpy)(float a, const float* x, float* y, int64_t n);  ///< y=fma(a,x,y)

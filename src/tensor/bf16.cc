@@ -1,0 +1,68 @@
+#include "tensor/bf16.h"
+
+#include "parallel/parallel_for.h"
+#include "simd/kernel_stats.h"
+#include "simd/simd.h"
+#include "util/logging.h"
+
+namespace rdd {
+
+Bf16Matrix Bf16Matrix::Pack(const Matrix& m) {
+  Bf16Matrix out;
+  out.rows_ = m.rows();
+  out.cols_ = m.cols();
+  out.data_.resize(static_cast<size_t>(m.size()));
+  if (m.size() > 0) simd::K().bf16_pack(m.Data(), out.data_.data(), m.size());
+  return out;
+}
+
+Matrix Bf16Matrix::Unpack() const {
+  Matrix out(rows_, cols_);
+  if (size() > 0) simd::K().bf16_unpack(data_.data(), out.Data(), size());
+  return out;
+}
+
+// The bf16 GEMM skips the PackB tile repacking of the fp32 driver: the B
+// operand is already half the bytes, so serving-sized panels (hidden x
+// classes, a few KiB) fit in L1 as-is, and repacking would mean a second
+// uint16 panel format for no measured gain at those shapes.
+namespace {
+
+Matrix MatmulBf16Impl(const Matrix& a, const Bf16Matrix& b,
+                      const float* epilogue_bias) {
+  RDD_CHECK_EQ(a.cols(), b.rows());
+  const int64_t m = a.rows();
+  const int64_t red = a.cols();
+  const int64_t n = b.cols();
+  Matrix out(m, n);
+  // As in GemmBroadcastA: with an epilogue a zero-length reduction still
+  // owes relu(bias) per row.
+  if (m == 0 || n == 0 || (red == 0 && epilogue_bias == nullptr)) return out;
+  simd::RecordBf16Gemm(m, red, n);
+  const auto& kt = simd::K();
+  const uint16_t* bdata = b.Data();
+  parallel::ParallelFor(
+      0, m, parallel::GrainForCost(red * n), [&](int64_t r0, int64_t r1) {
+        for (int64_t i = r0; i < r1; ++i) {
+          float* out_row = out.RowData(i);
+          kt.gemm_row_bf16(a.RowData(i), 1, bdata, n, red, n, out_row);
+          if (epilogue_bias != nullptr) kt.bias_relu(epilogue_bias, out_row, n);
+        }
+      });
+  return out;
+}
+
+}  // namespace
+
+Matrix MatmulBf16(const Matrix& a, const Bf16Matrix& b) {
+  return MatmulBf16Impl(a, b, nullptr);
+}
+
+Matrix MatmulBf16BiasRelu(const Matrix& a, const Bf16Matrix& b,
+                          const Matrix& bias_row) {
+  RDD_CHECK_EQ(bias_row.rows(), 1);
+  RDD_CHECK_EQ(bias_row.cols(), b.cols());
+  return MatmulBf16Impl(a, b, bias_row.RowData(0));
+}
+
+}  // namespace rdd

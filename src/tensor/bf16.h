@@ -1,0 +1,61 @@
+#ifndef RDD_TENSOR_BF16_H_
+#define RDD_TENSOR_BF16_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/matrix.h"
+
+namespace rdd {
+
+/// Dense row-major matrix stored as bf16 (upper 16 bits of fp32, see
+/// simd/bf16.h). A storage format, not a compute format: kernels widen each
+/// element exactly back to fp32 before any arithmetic, so a Bf16Matrix-fed
+/// GEMM keeps the determinism contract of simd/simd.h — the only rounding
+/// happens once, at Pack time (round-to-nearest-even, max relative error
+/// 2^-8). Used by the serving tier (RDD_BF16=1) to halve weight-matrix
+/// memory traffic; results are tolerance-equal to fp32, never bit-equal.
+class Bf16Matrix {
+ public:
+  /// Empty 0 x 0 matrix.
+  Bf16Matrix() = default;
+
+  /// Rounds every entry of `m` to bf16 via the active backend's bf16_pack.
+  static Bf16Matrix Pack(const Matrix& m);
+
+  /// Exact fp32 widening of the stored values (the round trip
+  /// Pack(m).Unpack() loses only the Pack rounding).
+  Matrix Unpack() const;
+
+  int64_t rows() const { return rows_; }
+  int64_t cols() const { return cols_; }
+  int64_t size() const { return rows_ * cols_; }
+  bool empty() const { return rows_ == 0 || cols_ == 0; }
+
+  const uint16_t* RowData(int64_t r) const {
+    return data_.data() + r * cols_;
+  }
+  const uint16_t* Data() const { return data_.data(); }
+
+ private:
+  int64_t rows_ = 0;
+  int64_t cols_ = 0;
+  std::vector<uint16_t> data_;
+};
+
+/// a (m x k, fp32) times b (k x n, bf16 storage): the serving-tier GEMM.
+/// Same parallel-over-output-rows driver shape as Matmul, with the B panel
+/// read through the exact-widening bf16 load; accumulation is fp32 with the
+/// same strict per-element FMA order, so the result is bit-identical across
+/// backends and thread counts (though not to the fp32-weight GEMM).
+Matrix MatmulBf16(const Matrix& a, const Bf16Matrix& b);
+
+/// MatmulBf16 with the fused bias + ReLU epilogue applied per output row
+/// (bias_row is 1 x b.cols(), kept in fp32 — biases are tiny and packing
+/// them buys nothing).
+Matrix MatmulBf16BiasRelu(const Matrix& a, const Bf16Matrix& b,
+                          const Matrix& bias_row);
+
+}  // namespace rdd
+
+#endif  // RDD_TENSOR_BF16_H_

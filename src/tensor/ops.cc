@@ -62,13 +62,26 @@ void PackB(const float* b, int64_t red, int64_t n, float* packed) {
 // freshly allocated out). Large B operands are repacked once into a
 // pool-backed 64-byte-aligned tile panel so the k-loop streams L1-resident
 // tiles instead of striding whole rows of B.
+// When `epilogue_bias` is non-null the driver applies the fused
+// bias + ReLU epilogue to each output row after that row's accumulation
+// completes — per-element arithmetic identical to a separate
+// AddRowBroadcast + Relu pass (simd.h bias_relu), just without the two
+// extra memory round trips.
 Matrix GemmBroadcastA(const float* a_base, int64_t a_row_step,
                       int64_t a_col_step, int64_t out_rows, int64_t red,
-                      const Matrix& b) {
+                      const Matrix& b, const float* epilogue_bias = nullptr) {
   Matrix out(out_rows, b.cols());
   const int64_t n = b.cols();
-  if (out_rows == 0 || red == 0 || n == 0) return out;
-  simd::RecordGemm(out_rows, red, n);
+  // With an epilogue a zero-length reduction still owes relu(bias) per row
+  // (the unfused composition adds the bias to the zero product).
+  if (out_rows == 0 || n == 0 || (red == 0 && epilogue_bias == nullptr)) {
+    return out;
+  }
+  if (epilogue_bias != nullptr) {
+    simd::RecordFusedGemmBiasRelu(out_rows, red, n);
+  } else {
+    simd::RecordGemm(out_rows, red, n);
+  }
   const auto& kt = simd::K();
   const float* bdata = b.Data();
   // Pack only when tiling changes the layout (otherwise B already is the
@@ -84,17 +97,18 @@ Matrix GemmBroadcastA(const float* a_base, int64_t a_row_step,
           float* out_row = out.RowData(i);
           if (!pack) {
             kt.gemm_row(coeff, a_col_step, bdata, n, red, n, out_row);
-            continue;
-          }
-          for (int64_t k0 = 0; k0 < red; k0 += kGemmKc) {
-            const int64_t kb = std::min(kGemmKc, red - k0);
-            for (int64_t j0 = 0; j0 < n; j0 += kGemmNr) {
-              const int64_t nb = std::min(kGemmNr, n - j0);
-              kt.gemm_row(coeff + k0 * a_col_step, a_col_step,
-                          packed.data() + k0 * n + kb * j0, nb, kb, nb,
-                          out_row + j0);
+          } else {
+            for (int64_t k0 = 0; k0 < red; k0 += kGemmKc) {
+              const int64_t kb = std::min(kGemmKc, red - k0);
+              for (int64_t j0 = 0; j0 < n; j0 += kGemmNr) {
+                const int64_t nb = std::min(kGemmNr, n - j0);
+                kt.gemm_row(coeff + k0 * a_col_step, a_col_step,
+                            packed.data() + k0 * n + kb * j0, nb, kb, nb,
+                            out_row + j0);
+              }
             }
           }
+          if (epilogue_bias != nullptr) kt.bias_relu(epilogue_bias, out_row, n);
         }
       });
   return out;
@@ -106,6 +120,15 @@ Matrix Matmul(const Matrix& a, const Matrix& b) {
   RDD_CHECK_EQ(a.cols(), b.rows());
   // coeff(i, p) = a(i, p): contiguous rows of a.
   return GemmBroadcastA(a.Data(), a.cols(), 1, a.rows(), a.cols(), b);
+}
+
+Matrix MatmulBiasRelu(const Matrix& a, const Matrix& b,
+                      const Matrix& bias_row) {
+  RDD_CHECK_EQ(a.cols(), b.rows());
+  RDD_CHECK_EQ(bias_row.rows(), 1);
+  RDD_CHECK_EQ(bias_row.cols(), b.cols());
+  return GemmBroadcastA(a.Data(), a.cols(), 1, a.rows(), a.cols(), b,
+                        bias_row.RowData(0));
 }
 
 Matrix MatmulTransposeA(const Matrix& a, const Matrix& b) {

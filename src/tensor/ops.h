@@ -11,6 +11,14 @@ namespace rdd {
 /// Returns a * b. Requires a.cols() == b.rows(). Cache-friendly ikj loop.
 Matrix Matmul(const Matrix& a, const Matrix& b);
 
+/// Fused relu(a * b + bias): bit-identical to
+/// Relu(AddRowBroadcast(Matmul(a, b), bias_row)) on every backend — the
+/// bias + ReLU epilogue runs on each output row right after its
+/// accumulation, replicating the unfused per-element arithmetic exactly
+/// (simd.h bias_relu). Requires bias_row to be 1 x b.cols().
+Matrix MatmulBiasRelu(const Matrix& a, const Matrix& b,
+                      const Matrix& bias_row);
+
 /// Returns transpose(a) * b without materializing the transpose.
 /// Requires a.rows() == b.rows().
 Matrix MatmulTransposeA(const Matrix& a, const Matrix& b);

@@ -135,6 +135,38 @@ void SparseMatrix::MultiplyAdd(const Matrix& dense, float alpha,
       });
 }
 
+Matrix SparseMatrix::MultiplyBiasRelu(const Matrix& dense,
+                                      const Matrix& bias_row) const {
+  RDD_CHECK_EQ(cols_, dense.rows());
+  RDD_CHECK_EQ(bias_row.rows(), 1);
+  RDD_CHECK_EQ(bias_row.cols(), dense.cols());
+  Matrix out(rows_, dense.cols());
+  const int64_t n = dense.cols();
+  if (rows_ == 0 || n == 0) return out;
+  const int64_t avg_nnz =
+      rows_ == 0 ? 1 : std::max<int64_t>(1, nnz() / rows_);
+  simd::RecordFusedSpmmBiasRelu(nnz(), rows_, n);
+  const auto& kt = simd::K();
+  const float* dense_data = dense.Data();
+  const float* bias = bias_row.RowData(0);
+  // Same row-parallel structure as MultiplyAdd; each row finishes its
+  // strict-order accumulation, then the fused epilogue folds the bias and
+  // ReLU in before the row leaves cache.
+  parallel::ParallelFor(
+      0, rows_, parallel::GrainForCost(avg_nnz * n),
+      [&](int64_t r0, int64_t r1) {
+        for (int64_t r = r0; r < r1; ++r) {
+          const int64_t begin = row_ptr_[r];
+          float* out_row = out.RowData(r);
+          kt.spmm_row(values_.data() + begin, col_idx_.data() + begin,
+                      row_ptr_[r + 1] - begin, 1.0f, dense_data, n, out_row,
+                      n);
+          kt.bias_relu(bias, out_row, n);
+        }
+      });
+  return out;
+}
+
 Matrix SparseMatrix::TransposeMultiply(const Matrix& dense) const {
   RDD_CHECK_EQ(rows_, dense.rows());
   Matrix out(cols_, dense.cols());

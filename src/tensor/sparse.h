@@ -65,6 +65,12 @@ class SparseMatrix {
   /// `dense`; the kernel assumes the two buffers are distinct.
   void MultiplyAdd(const Matrix& dense, float alpha, Matrix* out) const;
 
+  /// Fused relu(this * dense + bias): bit-identical to
+  /// Relu(AddRowBroadcast(Multiply(dense), bias_row)) — the bias + ReLU
+  /// epilogue runs on each output row right after its spmm_row accumulation
+  /// (simd.h bias_relu). Requires bias_row to be 1 x dense.cols().
+  Matrix MultiplyBiasRelu(const Matrix& dense, const Matrix& bias_row) const;
+
   /// Returns transpose(this) * dense without materializing the transpose,
   /// a (cols x dense.cols) dense matrix. Requires rows() == dense.rows().
   /// This is the gradient kernel for SpMM. Parallelized over row blocks via

@@ -1,0 +1,55 @@
+#ifndef RDD_UTIL_RUNTIME_FLAGS_H_
+#define RDD_UTIL_RUNTIME_FLAGS_H_
+
+namespace rdd::flags {
+
+/// Process-wide feature switches resolved from the environment exactly once,
+/// the same pattern as the pre-resolved SIMD dispatch (simd/dispatch.cc) and
+/// RDD_METRICS (observe/metrics.cc): the first consultation parses the env
+/// var via env::BoolEnv into an atomic, and every later read — including the
+/// per-graph-construction checks in the autograd fusion pass — is one
+/// relaxed load. Hot paths never branch on getenv.
+
+/// RDD_FUSE (default on): emit fused operator chains (GEMM/SpMM->bias->ReLU,
+/// softmax->masked-CE) at Variable graph construction. Off reproduces the
+/// unfused op sequence bit for bit; on is bit-identical too (the fused
+/// kernels replicate the unfused arithmetic exactly) — the knob exists so
+/// the equivalence stays testable, not because results differ.
+bool FuseEnabled();
+
+/// RDD_BF16 (default off): serve MLP-student checkpoints from bf16-packed
+/// weights (fp32 accumulation). Opt-in because bf16 results are tolerance-
+/// equal, not bit-equal, to the fp32 tier (see DESIGN.md §12).
+bool Bf16Enabled();
+
+/// Runtime overrides for tests and benchmarks comparing both settings in
+/// one process. They only affect graphs/predictors built *after* the call.
+void SetFuseEnabled(bool enabled);
+void SetBf16Enabled(bool enabled);
+
+/// RAII guards restoring the previous setting on scope exit.
+class FuseGuard {
+ public:
+  explicit FuseGuard(bool enabled);
+  ~FuseGuard();
+  FuseGuard(const FuseGuard&) = delete;
+  FuseGuard& operator=(const FuseGuard&) = delete;
+
+ private:
+  bool previous_;
+};
+
+class Bf16Guard {
+ public:
+  explicit Bf16Guard(bool enabled);
+  ~Bf16Guard();
+  Bf16Guard(const Bf16Guard&) = delete;
+  Bf16Guard& operator=(const Bf16Guard&) = delete;
+
+ private:
+  bool previous_;
+};
+
+}  // namespace rdd::flags
+
+#endif  // RDD_UTIL_RUNTIME_FLAGS_H_

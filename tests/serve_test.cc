@@ -13,6 +13,7 @@
 #include "models/mlp_student.h"
 #include "models/model_io.h"
 #include "tensor/ops.h"
+#include "util/runtime_flags.h"
 
 namespace rdd {
 namespace {
@@ -174,6 +175,51 @@ TEST(PredictorTest, LabelsAreArgmaxOfProbs) {
   ASSERT_TRUE(probs.ok());
   ASSERT_TRUE(labels.ok());
   EXPECT_EQ(*labels, ArgmaxRows(*probs));
+  std::remove(path.c_str());
+}
+
+TEST(PredictorTest, Bf16CheckpointLoadServesWithinToleranceOfFp32) {
+  const Dataset dataset = TinyDataset(8);
+  const GraphContext context = GraphContext::FromDataset(dataset);
+  MlpStudent student(context, 3, 16, 0.5f, /*seed=*/12);
+  const std::string path = TempPath("serve_bf16.rddc");
+  ASSERT_TRUE(
+      SaveCheckpoint(CheckpointFromDistilled(student, "bf16"), path).ok());
+
+  std::vector<int64_t> nodes;
+  for (int64_t i = 0; i < dataset.NumNodes(); ++i) nodes.push_back(i);
+
+  Matrix fp32_probs;
+  {
+    flags::Bf16Guard bf16(false);
+    StatusOr<Predictor> predictor = Predictor::FromCheckpoint(path, context);
+    ASSERT_TRUE(predictor.ok());
+    EXPECT_FALSE(predictor->bf16_serving());
+    StatusOr<Matrix> probs = predictor->PredictProbs(nodes);
+    ASSERT_TRUE(probs.ok());
+    fp32_probs = *probs;
+  }
+  {
+    flags::Bf16Guard bf16(true);
+    StatusOr<Predictor> predictor = Predictor::FromCheckpoint(path, context);
+    ASSERT_TRUE(predictor.ok());
+    EXPECT_TRUE(predictor->pure_mlp());
+    EXPECT_TRUE(predictor->bf16_serving());
+    StatusOr<Matrix> bf16_probs = predictor->PredictProbs(nodes);
+    ASSERT_TRUE(bf16_probs.ok());
+    // The bf16 tier is tolerance-equal, never bit-equal: probabilities stay
+    // within a couple percent and labels almost always agree (flips only
+    // happen on statistically tied rows).
+    EXPECT_TRUE(bf16_probs->ApproxEquals(fp32_probs, 0.02f));
+    const std::vector<int64_t> want = ArgmaxRows(fp32_probs);
+    const std::vector<int64_t> got = ArgmaxRows(*bf16_probs);
+    int64_t agree = 0;
+    for (size_t i = 0; i < want.size(); ++i) {
+      agree += want[i] == got[i] ? 1 : 0;
+    }
+    EXPECT_GE(static_cast<double>(agree),
+              0.97 * static_cast<double>(want.size()));
+  }
   std::remove(path.c_str());
 }
 
