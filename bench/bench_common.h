@@ -10,6 +10,7 @@
 // single CPU core (fewer trials, smaller sweeps, scaled-down NELL). Set
 // RDD_BENCH_FULL=1 for the paper's full protocol (10 trials etc.).
 
+#include <algorithm>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
@@ -24,6 +25,7 @@
 #include "observe/metrics.h"
 #include "parallel/parallel_for.h"
 #include "train/trainer.h"
+#include "util/proc_stats.h"
 
 namespace rdd::bench {
 
@@ -101,6 +103,17 @@ inline std::string Pct(double fraction) {
   return buffer;
 }
 
+/// Nearest-rank percentile of an ALREADY SORTED sample, `pct` in [0, 100].
+/// Returns 0 on an empty sample. Shared by the latency/serving benches so
+/// every bench reports the same p50/p99 definition.
+inline double Percentile(const std::vector<double>& sorted_values,
+                         double pct) {
+  if (sorted_values.empty()) return 0.0;
+  const size_t index = static_cast<size_t>(
+      pct / 100.0 * static_cast<double>(sorted_values.size() - 1) + 0.5);
+  return sorted_values[std::min(index, sorted_values.size() - 1)];
+}
+
 /// Returns the value following a `--json <path>` argument, or "" when the
 /// flag is absent. Benches that support machine-readable output accept this
 /// flag and write a JsonReport to the given path (conventionally
@@ -136,6 +149,10 @@ class JsonReport {
     std::string out = "{\n";
     out += "  \"bench\": \"" + bench_name_ + "\",\n";
     out += "  \"threads\": " + std::to_string(threads_) + ",\n";
+    // Every report carries the process high-water mark, read at
+    // serialization time so it bounds everything the bench ran. -1 means
+    // the platform has no procfs (see util/proc_stats.h).
+    out += "  \"peak_rss_mib\": " + FormatDouble(util::PeakRssMib()) + ",\n";
     out += "  \"phases\": [";
     for (size_t i = 0; i < phases_.size(); ++i) {
       if (i > 0) out += ",";

@@ -12,37 +12,17 @@
 // phase that caused it.
 
 #include <cstdio>
-#include <cstring>
 #include <string>
 #include <vector>
 
 #include "bench/bench_common.h"
 #include "train/minibatch.h"
+#include "util/proc_stats.h"
 #include "util/table_writer.h"
 #include "util/timer.h"
 
 namespace rdd {
 namespace {
-
-/// Process peak resident set in MiB (VmHWM), or -1 where unavailable.
-double PeakRssMib() {
-#ifdef __linux__
-  std::FILE* f = std::fopen("/proc/self/status", "r");
-  if (f == nullptr) return -1.0;
-  char line[256];
-  double kib = -1.0;
-  while (std::fgets(line, sizeof(line), f) != nullptr) {
-    if (std::strncmp(line, "VmHWM:", 6) == 0) {
-      kib = std::strtod(line + 6, nullptr);
-      break;
-    }
-  }
-  std::fclose(f);
-  return kib < 0.0 ? -1.0 : kib / 1024.0;
-#else
-  return -1.0;
-#endif
-}
 
 struct ModeResult {
   double epoch_seconds = 0.0;
@@ -62,7 +42,7 @@ ModeResult RunMode(const Dataset& dataset, const GraphContext& context,
   out.epoch_seconds =
       report.train_seconds / static_cast<double>(std::max(1, report.epochs_run));
   out.val_accuracy = report.best_val_accuracy;
-  out.rss_after_mib = PeakRssMib();
+  out.rss_after_mib = util::PeakRssMib();
   return out;
 }
 

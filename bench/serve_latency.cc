@@ -37,13 +37,6 @@ struct LatencyStats {
   double qps = 0.0;
 };
 
-double Percentile(std::vector<double> sorted_values, double pct) {
-  if (sorted_values.empty()) return 0.0;
-  const size_t index = static_cast<size_t>(
-      pct / 100.0 * static_cast<double>(sorted_values.size() - 1) + 0.5);
-  return sorted_values[std::min(index, sorted_values.size() - 1)];
-}
-
 /// Serves `iterations` batches of `batch_size` random nodes and reports the
 /// per-batch latency distribution plus end-to-end queries per second.
 LatencyStats MeasureLatency(Predictor* predictor, int64_t num_nodes,
@@ -67,8 +60,8 @@ LatencyStats MeasureLatency(Predictor* predictor, int64_t num_nodes,
   }
   std::sort(batch_us.begin(), batch_us.end());
   LatencyStats stats;
-  stats.p50_us = Percentile(batch_us, 50.0);
-  stats.p99_us = Percentile(batch_us, 99.0);
+  stats.p50_us = bench::Percentile(batch_us, 50.0);
+  stats.p99_us = bench::Percentile(batch_us, 99.0);
   stats.qps = total_seconds > 0.0
                   ? static_cast<double>(batch_size) * iterations / total_seconds
                   : 0.0;

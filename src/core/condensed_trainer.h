@@ -1,0 +1,58 @@
+#ifndef RDD_CORE_CONDENSED_TRAINER_H_
+#define RDD_CORE_CONDENSED_TRAINER_H_
+
+#include <cstdint>
+
+#include "core/rdd_trainer.h"
+#include "graph/condense/condense.h"
+
+namespace rdd {
+
+/// Outcome of a condensed RDD run. `rdd` carries FULL-graph quality numbers:
+/// the teacher's cached member outputs, every accuracy, and the ensemble
+/// weights are all computed over the original graph, so the result is
+/// directly comparable to TrainRdd's.
+struct CondensedRddResult {
+  RddResult rdd;
+  /// False when the condense method was kOff: `rdd` is then a plain
+  /// TrainRdd run, bit-identical to calling TrainRdd directly.
+  bool condensed = false;
+  int64_t condensed_nodes = 0;
+  int64_t condensed_edges = 0;
+  double achieved_ratio = 0.0;
+  /// Wall-clock of the condensation itself (inside total_seconds).
+  double condense_seconds = 0.0;
+};
+
+/// Condensation as a training accelerator: runs Algorithm 3's student chain
+/// ON THE CONDENSED GRAPH — supervised loss, Algorithm 1/2 reliability, L2
+/// distillation, and edge regularization all act on the synthetic nodes and
+/// edges — while EVALUATING on the full graph. Model parameters are
+/// view-independent, so a student bound to the condensed context forwards
+/// over the full graph's identity view for early stopping (every
+/// condense_config.eval_every epochs, through train::EvalHooks), for its
+/// ensemble weight (entropy x PageRank on the full graph, Eq. 12), and for
+/// the cached teacher outputs — the teacher the caller receives predicts
+/// full-graph rows, exactly like TrainRdd's.
+///
+/// Two teachers run internally: the condensed-row teacher feeds Algorithm 1
+/// and the L2 targets during training (so reliability thresholds and
+/// distillation match the graph being trained on), and the full-row teacher
+/// accumulates the deliverable ensemble.
+///
+/// With condense_config.method == kOff this delegates to TrainRdd verbatim
+/// (the RDD_CONDENSE=0 byte-identity contract CI checks).
+///
+/// Determinism: a pure function of (dataset, context, config,
+/// condense_config, seed) — bit-identical at any RDD_NUM_THREADS and
+/// RDD_SIMD backend, like TrainRdd.
+CondensedRddResult TrainRddCondensed(const Dataset& dataset,
+                                     const GraphContext& context,
+                                     const RddConfig& config,
+                                     const condense::CondenseConfig&
+                                         condense_config,
+                                     uint64_t seed);
+
+}  // namespace rdd
+
+#endif  // RDD_CORE_CONDENSED_TRAINER_H_

@@ -1,0 +1,411 @@
+// Clustering condenser: pseudo-label-guided k-means++ over propagated
+// projected features, one synthetic node per cluster. Pseudo-labels come
+// from the warm-up model seeded by the TRAIN split only (val/test labels
+// are never read), the synthetic-node budget is apportioned across
+// pseudo-classes by largest remainder, and k-means runs WITHIN each
+// pseudo-class — so every cluster is class-pure by construction and the
+// condensed train split carries one clean label per synthetic node. The
+// propagated projection is the partitioner's front end (graph/partition.h),
+// so cluster geometry respects both feature similarity and graph locality;
+// the coarse graph keeps an edge wherever any full-graph edge crosses two
+// clusters.
+//
+// Determinism: the warm-up is an ordinary deterministic training run;
+// per-class seeds come from one seeded Rng stream; seeding and D² sampling
+// run on the seeded Rng
+// (sequential by construction); the nearest-center assignment is
+// elementwise-parallel (one independent output per node, distances through
+// the dispatched sqdist_f64 kernel, which is bit-identical across
+// backends); center updates and member feature means reduce over FIXED
+// 64-block shape-only splits combined in block order — bit-identical at any
+// thread count.
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <utility>
+#include <vector>
+
+#include "graph/condense/condense.h"
+#include "graph/partition.h"
+#include "observe/trace.h"
+#include "parallel/parallel_for.h"
+#include "simd/simd.h"
+#include "tensor/matrix.h"
+#include "util/logging.h"
+#include "util/random.h"
+
+namespace rdd::condense {
+
+namespace {
+
+constexpr int64_t kReduceBlocks = 64;
+
+/// Nearest center by the dispatched squared-distance kernel; ties break
+/// toward the lowest center id (double compare, deterministic).
+int64_t NearestCenter(const float* row, const Matrix& centers) {
+  int64_t best = 0;
+  double best_dist = std::numeric_limits<double>::infinity();
+  for (int64_t c = 0; c < centers.rows(); ++c) {
+    const double dist =
+        simd::K().sqdist_f64(row, centers.RowData(c), centers.cols());
+    if (dist < best_dist) {
+      best_dist = dist;
+      best = c;
+    }
+  }
+  return best;
+}
+
+/// k-means++ seeding over the rows of `z`: the first center is a uniform
+/// draw, each next center a D²-weighted draw. The per-node distance refresh
+/// is elementwise-parallel; the cumulative D² walk is sequential in node id
+/// order, so the chosen centers are a pure function of (z, seed).
+Matrix SeedCenters(const Matrix& z, int64_t m, uint64_t seed) {
+  const int64_t n = z.rows();
+  const int64_t dim = z.cols();
+  Rng rng(seed);
+  Matrix centers(m, dim);
+  std::vector<double> dist(static_cast<size_t>(n),
+                           std::numeric_limits<double>::infinity());
+  int64_t chosen = rng.UniformInt(n);
+  for (int64_t c = 0; c < m; ++c) {
+    const float* src = z.RowData(chosen);
+    float* dst = centers.RowData(c);
+    for (int64_t d = 0; d < dim; ++d) dst[d] = src[d];
+    if (c + 1 == m) break;
+    parallel::ParallelFor(0, n, parallel::GrainForCost(dim),
+                          [&](int64_t begin, int64_t end) {
+                            for (int64_t i = begin; i < end; ++i) {
+                              const double d = simd::K().sqdist_f64(
+                                  z.RowData(i), dst, dim);
+                              double& slot = dist[static_cast<size_t>(i)];
+                              if (d < slot) slot = d;
+                            }
+                          });
+    double total = 0.0;
+    for (int64_t i = 0; i < n; ++i) total += dist[static_cast<size_t>(i)];
+    if (total <= 0.0) {
+      // All remaining nodes coincide with a chosen center; any of them is as
+      // good as any other.
+      chosen = rng.UniformInt(n);
+      continue;
+    }
+    const double u = rng.Uniform() * total;
+    double cumulative = 0.0;
+    chosen = n - 1;
+    for (int64_t i = 0; i < n; ++i) {
+      cumulative += dist[static_cast<size_t>(i)];
+      if (cumulative > u) {
+        chosen = i;
+        break;
+      }
+    }
+  }
+  return centers;
+}
+
+/// Lloyd's k-means over the rows of `z`: returns the per-row cluster
+/// assignment in [0, k). Center updates reduce over fixed 64-block
+/// shape-only splits combined in block order.
+std::vector<int64_t> Kmeans(const Matrix& z, int64_t k, int64_t iters,
+                            uint64_t seed) {
+  const int64_t n = z.rows();
+  const int64_t dim = z.cols();
+  std::vector<int64_t> assign(static_cast<size_t>(n), 0);
+  if (k <= 1 || n == 0) return assign;
+  Matrix centers = SeedCenters(z, k, seed);
+  const int64_t block = (n + kReduceBlocks - 1) / kReduceBlocks;
+  for (int64_t iter = 0; iter < iters; ++iter) {
+    parallel::ParallelFor(0, n, parallel::GrainForCost(k * dim),
+                          [&](int64_t begin, int64_t end) {
+                            for (int64_t i = begin; i < end; ++i) {
+                              assign[static_cast<size_t>(i)] =
+                                  NearestCenter(z.RowData(i), centers);
+                            }
+                          });
+    // Center update: per-block double sums combined in block order — a
+    // fixed reduction shape independent of the thread count.
+    std::vector<std::vector<double>> partial_sum(
+        static_cast<size_t>(kReduceBlocks));
+    std::vector<std::vector<int64_t>> partial_count(
+        static_cast<size_t>(kReduceBlocks));
+    parallel::ParallelFor(
+        0, kReduceBlocks, 1, [&](int64_t bbegin, int64_t bend) {
+          for (int64_t b = bbegin; b < bend; ++b) {
+            std::vector<double> sum(static_cast<size_t>(k * dim), 0.0);
+            std::vector<int64_t> count(static_cast<size_t>(k), 0);
+            const int64_t lo = b * block;
+            const int64_t hi = std::min(n, lo + block);
+            for (int64_t i = lo; i < hi; ++i) {
+              const int64_t c = assign[static_cast<size_t>(i)];
+              ++count[static_cast<size_t>(c)];
+              const float* src = z.RowData(i);
+              double* dst = sum.data() + c * dim;
+              for (int64_t d = 0; d < dim; ++d) {
+                dst[d] += static_cast<double>(src[d]);
+              }
+            }
+            partial_sum[static_cast<size_t>(b)] = std::move(sum);
+            partial_count[static_cast<size_t>(b)] = std::move(count);
+          }
+        });
+    std::vector<double> total(static_cast<size_t>(k * dim), 0.0);
+    std::vector<int64_t> counts(static_cast<size_t>(k), 0);
+    for (int64_t b = 0; b < kReduceBlocks; ++b) {
+      const std::vector<double>& sum = partial_sum[static_cast<size_t>(b)];
+      for (int64_t e = 0; e < k * dim; ++e) {
+        total[static_cast<size_t>(e)] += sum[static_cast<size_t>(e)];
+      }
+      for (int64_t c = 0; c < k; ++c) {
+        counts[static_cast<size_t>(c)] +=
+            partial_count[static_cast<size_t>(b)][static_cast<size_t>(c)];
+      }
+    }
+    for (int64_t c = 0; c < k; ++c) {
+      const int64_t count = counts[static_cast<size_t>(c)];
+      if (count == 0) continue;  // keep old center
+      const double inv = 1.0 / static_cast<double>(count);
+      float* dst = centers.RowData(c);
+      const double* src = total.data() + c * dim;
+      for (int64_t d = 0; d < dim; ++d) {
+        dst[d] = static_cast<float>(src[d] * inv);
+      }
+    }
+  }
+  return assign;
+}
+
+/// Argmax pseudo-label per LP row; ties break toward the smaller class id.
+std::vector<int64_t> PseudoLabels(const Matrix& lp) {
+  std::vector<int64_t> labels(static_cast<size_t>(lp.rows()), 0);
+  for (int64_t i = 0; i < lp.rows(); ++i) {
+    const float* row = lp.RowData(i);
+    int64_t best = 0;
+    for (int64_t c = 1; c < lp.cols(); ++c) {
+      if (row[c] > row[best]) best = c;
+    }
+    labels[static_cast<size_t>(i)] = best;
+  }
+  return labels;
+}
+
+/// Largest-remainder apportionment of `m` cluster slots across the
+/// pseudo-classes: every non-empty class gets at least one slot, no class
+/// gets more slots than members, remaining slots go to the class whose
+/// proportional quota m * |class| / n is furthest ahead of its current
+/// allocation (ties toward the smaller class id).
+std::vector<int64_t> ApportionClusters(const std::vector<int64_t>& class_size,
+                                       int64_t m, int64_t n) {
+  const int64_t num_classes = static_cast<int64_t>(class_size.size());
+  std::vector<int64_t> slots(static_cast<size_t>(num_classes), 0);
+  int64_t assigned = 0;
+  for (int64_t c = 0; c < num_classes; ++c) {
+    if (class_size[static_cast<size_t>(c)] > 0) {
+      slots[static_cast<size_t>(c)] = 1;
+      ++assigned;
+    }
+  }
+  while (assigned < m) {
+    int64_t best = -1;
+    double best_gap = -std::numeric_limits<double>::infinity();
+    for (int64_t c = 0; c < num_classes; ++c) {
+      if (slots[static_cast<size_t>(c)] >=
+          class_size[static_cast<size_t>(c)]) {
+        continue;
+      }
+      const double quota = static_cast<double>(m) *
+                           static_cast<double>(
+                               class_size[static_cast<size_t>(c)]) /
+                           static_cast<double>(n);
+      const double gap =
+          quota - static_cast<double>(slots[static_cast<size_t>(c)]);
+      if (gap > best_gap) {
+        best_gap = gap;
+        best = c;
+      }
+    }
+    if (best < 0) break;  // every class is saturated: m > n cannot happen.
+    ++slots[static_cast<size_t>(best)];
+    ++assigned;
+  }
+  return slots;
+}
+
+}  // namespace
+
+CondensedGraph ClusterCondense(const Dataset& full,
+                               const CondenseConfig& config) {
+  const int64_t n = full.NumNodes();
+  const int64_t num_classes = full.num_classes;
+  RDD_CHECK_GT(n, 0);
+  RDD_CHECK_GT(num_classes, 0);
+  const int64_t m = CondensedNodeCount(n, num_classes, config.ratio);
+  const int64_t dim = config.projection_dim;
+
+  Matrix z;
+  std::vector<int64_t> pseudo;
+  {
+    observe::TraceSpan span("condense/project");
+    z = PropagatedProjectedFeatures(full.graph, full.features, dim,
+                                    config.propagation_steps, config.seed);
+    // Pseudo-labels: warm-up model predictions clamped to the train split
+    // (see internal::PseudoLabelScores). Train rows keep their true labels;
+    // everything else gets the score argmax.
+    pseudo = PseudoLabels(internal::PseudoLabelScores(full, config));
+  }
+
+  std::vector<int64_t> assign(static_cast<size_t>(n), 0);
+  {
+    observe::TraceSpan span("condense/kmeans");
+    std::vector<std::vector<int64_t>> class_nodes(
+        static_cast<size_t>(num_classes));
+    for (int64_t i = 0; i < n; ++i) {
+      class_nodes[static_cast<size_t>(pseudo[static_cast<size_t>(i)])]
+          .push_back(i);
+    }
+    std::vector<int64_t> class_size(static_cast<size_t>(num_classes), 0);
+    for (int64_t c = 0; c < num_classes; ++c) {
+      class_size[static_cast<size_t>(c)] =
+          static_cast<int64_t>(class_nodes[static_cast<size_t>(c)].size());
+    }
+    const std::vector<int64_t> slots = ApportionClusters(class_size, m, n);
+
+    // One k-means per pseudo-class, each on its own seed drawn from one
+    // sequential stream; cluster ids are laid out class-contiguously.
+    Rng seeder(config.seed);
+    std::vector<uint64_t> class_seeds(static_cast<size_t>(num_classes));
+    for (uint64_t& s : class_seeds) s = seeder.NextU64();
+    int64_t offset = 0;
+    for (int64_t c = 0; c < num_classes; ++c) {
+      const std::vector<int64_t>& nodes = class_nodes[static_cast<size_t>(c)];
+      const int64_t k = slots[static_cast<size_t>(c)];
+      if (k == 0) continue;
+      Matrix zc(static_cast<int64_t>(nodes.size()), dim);
+      for (size_t j = 0; j < nodes.size(); ++j) {
+        const float* src = z.RowData(nodes[j]);
+        float* dst = zc.RowData(static_cast<int64_t>(j));
+        for (int64_t d = 0; d < dim; ++d) dst[d] = src[d];
+      }
+      const std::vector<int64_t> local =
+          Kmeans(zc, k, config.kmeans_iters,
+                 class_seeds[static_cast<size_t>(c)]);
+      for (size_t j = 0; j < nodes.size(); ++j) {
+        assign[static_cast<size_t>(nodes[j])] = offset + local[j];
+      }
+      offset += k;
+    }
+    RDD_CHECK_EQ(offset, m);
+  }
+
+  CondensedGraph out;
+  out.original_nodes = n;
+  out.members.assign(static_cast<size_t>(m), {});
+  for (int64_t i = 0; i < n; ++i) {
+    out.members[static_cast<size_t>(assign[static_cast<size_t>(i)])].push_back(
+        i);
+  }
+
+  observe::TraceSpan span("condense/coarsen");
+  // Synthetic features: the mean of each cluster's RAW sparse feature rows
+  // (original feature space, so condensed models share the full graph's
+  // input dimension). Clusters are independent — elementwise-parallel —
+  // and each cluster accumulates its members in ascending node order.
+  const int64_t feature_dim = full.FeatureDim();
+  const std::vector<int64_t>& row_ptr = full.features.row_ptr();
+  const std::vector<int64_t>& col_idx = full.features.col_idx();
+  const std::vector<float>& values = full.features.values();
+  std::vector<std::vector<SparseEntry>> cluster_entries(
+      static_cast<size_t>(m));
+  parallel::ParallelFor(
+      0, m, 1, [&](int64_t begin, int64_t end) {
+        std::vector<double> accum(static_cast<size_t>(feature_dim), 0.0);
+        for (int64_t c = begin; c < end; ++c) {
+          const std::vector<int64_t>& members =
+              out.members[static_cast<size_t>(c)];
+          if (members.empty()) continue;
+          std::fill(accum.begin(), accum.end(), 0.0);
+          for (int64_t i : members) {
+            for (int64_t p = row_ptr[static_cast<size_t>(i)];
+                 p < row_ptr[static_cast<size_t>(i) + 1]; ++p) {
+              accum[static_cast<size_t>(col_idx[static_cast<size_t>(p)])] +=
+                  static_cast<double>(values[static_cast<size_t>(p)]);
+            }
+          }
+          const double inv = 1.0 / static_cast<double>(members.size());
+          std::vector<SparseEntry>& entries =
+              cluster_entries[static_cast<size_t>(c)];
+          for (int64_t f = 0; f < feature_dim; ++f) {
+            const double v = accum[static_cast<size_t>(f)];
+            if (v != 0.0) {
+              entries.push_back({c, f, static_cast<float>(v * inv)});
+            }
+          }
+          // Mean rows are ~1/ratio times denser than any real feature row
+          // and their nnz is what every condensed SpMM pays for. Keep only
+          // the top entries (ties toward the smaller column id), rescaled
+          // so the row keeps its mass.
+          const int64_t topk = config.feature_topk;
+          if (topk > 0 && static_cast<int64_t>(entries.size()) > topk) {
+            double total_mass = 0.0;
+            for (const SparseEntry& e : entries) total_mass += e.value;
+            std::sort(entries.begin(), entries.end(),
+                      [](const SparseEntry& a, const SparseEntry& b) {
+                        if (a.value != b.value) return a.value > b.value;
+                        return a.col < b.col;
+                      });
+            entries.resize(static_cast<size_t>(topk));
+            std::sort(entries.begin(), entries.end(),
+                      [](const SparseEntry& a, const SparseEntry& b) {
+                        return a.col < b.col;
+                      });
+            double kept_mass = 0.0;
+            for (const SparseEntry& e : entries) kept_mass += e.value;
+            if (kept_mass > 0.0) {
+              const float rescale =
+                  static_cast<float>(total_mass / kept_mass);
+              for (SparseEntry& e : entries) e.value *= rescale;
+            }
+          }
+        }
+      });
+  std::vector<SparseEntry> entries;
+  for (const std::vector<SparseEntry>& cluster : cluster_entries) {
+    entries.insert(entries.end(), cluster.begin(), cluster.end());
+  }
+
+  // Coarse topology: clusters are adjacent iff some full-graph edge crosses
+  // them (Graph() dedups the multi-edges).
+  std::vector<Edge> edges;
+  for (const Edge& e : full.graph.edges()) {
+    const int64_t cu = assign[static_cast<size_t>(e.u)];
+    const int64_t cv = assign[static_cast<size_t>(e.v)];
+    if (cu != cv) edges.push_back({std::min(cu, cv), std::max(cu, cv)});
+  }
+
+  // Labels: each cluster inherits its pseudo-class (for clusters holding
+  // train members this is the members' true label — LP clamps the train
+  // rows). Every non-empty cluster enters the condensed train split; empty
+  // clusters (a k-means center that lost all its points) keep the class
+  // label but train on nothing.
+  std::vector<int64_t> labels(static_cast<size_t>(m), 0);
+  std::vector<int64_t> train;
+  for (int64_t c = 0; c < m; ++c) {
+    const std::vector<int64_t>& members = out.members[static_cast<size_t>(c)];
+    if (members.empty()) continue;
+    labels[static_cast<size_t>(c)] = pseudo[static_cast<size_t>(members[0])];
+    train.push_back(c);
+  }
+
+  out.dataset.name = full.name + "-condensed-cluster";
+  out.dataset.graph = Graph(m, edges);
+  out.dataset.features = SparseMatrix::FromCoo(m, feature_dim,
+                                               std::move(entries));
+  out.dataset.labels = std::move(labels);
+  out.dataset.num_classes = num_classes;
+  out.dataset.split.train = std::move(train);
+  out.achieved_ratio = static_cast<double>(m) / static_cast<double>(n);
+  return out;
+}
+
+}  // namespace rdd::condense

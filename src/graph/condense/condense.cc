@@ -1,0 +1,160 @@
+#include "graph/condense/condense.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <string>
+
+#include "autograd/ops.h"
+#include "models/graph_model.h"
+#include "models/label_propagation.h"
+#include "models/model_factory.h"
+#include "observe/metrics.h"
+#include "observe/trace.h"
+#include "tensor/ops.h"
+#include "train/trainer.h"
+#include "util/env.h"
+#include "util/logging.h"
+
+namespace rdd::condense {
+
+const char* MethodName(Method method) {
+  switch (method) {
+    case Method::kOff:
+      return "off";
+    case Method::kCluster:
+      return "cluster";
+    case Method::kEigen:
+      return "eigen";
+  }
+  return "unknown";
+}
+
+CondenseConfig CondenseConfig::FromEnv() {
+  CondenseConfig config;
+  config.method = Method::kOff;
+  if (const char* value = std::getenv("RDD_CONDENSE")) {
+    const std::string v(value);
+    if (v == "cluster") {
+      config.method = Method::kCluster;
+    } else if (v == "eigen") {
+      config.method = Method::kEigen;
+    } else if (!v.empty()) {
+      // Boolean spellings: on means the default (cluster) condenser.
+      bool recognized = true;
+      const bool on = env::ParseBool(value, false, &recognized);
+      if (!recognized) {
+        RDD_LOG(Warning) << "RDD_CONDENSE=" << v
+                         << " is not off|cluster|eigen (or a boolean); "
+                         << "condensation stays off";
+      } else if (on) {
+        config.method = Method::kCluster;
+      }
+    }
+  }
+  config.ratio = env::DoubleEnv("RDD_CONDENSE_RATIO", config.ratio,
+                                /*min_value=*/1e-4, /*max_value=*/1.0);
+  config.propagation_steps =
+      env::IntEnv("RDD_CONDENSE_PROP_STEPS",
+                  static_cast<int>(config.propagation_steps), 0, 16);
+  config.eigen_k = env::IntEnv("RDD_CONDENSE_EIGEN_K",
+                               static_cast<int>(config.eigen_k), 1, 256);
+  config.eval_every =
+      env::IntEnv("RDD_CONDENSE_EVAL_EVERY", config.eval_every, 1, 1000);
+  config.warmup_epochs =
+      env::IntEnv("RDD_CONDENSE_WARMUP", config.warmup_epochs, 0, 10000);
+  return config;
+}
+
+int64_t CondensedNodeCount(int64_t num_nodes, int64_t num_classes,
+                           double ratio) {
+  RDD_CHECK_GT(num_nodes, 0);
+  const int64_t target = static_cast<int64_t>(
+      std::llround(ratio * static_cast<double>(num_nodes)));
+  return std::min(num_nodes, std::max<int64_t>(std::max<int64_t>(1, num_classes), target));
+}
+
+CondensedGraph CondenseGraph(const Dataset& full,
+                             const CondenseConfig& config) {
+  RDD_CHECK(config.method != Method::kOff);
+  static observe::Counter& runs =
+      observe::MetricsRegistry::Global().counter("condense.runs");
+  static observe::Counter& nodes =
+      observe::MetricsRegistry::Global().counter("condense.synthetic_nodes");
+  CondensedGraph condensed = config.method == Method::kCluster
+                                 ? ClusterCondense(full, config)
+                                 : EigenCondense(full, config);
+  runs.Add(1);
+  nodes.Add(condensed.dataset.NumNodes());
+  return condensed;
+}
+
+namespace internal {
+
+Matrix PseudoLabelScores(const Dataset& full, const CondenseConfig& config) {
+  Matrix probs;
+  if (config.warmup_epochs > 0) {
+    // Brief full-graph warm-up: a default GCN trained on the train split for
+    // a fixed epoch budget, validation amortized to the final epoch.
+    observe::TraceSpan span("condense/warmup");
+    const GraphContext context = GraphContext::FromDataset(full);
+    auto model = BuildModel(context, ModelConfig{}, config.seed);
+    TrainConfig train;
+    train.max_epochs = config.warmup_epochs;
+    train.patience = config.warmup_epochs;
+    train.restore_best = false;
+    auto supervised = [&](const ModelOutput& output, int /*epoch*/) {
+      return ag::SoftmaxCrossEntropy(output.logits, full.labels,
+                                     full.split.train, ag::Reduction::kMean);
+    };
+    EvalHooks hooks;
+    hooks.eval_every = config.warmup_epochs;
+    TrainWithLoss(model.get(), full, train, supervised, hooks);
+    probs = SoftmaxRows(model->Forward(/*training=*/false).logits.value());
+  } else {
+    LabelPropagationOptions options;
+    options.alpha = 0.3;
+    probs = PropagateLabels(full, options);
+  }
+  // Clamp train rows to their one-hot true labels so the pseudo-labeling is
+  // exact wherever a label actually exists.
+  const std::vector<bool> train_mask = full.TrainMask();
+  for (int64_t i = 0; i < full.NumNodes(); ++i) {
+    if (!train_mask[static_cast<size_t>(i)]) continue;
+    float* row = probs.RowData(i);
+    for (int64_t c = 0; c < full.num_classes; ++c) row[c] = 0.0f;
+    row[full.labels[static_cast<size_t>(i)]] = 1.0f;
+  }
+  return probs;
+}
+
+void ClassBalancedFill(const std::vector<bool>& needs_label,
+                       int64_t num_classes, std::vector<int64_t>* labels) {
+  RDD_CHECK(labels != nullptr);
+  RDD_CHECK_EQ(needs_label.size(), labels->size());
+  RDD_CHECK_GT(num_classes, 0);
+  std::vector<int64_t> counts(static_cast<size_t>(num_classes), 0);
+  for (size_t i = 0; i < labels->size(); ++i) {
+    if (!needs_label[i]) {
+      const int64_t label = (*labels)[i];
+      RDD_CHECK_GE(label, 0);
+      RDD_CHECK_LT(label, num_classes);
+      ++counts[static_cast<size_t>(label)];
+    }
+  }
+  for (size_t i = 0; i < labels->size(); ++i) {
+    if (!needs_label[i]) continue;
+    int64_t best = 0;
+    for (int64_t c = 1; c < num_classes; ++c) {
+      if (counts[static_cast<size_t>(c)] < counts[static_cast<size_t>(best)]) {
+        best = c;
+      }
+    }
+    (*labels)[i] = best;
+    ++counts[static_cast<size_t>(best)];
+  }
+}
+
+}  // namespace internal
+
+}  // namespace rdd::condense

@@ -1,0 +1,271 @@
+// Spectral condenser: matches the leading eigenbasis of the full graph's
+// normalized adjacency (the GDEM recipe restated for a from-scratch runtime).
+// Power iteration with deflation extracts the top-k eigenpairs of
+// D^-1/2 (A+I) D^-1/2; the synthetic graph re-expresses them in a fixed
+// orthonormal basis W (DCT-II over the synthetic nodes): its adjacency is
+// the top edges of W diag(λ) Wᵀ, its features the projection W (Uᵀ X), so a
+// GCN layer on the synthetic graph sees the same spectral response the full
+// graph produces on the span of U.
+//
+// Determinism: eigenvector initialization is hashed (no RNG state), the
+// iteration count is fixed (no tolerance early-exit), every SpMV runs
+// through SparseMatrix::Multiply (deterministic at any thread count), and
+// every reduction (dot, norm) uses the dispatched rule-2 kernels — the
+// factorization is bit-identical across RDD_NUM_THREADS and RDD_SIMD.
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+#include <vector>
+
+#include "graph/condense/condense.h"
+#include "graph/normalize.h"
+#include "observe/trace.h"
+#include "simd/simd.h"
+#include "tensor/matrix.h"
+#include "tensor/ops.h"
+#include "util/logging.h"
+
+namespace rdd::condense {
+
+namespace {
+
+uint64_t Mix64(uint64_t x) {
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return x;
+}
+
+/// Hash-based initial vector for eigenpair `j`: entries in [-0.5, 0.5),
+/// a pure function of (seed, j, i).
+Matrix InitVector(int64_t n, int64_t j, uint64_t seed) {
+  Matrix v(n, 1);
+  for (int64_t i = 0; i < n; ++i) {
+    const uint64_t h =
+        Mix64(seed ^ Mix64(static_cast<uint64_t>(j) * 0x9e3779b97f4a7c15ULL +
+                           static_cast<uint64_t>(i)));
+    v.At(i, 0) = static_cast<float>(
+        static_cast<double>(h >> 11) * (1.0 / 9007199254740992.0) - 0.5);
+  }
+  return v;
+}
+
+/// Scales `v` to unit norm (norm through the dispatched sumsq_f64 and scale
+/// kernels). Returns the pre-scaling norm.
+double Normalize(Matrix* v) {
+  const double norm =
+      std::sqrt(simd::K().sumsq_f64(v->Data(), v->size()));
+  if (norm > 0.0) {
+    simd::K().scale(static_cast<float>(1.0 / norm), v->Data(), v->size());
+  }
+  return norm;
+}
+
+/// Fixes the eigenvector sign convention: the entry of largest magnitude
+/// (ties toward the smallest index) is non-negative.
+void FixSign(Matrix* v) {
+  int64_t arg = 0;
+  float best = 0.0f;
+  for (int64_t i = 0; i < v->rows(); ++i) {
+    const float a = std::fabs(v->At(i, 0));
+    if (a > best) {
+      best = a;
+      arg = i;
+    }
+  }
+  if (v->At(arg, 0) < 0.0f) {
+    simd::K().scale(-1.0f, v->Data(), v->size());
+  }
+}
+
+/// Orthonormal DCT-II basis over m synthetic nodes: column j of the result
+/// is the j-th cosine mode. Any fixed orthonormal basis works; cosines give
+/// smooth synthetic eigenvectors, so thresholding W diag(λ) Wᵀ keeps a
+/// banded, locality-like topology.
+Matrix DctBasis(int64_t m, int64_t k) {
+  constexpr double kPi = 3.14159265358979323846;
+  Matrix w(m, k);
+  const double c0 = std::sqrt(1.0 / static_cast<double>(m));
+  const double cj = std::sqrt(2.0 / static_cast<double>(m));
+  for (int64_t i = 0; i < m; ++i) {
+    float* row = w.RowData(i);
+    for (int64_t j = 0; j < k; ++j) {
+      const double angle = kPi * (static_cast<double>(i) + 0.5) *
+                           static_cast<double>(j) / static_cast<double>(m);
+      row[j] = static_cast<float>((j == 0 ? c0 : cj) * std::cos(angle));
+    }
+  }
+  return w;
+}
+
+struct CoarseEdge {
+  float weight = 0.0f;
+  int64_t u = 0;
+  int64_t v = 0;
+};
+
+}  // namespace
+
+CondensedGraph EigenCondense(const Dataset& full,
+                             const CondenseConfig& config) {
+  const int64_t n = full.NumNodes();
+  const int64_t num_classes = full.num_classes;
+  RDD_CHECK_GT(n, 0);
+  RDD_CHECK_GT(num_classes, 0);
+  const int64_t m = CondensedNodeCount(n, num_classes, config.ratio);
+  const int64_t k = std::min<int64_t>(config.eigen_k, std::min(m, n));
+  RDD_CHECK_GT(k, 0);
+
+  const SparseMatrix adj = GcnNormalizedAdjacency(full.graph);
+
+  // Top-k eigenpairs by power iteration with Gram-Schmidt deflation.
+  Matrix u(n, k);  // column j = eigenvector u_j
+  std::vector<float> lambda(static_cast<size_t>(k), 0.0f);
+  {
+    observe::TraceSpan span("condense/power_iteration");
+    std::vector<Matrix> basis;
+    basis.reserve(static_cast<size_t>(k));
+    for (int64_t j = 0; j < k; ++j) {
+      Matrix v = InitVector(n, j, config.seed);
+      Normalize(&v);
+      for (int64_t iter = 0; iter < config.power_iters; ++iter) {
+        Matrix w = adj.Multiply(v);
+        for (const Matrix& prev : basis) {
+          const float c = simd::K().dot(prev.Data(), w.Data(), n);
+          simd::K().axpy(-c, prev.Data(), w.Data(), n);
+        }
+        if (Normalize(&w) < 1e-30) break;  // deflated subspace exhausted
+        v = std::move(w);
+      }
+      FixSign(&v);
+      const Matrix av = adj.Multiply(v);
+      lambda[static_cast<size_t>(j)] = simd::K().dot(v.Data(), av.Data(), n);
+      for (int64_t i = 0; i < n; ++i) u.At(i, j) = v.At(i, 0);
+      basis.push_back(std::move(v));
+    }
+  }
+
+  observe::TraceSpan span("condense/coarsen");
+  const Matrix w = DctBasis(m, k);
+
+  // Coarse adjacency A_s = W diag(λ) Wᵀ, thresholded to the full graph's
+  // edge density: keep the E_s strongest off-diagonal entries, where E_s
+  // matches avg_degree * m / 2.
+  Matrix wl = w;  // column j scaled by λ_j
+  for (int64_t i = 0; i < m; ++i) {
+    float* row = wl.RowData(i);
+    for (int64_t j = 0; j < k; ++j) row[j] *= lambda[static_cast<size_t>(j)];
+  }
+  const Matrix coarse = MatmulTransposeB(wl, w);  // m x m
+  std::vector<CoarseEdge> candidates;
+  candidates.reserve(static_cast<size_t>(m * (m - 1) / 2));
+  for (int64_t i = 0; i < m; ++i) {
+    for (int64_t j = i + 1; j < m; ++j) {
+      candidates.push_back({std::fabs(coarse.At(i, j)), i, j});
+    }
+  }
+  std::sort(candidates.begin(), candidates.end(),
+            [](const CoarseEdge& a, const CoarseEdge& b) {
+              if (a.weight != b.weight) return a.weight > b.weight;
+              if (a.u != b.u) return a.u < b.u;
+              return a.v < b.v;
+            });
+  const int64_t target_edges = std::min<int64_t>(
+      static_cast<int64_t>(candidates.size()),
+      std::max<int64_t>(
+          m - 1, static_cast<int64_t>(std::llround(
+                     full.graph.AverageDegree() * static_cast<double>(m) /
+                     2.0))));
+  std::vector<Edge> edges;
+  edges.reserve(static_cast<size_t>(target_edges));
+  for (int64_t e = 0; e < target_edges; ++e) {
+    edges.push_back({candidates[static_cast<size_t>(e)].u,
+                     candidates[static_cast<size_t>(e)].v});
+  }
+
+  // Synthetic features X_s = W (Uᵀ X): the coarse nodes carry the same
+  // feature-space spectral content the eigenbasis sees on the full graph.
+  // Rows are rescaled so the mean synthetic row norm matches the mean full
+  // row norm — the condensed model's first-layer activations then live in
+  // the same range they will see when it forwards over the full graph.
+  const Matrix ut_x = Transpose(full.features.TransposeMultiply(u));  // k x F
+  Matrix xs = Matmul(w, ut_x);                                        // m x F
+  {
+    const std::vector<int64_t>& row_ptr = full.features.row_ptr();
+    const std::vector<float>& values = full.features.values();
+    double full_norms = 0.0;
+    for (int64_t i = 0; i < n; ++i) {
+      const int64_t lo = row_ptr[static_cast<size_t>(i)];
+      const int64_t hi = row_ptr[static_cast<size_t>(i) + 1];
+      full_norms += std::sqrt(simd::K().sumsq_f64(values.data() + lo,
+                                                  hi - lo));
+    }
+    double coarse_norms = 0.0;
+    for (int64_t i = 0; i < m; ++i) {
+      coarse_norms += std::sqrt(simd::K().sumsq_f64(xs.RowData(i),
+                                                    xs.cols()));
+    }
+    if (coarse_norms > 0.0) {
+      const double scale = (full_norms / static_cast<double>(n)) /
+                           (coarse_norms / static_cast<double>(m));
+      simd::K().scale(static_cast<float>(scale), xs.Data(), xs.size());
+    }
+  }
+
+  // Labels from the projected pseudo-label scores (warm-up predictions
+  // clamped to the TRAIN split — no val/test leakage): S = W (Uᵀ P);
+  // synthetic node i scores class c by S[i][c]. The most confident half
+  // anchors the condensed train split, under a per-class quota that keeps
+  // the split class-balanced.
+  const Matrix pseudo = internal::PseudoLabelScores(full, config);
+  const Matrix scores = Matmul(w, MatmulTransposeA(u, pseudo));  // m x K
+
+  std::vector<int64_t> order(static_cast<size_t>(m));
+  std::vector<float> confidence(static_cast<size_t>(m), 0.0f);
+  for (int64_t i = 0; i < m; ++i) {
+    order[static_cast<size_t>(i)] = i;
+    const float* row = scores.RowData(i);
+    float best = row[0];
+    for (int64_t c = 1; c < num_classes; ++c) best = std::max(best, row[c]);
+    confidence[static_cast<size_t>(i)] = best;
+  }
+  std::sort(order.begin(), order.end(), [&](int64_t a, int64_t b) {
+    const float ca = confidence[static_cast<size_t>(a)];
+    const float cb = confidence[static_cast<size_t>(b)];
+    if (ca != cb) return ca > cb;
+    return a < b;
+  });
+  const int64_t quota = (m + num_classes - 1) / num_classes;
+  std::vector<int64_t> class_count(static_cast<size_t>(num_classes), 0);
+  std::vector<int64_t> labels(static_cast<size_t>(m), 0);
+  for (int64_t i : order) {
+    const float* row = scores.RowData(i);
+    int64_t best = -1;
+    for (int64_t c = 0; c < num_classes; ++c) {
+      if (class_count[static_cast<size_t>(c)] >= quota) continue;
+      if (best < 0 || row[c] > row[best]) best = c;
+    }
+    if (best < 0) best = 0;  // all quotas full (cannot happen: quota*K >= m)
+    labels[static_cast<size_t>(i)] = best;
+    ++class_count[static_cast<size_t>(best)];
+  }
+  std::vector<int64_t> train(order.begin(),
+                             order.begin() + (m + 1) / 2);
+  std::sort(train.begin(), train.end());
+
+  CondensedGraph out;
+  out.original_nodes = n;
+  out.dataset.name = full.name + "-condensed-eigen";
+  out.dataset.graph = Graph(m, edges);
+  out.dataset.features = SparseMatrix::FromDense(xs);
+  out.dataset.labels = std::move(labels);
+  out.dataset.num_classes = num_classes;
+  out.dataset.split.train = std::move(train);
+  out.achieved_ratio = static_cast<double>(m) / static_cast<double>(n);
+  return out;
+}
+
+}  // namespace rdd::condense

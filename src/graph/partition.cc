@@ -80,6 +80,21 @@ int64_t NearestCenter(const float* row, const Matrix& centers) {
 
 }  // namespace
 
+Matrix PropagatedProjectedFeatures(const Graph& graph,
+                                   const SparseMatrix& features, int64_t dim,
+                                   int64_t propagation_steps, uint64_t seed) {
+  RDD_CHECK_GT(dim, 0);
+  RDD_CHECK_EQ(features.rows(), graph.num_nodes());
+  Matrix z = ProjectFeatures(features, dim, seed);
+  if (propagation_steps > 0) {
+    const SparseMatrix propagation = RowNormalizedAdjacency(graph);
+    for (int64_t step = 0; step < propagation_steps; ++step) {
+      z = propagation.Multiply(z);
+    }
+  }
+  return z;
+}
+
 GraphPartition PartitionByPropagatedFeatures(const Graph& graph,
                                              const SparseMatrix& features,
                                              const PartitionConfig& config) {
@@ -93,13 +108,9 @@ GraphPartition PartitionByPropagatedFeatures(const Graph& graph,
   RDD_CHECK_GE(config.balance_slack, 1.0);
   const int64_t dim = config.projection_dim;
 
-  Matrix z = ProjectFeatures(features, dim, config.seed);
-  if (config.propagation_steps > 0) {
-    const SparseMatrix propagation = RowNormalizedAdjacency(graph);
-    for (int64_t step = 0; step < config.propagation_steps; ++step) {
-      z = propagation.Multiply(z);
-    }
-  }
+  Matrix z = PropagatedProjectedFeatures(graph, features, dim,
+                                         config.propagation_steps,
+                                         config.seed);
 
   // Deterministic spread initialization: centers sit at evenly spaced
   // quantiles of the first projected coordinate (ties by node id).

@@ -6,9 +6,22 @@
 
 #include "graph/graph.h"
 #include "graph/graph_view.h"
+#include "tensor/matrix.h"
 #include "tensor/sparse.h"
 
 namespace rdd {
+
+/// Sign-hash random projection of `features` to `dim` columns (dim <= 64;
+/// the projection matrix is implicit, one 64-bit hash per feature), smoothed
+/// `propagation_steps` times over D^-1 (A+I). This is the shared front end
+/// of the propagated-feature partitioner and the clustering condenser: the
+/// smoothing pulls adjacent nodes together in the projected space, so
+/// distance there respects both feature similarity and graph locality.
+/// Deterministic: a pure function of (graph, features, dim, steps, seed) at
+/// any thread count and kernel backend.
+Matrix PropagatedProjectedFeatures(const Graph& graph,
+                                   const SparseMatrix& features, int64_t dim,
+                                   int64_t propagation_steps, uint64_t seed);
 
 /// Settings for the propagated-feature partitioner.
 struct PartitionConfig {

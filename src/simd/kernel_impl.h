@@ -399,6 +399,28 @@ struct Kernels {
     for (; i < n; ++i) y[i] = std::fma(a, F32FromBf16(x[i]), y[i]);
   }
 
+  static double SqDistF64(const float* a, const float* b, int64_t n) {
+    const int64_t n8 = n & ~int64_t{7};
+    double r = 0.0;
+    if (n8 > 0) {
+      F64 acc = P::DZero();
+      for (int64_t i = 0; i < n8; i += 8) {
+        // The difference is taken in float (exact widening afterwards), so
+        // the scalar tail below reproduces each lane's arithmetic verbatim.
+        const F64 d = P::DCvt(P::Sub(P::Load(a + i), P::Load(b + i)));
+        acc = P::DFmadd(d, d, acc);
+      }
+      double lanes[8];
+      P::DStore(lanes, acc);
+      r = LaneTree(lanes);
+    }
+    for (int64_t i = n8; i < n; ++i) {
+      const double d = static_cast<double>(a[i] - b[i]);
+      r = std::fma(d, d, r);
+    }
+    return r;
+  }
+
   static double SumSqF64(const float* x, int64_t n) {
     const int64_t n8 = n & ~int64_t{7};
     double r = 0.0;
@@ -445,6 +467,7 @@ KernelTable MakeTable() {
   t.gemm_row_bf16 = &Kernels<P>::GemmRowBf16;
   t.axpy_bf16 = &Kernels<P>::AxpyBf16;
   t.dot = &Kernels<P>::DotOne;
+  t.sqdist_f64 = &Kernels<P>::SqDistF64;
   t.row_max = &Kernels<P>::RowMax;
   t.sum_f64 = &Kernels<P>::SumF64;
   t.sumsq_f64 = &Kernels<P>::SumSqF64;

@@ -144,6 +144,11 @@ struct KernelTable {
   // --- reductions (rule 2: canonical 8-lane grouping) ---
 
   float (*dot)(const float* a, const float* b, int64_t n);
+  /// Squared Euclidean distance sum over i of (a[i] - b[i])^2, with the
+  /// float difference widened exactly to double and accumulated via
+  /// fma(d, d, acc) in the canonical 8-lane grouping. The k-means
+  /// assignment / k-means++ seeding distance of the graph condensers.
+  double (*sqdist_f64)(const float* a, const float* b, int64_t n);
   /// Maximum of x[0..n); requires n >= 1. Exact for finite inputs in any
   /// grouping (IEEE max is associative).
   float (*row_max)(const float* x, int64_t n);

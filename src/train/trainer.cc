@@ -13,9 +13,16 @@ namespace rdd {
 
 TrainReport TrainWithLoss(GraphModel* model, const Dataset& dataset,
                           const TrainConfig& config, const LossFn& loss_fn) {
+  return TrainWithLoss(model, dataset, config, loss_fn, EvalHooks{});
+}
+
+TrainReport TrainWithLoss(GraphModel* model, const Dataset& dataset,
+                          const TrainConfig& config, const LossFn& loss_fn,
+                          const EvalHooks& hooks) {
   RDD_CHECK(model != nullptr);
   RDD_CHECK_GT(config.max_epochs, 0);
   RDD_CHECK_GT(config.patience, 0);
+  RDD_CHECK_GE(hooks.eval_every, 1);
   WallTimer timer;
   // The epoch loop runs inside one Workspace so every tape, gradient, and
   // scratch buffer released in epoch e is recycled in epoch e+1. Nested
@@ -34,6 +41,7 @@ TrainReport TrainWithLoss(GraphModel* model, const Dataset& dataset,
   // with tracing off each is one relaxed flag load (see observe/trace.h).
   static observe::Counter& epoch_counter =
       observe::MetricsRegistry::Global().counter("train.epochs");
+  double last_val = 0.0;
   for (int epoch = 0; epoch < config.max_epochs; ++epoch) {
     observe::TraceSpan epoch_span("train/epoch", epoch);
     epoch_counter.Add(1);
@@ -45,17 +53,24 @@ TrainReport TrainWithLoss(GraphModel* model, const Dataset& dataset,
       optimizer.Step();
     }
 
-    double val_acc;
-    {
+    // With eval_every > 1 validation is amortized: skipped epochs carry the
+    // last measurement forward and leave the patience counter untouched.
+    const bool evaluate = epoch % hooks.eval_every == 0 ||
+                          epoch + 1 == config.max_epochs;
+    if (evaluate) {
       observe::TraceSpan span("train/validate");
-      val_acc = EvaluateAccuracy(model, dataset, dataset.split.val);
+      last_val = hooks.validate
+                     ? hooks.validate(model)
+                     : EvaluateAccuracy(model, dataset, dataset.split.val);
     }
+    const double val_acc = last_val;
     report.val_history.push_back(val_acc);
     report.epochs_run = epoch + 1;
     if (config.verbose) {
       RDD_LOG(Info) << "epoch " << epoch << " loss "
                     << loss.value().At(0, 0) << " val_acc " << val_acc;
     }
+    if (!evaluate) continue;
     if (val_acc > report.best_val_accuracy) {
       report.best_val_accuracy = val_acc;
       epochs_since_best = 0;
@@ -81,7 +96,9 @@ TrainReport TrainWithLoss(GraphModel* model, const Dataset& dataset,
     std::vector<Variable> params = model->Parameters();
     RestoreParameters(std::move(best_params), &params);
   }
-  report.test_accuracy = EvaluateAccuracy(model, dataset, dataset.split.test);
+  report.test_accuracy =
+      hooks.test ? hooks.test(model)
+                 : EvaluateAccuracy(model, dataset, dataset.split.test);
   report.train_seconds = timer.ElapsedSeconds();
   return report;
 }

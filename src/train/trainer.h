@@ -38,6 +38,25 @@ struct TrainReport {
 /// early-stopping loop.
 using LossFn = std::function<Variable(const ModelOutput&, int epoch)>;
 
+/// Caller-supplied evaluation overrides for TrainWithLoss. The condensed
+/// training driver uses these to train on a condensed graph while early
+/// stopping (and reporting) against the FULL graph's val/test splits; the
+/// defaults reproduce the classic behavior exactly.
+struct EvalHooks {
+  /// Validation metric driving early stopping and best-weight selection.
+  /// Defaults to accuracy over `dataset.split.val`.
+  std::function<double(GraphModel*)> validate;
+  /// Final test metric written to TrainReport::test_accuracy. Defaults to
+  /// accuracy over `dataset.split.test`.
+  std::function<double(GraphModel*)> test;
+  /// Run `validate` only on epochs where epoch % eval_every == 0 (plus the
+  /// final epoch). Skipped epochs carry the last measured value forward in
+  /// val_history and do not advance the patience counter, so `patience`
+  /// counts EVALUATIONS when eval_every > 1. Used when one validation
+  /// forward costs more than a training epoch (condensed training).
+  int eval_every = 1;
+};
+
 /// Trains `model` with Adam + early stopping on validation accuracy using a
 /// caller-supplied loss. Restores the best-validation parameters before
 /// returning when config.restore_best is set.
@@ -51,6 +70,12 @@ using LossFn = std::function<Variable(const ModelOutput&, int epoch)>;
 /// per-epoch cost breakdown behind the paper's Table 9 timing analysis.
 TrainReport TrainWithLoss(GraphModel* model, const Dataset& dataset,
                           const TrainConfig& config, const LossFn& loss_fn);
+
+/// As above with evaluation overrides. Passing a default-constructed
+/// EvalHooks is bit-identical to the four-argument overload.
+TrainReport TrainWithLoss(GraphModel* model, const Dataset& dataset,
+                          const TrainConfig& config, const LossFn& loss_fn,
+                          const EvalHooks& hooks);
 
 /// Standard supervised training: masked softmax cross-entropy over the
 /// labeled nodes (Eq. 3 of the paper).

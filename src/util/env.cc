@@ -80,4 +80,36 @@ int IntEnv(const char* name, int fallback, int min_value, int max_value) {
   return ParseInt(std::getenv(name), fallback, min_value, max_value, name);
 }
 
+double ParseDouble(const char* value, double fallback, double min_value,
+                   double max_value, const char* name) {
+  if (value == nullptr || *value == '\0') return fallback;
+  char* end = nullptr;
+  errno = 0;
+  const double parsed = std::strtod(value, &end);
+  if (end == value || *end != '\0' || parsed != parsed) {
+    if (name != nullptr) {
+      RDD_LOG(Warning) << name << "=" << value
+                       << " is not a number; using default " << fallback;
+    }
+    return fallback;
+  }
+  // ERANGE covers both overflow (+-HUGE_VAL, clamped below) and underflow
+  // (a denormal-or-zero result, which the clamp handles the same way).
+  if (parsed < min_value || parsed > max_value) {
+    const double clamped = parsed < min_value ? min_value : max_value;
+    if (name != nullptr) {
+      RDD_LOG(Warning) << name << "=" << value << " is outside ["
+                       << min_value << ", " << max_value << "]; clamping to "
+                       << clamped;
+    }
+    return clamped;
+  }
+  return parsed;
+}
+
+double DoubleEnv(const char* name, double fallback, double min_value,
+                 double max_value) {
+  return ParseDouble(std::getenv(name), fallback, min_value, max_value, name);
+}
+
 }  // namespace rdd::env

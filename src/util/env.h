@@ -29,6 +29,18 @@ int IntEnv(const char* name, int fallback, int min_value, int max_value);
 int ParseInt(const char* value, int fallback, int min_value, int max_value,
              const char* name = nullptr);
 
+/// Shared parsing for floating-point environment knobs (condensation
+/// ratios and similar). Same contract as IntEnv: unset/empty/non-numeric
+/// values return `fallback` (non-numeric warns), finite values clamp into
+/// [min_value, max_value] with a warning when out of range; NaN counts as
+/// non-numeric.
+double DoubleEnv(const char* name, double fallback, double min_value,
+                 double max_value);
+
+/// Parsing core of DoubleEnv, exposed for tests.
+double ParseDouble(const char* value, double fallback, double min_value,
+                   double max_value, const char* name = nullptr);
+
 }  // namespace rdd::env
 
 #endif  // RDD_UTIL_ENV_H_

@@ -1,0 +1,45 @@
+#include "util/proc_stats.h"
+
+#include <cstdio>
+#include <cstring>
+#include <cstdlib>
+
+namespace rdd::util {
+
+namespace {
+
+/// Reads one "Key: <kib> kB" field from /proc/self/status; -1 on any miss.
+double StatusFieldKib(const char* key) {
+#ifdef __linux__
+  std::FILE* f = std::fopen("/proc/self/status", "r");
+  if (f == nullptr) return -1.0;
+  const size_t key_len = std::strlen(key);
+  char line[256];
+  double kib = -1.0;
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    if (std::strncmp(line, key, key_len) == 0) {
+      kib = std::strtod(line + key_len, nullptr);
+      break;
+    }
+  }
+  std::fclose(f);
+  return kib;
+#else
+  (void)key;
+  return -1.0;
+#endif
+}
+
+}  // namespace
+
+double PeakRssMib() {
+  const double kib = StatusFieldKib("VmHWM:");
+  return kib < 0.0 ? -1.0 : kib / 1024.0;
+}
+
+double CurrentRssMib() {
+  const double kib = StatusFieldKib("VmRSS:");
+  return kib < 0.0 ? -1.0 : kib / 1024.0;
+}
+
+}  // namespace rdd::util

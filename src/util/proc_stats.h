@@ -1,0 +1,18 @@
+#ifndef RDD_UTIL_PROC_STATS_H_
+#define RDD_UTIL_PROC_STATS_H_
+
+namespace rdd::util {
+
+/// Process peak resident set size in MiB (the VmHWM high-water mark from
+/// /proc/self/status). Returns -1 on platforms without procfs or when the
+/// file cannot be read. The value is MONOTONIC over the process lifetime:
+/// a reading after phase N bounds every phase up to and including N, which
+/// is why the benches run phases cheapest-first.
+double PeakRssMib();
+
+/// Current resident set size in MiB (VmRSS), or -1 where unavailable.
+double CurrentRssMib();
+
+}  // namespace rdd::util
+
+#endif  // RDD_UTIL_PROC_STATS_H_

@@ -445,6 +445,9 @@ TEST_F(SimdKernelTest, ReductionsMatchScalarAcrossShapes) {
     EXPECT_EQ(Bits(S().sumsq_f64(a.data(), n)),
               Bits(D().sumsq_f64(a.data(), n)))
         << "sumsq_f64 n=" << n;
+    EXPECT_EQ(Bits(S().sqdist_f64(a.data(), b.data(), n)),
+              Bits(D().sqdist_f64(a.data(), b.data(), n)))
+        << "sqdist_f64 n=" << n;
   }
 }
 
@@ -479,6 +482,8 @@ TEST_F(SimdKernelTest, GoldenValuesOnExactIntegerInputs) {
     EXPECT_EQ(t->dot(a.data(), b.data(), 10), 110.0f);
     EXPECT_EQ(t->sum_f64(a.data(), 10), 55.0);
     EXPECT_EQ(t->sumsq_f64(a.data(), 10), 385.0);
+    // sum over (a[i] - 2)^2 for a = 1..10.
+    EXPECT_EQ(t->sqdist_f64(a.data(), b.data(), 10), 205.0);
     EXPECT_EQ(t->row_max(a.data(), 10), 10.0f);
 
     // gemm_row: out[j] += sum_p a[p] * B[p][j] with B[p][j] = j + 1 over a

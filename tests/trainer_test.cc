@@ -107,6 +107,116 @@ TEST_F(TrainerTest, EvaluateAccuracyInRange) {
   EXPECT_LE(acc, 1.0);
 }
 
+TEST_F(TrainerTest, DefaultEvalHooksMatchFourArgOverload) {
+  // Passing a default-constructed EvalHooks must be bit-identical to the
+  // four-argument overload (the documented contract).
+  const LossFn supervised = [](const ModelOutput& output, int) {
+    return ag::SoftmaxCrossEntropy(output.logits, dataset_->labels,
+                                   dataset_->split.train,
+                                   ag::Reduction::kMean);
+  };
+  TrainConfig config;
+  config.max_epochs = 25;
+
+  auto plain = BuildModel(*context_, ModelConfig{}, 7);
+  const TrainReport a = TrainWithLoss(plain.get(), *dataset_, config,
+                                      supervised);
+  auto hooked = BuildModel(*context_, ModelConfig{}, 7);
+  const TrainReport b = TrainWithLoss(hooked.get(), *dataset_, config,
+                                      supervised, EvalHooks{});
+
+  EXPECT_EQ(a.epochs_run, b.epochs_run);
+  EXPECT_EQ(a.best_val_accuracy, b.best_val_accuracy);
+  EXPECT_EQ(a.test_accuracy, b.test_accuracy);
+  EXPECT_EQ(a.val_history, b.val_history);
+  EXPECT_TRUE(plain->Forward(false).logits.value().Equals(
+      hooked->Forward(false).logits.value()));
+}
+
+TEST_F(TrainerTest, EvalHooksOverridesValidateAndTest) {
+  auto model = BuildModel(*context_, ModelConfig{}, 8);
+  TrainConfig config;
+  config.max_epochs = 4;
+  config.patience = 100;
+  config.restore_best = false;
+  EvalHooks hooks;
+  int validate_calls = 0;
+  hooks.validate = [&](GraphModel*) { return 0.1 * ++validate_calls; };
+  hooks.test = [](GraphModel*) { return 0.625; };
+  const TrainReport report = TrainWithLoss(
+      model.get(), *dataset_, config,
+      [&](const ModelOutput& output, int) {
+        return ag::SoftmaxCrossEntropy(output.logits, dataset_->labels,
+                                       dataset_->split.train,
+                                       ag::Reduction::kMean);
+      },
+      hooks);
+  EXPECT_EQ(validate_calls, 4);  // eval_every = 1: every epoch
+  EXPECT_EQ(report.test_accuracy, 0.625);
+  EXPECT_NEAR(report.best_val_accuracy, 0.4, 1e-12);
+}
+
+TEST_F(TrainerTest, EvalEveryAmortizesValidationAndCarriesValuesForward) {
+  auto model = BuildModel(*context_, ModelConfig{}, 9);
+  TrainConfig config;
+  config.max_epochs = 8;
+  config.patience = 100;
+  config.restore_best = false;
+  EvalHooks hooks;
+  hooks.eval_every = 3;
+  std::vector<int> evaluated_at;
+  int epoch_now = 0;
+  hooks.validate = [&](GraphModel*) {
+    evaluated_at.push_back(epoch_now);
+    return 0.01 * epoch_now;
+  };
+  const TrainReport report = TrainWithLoss(
+      model.get(), *dataset_, config,
+      [&](const ModelOutput& output, int epoch) {
+        epoch_now = epoch;
+        return ag::SoftmaxCrossEntropy(output.logits, dataset_->labels,
+                                       dataset_->split.train,
+                                       ag::Reduction::kMean);
+      },
+      hooks);
+  // Evaluated on multiples of eval_every plus the final epoch; skipped
+  // epochs carry the last measurement forward in val_history.
+  EXPECT_EQ(evaluated_at, (std::vector<int>{0, 3, 6, 7}));
+  ASSERT_EQ(report.epochs_run, 8);
+  ASSERT_EQ(report.val_history.size(), 8u);
+  EXPECT_EQ(report.val_history[1], report.val_history[0]);
+  EXPECT_EQ(report.val_history[2], report.val_history[0]);
+  EXPECT_EQ(report.val_history[4], report.val_history[3]);
+  EXPECT_EQ(report.val_history[5], report.val_history[3]);
+}
+
+TEST_F(TrainerTest, EvalEveryPatienceCountsEvaluations) {
+  auto model = BuildModel(*context_, ModelConfig{}, 10);
+  TrainConfig config;
+  config.max_epochs = 100;
+  config.patience = 2;
+  config.restore_best = false;
+  EvalHooks hooks;
+  hooks.eval_every = 3;
+  // Scripted validation: improves once, then stagnates. With eval_every = 3
+  // the patience counter only advances on evaluated epochs, so the run
+  // stops after the evaluation at epoch 6 (two stagnant EVALUATIONS), not
+  // after two stagnant epochs.
+  const double scripted[] = {1.0, 0.5, 0.4, 0.3, 0.2};
+  int call = 0;
+  hooks.validate = [&](GraphModel*) { return scripted[call++]; };
+  const TrainReport report = TrainWithLoss(
+      model.get(), *dataset_, config,
+      [&](const ModelOutput& output, int) {
+        return ag::SoftmaxCrossEntropy(output.logits, dataset_->labels,
+                                       dataset_->split.train,
+                                       ag::Reduction::kMean);
+      },
+      hooks);
+  EXPECT_EQ(call, 3);            // epochs 0, 3, 6
+  EXPECT_EQ(report.epochs_run, 7);
+}
+
 TEST(SummarizeTest, EmptyInput) {
   const TrialStats stats = Summarize({});
   EXPECT_EQ(stats.count, 0);

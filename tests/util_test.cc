@@ -191,5 +191,30 @@ TEST(EnvTest, ParseIntClampsWideValuesInsteadOfTruncating) {
   EXPECT_EQ(env::ParseInt("-99999999999999999999999999", 3, 1, 1024), 1);
 }
 
+TEST(EnvTest, ParseDoubleParsesClampsAndFallsBack) {
+  EXPECT_DOUBLE_EQ(env::ParseDouble("0.25", 0.05, 1e-4, 1.0), 0.25);
+  EXPECT_DOUBLE_EQ(env::ParseDouble("5e-2", 0.1, 1e-4, 1.0), 0.05);
+  // Unset, empty, garbage, trailing junk, and NaN all keep the fallback.
+  EXPECT_DOUBLE_EQ(env::ParseDouble(nullptr, 0.05, 1e-4, 1.0), 0.05);
+  EXPECT_DOUBLE_EQ(env::ParseDouble("", 0.05, 1e-4, 1.0), 0.05);
+  EXPECT_DOUBLE_EQ(env::ParseDouble("abc", 0.05, 1e-4, 1.0), 0.05);
+  EXPECT_DOUBLE_EQ(env::ParseDouble("0.5x", 0.05, 1e-4, 1.0), 0.05);
+  EXPECT_DOUBLE_EQ(env::ParseDouble("nan", 0.05, 1e-4, 1.0), 0.05);
+  // Finite out-of-range values clamp into [min, max].
+  EXPECT_DOUBLE_EQ(env::ParseDouble("0", 0.05, 1e-4, 1.0), 1e-4);
+  EXPECT_DOUBLE_EQ(env::ParseDouble("-3.5", 0.05, 1e-4, 1.0), 1e-4);
+  EXPECT_DOUBLE_EQ(env::ParseDouble("2.5", 0.05, 1e-4, 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(env::ParseDouble("inf", 0.05, 1e-4, 1.0), 1.0);
+}
+
+TEST(EnvTest, DoubleEnvReadsTheEnvironment) {
+  ASSERT_EQ(setenv("RDD_ENV_TEST_RATIO", "0.125", 1), 0);
+  EXPECT_DOUBLE_EQ(env::DoubleEnv("RDD_ENV_TEST_RATIO", 0.05, 1e-4, 1.0),
+                   0.125);
+  ASSERT_EQ(unsetenv("RDD_ENV_TEST_RATIO"), 0);
+  EXPECT_DOUBLE_EQ(env::DoubleEnv("RDD_ENV_TEST_RATIO", 0.05, 1e-4, 1.0),
+                   0.05);
+}
+
 }  // namespace
 }  // namespace rdd
