@@ -1,0 +1,146 @@
+// Daemon smoke test — the serve-while-updating loop end to end:
+//
+//   1. train a small RDD ensemble and checkpoint it,
+//   2. start the serving daemon on a Unix socket,
+//   3. query it over the wire and check the answers equal an in-process
+//      Predictor over the same checkpoint,
+//   4. distill the ensemble into an MLP student, checkpoint that, and
+//      hot-swap it in while the daemon keeps serving,
+//   5. confirm the new generation answers from the MLP checkpoint, then
+//      shut the daemon down over the wire.
+//
+//   ./build/examples/daemon_smoke
+//
+// Exits non-zero on any failure; CI runs this binary as the daemon smoke
+// test.
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/distill.h"
+#include "core/rdd_config.h"
+#include "core/rdd_trainer.h"
+#include "data/citation_gen.h"
+#include "data/serialize.h"
+#include "serve/daemon.h"
+#include "serve/predictor.h"
+
+namespace {
+
+void ExitOnError(const rdd::Status& status, const char* what) {
+  if (!status.ok()) {
+    std::fprintf(stderr, "FAIL (%s): %s\n", what, status.ToString().c_str());
+    std::exit(1);
+  }
+}
+
+}  // namespace
+
+int main() {
+  // 1. Small dataset, short RDD run, checkpoint to disk.
+  rdd::CitationGenConfig gen;
+  gen.num_nodes = 400;
+  gen.num_features = 100;
+  gen.num_edges = 1100;
+  gen.num_classes = 4;
+  gen.labeled_per_class = 10;
+  gen.val_size = 60;
+  gen.test_size = 100;
+  const rdd::Dataset dataset = rdd::GenerateCitationNetwork(gen, /*seed=*/7);
+  const rdd::GraphContext context = rdd::GraphContext::FromDataset(dataset);
+
+  rdd::RddConfig config;
+  config.num_base_models = 2;
+  config.train.max_epochs = 80;
+  const rdd::RddResult result =
+      rdd::TrainRdd(dataset, context, config, /*seed=*/1);
+  std::printf("ensemble: test accuracy %.1f%%\n",
+              100.0 * result.ensemble_test_accuracy);
+
+  const std::string ckpt_path = "daemon_smoke_ensemble.rddc";
+  const std::string mlp_path = "daemon_smoke_mlp.rddc";
+  const std::string data_path = "daemon_smoke_dataset.rdd";
+  const std::string socket_path = "daemon_smoke.sock";
+  ExitOnError(rdd::SaveCheckpoint(
+                  rdd::CheckpointFromRdd(result, config.base_model, "smoke"),
+                  ckpt_path),
+              "save ensemble checkpoint");
+  ExitOnError(rdd::SaveDataset(dataset, data_path), "save dataset");
+
+  // 2. Start the daemon: generation 1 serves the ensemble checkpoint.
+  rdd::DaemonOptions options;
+  options.socket_path = socket_path;
+  options.checkpoint_path = ckpt_path;
+  options.dataset_path = data_path;
+  auto daemon = rdd::Daemon::Start(options);
+  ExitOnError(daemon.status(), "start daemon");
+
+  auto client = rdd::DaemonClient::Connect(socket_path);
+  ExitOnError(client.status(), "connect");
+
+  // 3. Wire answers must equal an in-process Predictor over the same file.
+  auto reference = rdd::Predictor::FromCheckpoint(ckpt_path, context);
+  ExitOnError(reference.status(), "load reference predictor");
+  const std::vector<int64_t> query = {0, 5, 17, 399, 123};
+  auto wire = client->PredictLabels(query);
+  ExitOnError(wire.status(), "predict over the wire");
+  auto expected = reference->PredictLabels(query);
+  ExitOnError(expected.status(), "predict in process");
+  if (*wire != *expected) {
+    std::fprintf(stderr, "FAIL: wire answers differ from the in-process "
+                         "Predictor\n");
+    return 1;
+  }
+  std::printf("generation 1 serves the ensemble, wire == in-process\n");
+
+  // 4. Refresh the model (here: distill to an MLP student) and hot-swap.
+  rdd::DistillConfig distill_config;
+  distill_config.train.max_epochs = 150;
+  const rdd::DistillResult distilled = rdd::DistillToMlp(
+      dataset, context, result.teacher, distill_config, /*seed=*/1);
+  ExitOnError(rdd::SaveCheckpoint(rdd::CheckpointFromDistilled(
+                                      *distilled.student, "smoke-mlp"),
+                                  mlp_path),
+              "save MLP checkpoint");
+  ExitOnError(client->RequestSwap(mlp_path, ""), "enqueue swap");
+
+  // The swap is asynchronous; poll stats until generation 2 is serving.
+  bool swapped = false;
+  for (int i = 0; i < 500 && !swapped; ++i) {
+    auto stats = client->Stats();
+    ExitOnError(stats.status(), "stats");
+    swapped = stats->generation >= 2;
+    if (!swapped) std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  if (!swapped) {
+    std::fprintf(stderr, "FAIL: hot swap did not apply\n");
+    return 1;
+  }
+
+  // 5. Generation 2 must answer from the MLP checkpoint.
+  auto mlp_reference = rdd::Predictor::FromCheckpoint(mlp_path, context);
+  ExitOnError(mlp_reference.status(), "load MLP reference");
+  auto after = client->PredictLabels(query);
+  ExitOnError(after.status(), "predict after swap");
+  auto mlp_expected = mlp_reference->PredictLabels(query);
+  ExitOnError(mlp_expected.status(), "MLP predict in process");
+  if (*after != *mlp_expected) {
+    std::fprintf(stderr, "FAIL: post-swap answers differ from the MLP "
+                         "checkpoint\n");
+    return 1;
+  }
+  std::printf("generation 2 serves the distilled MLP after a hot swap\n");
+
+  ExitOnError(client->Shutdown(), "shutdown");
+  (*daemon)->Wait();
+
+  std::remove(ckpt_path.c_str());
+  std::remove(mlp_path.c_str());
+  std::remove(data_path.c_str());
+  std::printf("OK\n");
+  return 0;
+}

@@ -35,6 +35,31 @@ Graph::Graph(int64_t num_nodes, const std::vector<Edge>& edges)
   for (auto& nbrs : adjacency_) std::sort(nbrs.begin(), nbrs.end());
 }
 
+Graph Graph::FromCanonicalEdges(int64_t num_nodes, std::vector<Edge> edges) {
+  RDD_CHECK_GE(num_nodes, 0);
+  for (size_t i = 0; i < edges.size(); ++i) {
+    const Edge& e = edges[i];
+    RDD_CHECK_GE(e.u, 0);
+    RDD_CHECK_LT(e.u, num_nodes);
+    RDD_CHECK_LT(e.u, e.v);
+    RDD_CHECK_LT(e.v, num_nodes);
+    if (i > 0) {
+      const Edge& prev = edges[i - 1];
+      RDD_CHECK(prev.u < e.u || (prev.u == e.u && prev.v < e.v));
+    }
+  }
+  Graph graph;
+  graph.num_nodes_ = num_nodes;
+  graph.edges_ = std::move(edges);
+  graph.adjacency_.assign(static_cast<size_t>(num_nodes), {});
+  for (const Edge& e : graph.edges_) {
+    graph.adjacency_[static_cast<size_t>(e.u)].push_back(e.v);
+    graph.adjacency_[static_cast<size_t>(e.v)].push_back(e.u);
+  }
+  for (auto& nbrs : graph.adjacency_) std::sort(nbrs.begin(), nbrs.end());
+  return graph;
+}
+
 const std::vector<int64_t>& Graph::Neighbors(int64_t node) const {
   RDD_CHECK_GE(node, 0);
   RDD_CHECK_LT(node, num_nodes_);

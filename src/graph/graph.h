@@ -29,6 +29,14 @@ class Graph {
   /// Builds a graph over `num_nodes` nodes from an arbitrary edge list.
   Graph(int64_t num_nodes, const std::vector<Edge>& edges);
 
+  /// Builds a graph from an ALREADY canonical edge list: every edge has
+  /// u < v, edges are sorted (u-major, v-minor), and there are no
+  /// duplicates. Skips the canonicalization sort, so a caller that merges
+  /// two canonical lists (the streaming delta path) pays O(E) instead of
+  /// O(E log E); the result is bit-identical to the sorting constructor.
+  /// Canonical-form violations abort.
+  static Graph FromCanonicalEdges(int64_t num_nodes, std::vector<Edge> edges);
+
   int64_t num_nodes() const { return num_nodes_; }
   /// Number of undirected edges after deduplication.
   int64_t num_edges() const { return static_cast<int64_t>(edges_.size()); }

@@ -24,6 +24,12 @@ namespace rdd {
 /// [num_targets, num_nodes) are frontier nodes pulled in to support
 /// propagation, in deterministic discovery order. Losses and predictions
 /// read target rows; frontier rows exist so targets see (sampled) neighbors.
+///
+/// Ownership and thread-safety: a view is an immutable value type — its
+/// matrices are shared_ptr<const>, so copies are cheap, a view outlives
+/// (and is never invalidated by) changes to the owning context (e.g. a
+/// StreamingGraph::Apply), and a built view is safe to read from any
+/// number of threads concurrently.
 struct GraphView {
   /// View-local feature matrix: num_nodes x feature_dim, CSR.
   std::shared_ptr<const SparseMatrix> features;

@@ -58,6 +58,21 @@ void ResolveOnce() {
       chosen = forced;
     }
   }
+  // RDD_REQUIRE_SIMD turns "the backend I asked for wasn't available" from
+  // a warning into an abort. CI's determinism-matrix legs set it so a leg
+  // whose backend silently fell back (e.g. avx2 on a machine without it)
+  // FAILS instead of green-lighting a run that tested the wrong backend.
+  if (const char* required = std::getenv("RDD_REQUIRE_SIMD");
+      required != nullptr && *required) {
+    Backend want;
+    RDD_CHECK(internal::ParseBackendName(required, &want))
+        << "RDD_REQUIRE_SIMD=" << required
+        << " is not a known backend (scalar|avx2|neon)";
+    RDD_CHECK(want == chosen)
+        << "RDD_REQUIRE_SIMD=" << required << " but the active backend is "
+        << BackendName(chosen)
+        << " — refusing to run as a silently-degraded determinism leg";
+  }
   Activate(chosen);
 }
 

@@ -1,0 +1,275 @@
+#include "stream/graph_delta.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+#include "util/random.h"
+#include "util/string_util.h"
+
+namespace rdd::stream {
+
+namespace {
+
+Status ValidateFeatureRow(
+    const std::vector<std::pair<int64_t, float>>& features,
+    int64_t feature_dim, const char* what) {
+  for (size_t i = 0; i < features.size(); ++i) {
+    const int64_t col = features[i].first;
+    if (col < 0 || col >= feature_dim) {
+      return Status::InvalidArgument(
+          StrFormat("%s: feature column %lld outside [0, %lld)", what,
+                    static_cast<long long>(col),
+                    static_cast<long long>(feature_dim)));
+    }
+    if (i > 0 && features[i - 1].first >= col) {
+      return Status::InvalidArgument(StrFormat(
+          "%s: feature columns must be strictly increasing", what));
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Status ValidateDelta(const GraphDelta& delta, int64_t num_nodes,
+                     int64_t feature_dim, int64_t num_classes) {
+  const int64_t new_total =
+      num_nodes + static_cast<int64_t>(delta.added_nodes.size());
+  for (const NodeArrival& arrival : delta.added_nodes) {
+    Status s = ValidateFeatureRow(arrival.features, feature_dim, "arrival");
+    if (!s.ok()) return s;
+    if (arrival.label < 0 || arrival.label >= num_classes) {
+      return Status::InvalidArgument(
+          StrFormat("arrival label %lld outside [0, %lld)",
+                    static_cast<long long>(arrival.label),
+                    static_cast<long long>(num_classes)));
+    }
+  }
+  for (const Edge& e : delta.added_edges) {
+    if (e.u < 0 || e.u >= new_total || e.v < 0 || e.v >= new_total) {
+      return Status::InvalidArgument(
+          StrFormat("edge (%lld, %lld) outside [0, %lld)",
+                    static_cast<long long>(e.u),
+                    static_cast<long long>(e.v),
+                    static_cast<long long>(new_total)));
+    }
+    if (e.u == e.v) {
+      return Status::InvalidArgument(StrFormat(
+          "self-loop on node %lld", static_cast<long long>(e.u)));
+    }
+  }
+  std::vector<int64_t> updated;
+  updated.reserve(delta.feature_updates.size());
+  for (const FeatureUpdate& update : delta.feature_updates) {
+    if (update.node < 0 || update.node >= num_nodes) {
+      return Status::InvalidArgument(StrFormat(
+          "feature update targets node %lld outside the existing [0, %lld)",
+          static_cast<long long>(update.node),
+          static_cast<long long>(num_nodes)));
+    }
+    Status s = ValidateFeatureRow(update.features, feature_dim, "update");
+    if (!s.ok()) return s;
+    updated.push_back(update.node);
+  }
+  std::sort(updated.begin(), updated.end());
+  if (std::adjacent_find(updated.begin(), updated.end()) != updated.end()) {
+    return Status::InvalidArgument(
+        "a delta may update each node's features at most once");
+  }
+  return Status::Ok();
+}
+
+std::vector<int64_t> TouchedNodes(const GraphDelta& delta,
+                                  int64_t num_nodes_before) {
+  std::vector<int64_t> touched;
+  touched.reserve(delta.added_nodes.size() + 2 * delta.added_edges.size() +
+                  delta.feature_updates.size());
+  for (size_t i = 0; i < delta.added_nodes.size(); ++i) {
+    touched.push_back(num_nodes_before + static_cast<int64_t>(i));
+  }
+  for (const Edge& e : delta.added_edges) {
+    touched.push_back(e.u);
+    touched.push_back(e.v);
+  }
+  for (const FeatureUpdate& update : delta.feature_updates) {
+    touched.push_back(update.node);
+  }
+  std::sort(touched.begin(), touched.end());
+  touched.erase(std::unique(touched.begin(), touched.end()), touched.end());
+  return touched;
+}
+
+ReplayStream SplitIntoStream(const Dataset& full,
+                             const StreamSplitOptions& options,
+                             uint64_t seed) {
+  RDD_CHECK_GE(options.num_deltas, 1);
+  RDD_CHECK_GE(options.edge_holdout, 0.0);
+  RDD_CHECK_LE(options.edge_holdout, 1.0);
+  RDD_CHECK_GE(options.node_holdout, 0.0);
+  RDD_CHECK_LE(options.node_holdout, 1.0);
+  const int64_t n = full.NumNodes();
+  Rng rng(seed);
+
+  // Split members are pinned to the base snapshot; only unsplit nodes may
+  // be held out, so base and fully-replayed accuracy use the same split.
+  std::vector<bool> in_split(static_cast<size_t>(n), false);
+  for (int64_t v : full.split.train) in_split[static_cast<size_t>(v)] = true;
+  for (int64_t v : full.split.val) in_split[static_cast<size_t>(v)] = true;
+  for (int64_t v : full.split.test) in_split[static_cast<size_t>(v)] = true;
+  std::vector<int64_t> unsplit;
+  for (int64_t v = 0; v < n; ++v) {
+    if (!in_split[static_cast<size_t>(v)]) unsplit.push_back(v);
+  }
+
+  const int64_t num_holdout_nodes = static_cast<int64_t>(
+      options.node_holdout * static_cast<double>(unsplit.size()));
+  std::vector<bool> held_node(static_cast<size_t>(n), false);
+  {
+    const std::vector<int64_t> picks = rng.SampleWithoutReplacement(
+        static_cast<int64_t>(unsplit.size()), num_holdout_nodes);
+    for (int64_t p : picks) {
+      held_node[static_cast<size_t>(unsplit[static_cast<size_t>(p)])] = true;
+    }
+  }
+
+  // Relabel: kept nodes keep relative order in [0, kept); held-out nodes
+  // take the highest ids in ascending original order (= arrival order).
+  std::vector<int64_t> old_to_new(static_cast<size_t>(n), -1);
+  std::vector<int64_t> new_to_old;
+  new_to_old.reserve(static_cast<size_t>(n));
+  for (int64_t v = 0; v < n; ++v) {
+    if (!held_node[static_cast<size_t>(v)]) {
+      old_to_new[static_cast<size_t>(v)] =
+          static_cast<int64_t>(new_to_old.size());
+      new_to_old.push_back(v);
+    }
+  }
+  const int64_t kept = static_cast<int64_t>(new_to_old.size());
+  for (int64_t v = 0; v < n; ++v) {
+    if (held_node[static_cast<size_t>(v)]) {
+      old_to_new[static_cast<size_t>(v)] =
+          static_cast<int64_t>(new_to_old.size());
+      new_to_old.push_back(v);
+    }
+  }
+
+  // Arrival schedule: held-out node (new id kept + i) arrives in delta
+  // floor(i * num_deltas / holdout_count); kept nodes are in the base
+  // (delta -1). Every delta gets a near-equal share.
+  auto arrival_delta = [&](int64_t new_id) -> int {
+    if (new_id < kept) return -1;
+    if (num_holdout_nodes == 0) return -1;
+    return static_cast<int>((new_id - kept) *
+                            static_cast<int64_t>(options.num_deltas) /
+                            num_holdout_nodes);
+  };
+
+  // Remap + recanonicalize edges, then route each to the base or a delta.
+  std::vector<Edge> base_edges;
+  std::vector<Edge> kept_kept_candidates;  // Both endpoints in the base.
+  std::vector<std::vector<Edge>> delta_edges(
+      static_cast<size_t>(options.num_deltas));
+  for (const Edge& old_edge : full.graph.edges()) {
+    Edge e{old_to_new[static_cast<size_t>(old_edge.u)],
+           old_to_new[static_cast<size_t>(old_edge.v)]};
+    if (e.u > e.v) std::swap(e.u, e.v);
+    const int du = arrival_delta(e.u);
+    const int dv = arrival_delta(e.v);
+    if (du < 0 && dv < 0) {
+      kept_kept_candidates.push_back(e);
+    } else {
+      delta_edges[static_cast<size_t>(std::max({du, dv, 0}))].push_back(e);
+    }
+  }
+  // Hold out a fraction of the kept-kept edges, spread evenly (shuffled)
+  // over the deltas; the rest form the base edge list.
+  {
+    const int64_t num_held_edges = static_cast<int64_t>(
+        options.edge_holdout *
+        static_cast<double>(kept_kept_candidates.size()));
+    std::vector<int64_t> picks = rng.SampleWithoutReplacement(
+        static_cast<int64_t>(kept_kept_candidates.size()), num_held_edges);
+    std::vector<bool> held_edge(kept_kept_candidates.size(), false);
+    for (size_t i = 0; i < picks.size(); ++i) {
+      held_edge[static_cast<size_t>(picks[static_cast<size_t>(i)])] = true;
+      delta_edges[i % static_cast<size_t>(options.num_deltas)].push_back(
+          kept_kept_candidates[static_cast<size_t>(
+              picks[static_cast<size_t>(i)])]);
+    }
+    for (size_t i = 0; i < kept_kept_candidates.size(); ++i) {
+      if (!held_edge[i]) base_edges.push_back(kept_kept_candidates[i]);
+    }
+  }
+
+  // Base dataset: rows/labels/splits remapped, base edges only.
+  ReplayStream out;
+  out.base.name = full.name + "-base";
+  out.base.num_classes = full.num_classes;
+  out.base.labels.resize(static_cast<size_t>(kept));
+  for (int64_t i = 0; i < kept; ++i) {
+    out.base.labels[static_cast<size_t>(i)] =
+        full.labels[static_cast<size_t>(new_to_old[static_cast<size_t>(i)])];
+  }
+  auto remap_ids = [&](const std::vector<int64_t>& ids) {
+    std::vector<int64_t> mapped;
+    mapped.reserve(ids.size());
+    for (int64_t v : ids) mapped.push_back(old_to_new[static_cast<size_t>(v)]);
+    return mapped;
+  };
+  out.base.split.train = remap_ids(full.split.train);
+  out.base.split.val = remap_ids(full.split.val);
+  out.base.split.test = remap_ids(full.split.test);
+  {
+    std::vector<int64_t> row_ptr(static_cast<size_t>(kept) + 1, 0);
+    std::vector<int64_t> col_idx;
+    std::vector<float> values;
+    for (int64_t i = 0; i < kept; ++i) {
+      const int64_t old_row = new_to_old[static_cast<size_t>(i)];
+      const int64_t begin =
+          full.features.row_ptr()[static_cast<size_t>(old_row)];
+      const int64_t end =
+          full.features.row_ptr()[static_cast<size_t>(old_row) + 1];
+      for (int64_t k = begin; k < end; ++k) {
+        col_idx.push_back(full.features.col_idx()[static_cast<size_t>(k)]);
+        values.push_back(full.features.values()[static_cast<size_t>(k)]);
+      }
+      row_ptr[static_cast<size_t>(i) + 1] =
+          static_cast<int64_t>(col_idx.size());
+    }
+    out.base.features =
+        SparseMatrix::FromCsr(kept, full.features.cols(), std::move(row_ptr),
+                              std::move(col_idx), std::move(values));
+  }
+  std::sort(base_edges.begin(), base_edges.end(),
+            [](const Edge& a, const Edge& b) {
+              return a.u != b.u ? a.u < b.u : a.v < b.v;
+            });
+  out.base.graph = Graph::FromCanonicalEdges(kept, std::move(base_edges));
+
+  // Deltas: arrivals in id order plus the routed edge batches.
+  out.deltas.resize(static_cast<size_t>(options.num_deltas));
+  for (int d = 0; d < options.num_deltas; ++d) {
+    GraphDelta& delta = out.deltas[static_cast<size_t>(d)];
+    delta.timestamp = d;
+    delta.added_edges = std::move(delta_edges[static_cast<size_t>(d)]);
+  }
+  for (int64_t new_id = kept; new_id < n; ++new_id) {
+    const int64_t old_row = new_to_old[static_cast<size_t>(new_id)];
+    NodeArrival arrival;
+    arrival.label = full.labels[static_cast<size_t>(old_row)];
+    const int64_t begin =
+        full.features.row_ptr()[static_cast<size_t>(old_row)];
+    const int64_t end =
+        full.features.row_ptr()[static_cast<size_t>(old_row) + 1];
+    for (int64_t k = begin; k < end; ++k) {
+      arrival.features.emplace_back(
+          full.features.col_idx()[static_cast<size_t>(k)],
+          full.features.values()[static_cast<size_t>(k)]);
+    }
+    out.deltas[static_cast<size_t>(arrival_delta(new_id))]
+        .added_nodes.push_back(std::move(arrival));
+  }
+  return out;
+}
+
+}  // namespace rdd::stream

@@ -1,0 +1,106 @@
+#ifndef RDD_STREAM_GRAPH_DELTA_H_
+#define RDD_STREAM_GRAPH_DELTA_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "data/dataset.h"
+#include "graph/graph.h"
+#include "util/status.h"
+
+namespace rdd::stream {
+
+/// One node arriving in a delta. Node ids are assigned consecutively from
+/// the graph's current node count, in the order arrivals appear in the
+/// delta; the sparse feature row must be sorted by column with no
+/// duplicates. The label is ground truth carried for evaluation — arriving
+/// nodes join the UNLABELED pool (their labels are never trained on unless
+/// a later split revision adds them; this module never does).
+struct NodeArrival {
+  /// Sparse feature row: (column, value) pairs, strictly increasing columns.
+  std::vector<std::pair<int64_t, float>> features;
+  int64_t label = 0;
+};
+
+/// Full replacement of one existing node's feature row.
+struct FeatureUpdate {
+  int64_t node = 0;
+  /// Replacement row, same format as NodeArrival::features.
+  std::vector<std::pair<int64_t, float>> features;
+};
+
+/// One timestamped batch of graph growth: nodes that appear, undirected
+/// edges that appear (may reference nodes arriving in this same delta), and
+/// feature rows that change. A delta is plain data — validation happens at
+/// apply time against the stream's current shape (ValidateDelta /
+/// StreamingGraph::Apply). Deltas are value types: copyable, no ownership
+/// of anything beyond their vectors, safe to send across threads.
+struct GraphDelta {
+  /// Arrival time. StreamingGraph::Apply requires timestamps to be
+  /// non-decreasing across the deltas it is fed.
+  int64_t timestamp = 0;
+  std::vector<NodeArrival> added_nodes;
+  /// Endpoints in [0, current_nodes + added_nodes.size()); duplicates of
+  /// existing edges are merged away, self-loops rejected.
+  std::vector<Edge> added_edges;
+  std::vector<FeatureUpdate> feature_updates;
+
+  bool empty() const {
+    return added_nodes.empty() && added_edges.empty() &&
+           feature_updates.empty();
+  }
+};
+
+/// Checks `delta` against a graph of `num_nodes` nodes with `feature_dim`
+/// feature columns and `num_classes` classes: edge endpoints in range and
+/// not self-loops, feature columns sorted/strictly-increasing/in-range,
+/// update targets existing nodes (each at most once), labels in range.
+/// Pure; does not modify anything.
+Status ValidateDelta(const GraphDelta& delta, int64_t num_nodes,
+                     int64_t feature_dim, int64_t num_classes);
+
+/// The sorted set of PRESENT-graph node ids a delta touches directly:
+/// endpoints of added edges, feature-update targets, and the arriving nodes
+/// themselves (as post-apply ids). Input to the k-hop expansion
+/// StreamingGraph::AffectedNodes performs.
+std::vector<int64_t> TouchedNodes(const GraphDelta& delta,
+                                  int64_t num_nodes_before);
+
+/// A replayable stream: the base snapshot plus the delta sequence that
+/// grows it back to the full dataset. Produced by SplitIntoStream.
+struct ReplayStream {
+  Dataset base;
+  std::vector<GraphDelta> deltas;
+};
+
+/// Options for SplitIntoStream.
+struct StreamSplitOptions {
+  /// Fraction of the full graph's edges held out of the base snapshot and
+  /// replayed through deltas (edges incident to held-out nodes are always
+  /// replayed, on top of this fraction of the remaining edges).
+  double edge_holdout = 0.05;
+  /// Fraction of the full graph's UNSPLIT nodes (not train/val/test) held
+  /// out and replayed as node arrivals. 0 gives an edge-only stream.
+  double node_holdout = 0.0;
+  /// Number of deltas the held-out material is spread over (>= 1); each
+  /// delta gets timestamp = its index.
+  int num_deltas = 1;
+};
+
+/// Splits a finished dataset into a smaller base snapshot plus a delta
+/// stream that replays the held-out nodes/edges, for benchmarking and
+/// testing incremental retraining against the from-scratch answer. Held-out
+/// nodes are relabeled to the HIGHEST ids; only unsplit nodes are ever held
+/// out, so the split's train/val/test sets survive as the same nodes (under
+/// remapped ids) and accuracy on the base and on the fully-replayed graph
+/// are measured on the same split. Deterministic: a pure function of
+/// (full, options, seed).
+/// Replaying every delta in order reproduces the full dataset's graph,
+/// features, and labels up to the node relabeling.
+ReplayStream SplitIntoStream(const Dataset& full,
+                             const StreamSplitOptions& options, uint64_t seed);
+
+}  // namespace rdd::stream
+
+#endif  // RDD_STREAM_GRAPH_DELTA_H_

@@ -1,0 +1,153 @@
+#include "stream/streaming_graph.h"
+
+#include <algorithm>
+#include <limits>
+#include <utility>
+
+#include "graph/normalize.h"
+#include "observe/trace.h"
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace rdd::stream {
+
+StreamingGraph::StreamingGraph(Dataset base)
+    : dataset_(std::move(base)),
+      last_timestamp_(std::numeric_limits<int64_t>::min()) {
+  RebuildContext();
+}
+
+void StreamingGraph::RebuildContext() {
+  context_ = GraphContext::FromDataset(dataset_);
+}
+
+Status StreamingGraph::Apply(const GraphDelta& delta) {
+  observe::TraceSpan span("stream/apply_delta");
+  if (delta.timestamp < last_timestamp_) {
+    return Status::InvalidArgument(StrFormat(
+        "delta timestamp %lld precedes the stream's last timestamp %lld",
+        static_cast<long long>(delta.timestamp),
+        static_cast<long long>(last_timestamp_)));
+  }
+  Status valid = ValidateDelta(delta, dataset_.NumNodes(),
+                               dataset_.FeatureDim(), dataset_.num_classes);
+  if (!valid.ok()) return valid;
+
+  const int64_t old_nodes = dataset_.NumNodes();
+  const int64_t new_nodes =
+      old_nodes + static_cast<int64_t>(delta.added_nodes.size());
+
+  if (!delta.added_nodes.empty() || !delta.added_edges.empty()) {
+    // Canonicalize the incoming edges, then one-pass merge them into the
+    // already-canonical edge list (set union; duplicates of existing edges
+    // collapse). O(E + d log d) for d delta edges — no global re-sort.
+    std::vector<Edge> incoming;
+    incoming.reserve(delta.added_edges.size());
+    for (const Edge& e : delta.added_edges) {
+      incoming.push_back(e.u < e.v ? e : Edge{e.v, e.u});
+    }
+    std::sort(incoming.begin(), incoming.end(),
+              [](const Edge& a, const Edge& b) {
+                return a.u != b.u ? a.u < b.u : a.v < b.v;
+              });
+    incoming.erase(std::unique(incoming.begin(), incoming.end()),
+                   incoming.end());
+
+    const std::vector<Edge>& existing = dataset_.graph.edges();
+    std::vector<Edge> merged;
+    merged.reserve(existing.size() + incoming.size());
+    auto less = [](const Edge& a, const Edge& b) {
+      return a.u != b.u ? a.u < b.u : a.v < b.v;
+    };
+    std::set_union(existing.begin(), existing.end(), incoming.begin(),
+                   incoming.end(), std::back_inserter(merged), less);
+    dataset_.graph = Graph::FromCanonicalEdges(new_nodes, std::move(merged));
+  }
+
+  if (!delta.added_nodes.empty() || !delta.feature_updates.empty()) {
+    // Row-wise CSR splice: unchanged rows copy their spans, updated rows
+    // substitute their replacement, arriving rows append. O(nnz).
+    std::vector<const std::vector<std::pair<int64_t, float>>*> replacement(
+        static_cast<size_t>(old_nodes), nullptr);
+    for (const FeatureUpdate& update : delta.feature_updates) {
+      replacement[static_cast<size_t>(update.node)] = &update.features;
+    }
+    const SparseMatrix& old_features = dataset_.features;
+    std::vector<int64_t> row_ptr(static_cast<size_t>(new_nodes) + 1, 0);
+    std::vector<int64_t> col_idx;
+    std::vector<float> values;
+    col_idx.reserve(static_cast<size_t>(old_features.nnz()));
+    values.reserve(static_cast<size_t>(old_features.nnz()));
+    for (int64_t r = 0; r < old_nodes; ++r) {
+      if (replacement[static_cast<size_t>(r)] != nullptr) {
+        for (const auto& [col, value] : *replacement[static_cast<size_t>(r)]) {
+          if (value == 0.0f) continue;  // CSR stores nonzeros only.
+          col_idx.push_back(col);
+          values.push_back(value);
+        }
+      } else {
+        const int64_t begin = old_features.row_ptr()[static_cast<size_t>(r)];
+        const int64_t end =
+            old_features.row_ptr()[static_cast<size_t>(r) + 1];
+        for (int64_t k = begin; k < end; ++k) {
+          col_idx.push_back(old_features.col_idx()[static_cast<size_t>(k)]);
+          values.push_back(old_features.values()[static_cast<size_t>(k)]);
+        }
+      }
+      row_ptr[static_cast<size_t>(r) + 1] =
+          static_cast<int64_t>(col_idx.size());
+    }
+    for (size_t a = 0; a < delta.added_nodes.size(); ++a) {
+      for (const auto& [col, value] : delta.added_nodes[a].features) {
+        if (value == 0.0f) continue;
+        col_idx.push_back(col);
+        values.push_back(value);
+      }
+      row_ptr[static_cast<size_t>(old_nodes) + a + 1] =
+          static_cast<int64_t>(col_idx.size());
+    }
+    dataset_.features =
+        SparseMatrix::FromCsr(new_nodes, old_features.cols(),
+                              std::move(row_ptr), std::move(col_idx),
+                              std::move(values));
+    for (const NodeArrival& arrival : delta.added_nodes) {
+      dataset_.labels.push_back(arrival.label);
+    }
+  }
+
+  RebuildContext();
+  ++version_;
+  last_timestamp_ = delta.timestamp;
+  return Status::Ok();
+}
+
+std::vector<int64_t> StreamingGraph::AffectedNodes(
+    const GraphDelta& delta, int hops, int64_t num_nodes_before) const {
+  RDD_CHECK_GE(hops, 0);
+  std::vector<int64_t> frontier = TouchedNodes(delta, num_nodes_before);
+  std::vector<bool> seen(static_cast<size_t>(dataset_.NumNodes()), false);
+  std::vector<int64_t> ball;
+  for (int64_t v : frontier) {
+    RDD_CHECK_LT(v, dataset_.NumNodes());
+    seen[static_cast<size_t>(v)] = true;
+    ball.push_back(v);
+  }
+  for (int hop = 0; hop < hops; ++hop) {
+    std::vector<int64_t> next;
+    for (int64_t v : frontier) {
+      for (int64_t nbr : dataset_.graph.Neighbors(v)) {
+        if (!seen[static_cast<size_t>(nbr)]) {
+          seen[static_cast<size_t>(nbr)] = true;
+          next.push_back(nbr);
+        }
+      }
+    }
+    ball.insert(ball.end(), next.begin(), next.end());
+    frontier = std::move(next);
+    if (frontier.empty()) break;
+  }
+  std::sort(ball.begin(), ball.end());
+  return ball;
+}
+
+}  // namespace rdd::stream

@@ -1,0 +1,70 @@
+#ifndef RDD_STREAM_STREAMING_GRAPH_H_
+#define RDD_STREAM_STREAMING_GRAPH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "data/dataset.h"
+#include "models/graph_model.h"
+#include "stream/graph_delta.h"
+#include "util/status.h"
+
+namespace rdd::stream {
+
+/// A dataset + GraphContext pair that grows in place as timestamped deltas
+/// arrive.
+///
+/// Contract (the same one GraphView pins for induced sub-views): after any
+/// sequence of Apply calls, `context()` is BIT-IDENTICAL to
+/// `GraphContext::FromDataset(dataset())` built from scratch — same CSR
+/// arrays, same normalized adjacency values, at any thread count and SIMD
+/// backend (tests/stream_test.cc pins this, and the final state is also
+/// invariant to how one edge set is batched across deltas). Apply merges
+/// the delta into the canonical edge list in O(E) (no global re-sort, see
+/// Graph::FromCanonicalEdges), splices feature rows in O(nnz), and
+/// recomputes the two degree-dependent propagation matrices.
+///
+/// Ownership: the context's matrices are fresh shared_ptrs after every
+/// Apply; models built over an older context keep their (immutable) old
+/// matrices alive — a model is never invalidated mid-forward by a delta.
+///
+/// Thread-safety: NOT thread-safe. One writer must own the stream;
+/// publishing an updated model to concurrent readers is the serving
+/// daemon's job (serve/daemon.h hot-swap), not this class's.
+class StreamingGraph {
+ public:
+  /// Starts the stream from a base snapshot.
+  explicit StreamingGraph(Dataset base);
+
+  const Dataset& dataset() const { return dataset_; }
+  const GraphContext& context() const { return context_; }
+
+  /// Number of deltas applied so far.
+  int64_t version() const { return version_; }
+  /// Timestamp of the last applied delta (minimum int64 before the first).
+  int64_t last_timestamp() const { return last_timestamp_; }
+
+  /// Applies one delta in place. InvalidArgument (with the stream
+  /// unchanged) when the delta fails ValidateDelta against the current
+  /// shape or its timestamp precedes last_timestamp(). An empty delta is a
+  /// no-op apart from advancing version() and last_timestamp().
+  Status Apply(const GraphDelta& delta);
+
+  /// The sorted k-hop neighborhood (on the CURRENT, post-Apply graph) of
+  /// the nodes `delta` touched: the region IncrementalRdd re-trains over.
+  /// `hops` = 0 returns just the touched nodes. Pure.
+  std::vector<int64_t> AffectedNodes(const GraphDelta& delta, int hops,
+                                     int64_t num_nodes_before) const;
+
+ private:
+  void RebuildContext();
+
+  Dataset dataset_;
+  GraphContext context_;
+  int64_t version_ = 0;
+  int64_t last_timestamp_;
+};
+
+}  // namespace rdd::stream
+
+#endif  // RDD_STREAM_STREAMING_GRAPH_H_

@@ -51,6 +51,38 @@ SparseMatrix SparseMatrix::FromCoo(int64_t rows, int64_t cols,
   return m;
 }
 
+SparseMatrix SparseMatrix::FromCsr(int64_t rows, int64_t cols,
+                                   std::vector<int64_t> row_ptr,
+                                   std::vector<int64_t> col_idx,
+                                   std::vector<float> values) {
+  RDD_CHECK_GE(rows, 0);
+  RDD_CHECK_GE(cols, 0);
+  RDD_CHECK_EQ(row_ptr.size(), static_cast<size_t>(rows) + 1);
+  RDD_CHECK_EQ(col_idx.size(), values.size());
+  RDD_CHECK_EQ(row_ptr.front(), 0);
+  RDD_CHECK_EQ(row_ptr.back(), static_cast<int64_t>(col_idx.size()));
+  for (int64_t r = 0; r < rows; ++r) {
+    const int64_t begin = row_ptr[static_cast<size_t>(r)];
+    const int64_t end = row_ptr[static_cast<size_t>(r) + 1];
+    RDD_CHECK_LE(begin, end);
+    for (int64_t i = begin; i < end; ++i) {
+      RDD_CHECK_GE(col_idx[static_cast<size_t>(i)], 0);
+      RDD_CHECK_LT(col_idx[static_cast<size_t>(i)], cols);
+      if (i > begin) {
+        RDD_CHECK_LT(col_idx[static_cast<size_t>(i) - 1],
+                     col_idx[static_cast<size_t>(i)]);
+      }
+    }
+  }
+  SparseMatrix m;
+  m.rows_ = rows;
+  m.cols_ = cols;
+  m.row_ptr_ = std::move(row_ptr);
+  m.col_idx_ = std::move(col_idx);
+  m.values_ = std::move(values);
+  return m;
+}
+
 SparseMatrix SparseMatrix::FromDense(const Matrix& dense) {
   std::vector<SparseEntry> entries;
   for (int64_t r = 0; r < dense.rows(); ++r) {

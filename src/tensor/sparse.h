@@ -32,6 +32,17 @@ class SparseMatrix {
   /// Builds a sparse matrix holding the nonzero entries of `dense`.
   static SparseMatrix FromDense(const Matrix& dense);
 
+  /// Builds a matrix directly from CSR arrays: `row_ptr` of length rows + 1
+  /// starting at 0, non-decreasing, ending at col_idx.size(); column indices
+  /// strictly increasing within each row and inside [0, cols). Violations
+  /// abort. Bit-identical to the FromCoo result for the same entries; exists
+  /// so row-wise splices (the streaming feature merge) can skip the global
+  /// COO sort.
+  static SparseMatrix FromCsr(int64_t rows, int64_t cols,
+                              std::vector<int64_t> row_ptr,
+                              std::vector<int64_t> col_idx,
+                              std::vector<float> values);
+
   int64_t rows() const { return rows_; }
   int64_t cols() const { return cols_; }
   int64_t nnz() const { return static_cast<int64_t>(values_.size()); }

@@ -22,6 +22,38 @@ std::string AsciiLower(const char* value) {
 
 }  // namespace
 
+const std::vector<KnobInfo>& RegisteredKnobs() {
+  // Keep in README table order; env_docs_test pins the two against each
+  // other. "unset" marks knobs whose absence (not a value) is the default;
+  // "auto" marks runtime-detected defaults.
+  static const std::vector<KnobInfo> knobs = {
+      {"RDD_NUM_THREADS", "auto", "parallel"},
+      {"RDD_TASK_PARALLEL", "1", "parallel"},
+      {"RDD_SIMD", "auto", "simd"},
+      {"RDD_REQUIRE_SIMD", "unset", "simd"},
+      {"RDD_FUSE", "1", "simd"},
+      {"RDD_BF16", "0", "serve"},
+      {"RDD_POOL_DISABLE", "0", "memory"},
+      {"RDD_METRICS", "0", "observe"},
+      {"RDD_TRACE", "unset", "observe"},
+      {"RDD_BENCH_FULL", "0", "bench"},
+      {"RDD_MB_BATCH", "256", "train"},
+      {"RDD_MB_FANOUT", "10,10", "train"},
+      {"RDD_MB_SHARDS", "0", "train"},
+      {"RDD_MB_SAMPLED_EVAL", "0", "train"},
+      {"RDD_CONDENSE", "off", "condense"},
+      {"RDD_CONDENSE_RATIO", "0.05", "condense"},
+      {"RDD_CONDENSE_PROP_STEPS", "2", "condense"},
+      {"RDD_CONDENSE_EIGEN_K", "32", "condense"},
+      {"RDD_CONDENSE_EVAL_EVERY", "10", "condense"},
+      {"RDD_CONDENSE_WARMUP", "20", "condense"},
+      {"RDD_STREAM_HOPS", "2", "stream"},
+      {"RDD_STREAM_EPOCHS", "10", "stream"},
+      {"RDD_STREAM_BOOST", "2.0", "stream"},
+  };
+  return knobs;
+}
+
 bool ParseBool(const char* value, bool fallback, bool* recognized) {
   if (recognized != nullptr) *recognized = true;
   if (value == nullptr || *value == '\0') return fallback;

@@ -1,7 +1,25 @@
 #ifndef RDD_UTIL_ENV_H_
 #define RDD_UTIL_ENV_H_
 
+#include <vector>
+
 namespace rdd::env {
+
+/// One documented environment knob. `default_value` and `module` mirror the
+/// "Default" and "Module" columns of the README's authoritative env-var
+/// table; tests/env_docs_test.cc greps both against each other AND against
+/// the `"RDD_*"` string literals in the sources, so a knob cannot be added,
+/// renamed, or re-defaulted without the table following.
+struct KnobInfo {
+  const char* name;           ///< Exact variable name, e.g. "RDD_SIMD".
+  const char* default_value;  ///< Rendered default, e.g. "1" or "unset".
+  const char* module;         ///< Owning module, e.g. "parallel".
+};
+
+/// The full registry of environment knobs the library reads, in README
+/// table order. Hand-maintained next to the parsers on purpose: the entry
+/// and the BoolEnv/IntEnv/DoubleEnv call it documents live one `grep` apart.
+const std::vector<KnobInfo>& RegisteredKnobs();
 
 /// Shared parsing for the library's boolean environment switches
 /// (RDD_METRICS, RDD_TASK_PARALLEL, RDD_POOL_DISABLE, ...). Accepted

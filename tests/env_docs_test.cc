@@ -1,0 +1,193 @@
+// Drift guard for the environment-variable documentation. The README's env
+// table is declared AUTHORITATIVE; this suite pins it against reality from
+// both directions so it cannot rot:
+//
+//  1. The table's (name, default, module) rows must equal
+//     env::RegisteredKnobs() exactly, in order.
+//  2. Every quoted "RDD_*" literal in src/ and bench/ must be a registered
+//     knob (or an explicitly listed non-knob, e.g. file-format magics), and
+//     every registered knob must appear as a literal somewhere in src/ —
+//     a knob cannot be added, removed, renamed, or re-defaulted in code
+//     without the registry AND the README following.
+//
+// The source tree location comes from the RDD_SOURCE_DIR compile definition
+// (set in tests/CMakeLists.txt), so the test is build-dir independent.
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/env.h"
+
+namespace rdd {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// One parsed README table row.
+struct DocRow {
+  std::string name;
+  std::string default_value;
+  std::string module;
+};
+
+std::string SourceDir() { return RDD_SOURCE_DIR; }
+
+std::string ReadFile(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << "cannot read " << path;
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+/// Strips one markdown table cell: whitespace and the `backticks` the table
+/// renders names/defaults/modules in.
+std::string StripCell(std::string cell) {
+  const auto keep = [](char c) { return c != ' ' && c != '`'; };
+  cell.erase(cell.begin(),
+             std::find_if(cell.begin(), cell.end(), keep));
+  cell.erase(std::find_if(cell.rbegin(), cell.rend(), keep).base(),
+             cell.end());
+  return cell;
+}
+
+/// Parses the README's 4-column env table: every line of the form
+/// `| `RDD_...` | default | module | effect |`.
+std::vector<DocRow> ParseReadmeTable() {
+  const std::string readme = ReadFile(fs::path(SourceDir()) / "README.md");
+  std::vector<DocRow> rows;
+  std::istringstream lines(readme);
+  std::string line;
+  while (std::getline(lines, line)) {
+    if (line.rfind("| `RDD_", 0) != 0) continue;
+    std::vector<std::string> cells;
+    size_t start = 1;  // past the leading '|'
+    for (size_t i = 1; i < line.size() && cells.size() < 3; ++i) {
+      if (line[i] == '|') {
+        cells.push_back(StripCell(line.substr(start, i - start)));
+        start = i + 1;
+      }
+    }
+    if (cells.size() < 3) continue;
+    rows.push_back({cells[0], cells[1], cells[2]});
+  }
+  return rows;
+}
+
+/// Extracts every distinct quoted "RDD_*" literal under `dir`, recursively,
+/// from C++ sources and headers.
+std::set<std::string> QuotedLiteralsUnder(const fs::path& dir) {
+  std::set<std::string> found;
+  for (const auto& entry : fs::recursive_directory_iterator(dir)) {
+    if (!entry.is_regular_file()) continue;
+    const std::string ext = entry.path().extension().string();
+    if (ext != ".cc" && ext != ".h" && ext != ".cpp") continue;
+    const std::string text = ReadFile(entry.path());
+    size_t pos = 0;
+    while ((pos = text.find("\"RDD_", pos)) != std::string::npos) {
+      size_t end = pos + 1;
+      while (end < text.size() &&
+             (std::isupper(static_cast<unsigned char>(text[end])) ||
+              std::isdigit(static_cast<unsigned char>(text[end])) ||
+              text[end] == '_')) {
+        ++end;
+      }
+      if (end < text.size() && text[end] == '"') {
+        found.insert(text.substr(pos + 1, end - pos - 1));
+      }
+      pos = end;
+    }
+  }
+  return found;
+}
+
+TEST(EnvDocsTest, ReadmeTableMatchesRegistryExactly) {
+  const std::vector<DocRow> rows = ParseReadmeTable();
+  const std::vector<env::KnobInfo>& knobs = env::RegisteredKnobs();
+  ASSERT_FALSE(rows.empty()) << "README env table not found (4-column rows "
+                                "starting with '| `RDD_')";
+  ASSERT_EQ(rows.size(), knobs.size())
+      << "README documents " << rows.size() << " knobs but the registry has "
+      << knobs.size() << " — update the README table AND RegisteredKnobs() "
+      << "in src/util/env.cc together";
+  for (size_t i = 0; i < knobs.size(); ++i) {
+    EXPECT_EQ(rows[i].name, knobs[i].name) << "row " << i;
+    EXPECT_EQ(rows[i].default_value, knobs[i].default_value)
+        << "default of " << knobs[i].name;
+    EXPECT_EQ(rows[i].module, knobs[i].module)
+        << "module of " << knobs[i].name;
+  }
+}
+
+TEST(EnvDocsTest, EverySourceLiteralIsARegisteredKnob) {
+  // Quoted RDD_* strings that are NOT environment knobs: the binary
+  // file-format magics. Anything else must be registered (and documented).
+  const std::set<std::string> non_knobs = {"RDD_DAT1", "RDD_CKP1"};
+
+  std::set<std::string> registered;
+  for (const env::KnobInfo& knob : env::RegisteredKnobs()) {
+    registered.insert(knob.name);
+  }
+
+  std::set<std::string> literals = QuotedLiteralsUnder(
+      fs::path(SourceDir()) / "src");
+  const std::set<std::string> bench_literals = QuotedLiteralsUnder(
+      fs::path(SourceDir()) / "bench");
+  literals.insert(bench_literals.begin(), bench_literals.end());
+  ASSERT_FALSE(literals.empty());
+
+  for (const std::string& literal : literals) {
+    EXPECT_TRUE(registered.count(literal) > 0 || non_knobs.count(literal) > 0)
+        << literal << " is read in src/ or bench/ but not registered in "
+        << "env::RegisteredKnobs() — register and document it in the README "
+        << "env table (or list it as a non-knob here if it is not an env "
+        << "variable)";
+  }
+}
+
+TEST(EnvDocsTest, EveryRegisteredKnobIsReadSomewhere) {
+  // The registry initializer in env.cc quotes every name itself, so a
+  // stale entry would self-match; collect literals from every source
+  // EXCEPT env.cc and require each knob to appear in src/ or bench/.
+  std::set<std::string> literals;
+  for (const char* sub : {"src", "bench"}) {
+    for (const auto& entry : fs::recursive_directory_iterator(
+             fs::path(SourceDir()) / sub)) {
+      if (!entry.is_regular_file()) continue;
+      if (entry.path().filename() == "env.cc") continue;
+      const std::string ext = entry.path().extension().string();
+      if (ext != ".cc" && ext != ".h" && ext != ".cpp") continue;
+      const std::string text = ReadFile(entry.path());
+      size_t pos = 0;
+      while ((pos = text.find("\"RDD_", pos)) != std::string::npos) {
+        size_t end = pos + 1;
+        while (end < text.size() &&
+               (std::isupper(static_cast<unsigned char>(text[end])) ||
+                std::isdigit(static_cast<unsigned char>(text[end])) ||
+                text[end] == '_')) {
+          ++end;
+        }
+        if (end < text.size() && text[end] == '"') {
+          literals.insert(text.substr(pos + 1, end - pos - 1));
+        }
+        pos = end;
+      }
+    }
+  }
+  for (const env::KnobInfo& knob : env::RegisteredKnobs()) {
+    EXPECT_TRUE(literals.count(knob.name) > 0)
+        << knob.name << " is registered but no source outside env.cc reads "
+        << "it — stale registry entry?";
+  }
+}
+
+}  // namespace
+}  // namespace rdd
